@@ -1,0 +1,56 @@
+"""Extension benches: DPS+ (demand estimation, §7) and the hierarchical
+Argo-style baseline (§2.3).
+
+Findings this bench records (see EXPERIMENTS.md):
+
+* **Hierarchical** lands between SLURM and DPS — the group-proportional
+  level-1 split recovers cross-group fairness that flat MIMD loses, but
+  inside a group it inherits stateless starvation.
+* **DPS+** closes most of the remaining gap to the oracle on the paired
+  harmonic mean, at the cost of some of DPS's phased-workload lower-bound
+  protection — demand-estimated water-filling optimizes throughput where
+  DPS's equalization optimizes the guarantee.
+"""
+
+import numpy as np
+
+from benchmarks._config import bench_harness
+
+
+PAIRS = [("kmeans", "gmm"), ("bayes", "cg"), ("lr", "gmm"), ("rf", "ep")]
+MANAGERS = ("slurm", "hierarchical", "dps", "dps+", "oracle")
+
+
+def test_extension_managers(benchmark):
+    harness = bench_harness()
+
+    def run():
+        out = {}
+        for pair in PAIRS:
+            for manager in MANAGERS:
+                ev = harness.evaluate_pair(pair[0], pair[1], manager)
+                out[(pair, manager)] = (ev.hmean_speedup, ev.fairness)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print()
+    for pair in PAIRS:
+        row = "  ".join(
+            f"{m}={results[(pair, m)][0]:.3f}" for m in MANAGERS
+        )
+        print(f"  {pair[0]}/{pair[1]:7s} hmean: {row}")
+
+    def mean_hm(manager):
+        return float(np.mean([results[(p, manager)][0] for p in PAIRS]))
+
+    # The ordering the extensions are built to demonstrate.
+    assert mean_hm("slurm") < mean_hm("dps")
+    assert mean_hm("hierarchical") < mean_hm("dps") + 0.005
+    assert mean_hm("hierarchical") > mean_hm("slurm") - 0.01
+    # DPS+ closes toward the oracle on the paired hmean.
+    assert mean_hm("dps+") > mean_hm("dps") - 0.01
+    assert mean_hm("oracle") >= mean_hm("dps+") - 0.01
+    # Everyone respects the lower bound direction except the stateless two.
+    for pair in PAIRS:
+        assert results[(pair, "dps")][0] > 0.99

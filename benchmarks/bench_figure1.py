@@ -1,0 +1,30 @@
+"""Figure 1 — the motivational two-node example.
+
+Regenerates the cap schedules of all four managers and asserts the
+figure's story: the stateless system starves the late-rising node while
+DPS lands on the oracle's even split.
+"""
+
+import numpy as np
+
+from benchmarks._config import bench_config
+from repro.experiments.figures import figure1
+from repro.experiments.reporting import render_figure1
+
+
+def test_figure1(benchmark):
+    data = benchmark.pedantic(
+        lambda: figure1(config=bench_config()),
+        rounds=1, iterations=1,
+    )
+    print("\n" + render_figure1(data))
+
+    np.testing.assert_allclose(data.caps["constant"], 120.0)
+    slurm_t4 = data.caps["slurm"][4]
+    dps_t4 = data.caps["dps"][4]
+    oracle_t4 = data.caps["oracle"][4]
+    assert slurm_t4[1] < 105.0, "stateless must starve node 1 at T4"
+    assert abs(dps_t4[0] - dps_t4[1]) < 5.0, "DPS must equalize at T4"
+    np.testing.assert_allclose(dps_t4, oracle_t4, atol=5.0)
+    for caps in data.caps.values():
+        assert np.all(caps.sum(axis=1) <= data.budget_w + 1e-6)

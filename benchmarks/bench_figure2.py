@@ -1,0 +1,43 @@
+"""Figure 2 — uncapped power phases of LDA, Bayes, and LR.
+
+Measures the three applications' solo uncapped traces through the full
+substrate (RAPL physics + telemetry) and asserts the phase structure the
+paper highlights: LDA's long phases, Bayes's mixed lengths and peak
+diversity, LR's sub-10 s bursts.
+"""
+
+import numpy as np
+
+from benchmarks._config import bench_config
+from repro.experiments.figures import figure2
+from repro.telemetry.analysis import extract_phases
+
+
+def test_figure2(benchmark):
+    traces = benchmark.pedantic(
+        lambda: figure2(config=bench_config()),
+        rounds=1, iterations=1,
+    )
+    print()
+    stats = {}
+    for name, (t, p) in traces.items():
+        phases = extract_phases(t, p, min_delta_w=25.0, min_duration_s=2.0)
+        mean_phase = float(np.mean([ph.duration_s for ph in phases]))
+        above = 100 * float(np.mean(p > 110.0))
+        stats[name] = (mean_phase, above, float(p.max()))
+        print(
+            f"  {name:6s}: {len(phases):3d} phases, mean "
+            f"{mean_phase:6.1f}s, {above:5.1f}% above 110 W, "
+            f"peak {p.max():5.1f} W"
+        )
+
+    # LDA's phases are much longer than LR's (Figures 2a vs 2c).
+    assert stats["lda"][0] > 3 * stats["lr"][0]
+    # All three reach well above 110 W uncapped.  LR's bound is looser:
+    # at compressed time scales its bursts last a single control step and
+    # the RAPL first-order lag shaves the top off the measured peak.
+    for name in ("lda", "bayes"):
+        assert stats[name][2] > 125.0
+    assert stats["lr"][2] > 118.0
+    # LR's above-110 fraction is the smallest of the three (Table 2).
+    assert stats["lr"][1] < stats["bayes"][1] < stats["lda"][1]

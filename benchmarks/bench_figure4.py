@@ -1,0 +1,47 @@
+"""Figure 4 — Spark low-utility group (28 pairs, DPS vs SLURM vs oracle).
+
+Paper claims reproduced here: DPS and the oracle improve over constant
+allocation by ~5-8 % on average; SLURM matches them except on the
+high-frequency workloads (Linear, LR) where it falls to or below the
+constant baseline.
+"""
+
+import numpy as np
+
+from benchmarks._config import bench_harness
+from repro.experiments.figures import figure4
+from repro.experiments.reporting import render_bars
+from repro.experiments.setups import low_utility_pairs
+
+
+def test_figure4(benchmark):
+    harness = bench_harness()
+    data = benchmark.pedantic(
+        lambda: figure4(
+            harness,
+            managers=("slurm", "dps", "oracle"),
+            pairs=low_utility_pairs(),
+        ),
+        rounds=1, iterations=1,
+    )
+    print("\n" + render_bars(data, "Figure 4 — Spark low utility"))
+
+    dps = dict(zip(data.labels, data.series["dps"]))
+    slurm = dict(zip(data.labels, data.series["slurm"]))
+    oracle = dict(zip(data.labels, data.series["oracle"]))
+
+    # DPS and the oracle both clearly beat constant allocation on average.
+    assert np.mean(list(dps.values())) > 1.02
+    assert np.mean(list(oracle.values())) > 1.02
+    # DPS stays close to the oracle (paper: both 5-8 %).
+    assert abs(np.mean(list(dps.values())) - np.mean(list(oracle.values()))) < 0.05
+    # DPS never falls below the constant baseline.
+    assert min(dps.values()) > 0.98
+    # The paper's LR story: SLURM lands below constant allocation on the
+    # most bursty workload (LR, paper: -4.0 %) while DPS holds the lower
+    # bound there; on Linear the paper's penalty is marginal, so only the
+    # ordering is asserted.  (At compressed time scales SLURM also suffers
+    # on other phased workloads — the same reaction-speed mechanism.)
+    assert slurm["lr"] < 1.0
+    for w in ("linear", "lr"):
+        assert dps[w] > slurm[w]

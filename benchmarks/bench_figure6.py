@@ -1,0 +1,44 @@
+"""Figure 6 — Spark x NPB group (56 pairs, grouped both ways).
+
+Paper claims reproduced here: DPS outperforms SLURM on every pair grouping
+(paper: +1.7 % to +21.3 %, mean +8 %); SLURM's paired harmonic mean falls
+below constant for most Spark groupings (it boosts the NPB side by
+starving the Spark side); DPS improves every grouping.
+"""
+
+import numpy as np
+
+from benchmarks._config import bench_harness
+from repro.experiments.figures import figure6
+from repro.experiments.reporting import render_bars
+from repro.experiments.setups import spark_npb_pairs
+
+
+def test_figure6(benchmark):
+    harness = bench_harness()
+    by_spark, by_npb = benchmark.pedantic(
+        lambda: figure6(
+            harness, managers=("slurm", "dps"), pairs=spark_npb_pairs()
+        ),
+        rounds=1, iterations=1,
+    )
+    print("\n" + render_bars(by_spark, "Figure 6(a) — by Spark workload"))
+    print("\n" + render_bars(by_npb, "Figure 6(b) — by NPB workload"))
+
+    dps_spark = np.asarray(by_spark.series["dps"])
+    slurm_spark = np.asarray(by_spark.series["slurm"])
+    dps_npb = np.asarray(by_npb.series["dps"])
+    slurm_npb = np.asarray(by_npb.series["slurm"])
+
+    # DPS improves every grouping (paper: "DPS improves the performance of
+    # all the workloads").
+    assert dps_spark.min() > 1.0
+    assert dps_npb.min() > 1.0
+    # DPS beats SLURM on every grouping.
+    assert np.all(dps_spark > slurm_spark)
+    assert np.all(dps_npb > slurm_npb)
+    # SLURM sits below constant for most Spark groupings.
+    assert np.mean(slurm_spark < 1.0) >= 0.5
+    # Aggregate margin in the paper's direction (mean +8 %, here > +3 %).
+    mean_gain = np.mean(dps_spark - slurm_spark)
+    assert mean_gain > 0.03

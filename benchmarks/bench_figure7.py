@@ -1,0 +1,41 @@
+"""Figure 7 / §6.4 — fairness analysis.
+
+Paper claims reproduced here: DPS's mean fairness far exceeds SLURM's in
+the contended groups (paper: 0.97 vs 0.75 high-utility, 0.96 vs 0.71
+Spark-NPB), DPS's fairness is at least SLURM's pair-by-pair in aggregate,
+and fairness correlates positively with harmonic-mean performance.
+"""
+
+import numpy as np
+
+from benchmarks._config import bench_harness
+from repro.experiments.figures import figure7
+from repro.experiments.reporting import render_figure7
+from repro.experiments.setups import demanding_spark_names
+
+
+def test_figure7(benchmark):
+    harness = bench_harness()
+    pairs = [(w, "gmm") for w in demanding_spark_names()] + [
+        (w, n)
+        for w in ("kmeans", "lda", "lr", "bayes")
+        for n in ("cg", "ep", "is")
+    ]
+    data = benchmark.pedantic(
+        lambda: figure7(harness, managers=("slurm", "dps"), pairs=pairs),
+        rounds=1, iterations=1,
+    )
+    print("\n" + render_figure7(data))
+
+    assert data.mean_fairness["dps"] > 0.9
+    assert data.mean_fairness["dps"] > data.mean_fairness["slurm"] + 0.08
+    # Pooling both managers' pairs, fairness correlates positively with
+    # harmonic-mean performance (the §6.4 observation).
+    pooled_fair = np.concatenate(
+        [data.fairness["slurm"], data.fairness["dps"]]
+    )
+    pooled_perf = np.concatenate(
+        [data.hmean_speedups["slurm"], data.hmean_speedups["dps"]]
+    )
+    corr = np.corrcoef(pooled_fair, pooled_perf)[0, 1]
+    assert corr > 0.3

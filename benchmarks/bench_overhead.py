@@ -1,0 +1,56 @@
+"""§6.5 — operating and deployment overhead.
+
+Reproduces the overhead analysis: 3 bytes exchanged per unit per request,
+sub-millisecond turnaround at the paper's 10-node scale, linear projection
+to 10^6 nodes, and the claim that DPS's decision cost is the same order as
+the stateless SLURM plugin's (all modules beyond the stateless one scale
+by a constant).
+"""
+
+from benchmarks._config import bench_config
+from repro.experiments.reporting import render_overhead_rows
+from repro.experiments.tables import measure_decision_time, overhead_analysis
+
+
+def test_overhead_scaling(benchmark):
+    rows = benchmark.pedantic(
+        lambda: overhead_analysis(
+            measured_nodes=10,
+            projected_nodes=(100, 1_000, 10_000, 1_000_000),
+            cycles=30,
+            config=bench_config(),
+        ),
+        rounds=1, iterations=1,
+    )
+    print("\n" + render_overhead_rows(rows))
+
+    measured = rows[0]
+    # 3 bytes per unit per direction (paper: "only 3 bytes are exchanged
+    # per request with each node").
+    assert measured.bytes_per_cycle == measured.n_units * 6
+    # Sub-10 ms turnaround at 10 nodes against the 1 s decision loop.
+    assert measured.turnaround_s < 0.01
+    # 1,000 nodes: several milliseconds of network latency (paper §6.5).
+    row_1k = next(r for r in rows if r.n_nodes == 1_000)
+    assert 1e-3 < row_1k.network_s < 1.0
+    # 1M nodes: ~6 MB of traffic per cycle (3 B x 2 dirs x 2 sockets).
+    row_1m = next(r for r in rows if r.n_nodes == 1_000_000)
+    assert row_1m.bytes_per_cycle == 12_000_000
+
+
+def test_decision_cost_dps_vs_slurm(benchmark):
+    def measure():
+        return {
+            name: measure_decision_time(name, n_units=20, steps=150)
+            for name in ("constant", "slurm", "dps")
+        }
+
+    times = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(
+        "\nper-decision wall time at 20 units: "
+        + ", ".join(f"{k}={v * 1e6:.0f}us" for k, v in times.items())
+    )
+    # DPS's extra modules cost a constant factor over stateless, and the
+    # absolute cost is negligible against the 1 s decision loop.
+    assert times["dps"] < 5e-3
+    assert times["slurm"] < times["dps"] < times["slurm"] * 100

@@ -1,0 +1,60 @@
+"""Controller scaling — §6.5's "tens of thousands of nodes" claim.
+
+Measures the bare decision-loop cost of each manager as the unit count
+grows and checks the paper's scaling arguments: per-decision time grows
+(sub-)linearly in units, stays far under the 1 s decision loop at 2,000
+units (1,000 dual-socket nodes), and DPS's state (the 20-step history)
+stays cache-resident at any realistic scale.
+"""
+
+import numpy as np
+
+from repro.experiments.tables import measure_decision_time
+
+
+def test_controller_scaling(benchmark):
+    unit_counts = (20, 200, 2000)
+
+    def run():
+        out = {}
+        for n in unit_counts:
+            out[n] = {
+                name: measure_decision_time(name, n_units=n, steps=30)
+                for name in ("slurm", "dps")
+            }
+        return out
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nper-decision wall time by cluster size:")
+    for n, row in times.items():
+        print(
+            f"  {n:5d} units: "
+            + ", ".join(f"{k}={v * 1e3:.2f}ms" for k, v in row.items())
+        )
+
+    # Far below the 1 s decision loop at 1,000 dual-socket nodes.
+    assert times[2000]["dps"] < 0.25
+    # Growth is at most ~linear-with-overhead: 100x units costs well under
+    # 300x time for DPS.
+    ratio = times[2000]["dps"] / times[20]["dps"]
+    assert ratio < 300, f"superlinear controller scaling: {ratio:.0f}x"
+
+
+def test_history_memory_footprint(benchmark):
+    """§6.5: '20 time steps ... can easily fit in the last-level cache
+    even scaled to tens of thousands of nodes, taking up several
+    megabytes'."""
+
+    def footprint(n_units: int) -> int:
+        # float64 history of 20 steps per unit.
+        return 20 * n_units * 8
+
+    result = benchmark.pedantic(
+        lambda: {n: footprint(n) for n in (20, 20_000, 200_000)},
+        rounds=1, iterations=1,
+    )
+    print(
+        "\nhistory footprint: "
+        + ", ".join(f"{n} units = {b / 1e6:.2f} MB" for n, b in result.items())
+    )
+    assert result[20_000] < 20e6  # "several megabytes" at 10k nodes.

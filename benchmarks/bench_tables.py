@@ -1,0 +1,57 @@
+"""Tables 2, 3, and 4 — workload characterization under the constant cap.
+
+Regenerates the paper's workload tables: measured constant-cap latency
+beside the published one, and the measured above-110 W fraction beside the
+published column.  Durations are rescaled to full time scale before
+comparison.
+"""
+
+from benchmarks._config import bench_config
+from repro.experiments.reporting import render_table, render_workload_rows
+from repro.experiments.tables import table2, table3, table4
+
+
+def test_table2_spark(benchmark):
+    rows = benchmark.pedantic(
+        lambda: table2(bench_config()), rounds=1, iterations=1
+    )
+    print("\n" + render_workload_rows(rows, "Table 2 — Spark workloads"))
+
+    assert len(rows) == 11
+    for row in rows:
+        # Above-110 calibration: within 5 percentage points of Table 2.
+        assert abs(row.measured_above_110_pct - row.paper_above_110_pct) < 5.0
+        # Constant-cap latency lands within 30 % of the published number
+        # (the simulator is not the authors' testbed; shape over scale).
+        ratio = row.measured_duration_s / row.paper_duration_s
+        assert 0.7 < ratio < 1.3, (row.name, ratio)
+    # Relative ordering of the big workloads holds.
+    durations = {r.name: r.measured_duration_s for r in rows}
+    assert durations["gmm"] > durations["kmeans"] > durations["lr"]
+
+
+def test_table3_resources(benchmark):
+    rows = benchmark.pedantic(table3, rounds=1, iterations=1)
+    print(
+        "\nTable 3 — Spark resources\n"
+        + render_table(
+            ["power type", "executors", "cores/executor"],
+            [[c, e, k] for c, e, k in rows],
+        )
+    )
+    assert rows == [("low", 1, 8), ("mid", 48, 8), ("high", 48, 8)]
+
+
+def test_table4_npb(benchmark):
+    rows = benchmark.pedantic(
+        lambda: table4(bench_config()), rounds=1, iterations=1
+    )
+    print("\n" + render_workload_rows(rows, "Table 4 — NPB workloads"))
+
+    assert len(rows) == 8
+    for row in rows:
+        assert row.measured_above_110_pct > 93.0
+        ratio = row.measured_duration_s / row.paper_duration_s
+        assert 0.7 < ratio < 1.3, (row.name, ratio)
+    durations = {r.name: r.measured_duration_s for r in rows}
+    assert durations["ep"] > durations["bt"] > durations["ft"]

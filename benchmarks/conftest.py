@@ -1,0 +1,14 @@
+"""Benchmark-session configuration banner."""
+
+from benchmarks._config import REPEATS, SEED, TIME_SCALE
+
+
+def pytest_report_header(config):
+    """Show the bench campaign configuration at the top of every run."""
+    del config
+    return (
+        "repro benchmarks: paper topology (10 nodes / 20 sockets, 2200 W), "
+        f"REPRO_BENCH_TIME_SCALE={TIME_SCALE}, "
+        f"REPRO_BENCH_REPEATS={REPEATS}, seed={SEED} "
+        "(1.0/10 = paper scale)"
+    )

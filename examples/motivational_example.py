@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's Figure 1: the motivational two-node example.
+
+Two nodes share a budget of 1.5x the per-node maximum.  Node 0 raises its
+demand to the maximum at T1; node 1 follows at T3.  The figure contrasts how
+four power managers divide the budget:
+
+* constant allocation never moves (wasting budget at T1-T2);
+* the oracle tracks demand exactly and splits evenly once both are high;
+* the stateless (SLURM-style) manager gives node 0 the whole surplus and
+  then *starves node 1 forever* — both nodes sit at their caps, so current
+  power alone carries no signal that node 1 wants more;
+* DPS sees node 1's rising power trend (the power dynamics) and re-equalizes
+  the caps, landing where the oracle does.
+
+Run time: < 1 s.  Usage::
+
+    python examples/motivational_example.py
+"""
+
+from repro.experiments.figures import figure1
+from repro.experiments.reporting import render_figure1
+
+
+def main() -> None:
+    data = figure1()
+    print(render_figure1(data))
+
+    slurm_t4 = data.caps["slurm"][-1]
+    dps_t4 = data.caps["dps"][-1]
+    print(
+        f"\nAt T4 both nodes demand {data.demand[-1, 0]:.0f} W."
+        f"\n  stateless leaves node1 at {slurm_t4[1]:.0f} W "
+        f"(node0 holds {slurm_t4[0]:.0f} W) — the starvation of §1;"
+        f"\n  DPS re-equalizes to {dps_t4[0]:.0f}/{dps_t4[1]:.0f} W, "
+        "matching the perfect model-based system."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Drive the simulated RAPL domains through the sysfs powercap ABI.
+
+Shows the substrate-level interface a real DPS client uses on Linux:
+reading ``energy_uj`` counters, deriving power from counter differences
+(wrap-corrected), and writing ``constraint_0_power_limit_uw`` to cap a
+socket.  Everything below the sysfs paths is the simulator; code written
+against this surface would run unmodified on real ``/sys/class/powercap``.
+
+Run time: < 1 s.  Usage::
+
+    python examples/sysfs_powercap_demo.py
+"""
+
+import numpy as np
+
+from repro import Cluster, ClusterSpec
+
+
+def read_power_w(fs, zone: str, last_uj: int, dt_s: float) -> tuple[float, int]:
+    """Power over the last interval from two energy_uj reads."""
+    now_uj = int(fs.read(f"{zone}/energy_uj"))
+    wrap = int(fs.read(f"{zone}/max_energy_range_uj"))
+    delta = now_uj - last_uj
+    if delta < 0:  # Counter wrapped.
+        delta += wrap
+    return delta / dt_s * 1e-6, now_uj
+
+
+def main() -> None:
+    cluster = Cluster(ClusterSpec(n_nodes=1, sockets_per_node=2),
+                      rng=np.random.default_rng(3))
+    fs = cluster.sysfs()
+    zones = fs.list_zones()
+    dt = 1.0
+
+    print("powercap zones:")
+    for z in zones:
+        print(
+            f"  {z}  name={fs.read(z + '/name')}  "
+            f"limit={int(fs.read(z + '/constraint_0_power_limit_uw')) / 1e6:.0f} W  "
+            f"max={int(fs.read(z + '/constraint_0_max_power_uw')) / 1e6:.0f} W"
+        )
+
+    # Let socket 0 demand 150 W, then cap it to 90 W via the sysfs write.
+    zone = zones[0]
+    last = int(fs.read(zone + "/energy_uj"))
+    print("\nuncapped, demand 150 W:")
+    for _ in range(4):
+        cluster.step_physics(np.array([150.0, 12.0]), dt)
+        power, last = read_power_w(fs, zone, last, dt)
+        print(f"  power = {power:6.1f} W")
+
+    print("\nwrite constraint_0_power_limit_uw = 90000000 (90 W):")
+    fs.write(zone + "/constraint_0_power_limit_uw", "90000000")
+    for _ in range(4):
+        cluster.step_physics(np.array([150.0, 12.0]), dt)
+        power, last = read_power_w(fs, zone, last, dt)
+        print(f"  power = {power:6.1f} W   (capped)")
+
+    try:
+        fs.write(zone + "/energy_uj", "0")
+    except PermissionError as exc:
+        print(f"\nwriting energy_uj correctly refused: {exc}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Reproduce every result in this repository (the artifact's
+# run_experiment.sh equivalent).
+#
+# Usage:
+#   ./scripts/reproduce_all.sh           # scaled-down, ~5 minutes
+#   FULL=1 ./scripts/reproduce_all.sh    # paper-proportioned, hours
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${FULL:-0}" == "1" ]]; then
+    export REPRO_BENCH_TIME_SCALE=1.0
+    export REPRO_BENCH_REPEATS=10
+    echo "== paper-scale configuration (this will take hours) =="
+else
+    echo "== scaled-down configuration (REPRO_BENCH_TIME_SCALE=0.2) =="
+fi
+
+echo "== test suite =="
+python -m pytest tests/
+
+echo "== every table and figure =="
+python -m pytest benchmarks/ --benchmark-only -s
+
+echo "== persisted campaign + report =="
+python -m repro.cli --time-scale "${REPRO_BENCH_TIME_SCALE:-0.2}" \
+    --repeats "${REPRO_BENCH_REPEATS:-2}" \
+    campaign --out campaign.json
+python -m repro.cli report campaign.json > campaign_report.md
+echo "wrote campaign.json and campaign_report.md"

@@ -1,0 +1,115 @@
+"""Reproduction of *DPS: Adaptive Power Management for Overprovisioned
+Systems* (Ding & Hoffmann, SC '23).
+
+The public API re-exports the pieces a downstream user needs:
+
+* the four power managers (``DPSManager``, ``SlurmManager``,
+  ``ConstantManager``, ``OracleManager``) and their configs;
+* the simulated substrate (``Cluster``, ``Simulation``, RAPL domains,
+  workload suites);
+* the evaluation metrics (satisfaction, fairness, speedups);
+* the experiment harness that regenerates every table and figure.
+
+Quick start::
+
+    from repro import ExperimentConfig, ExperimentHarness, SimulationConfig
+
+    cfg = ExperimentConfig(sim=SimulationConfig(time_scale=0.1), repeats=2)
+    harness = ExperimentHarness(cfg)
+    result = harness.evaluate_managers("kmeans", "gmm")
+    print(result["dps"].hmean_speedup, result["slurm"].hmean_speedup)
+"""
+
+from repro.cluster import (
+    Assignment,
+    Cluster,
+    Simulation,
+    SimulationResult,
+    progress_rate,
+)
+from repro.core import (
+    ClusterSpec,
+    ConstantManager,
+    DPSConfig,
+    DPSManager,
+    DPSPlusManager,
+    DemandEstimator,
+    DemandEstimatorConfig,
+    HierarchicalManager,
+    KalmanBank,
+    KalmanConfig,
+    OracleManager,
+    PerfModelConfig,
+    PowerManager,
+    PriorityConfig,
+    PriorityModule,
+    RaplConfig,
+    ReadjustConfig,
+    SimulationConfig,
+    SlurmManager,
+    StatelessConfig,
+    available_managers,
+    create_manager,
+)
+from repro.experiments.harness import (
+    ExperimentConfig,
+    ExperimentHarness,
+    PairEvaluation,
+    PairOutcome,
+    ReferenceStats,
+)
+from repro.metrics import fairness, hmean, satisfaction, speedup
+from repro.workloads import (
+    PhaseProgram,
+    WorkloadSpec,
+    all_workloads,
+    get_workload,
+    workload_names,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Assignment",
+    "Cluster",
+    "ClusterSpec",
+    "ConstantManager",
+    "DPSConfig",
+    "DPSManager",
+    "DPSPlusManager",
+    "DemandEstimator",
+    "DemandEstimatorConfig",
+    "ExperimentConfig",
+    "HierarchicalManager",
+    "ExperimentHarness",
+    "KalmanBank",
+    "KalmanConfig",
+    "OracleManager",
+    "PairEvaluation",
+    "PairOutcome",
+    "PerfModelConfig",
+    "PhaseProgram",
+    "PowerManager",
+    "PriorityConfig",
+    "PriorityModule",
+    "RaplConfig",
+    "ReadjustConfig",
+    "ReferenceStats",
+    "Simulation",
+    "SimulationConfig",
+    "SimulationResult",
+    "SlurmManager",
+    "StatelessConfig",
+    "WorkloadSpec",
+    "all_workloads",
+    "available_managers",
+    "create_manager",
+    "fairness",
+    "get_workload",
+    "hmean",
+    "progress_rate",
+    "satisfaction",
+    "speedup",
+    "workload_names",
+    "__version__",
+]

@@ -1,0 +1,296 @@
+"""Command-line entry point (the artifact's ``exp.py`` / plot scripts).
+
+Examples::
+
+    dps-repro pair kmeans gmm --manager dps --manager slurm
+    dps-repro figure fig1
+    dps-repro figure fig4 --time-scale 0.25 --repeats 2
+    dps-repro tables
+    dps-repro overhead
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.config import SimulationConfig
+from repro.experiments import figures as figmod
+from repro.experiments import reporting, tables as tabmod
+from repro.experiments.harness import ExperimentConfig, ExperimentHarness
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="dps-repro",
+        description=(
+            "Reproduction of DPS: Adaptive Power Management for "
+            "Overprovisioned Systems (SC '23)"
+        ),
+    )
+    parser.add_argument(
+        "--time-scale",
+        type=float,
+        default=0.25,
+        help="workload duration multiplier (1.0 = paper-scale runs)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=2, help="runs per workload per pair"
+    )
+    parser.add_argument("--seed", type=int, default=42, help="campaign seed")
+
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    pair = sub.add_parser("pair", help="run one workload pair")
+    pair.add_argument("workload_a")
+    pair.add_argument("workload_b")
+    pair.add_argument(
+        "--manager",
+        action="append",
+        default=None,
+        help="manager to evaluate (repeatable; default slurm + dps)",
+    )
+
+    fig = sub.add_parser("figure", help="regenerate one figure's data")
+    fig.add_argument(
+        "which",
+        choices=["fig1", "fig2", "fig4", "fig5a", "fig5b", "fig6", "fig7"],
+    )
+
+    sub.add_parser("tables", help="regenerate Tables 2-4")
+    sub.add_parser("overhead", help="run the §6.5 overhead analysis")
+    sub.add_parser("list", help="list workloads and managers")
+
+    camp = sub.add_parser(
+        "campaign", help="run benchmark groups end to end (run_experiment.sh)"
+    )
+    camp.add_argument(
+        "--group",
+        action="append",
+        choices=["low_utility", "high_utility", "spark_npb"],
+        default=None,
+        help="group to run (repeatable; default all three)",
+    )
+    camp.add_argument(
+        "--limit-pairs",
+        type=int,
+        default=None,
+        help="cap on pairs per group (smoke-campaign mode)",
+    )
+    camp.add_argument(
+        "--out", default=None, help="write the campaign JSON to this path"
+    )
+
+    sweep = sub.add_parser(
+        "sweep", help="budget/noise sweeps the paper could not afford"
+    )
+    sweep.add_argument("which", choices=["budget", "noise"])
+    sweep.add_argument("--pair", nargs=2, default=["kmeans", "gmm"])
+
+    report = sub.add_parser(
+        "report", help="render a saved campaign JSON as markdown"
+    )
+    report.add_argument("campaign_json", help="path from `campaign --out`")
+    return parser
+
+
+def _config(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(
+        sim=SimulationConfig(time_scale=args.time_scale, max_steps=2_000_000),
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+
+
+def _cmd_pair(args: argparse.Namespace) -> str:
+    harness = ExperimentHarness(_config(args))
+    managers = tuple(args.manager) if args.manager else ("slurm", "dps")
+    rows = []
+    for m in managers:
+        ev = harness.evaluate_pair(args.workload_a, args.workload_b, m)
+        rows.append(
+            [
+                m,
+                f"{ev.speedup_a:.3f}",
+                f"{ev.speedup_b:.3f}",
+                f"{ev.hmean_speedup:.3f}",
+                f"{ev.fairness:.3f}",
+            ]
+        )
+    headers = [
+        "manager",
+        f"speedup {args.workload_a}",
+        f"speedup {args.workload_b}",
+        "hmean",
+        "fairness",
+    ]
+    return reporting.render_table(headers, rows)
+
+
+def _cmd_figure(args: argparse.Namespace) -> str:
+    cfg = _config(args)
+    harness = ExperimentHarness(cfg)
+    if args.which == "fig1":
+        return reporting.render_figure1(figmod.figure1(config=cfg))
+    if args.which == "fig2":
+        from repro.experiments.charts import sparkline
+
+        traces = figmod.figure2(config=cfg)
+        lines = ["Figure 2 — uncapped power phases"]
+        for name, (t, p) in traces.items():
+            lines.append(
+                f"  {name}: {t[-1]:.0f}s trace, power {p.min():.0f}-"
+                f"{p.max():.0f} W, {100 * (p > 110).mean():.1f}% above 110 W"
+            )
+            lines.append(f"    {sparkline(p, width=70)}")
+        return "\n".join(lines)
+    if args.which == "fig4":
+        return reporting.render_bars(
+            figmod.figure4(harness), "Figure 4 — Spark low utility"
+        )
+    if args.which == "fig5a":
+        return reporting.render_bars(
+            figmod.figure5a(harness), "Figure 5(a) — Spark high utility"
+        )
+    if args.which == "fig5b":
+        return reporting.render_bars(
+            figmod.figure5b(harness), "Figure 5(b) — paired with GMM"
+        )
+    if args.which == "fig6":
+        by_spark, by_npb = figmod.figure6(harness)
+        return (
+            reporting.render_bars(by_spark, "Figure 6(a) — by Spark workload")
+            + "\n\n"
+            + reporting.render_bars(by_npb, "Figure 6(b) — by NPB workload")
+        )
+    if args.which == "fig7":
+        return reporting.render_figure7(figmod.figure7(harness))
+    raise AssertionError(args.which)
+
+
+def _cmd_tables(args: argparse.Namespace) -> str:
+    cfg = _config(args)
+    parts = [
+        reporting.render_workload_rows(
+            tabmod.table2(cfg), "Table 2 — Spark workloads"
+        ),
+        "Table 3 — Spark resources\n"
+        + reporting.render_table(
+            ["power type", "executors", "cores/executor"],
+            [[c, e, k] for c, e, k in tabmod.table3()],
+        ),
+        reporting.render_workload_rows(
+            tabmod.table4(cfg), "Table 4 — NPB workloads"
+        ),
+    ]
+    return "\n\n".join(parts)
+
+
+def _cmd_overhead(args: argparse.Namespace) -> str:
+    rows = tabmod.overhead_analysis(config=_config(args))
+    return reporting.render_overhead_rows(rows)
+
+
+def _cmd_campaign(args: argparse.Namespace) -> str:
+    from repro.experiments.campaign import Campaign
+
+    groups = tuple(args.group) if args.group else (
+        "low_utility", "high_utility", "spark_npb",
+    )
+    campaign = Campaign(
+        _config(args), groups=groups, limit_pairs=args.limit_pairs
+    )
+    result = campaign.run(
+        progress=lambda g, p, m: print(f"  {g}: {p[0]}/{p[1]} under {m}")
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(result.to_json())
+    lines = ["campaign summary (hmean speedup over constant):"]
+    fairness = result.mean_fairness()
+    for (group, manager), stats in result.summary().items():
+        lines.append(
+            f"  {group:13s} {manager:8s} hmean={stats.hmean:.3f} "
+            f"min={stats.min:.3f} max={stats.max:.3f} n={stats.n} "
+            f"fairness={fairness[(group, manager)]:.3f}"
+        )
+    if args.out:
+        lines.append(f"written to {args.out}")
+    return "\n".join(lines)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> str:
+    from repro.experiments.sweeps import budget_sweep, noise_sweep
+
+    cfg = _config(args)
+    pair = (args.pair[0], args.pair[1])
+    if args.which == "budget":
+        points = budget_sweep(cfg, pair=pair)
+        param_label = "budget fraction"
+    else:
+        points = noise_sweep(cfg, pair=pair)
+        param_label = "noise std (W)"
+    lines = [f"{args.which} sweep on {pair[0]}/{pair[1]}:"]
+    rows = [
+        [f"{p.parameter:.2f}", p.manager, f"{p.hmean_speedup:.3f}",
+         f"{p.fairness:.3f}"]
+        for p in points
+    ]
+    lines.append(
+        reporting.render_table(
+            [param_label, "manager", "hmean speedup", "fairness"], rows
+        )
+    )
+    return "\n".join(lines)
+
+
+def _cmd_report(args: argparse.Namespace) -> str:
+    from repro.experiments.campaign import CampaignResult
+    from repro.experiments.report import campaign_report
+
+    with open(args.campaign_json, "r", encoding="utf-8") as fh:
+        result = CampaignResult.from_json(fh.read())
+    return campaign_report(result)
+
+
+def _cmd_list(args: argparse.Namespace) -> str:
+    del args
+    from repro.core.managers import available_managers
+    from repro.workloads.registry import all_workloads
+
+    lines = ["managers: " + ", ".join(available_managers()), "workloads:"]
+    for spec in all_workloads().values():
+        lines.append(
+            f"  {spec.name:12s} {spec.suite:5s} {spec.power_class:4s} "
+            f"paper {spec.paper_duration_s:7.1f}s"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "pair": _cmd_pair,
+        "figure": _cmd_figure,
+        "tables": _cmd_tables,
+        "overhead": _cmd_overhead,
+        "list": _cmd_list,
+        "campaign": _cmd_campaign,
+        "sweep": _cmd_sweep,
+        "report": _cmd_report,
+    }
+    try:
+        print(handlers[args.command](args))
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; that is not an error.
+        return 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

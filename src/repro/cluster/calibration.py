@@ -1,0 +1,158 @@
+"""Performance-model calibration from observed slowdowns.
+
+The simulator's cap-to-performance curve (``perfmodel.progress_rate``) is a
+substitution for the authors' real hardware (DESIGN.md §2).  To port this
+reproduction onto actual machines — or onto published slowdown data — the
+model must be fit, not assumed.  :func:`fit_perf_model` recovers the
+``(idle_power_w, theta)`` parameters from observed ``(cap, demand, rate)``
+triples by least squares on a grid-refined search; :func:`observe_rates`
+generates those triples from any callable rate source (e.g. timing real
+capped runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.config import PerfModelConfig
+from repro.cluster.perfmodel import progress_rate
+
+__all__ = ["CalibrationResult", "Observation", "fit_perf_model", "observe_rates"]
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One measured slowdown point.
+
+    Attributes:
+        cap_w: the power cap in effect.
+        demand_w: the workload's uncapped power draw.
+        rate: measured progress rate (capped time / uncapped time inverted),
+            in (0, 1].
+    """
+
+    cap_w: float
+    demand_w: float
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.cap_w < 0 or self.demand_w < 0:
+            raise ValueError("cap_w and demand_w must be >= 0")
+        if not 0 < self.rate <= 1:
+            raise ValueError(f"rate must be in (0, 1], got {self.rate}")
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Outcome of a model fit.
+
+    Attributes:
+        config: the fitted performance model.
+        rmse: root-mean-square rate error over the observations.
+        n_observations: sample size.
+    """
+
+    config: PerfModelConfig
+    rmse: float
+    n_observations: int
+
+
+def observe_rates(
+    rate_source: Callable[[float, float], float],
+    caps_w: Sequence[float],
+    demands_w: Sequence[float],
+) -> list[Observation]:
+    """Collect observations from a rate oracle over a (cap, demand) grid.
+
+    Args:
+        rate_source: callable mapping ``(cap_w, demand_w)`` to a measured
+            progress rate — a wrapper over real capped-run timings, or a
+            simulator model under test.
+        caps_w / demands_w: grid axes.
+
+    Returns:
+        One :class:`Observation` per grid point with ``cap < demand``
+        (unconstrained points carry no information about the curve).
+    """
+    out = []
+    for demand in demands_w:
+        for cap in caps_w:
+            if cap >= demand:
+                continue
+            out.append(
+                Observation(
+                    cap_w=float(cap),
+                    demand_w=float(demand),
+                    rate=float(rate_source(float(cap), float(demand))),
+                )
+            )
+    return out
+
+
+def fit_perf_model(
+    observations: Sequence[Observation],
+    theta_range: tuple[float, float] = (1.0, 4.0),
+    idle_range: tuple[float, float] = (0.0, 40.0),
+    grid: int = 25,
+    refinements: int = 3,
+) -> CalibrationResult:
+    """Least-squares fit of ``(idle_power_w, theta)`` to observations.
+
+    A coarse grid over the parameter box is refined ``refinements`` times
+    around the incumbent minimum — robust for this smooth 2-parameter
+    surface and dependency-free.
+
+    Args:
+        observations: measured slowdown points (need at least 3 with
+            ``cap < demand``).
+        theta_range / idle_range: parameter search box.
+        grid: grid points per axis per refinement.
+        refinements: number of zoom-in passes.
+
+    Returns:
+        The best-fitting model and its residual.
+    """
+    obs = list(observations)
+    if len(obs) < 3:
+        raise ValueError(f"need at least 3 observations, got {len(obs)}")
+    caps = np.asarray([o.cap_w for o in obs])
+    demands = np.asarray([o.demand_w for o in obs])
+    rates = np.asarray([o.rate for o in obs])
+
+    def rmse(idle: float, theta: float) -> float:
+        cfg = PerfModelConfig(
+            idle_power_w=idle, theta=theta, min_rate=1e-6
+        )
+        predicted = progress_rate(caps, demands, cfg)
+        return float(np.sqrt(np.mean((predicted - rates) ** 2)))
+
+    t_lo, t_hi = theta_range
+    i_lo, i_hi = idle_range
+    if t_lo < 1.0:
+        raise ValueError(f"theta_range must start >= 1, got {t_lo}")
+    best = (i_lo, t_lo, np.inf)
+    for _ in range(refinements):
+        thetas = np.linspace(t_lo, t_hi, grid)
+        idles = np.linspace(i_lo, i_hi, grid)
+        for idle in idles:
+            for theta in thetas:
+                err = rmse(float(idle), float(theta))
+                if err < best[2]:
+                    best = (float(idle), float(theta), err)
+        # Zoom the box around the incumbent.
+        t_span = (t_hi - t_lo) / 4
+        i_span = (i_hi - i_lo) / 4
+        t_lo = max(1.0, best[1] - t_span)
+        t_hi = best[1] + t_span
+        i_lo = max(0.0, best[0] - i_span)
+        i_hi = best[0] + i_span
+
+    idle, theta, err = best
+    return CalibrationResult(
+        config=PerfModelConfig(idle_power_w=idle, theta=theta),
+        rmse=err,
+        n_observations=len(obs),
+    )

@@ -1,0 +1,143 @@
+"""Cluster topology: nodes, sockets, budget, and the two-halves layout.
+
+The paper's experiments run "two clusters in parallel to reflect a
+real-world cloud service utility" (§5.2) — two workloads, each on half of
+the client nodes, under one shared cluster-wide power budget.
+:class:`Cluster` owns the simulated hardware (all RAPL domains) and exposes
+the vectorized physics/metering interface the simulator drives, plus the
+half-split used by every pairing experiment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import ClusterSpec, RaplConfig
+from repro.cluster.node import Node, Socket
+from repro.powercap.rapl import RaplDomain
+from repro.powercap.sysfs import SysfsPowercap
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """The simulated overprovisioned system.
+
+    Args:
+        spec: topology and budget (defaults model the paper's testbed).
+        rapl_config: shared RAPL behaviour for every domain.
+        rng: measurement-noise source; child streams are spawned per socket
+            so noise is independent across units yet fully reproducible.
+    """
+
+    def __init__(
+        self,
+        spec: ClusterSpec | None = None,
+        rapl_config: RaplConfig | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.spec = spec or ClusterSpec()
+        self.rapl_config = rapl_config or RaplConfig()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        socket_rngs = rng.spawn(self.spec.n_units)
+
+        self.nodes: list[Node] = []
+        self.sockets: list[Socket] = []
+        unit_id = 0
+        for node_id in range(self.spec.n_nodes):
+            node_sockets = []
+            for _ in range(self.spec.sockets_per_node):
+                sock = Socket(
+                    unit_id=unit_id,
+                    node_id=node_id,
+                    tdp_w=self.spec.tdp_w,
+                    min_cap_w=self.spec.min_cap_w,
+                    rapl_config=self.rapl_config,
+                    rng=socket_rngs[unit_id],
+                    idle_power_w=self.spec.idle_power_w,
+                )
+                node_sockets.append(sock)
+                self.sockets.append(sock)
+                unit_id += 1
+            self.nodes.append(Node(node_id, node_sockets))
+
+    @property
+    def n_units(self) -> int:
+        """Total power-capping units."""
+        return self.spec.n_units
+
+    @property
+    def budget_w(self) -> float:
+        """Cluster-wide power budget (W)."""
+        return self.spec.budget_w
+
+    @property
+    def domains(self) -> list[RaplDomain]:
+        """All RAPL domains in unit order."""
+        return [s.domain for s in self.sockets]
+
+    def sysfs(self) -> SysfsPowercap:
+        """A powercap-sysfs view over every domain (for sysfs-level clients)."""
+        return SysfsPowercap(self.domains)
+
+    def half_unit_ids(self, half: int) -> np.ndarray:
+        """Global unit indices of one half of the cluster (whole nodes).
+
+        Args:
+            half: 0 for the first half of the nodes, 1 for the second.
+
+        Returns:
+            Index array; the two halves partition all units when the node
+            count is even (an odd node count gives the larger share to
+            half 1, matching "two clusters" as closely as possible).
+        """
+        if half not in (0, 1):
+            raise ValueError(f"half must be 0 or 1, got {half}")
+        split = self.spec.n_nodes // 2
+        nodes = self.nodes[:split] if half == 0 else self.nodes[split:]
+        if not nodes:
+            raise ValueError("cluster too small to split into two halves")
+        return np.asarray(
+            [uid for node in nodes for uid in node.unit_ids], dtype=np.intp
+        )
+
+    def caps_w(self) -> np.ndarray:
+        """Currently programmed per-unit caps (W)."""
+        return np.asarray([d.cap_w for d in self.domains], dtype=np.float64)
+
+    def true_power_w(self) -> np.ndarray:
+        """True (hidden) per-unit power (W) — for accounting, not managers."""
+        return np.asarray([d.power_w for d in self.domains], dtype=np.float64)
+
+    def step_physics(self, demand_w: np.ndarray, dt_s: float) -> np.ndarray:
+        """Advance every domain one interval under the given demands.
+
+        Args:
+            demand_w: per-unit uncapped demand (W), shape ``(n_units,)``.
+            dt_s: interval length (s).
+
+        Returns:
+            True per-unit power at the end of the interval (W).
+        """
+        demand = np.asarray(demand_w, dtype=np.float64)
+        if demand.shape != (self.n_units,):
+            raise ValueError(
+                f"demand shape {demand.shape} != ({self.n_units},)"
+            )
+        out = np.empty(self.n_units, dtype=np.float64)
+        for i, dom in enumerate(self.domains):
+            out[i] = dom.step(float(demand[i]), dt_s)
+        return out
+
+    def read_powers_w(self, dt_s: float) -> np.ndarray:
+        """Noisy per-unit power readings from every meter (W)."""
+        return np.asarray(
+            [s.meter.read_power_w(dt_s) for s in self.sockets],
+            dtype=np.float64,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Cluster(nodes={self.spec.n_nodes}, "
+            f"units={self.n_units}, budget_w={self.budget_w:.0f})"
+        )

@@ -1,0 +1,83 @@
+"""Structured event log of a simulation run.
+
+The paper's artifact logs "the start time, end time, and throughput time of
+each workload" alongside the per-cycle power data; this module is the
+structured half of that log (the per-cycle half lives in
+:mod:`repro.telemetry.log`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["Event", "EventLog", "EventKind"]
+
+EventKind = str
+
+#: Recognized event kinds.
+EVENT_KINDS = (
+    "run_started",
+    "run_completed",
+    "caps_restored",
+    "budget_violation",
+    "simulation_truncated",
+)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One timestamped simulation event.
+
+    Attributes:
+        time_s: simulation time of the event.
+        kind: one of :data:`EVENT_KINDS`.
+        workload: workload name, if the event concerns one.
+        detail: free-form payload (run index, violation magnitude, ...).
+    """
+
+    time_s: float
+    kind: EventKind
+    workload: str | None = None
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(
+                f"unknown event kind {self.kind!r}; expected one of {EVENT_KINDS}"
+            )
+
+
+class EventLog:
+    """Append-only chronological event collection."""
+
+    def __init__(self) -> None:
+        self._events: list[Event] = []
+
+    def emit(
+        self,
+        time_s: float,
+        kind: EventKind,
+        workload: str | None = None,
+        detail: str = "",
+    ) -> Event:
+        """Append an event and return it."""
+        event = Event(time_s=time_s, kind=kind, workload=workload, detail=detail)
+        self._events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def of_kind(self, kind: EventKind) -> list[Event]:
+        """All events of one kind, in order."""
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind {kind!r}")
+        return [e for e in self._events if e.kind == kind]
+
+    def for_workload(self, workload: str) -> list[Event]:
+        """All events tagged with the given workload, in order."""
+        return [e for e in self._events if e.workload == workload]

@@ -1,0 +1,336 @@
+"""Discrete-time simulation engine.
+
+One step of the engine is one turn of the paper's control loop (§4.3,
+default 1 s):
+
+1. each workload publishes the uncapped *demand* of its sockets;
+2. the RAPL domains advance physically — true power relaxes toward
+   ``min(demand, cap)`` under the caps currently in effect;
+3. workload progress advances at the rate the performance model grants
+   under those caps (capped phases stretch);
+4. the meters produce noisy power readings, the manager turns them into new
+   caps, and the actuator programs the caps for the next interval.
+
+The engine runs until every workload has completed its target number of
+back-to-back runs, reproducing the paper's repeat-until-enough-samples
+methodology, and records the artifact-style logs (telemetry + events).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.events import EventLog
+from repro.cluster.perfmodel import progress_rate
+from repro.core.config import (
+    ClusterSpec,
+    PerfModelConfig,
+    RaplConfig,
+    SimulationConfig,
+)
+from repro.core.dps import DPSManager
+from repro.core.managers import PowerManager
+from repro.powercap.actuator import CapActuator
+from repro.telemetry.log import TelemetryLog
+from repro.workloads.runtime import WorkloadExecution
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = ["Simulation", "SimulationResult", "Assignment"]
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One workload placed on a slice of the cluster.
+
+    Attributes:
+        spec: the workload.
+        unit_ids: global unit indices of its cluster half.
+    """
+
+    spec: WorkloadSpec
+    unit_ids: np.ndarray
+
+
+@dataclass
+class SimulationResult:
+    """Everything a finished simulation produced.
+
+    Attributes:
+        executions: per-workload runtime state with completed-run records.
+        telemetry: per-step traces (None unless recording was requested).
+        events: structured run/violation events.
+        steps: control-loop iterations executed.
+        sim_time_s: simulated wall-clock duration.
+        truncated: True if ``max_steps`` was hit before all targets.
+        budget_w: the budget the manager was bound to.
+        max_caps_sum_w: largest observed sum of caps (budget-respect check).
+    """
+
+    executions: list[WorkloadExecution]
+    telemetry: TelemetryLog | None
+    events: EventLog
+    steps: int
+    sim_time_s: float
+    truncated: bool
+    budget_w: float
+    max_caps_sum_w: float
+    durations: dict[str, float] = field(default_factory=dict)
+    #: Total protocol bytes exchanged (0 unless the comm path was used).
+    comm_bytes: int = 0
+    #: Mean control-cycle turnaround (s; 0.0 unless the comm path was used).
+    comm_turnaround_s: float = 0.0
+
+    def execution(self, name: str) -> WorkloadExecution:
+        """The execution record of the named workload.
+
+        Raises:
+            KeyError: unknown workload name.
+        """
+        for e in self.executions:
+            if e.spec.name == name:
+                return e
+        raise KeyError(
+            f"no workload {name!r} in this simulation; "
+            f"have {[e.spec.name for e in self.executions]}"
+        )
+
+
+class Simulation:
+    """One configured experiment run.
+
+    Args:
+        cluster_spec: topology and budget.
+        manager: the power manager under test (bound by :meth:`run`).
+        assignments: workloads and the cluster slices they occupy; slices
+            must not overlap.  Units in no slice stay at idle power.
+        target_runs: completed runs required of *every* workload before the
+            simulation ends.
+        sim_config: step length, time scale, gap, and step limit.
+        perf_config: cap-to-performance model.
+        rapl_config: RAPL noise/lag behaviour.
+        seed: master seed; every randomness consumer (sockets, workloads,
+            manager) gets an independent child stream.
+        record_telemetry: keep per-step traces (memory ~ steps x units).
+        actuation_delay_steps: control intervals between a cap decision and
+            it taking effect (1 models the networked client round trip).
+            Ignored when ``use_comm`` is set (the service applies caps).
+        use_comm: drive the control loop through the real server/client
+            protocol (:mod:`repro.comm`) instead of calling the manager
+            directly — readings travel as 3-byte messages (0.1 W
+            quantization included) and the result carries the measured
+            traffic/turnaround.  Not supported for demand-requiring
+            managers (the oracle has no wire format for true demand).
+    """
+
+    def __init__(
+        self,
+        cluster_spec: ClusterSpec,
+        manager: PowerManager,
+        assignments: list[Assignment],
+        target_runs: int = 1,
+        sim_config: SimulationConfig | None = None,
+        perf_config: PerfModelConfig | None = None,
+        rapl_config: RaplConfig | None = None,
+        seed: int = 0,
+        record_telemetry: bool = False,
+        actuation_delay_steps: int = 0,
+        use_comm: bool = False,
+    ) -> None:
+        if target_runs < 1:
+            raise ValueError(f"target_runs must be >= 1, got {target_runs}")
+        if not assignments:
+            raise ValueError("at least one workload assignment is required")
+        if use_comm and manager.requires_demand:
+            raise ValueError(
+                f"{manager.name} requires true demand, which the comm "
+                "protocol does not carry"
+            )
+        self.cluster_spec = cluster_spec
+        self.manager = manager
+        self.sim_config = sim_config or SimulationConfig()
+        self.perf_config = perf_config or PerfModelConfig()
+        self.rapl_config = rapl_config or RaplConfig()
+        self.target_runs = target_runs
+        self.record_telemetry = record_telemetry
+        self.actuation_delay_steps = actuation_delay_steps
+        self.use_comm = use_comm
+        self.seed = seed
+
+        # Validate the assignment slices partition-or-less the unit range.
+        seen: set[int] = set()
+        for a in assignments:
+            ids = {int(u) for u in a.unit_ids}
+            if not ids:
+                raise ValueError(f"{a.spec.name}: empty unit assignment")
+            if ids & seen:
+                raise ValueError(
+                    f"{a.spec.name}: unit assignment overlaps another workload"
+                )
+            if max(ids) >= cluster_spec.n_units or min(ids) < 0:
+                raise ValueError(
+                    f"{a.spec.name}: unit ids out of range "
+                    f"[0, {cluster_spec.n_units})"
+                )
+            seen |= ids
+        self.assignments = assignments
+
+    def run(self) -> SimulationResult:
+        """Execute the simulation to completion.
+
+        Returns:
+            A :class:`SimulationResult`; ``truncated`` is True (and a
+            ``simulation_truncated`` event is logged) if the step limit was
+            reached first.
+        """
+        rng = np.random.default_rng(self.seed)
+        cluster_rng, manager_rng, *workload_rngs = rng.spawn(
+            2 + len(self.assignments)
+        )
+        cluster = Cluster(self.cluster_spec, self.rapl_config, cluster_rng)
+        sim_cfg = self.sim_config
+        dt = sim_cfg.dt_s
+
+        executions = [
+            WorkloadExecution(
+                spec=a.spec,
+                unit_ids=a.unit_ids,
+                rng=wrng,
+                time_scale=sim_cfg.time_scale,
+                inter_run_gap_s=sim_cfg.inter_run_gap_s,
+                idle_power_w=self.cluster_spec.idle_power_w,
+                max_demand_w=self.cluster_spec.tdp_w,
+                duration_jitter_std=sim_cfg.duration_jitter_std,
+            )
+            for a, wrng in zip(self.assignments, workload_rngs)
+        ]
+
+        self.manager.bind(
+            n_units=cluster.n_units,
+            budget_w=cluster.budget_w,
+            max_cap_w=self.cluster_spec.tdp_w,
+            min_cap_w=self.cluster_spec.min_cap_w,
+            dt_s=dt,
+            rng=manager_rng,
+        )
+        actuator = CapActuator(
+            cluster.domains, delay_steps=self.actuation_delay_steps
+        )
+        actuator.issue(np.asarray(self.manager.caps))
+        actuator.flush()
+
+        server = None
+        cycle_reports = []
+        if self.use_comm:
+            from repro.comm.network import NetworkModel
+            from repro.comm.service import PowerClient, PowerServer
+
+            server = PowerServer(
+                self.manager,
+                [PowerClient(node) for node in cluster.nodes],
+                NetworkModel(),
+            )
+
+        telemetry = (
+            TelemetryLog(cluster.n_units) if self.record_telemetry else None
+        )
+        events = EventLog()
+        for e in executions:
+            events.emit(0.0, "run_started", workload=e.spec.name)
+
+        demand = np.full(
+            cluster.n_units, self.cluster_spec.idle_power_w, dtype=np.float64
+        )
+        completed_before = {e.spec.name: 0 for e in executions}
+        max_caps_sum = float(np.sum(cluster.caps_w()))
+        now = 0.0
+        steps = 0
+        truncated = False
+
+        while any(e.runs_completed < self.target_runs for e in executions):
+            if steps >= sim_cfg.max_steps:
+                truncated = True
+                events.emit(now, "simulation_truncated")
+                break
+
+            # 1. Demands from every workload; unassigned units idle.
+            demand.fill(self.cluster_spec.idle_power_w)
+            for e in executions:
+                demand[e.unit_ids] = e.demand()
+
+            # 2. Physics under the caps currently in effect.
+            caps_in_effect = cluster.caps_w()
+            max_caps_sum = max(max_caps_sum, float(caps_in_effect.sum()))
+            true_power = cluster.step_physics(demand, dt)
+            now += dt
+            steps += 1
+
+            # 3. Progress under those caps.
+            rates = progress_rate(caps_in_effect, demand, self.perf_config)
+            for e in executions:
+                e.advance(
+                    rates[e.unit_ids], true_power[e.unit_ids], dt, now
+                )
+                if e.runs_completed > completed_before[e.spec.name]:
+                    completed_before[e.spec.name] = e.runs_completed
+                    events.emit(
+                        now,
+                        "run_completed",
+                        workload=e.spec.name,
+                        detail=f"run {e.runs_completed}",
+                    )
+
+            # 4. Measure, decide, actuate — directly or over the wire.
+            if server is not None:
+                cycle_reports.append(server.control_cycle(dt))
+                readings = server.last_readings
+                new_caps = np.asarray(self.manager.caps)
+            else:
+                readings = cluster.read_powers_w(dt)
+                new_caps = self.manager.step(
+                    readings,
+                    demand if self.manager.requires_demand else None,
+                )
+                actuator.issue(new_caps)
+
+            if telemetry is not None:
+                priority = (
+                    self.manager.priority
+                    if isinstance(self.manager, DPSManager)
+                    else None
+                )
+                telemetry.record(
+                    now, true_power, readings, caps_in_effect, priority
+                )
+            if float(new_caps.sum()) > cluster.budget_w * (1 + 1e-6):
+                events.emit(
+                    now,
+                    "budget_violation",
+                    detail=f"sum={float(new_caps.sum()):.1f}",
+                )
+
+        durations = {}
+        for e in executions:
+            if e.records:
+                durations[e.spec.name] = e.mean_duration_s()
+        comm_bytes = sum(r.bytes_up + r.bytes_down for r in cycle_reports)
+        comm_turnaround = (
+            float(np.mean([r.turnaround_s for r in cycle_reports]))
+            if cycle_reports
+            else 0.0
+        )
+        return SimulationResult(
+            executions=executions,
+            telemetry=telemetry,
+            events=events,
+            steps=steps,
+            sim_time_s=now,
+            truncated=truncated,
+            budget_w=cluster.budget_w,
+            max_caps_sum_w=max_caps_sum,
+            durations=durations,
+            comm_bytes=comm_bytes,
+            comm_turnaround_s=comm_turnaround,
+        )

@@ -1,0 +1,26 @@
+"""Simulated server/client control plane and its 3-byte wire protocol."""
+
+from repro.comm.network import LinkStats, NetworkModel
+from repro.comm.protocol import (
+    MESSAGE_SIZE_BYTES,
+    MSG_CAP,
+    MSG_READING,
+    Message,
+    decode,
+    encode,
+)
+from repro.comm.service import CycleReport, PowerClient, PowerServer
+
+__all__ = [
+    "CycleReport",
+    "LinkStats",
+    "MESSAGE_SIZE_BYTES",
+    "MSG_CAP",
+    "MSG_READING",
+    "Message",
+    "NetworkModel",
+    "PowerClient",
+    "PowerServer",
+    "decode",
+    "encode",
+]

@@ -1,0 +1,95 @@
+"""Wire protocol of the DPS server/client pair (paper §6.5).
+
+The paper reports that "only 3 bytes are exchanged per request with each
+node"; this module defines that 3-byte encoding so the overhead analysis is
+grounded in a real serializer rather than a constant:
+
+* 2 bits of message type (power reading / cap command),
+* 10 bits of node-local unit index (a node has few sockets; the node is
+  addressed at the transport layer),
+* 12 bits of value in 0.1 W steps (0 - 409.5 W, comfortably above any TDP).
+
+Values are round-tripped to within the 0.1 W quantum; out-of-range values
+are rejected rather than silently wrapped.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+__all__ = [
+    "MSG_READING",
+    "MSG_CAP",
+    "MESSAGE_SIZE_BYTES",
+    "Message",
+    "encode",
+    "decode",
+]
+
+#: Message type tags.
+MSG_READING = 0
+MSG_CAP = 1
+
+#: Exactly the 3 bytes/request of §6.5.
+MESSAGE_SIZE_BYTES = 3
+
+_MAX_UNIT = (1 << 10) - 1
+_MAX_VALUE_W = ((1 << 12) - 1) / 10.0
+
+
+class Message(NamedTuple):
+    """A decoded protocol message.
+
+    Attributes:
+        kind: :data:`MSG_READING` or :data:`MSG_CAP`.
+        unit: node-local unit index (0-1023).
+        value_w: power value in watts, 0.1 W resolution.
+    """
+
+    kind: int
+    unit: int
+    value_w: float
+
+
+def encode(kind: int, unit: int, value_w: float) -> bytes:
+    """Pack one message into 3 bytes.
+
+    Args:
+        kind: message type tag.
+        unit: node-local unit index.
+        value_w: power value (W).
+
+    Raises:
+        ValueError: unknown kind, unit out of range, or value outside
+            ``[0, 409.5]`` W.
+    """
+    if kind not in (MSG_READING, MSG_CAP):
+        raise ValueError(f"unknown message kind {kind}")
+    if not 0 <= unit <= _MAX_UNIT:
+        raise ValueError(f"unit must be in [0, {_MAX_UNIT}], got {unit}")
+    if not 0.0 <= value_w <= _MAX_VALUE_W:
+        raise ValueError(
+            f"value_w must be in [0, {_MAX_VALUE_W}], got {value_w}"
+        )
+    quantized = round(value_w * 10.0)
+    word = (kind << 22) | (unit << 12) | quantized
+    return word.to_bytes(MESSAGE_SIZE_BYTES, "big")
+
+
+def decode(payload: bytes) -> Message:
+    """Unpack 3 bytes into a :class:`Message`.
+
+    Raises:
+        ValueError: wrong payload length.
+    """
+    if len(payload) != MESSAGE_SIZE_BYTES:
+        raise ValueError(
+            f"expected {MESSAGE_SIZE_BYTES} bytes, got {len(payload)}"
+        )
+    word = int.from_bytes(payload, "big")
+    kind = (word >> 22) & 0x3
+    unit = (word >> 12) & 0x3FF
+    value = (word & 0xFFF) / 10.0
+    if kind not in (MSG_READING, MSG_CAP):
+        raise ValueError(f"corrupt message kind {kind}")
+    return Message(kind=kind, unit=unit, value_w=value)

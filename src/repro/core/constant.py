@@ -1,0 +1,29 @@
+"""Constant-allocation baseline (paper §2.1).
+
+Divides the cluster budget evenly among all units once and never changes the
+caps.  It trivially respects the budget, has zero operating overhead (no cap
+commands are ever re-sent), and is the normalization baseline for every
+performance figure in the paper (each socket gets a 110 W cap under the
+default :class:`~repro.core.config.ClusterSpec`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.managers import PowerManager, register_manager
+
+__all__ = ["ConstantManager"]
+
+
+@register_manager
+class ConstantManager(PowerManager):
+    """Static equal-share power caps."""
+
+    name = "constant"
+
+    def _decide(
+        self, power_w: np.ndarray, demand_w: np.ndarray | None
+    ) -> np.ndarray:
+        del power_w, demand_w
+        return np.full(self.n_units, self.initial_cap_w, dtype=np.float64)

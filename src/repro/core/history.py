@@ -1,0 +1,91 @@
+"""Fixed-length power-history buffer shared by the DPS modules.
+
+The paper's server keeps "a short range of estimated power history of each
+socket, default 20 time steps" (§6.5) — small enough to live in cache at any
+cluster scale.  This ring buffer stores the estimates column-per-unit in one
+contiguous ``(history_len, n_units)`` array and hands out chronological
+views without reallocating in the steady state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["HistoryBuffer"]
+
+
+class HistoryBuffer:
+    """Ring buffer of per-unit power samples.
+
+    Args:
+        history_len: maximum number of samples retained.
+        n_units: number of units (columns).
+    """
+
+    def __init__(self, history_len: int, n_units: int) -> None:
+        if history_len < 1:
+            raise ValueError(f"history_len must be >= 1, got {history_len}")
+        if n_units < 1:
+            raise ValueError(f"n_units must be >= 1, got {n_units}")
+        self.history_len = history_len
+        self.n_units = n_units
+        self._data = np.zeros((history_len, n_units), dtype=np.float64)
+        self._count = 0
+        self._head = 0  # Index the next sample is written to.
+
+    def __len__(self) -> int:
+        """Number of samples currently stored (<= history_len)."""
+        return self._count
+
+    @property
+    def full(self) -> bool:
+        """True once `history_len` samples have been pushed."""
+        return self._count == self.history_len
+
+    def reset(self) -> None:
+        """Drop all samples."""
+        self._data.fill(0.0)
+        self._count = 0
+        self._head = 0
+
+    def push(self, sample: np.ndarray) -> None:
+        """Append one per-unit sample, evicting the oldest when full.
+
+        Args:
+            sample: shape ``(n_units,)``.
+        """
+        s = np.asarray(sample, dtype=np.float64)
+        if s.shape != (self.n_units,):
+            raise ValueError(f"sample shape {s.shape} != ({self.n_units},)")
+        self._data[self._head] = s
+        self._head = (self._head + 1) % self.history_len
+        if self._count < self.history_len:
+            self._count += 1
+
+    def chronological(self) -> np.ndarray:
+        """Stored samples in order, oldest first, shape ``(len, n_units)``.
+
+        Returns a copy when the ring has wrapped, otherwise a read-only view
+        of the underlying storage (no allocation on the warm-up path).
+        """
+        if self._count < self.history_len:
+            view = self._data[: self._count].view()
+            view.flags.writeable = False
+            return view
+        if self._head == 0:
+            view = self._data.view()
+            view.flags.writeable = False
+            return view
+        return np.concatenate(
+            (self._data[self._head :], self._data[: self._head]), axis=0
+        )
+
+    def latest(self) -> np.ndarray:
+        """The most recent sample, shape ``(n_units,)``.
+
+        Raises:
+            IndexError: if the buffer is empty.
+        """
+        if self._count == 0:
+            raise IndexError("history buffer is empty")
+        return self._data[(self._head - 1) % self.history_len].copy()

@@ -1,0 +1,98 @@
+"""Vectorized 1-D Kalman filter bank (paper §4.3.2).
+
+DPS treats each unit's true power draw as a hidden variable observed through
+noisy RAPL readings.  The paper uses the standard scalar Kalman filter
+formulation (Welch & Bishop) with a random-walk process model — the minimum
+compute-load filter that still smooths measurement noise.  One filter runs
+per power-capping unit; this implementation keeps all of them in flat NumPy
+arrays so one control step is a handful of vector operations regardless of
+cluster size (the §6.5 scaling claim).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import KalmanConfig
+
+__all__ = ["KalmanBank"]
+
+
+class KalmanBank:
+    """A bank of independent scalar Kalman filters, one per unit.
+
+    State per unit: estimate ``x`` (W) and estimation variance ``p`` (W²).
+    The process model is a random walk (``x_t = x_{t-1} + w``,
+    ``w ~ N(0, q)``); the measurement model is direct observation with noise
+    variance ``r``.
+
+    Args:
+        n_units: number of filters in the bank.
+        config: filter parameters; defaults follow :class:`KalmanConfig`.
+    """
+
+    def __init__(self, n_units: int, config: KalmanConfig | None = None) -> None:
+        if n_units < 1:
+            raise ValueError(f"n_units must be >= 1, got {n_units}")
+        self.config = config or KalmanConfig()
+        self.n_units = n_units
+        self._x = np.zeros(n_units, dtype=np.float64)
+        self._p = np.full(n_units, self.config.initial_var, dtype=np.float64)
+        self._initialized = False
+
+    @property
+    def estimate(self) -> np.ndarray:
+        """Current power estimates (W), shape ``(n_units,)`` (read-only view)."""
+        view = self._x.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def variance(self) -> np.ndarray:
+        """Current estimation variances (W²), shape ``(n_units,)``."""
+        view = self._p.view()
+        view.flags.writeable = False
+        return view
+
+    def reset(self) -> None:
+        """Forget all state; the next update re-initializes the estimates."""
+        self._x.fill(0.0)
+        self._p.fill(self.config.initial_var)
+        self._initialized = False
+
+    def update(self, measurement: np.ndarray) -> np.ndarray:
+        """Advance every filter one step with the given measurements.
+
+        The first update initializes each estimate directly from the
+        measurement (with the configured initial variance) instead of
+        filtering against the zero prior, so start-up transients do not
+        leak into the power history.
+
+        Args:
+            measurement: observed powers (W), shape ``(n_units,)``.
+
+        Returns:
+            Updated estimates (W), shape ``(n_units,)`` — a copy, safe to
+            store in a history buffer.
+        """
+        z = np.asarray(measurement, dtype=np.float64)
+        if z.shape != (self.n_units,):
+            raise ValueError(
+                f"measurement shape {z.shape} != ({self.n_units},)"
+            )
+        if not np.all(np.isfinite(z)):
+            raise ValueError("measurement contains non-finite values")
+
+        if not self._initialized:
+            self._x[:] = z
+            self._p.fill(self.config.initial_var)
+            self._initialized = True
+            return self._x.copy()
+
+        # Predict: random walk inflates uncertainty by the process variance.
+        self._p += self.config.process_var
+        # Update: standard scalar Kalman gain and correction, in place.
+        gain = self._p / (self._p + self.config.measurement_var)
+        self._x += gain * (z - self._x)
+        self._p *= 1.0 - gain
+        return self._x.copy()

@@ -1,0 +1,204 @@
+"""Power-manager interface and registry.
+
+Every cluster-level power manager in the paper — constant allocation, the
+SLURM power plugin, the oracle, and DPS itself — implements the same tiny
+contract: it is *bound* to a topology (number of units, cluster budget,
+per-unit cap range, control period) and then *stepped* once per decision
+loop with the latest per-unit power readings, returning the per-unit caps
+for the next period.
+
+The contract deliberately mirrors what the paper's server receives from its
+clients (§4.3): power readings in, cap commands out, nothing else.  Only the
+oracle additionally receives the true uncapped demand (it stands in for a
+perfect model; see §5.2).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, ClassVar
+
+import numpy as np
+
+__all__ = ["PowerManager", "register_manager", "create_manager", "available_managers"]
+
+
+class PowerManager(ABC):
+    """Base class for cluster-level power managers.
+
+    Subclasses implement :meth:`_decide`; the base class owns binding,
+    input validation, and the cluster-budget invariant (the sum of the
+    returned caps never exceeds the budget — the property the paper verifies
+    for every manager in §6: "in all cases ... the power caps are respected").
+    """
+
+    #: Registry key; subclasses must override.
+    name: ClassVar[str] = ""
+    #: True if :meth:`step` must be called with the true demand (oracle only).
+    requires_demand: ClassVar[bool] = False
+
+    def __init__(self) -> None:
+        self._bound = False
+        self.n_units = 0
+        self.budget_w = 0.0
+        self.max_cap_w = 0.0
+        self.min_cap_w = 0.0
+        self.dt_s = 1.0
+        self._caps = np.empty(0, dtype=np.float64)
+        self._rng: np.random.Generator = np.random.default_rng(0)
+
+    def bind(
+        self,
+        n_units: int,
+        budget_w: float,
+        max_cap_w: float,
+        min_cap_w: float = 0.0,
+        dt_s: float = 1.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        """Attach the manager to a cluster topology and reset its state.
+
+        Args:
+            n_units: number of power-capping units.
+            budget_w: cluster-wide power budget (W).
+            max_cap_w: highest cap a unit accepts (TDP).
+            min_cap_w: lowest cap a unit accepts.
+            dt_s: control-loop period (s).
+            rng: randomness source (the stateless module's random increase
+                order); seeded externally for reproducibility.
+        """
+        if n_units < 1:
+            raise ValueError(f"n_units must be >= 1, got {n_units}")
+        if budget_w <= 0:
+            raise ValueError(f"budget_w must be > 0, got {budget_w}")
+        if max_cap_w <= 0:
+            raise ValueError(f"max_cap_w must be > 0, got {max_cap_w}")
+        if not 0 <= min_cap_w <= max_cap_w:
+            raise ValueError(
+                f"min_cap_w must be in [0, max_cap_w], got {min_cap_w}"
+            )
+        if n_units * min_cap_w > budget_w:
+            raise ValueError(
+                f"budget {budget_w} W cannot cover {n_units} units at the "
+                f"minimum cap {min_cap_w} W"
+            )
+        if dt_s <= 0:
+            raise ValueError(f"dt_s must be > 0, got {dt_s}")
+        self.n_units = n_units
+        self.budget_w = float(budget_w)
+        self.max_cap_w = float(max_cap_w)
+        self.min_cap_w = float(min_cap_w)
+        self.dt_s = float(dt_s)
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._caps = np.full(
+            n_units,
+            min(self.budget_w / n_units, self.max_cap_w),
+            dtype=np.float64,
+        )
+        self._bound = True
+        self._on_bind()
+
+    def _on_bind(self) -> None:
+        """Hook for subclasses to (re)allocate per-unit state after binding."""
+
+    @property
+    def initial_cap_w(self) -> float:
+        """The constant cap (budget evenly divided, clipped at TDP)."""
+        self._check_bound()
+        return min(self.budget_w / self.n_units, self.max_cap_w)
+
+    @property
+    def caps(self) -> np.ndarray:
+        """Current per-unit caps (W), shape ``(n_units,)`` (read-only view)."""
+        self._check_bound()
+        view = self._caps.view()
+        view.flags.writeable = False
+        return view
+
+    def step(
+        self, power_w: np.ndarray, demand_w: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Run one decision loop.
+
+        Args:
+            power_w: measured per-unit power (W), shape ``(n_units,)``.
+            demand_w: true uncapped demand; only consumed when
+                :attr:`requires_demand` is True, ignored otherwise.
+
+        Returns:
+            New per-unit caps (W), shape ``(n_units,)``.  Guaranteed to lie
+            in ``[min_cap_w, max_cap_w]`` per unit and to sum to at most the
+            cluster budget (within float tolerance).
+        """
+        self._check_bound()
+        power = np.asarray(power_w, dtype=np.float64)
+        if power.shape != (self.n_units,):
+            raise ValueError(f"power shape {power.shape} != ({self.n_units},)")
+        if not np.all(np.isfinite(power)):
+            raise ValueError("power contains non-finite values")
+        if self.requires_demand:
+            if demand_w is None:
+                raise ValueError(f"{self.name} requires the true demand")
+            demand = np.asarray(demand_w, dtype=np.float64)
+            if demand.shape != (self.n_units,):
+                raise ValueError(
+                    f"demand shape {demand.shape} != ({self.n_units},)"
+                )
+        else:
+            demand = None
+
+        caps = self._decide(power, demand)
+        caps = np.clip(caps, self.min_cap_w, self.max_cap_w)
+        # Budget invariant: scale down uniformly above the per-unit floor if
+        # a subclass ever over-allocates (never triggers for correct logic,
+        # but keeps the §6 cap-respecting guarantee unconditional).
+        total = float(caps.sum())
+        if total > self.budget_w * (1.0 + 1e-9):
+            over = total - self.budget_w
+            slack = caps - self.min_cap_w
+            total_slack = float(slack.sum())
+            if total_slack > 0:
+                caps = caps - slack * min(1.0, over / total_slack)
+        self._caps = caps
+        return caps.copy()
+
+    @abstractmethod
+    def _decide(
+        self, power_w: np.ndarray, demand_w: np.ndarray | None
+    ) -> np.ndarray:
+        """Compute the next caps from validated inputs (subclass logic)."""
+
+    def _check_bound(self) -> None:
+        if not self._bound:
+            raise RuntimeError(
+                f"{type(self).__name__} must be bound to a cluster before use"
+            )
+
+
+_REGISTRY: dict[str, Callable[..., PowerManager]] = {}
+
+
+def register_manager(cls: type[PowerManager]) -> type[PowerManager]:
+    """Class decorator adding a manager to the name registry."""
+    if not cls.name:
+        raise ValueError(f"{cls.__name__} must define a non-empty `name`")
+    if cls.name in _REGISTRY:
+        raise ValueError(f"duplicate manager name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def create_manager(name: str, **kwargs: object) -> PowerManager:
+    """Instantiate a registered manager by name (e.g. ``"dps"``, ``"slurm"``)."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown manager {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def available_managers() -> tuple[str, ...]:
+    """Names of all registered managers, sorted."""
+    return tuple(sorted(_REGISTRY))

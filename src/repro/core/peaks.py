@@ -1,0 +1,157 @@
+"""Prominent-peak detection for power histories (paper Algorithm 2, [32]).
+
+The priority module counts *prominent peaks* in each unit's recent power
+history to detect high-frequency power phases.  The paper cites Palshikar's
+simple time-series peak detectors; we implement the topographic-prominence
+variant from scratch (no SciPy dependency in the hot path): a local maximum's
+prominence is its height above the higher of the two valley floors separating
+it from the nearest higher samples on each side.
+
+This runs once per unit per control step.  Histories are short (20 steps by
+default), and at that size NumPy's per-call overhead dwarfs the work, so the
+hot counting path converts each history to native floats once and walks it
+in plain Python — measured ~12x faster than slice-based NumPy on 20-sample
+histories (see DESIGN.md §6; "profile before optimizing").  The full
+prominence computation keeps a NumPy implementation as the readable
+reference, cross-checked against the fast walk by the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["peak_prominences", "count_prominent_peaks", "count_prominent_peaks_multi"]
+
+
+def _candidate_maxima(x: np.ndarray) -> np.ndarray:
+    """Indices of local maxima: strictly above the left neighbour, not below
+    the right one (a flat-topped plateau counts once, at its left edge;
+    plateaus that then rise are eliminated later by zero prominence)."""
+    if x.shape[0] < 3:
+        return np.empty(0, dtype=np.intp)
+    interior = x[1:-1]
+    mask = (interior > x[:-2]) & (interior >= x[2:])
+    return np.flatnonzero(mask) + 1
+
+
+def _base(height: float, side: np.ndarray) -> float:
+    """Valley floor between a peak and the nearest strictly-higher sample.
+
+    Args:
+        height: the peak's value.
+        side: samples walking away from the peak (nearest first).
+
+    Returns:
+        The minimum over the walked range, or ``height`` if the walk is
+        empty (peak at the array edge).
+    """
+    if side.size == 0:
+        return height
+    higher = side > height
+    if higher.any():
+        stop = int(np.argmax(higher))
+        if stop == 0:
+            return height
+        return float(side[:stop].min())
+    return float(side.min())
+
+
+def peak_prominences(x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Find local maxima of ``x`` and their topographic prominences.
+
+    Args:
+        x: 1-D series (power history of one unit).
+
+    Returns:
+        ``(indices, prominences)`` — both 1-D arrays of equal length.
+        Prominence of a peak is ``height - max(left_base, right_base)`` where
+        each base is the minimum of the series between the peak and the
+        nearest strictly higher sample on that side (or the series edge).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 1:
+        raise ValueError(f"expected 1-D series, got shape {x.shape}")
+    idx = _candidate_maxima(x)
+    if idx.size == 0:
+        return idx, np.empty(0, dtype=np.float64)
+
+    prominences = np.empty(idx.size, dtype=np.float64)
+    for k, i in enumerate(idx):
+        height = float(x[i])
+        left_base = _base(height, x[i - 1 :: -1])
+        right_base = _base(height, x[i + 1 :])
+        prominences[k] = height - max(left_base, right_base)
+    keep = prominences > 0.0
+    return idx[keep], prominences[keep]
+
+
+def _count_walk(xs: list[float], min_prominence: float) -> int:
+    """Count prominent peaks of a native-float list (the hot path).
+
+    Semantics match :func:`peak_prominences`: a candidate is strictly above
+    its left neighbour and not below its right one; each side's valley floor
+    is the minimum up to (excluding) the nearest strictly-higher sample.
+    """
+    n = len(xs)
+    count = 0
+    for i in range(1, n - 1):
+        h = xs[i]
+        if not (h > xs[i - 1] and h >= xs[i + 1]):
+            continue
+        left_base = h
+        j = i - 1
+        while j >= 0 and xs[j] <= h:
+            if xs[j] < left_base:
+                left_base = xs[j]
+            j -= 1
+        if h - left_base < min_prominence:
+            continue
+        right_base = h
+        j = i + 1
+        while j < n and xs[j] <= h:
+            if xs[j] < right_base:
+                right_base = xs[j]
+            j += 1
+        if h - (left_base if left_base > right_base else right_base) >= (
+            min_prominence
+        ):
+            count += 1
+    return count
+
+
+def count_prominent_peaks(x: np.ndarray, min_prominence: float) -> int:
+    """Number of local maxima of ``x`` with prominence >= ``min_prominence``.
+
+    This is ``count_prominent_peaks`` from paper Algorithm 2.
+    """
+    if min_prominence <= 0:
+        raise ValueError(f"min_prominence must be > 0, got {min_prominence}")
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 1:
+        raise ValueError(f"expected 1-D series, got shape {x.shape}")
+    return _count_walk(x.tolist(), float(min_prominence))
+
+
+def count_prominent_peaks_multi(
+    history: np.ndarray, min_prominence: float
+) -> np.ndarray:
+    """Prominent-peak counts for a bank of unit histories.
+
+    Args:
+        history: shape ``(history_len, n_units)``; column ``u`` is unit
+            ``u``'s power history, oldest sample first.
+        min_prominence: prominence threshold in watts.
+
+    Returns:
+        Integer array of shape ``(n_units,)``.
+    """
+    if min_prominence <= 0:
+        raise ValueError(f"min_prominence must be > 0, got {min_prominence}")
+    history = np.asarray(history, dtype=np.float64)
+    if history.ndim != 2:
+        raise ValueError(f"expected 2-D history, got shape {history.shape}")
+    columns = history.T.tolist()
+    return np.asarray(
+        [_count_walk(col, float(min_prominence)) for col in columns],
+        dtype=np.intp,
+    )

@@ -1,0 +1,150 @@
+"""Priority module (paper Algorithm 2).
+
+Classifies every power-capping unit as high or low priority from the two
+*power dynamics* features the paper identifies (§3.3):
+
+* **Frequency** — units whose recent power history contains more than
+  ``pp_threshold`` prominent peaks are high-frequency units.  They are pinned
+  to high priority because the manager cannot react fast enough to their
+  phase changes; treating them as always-hungry yields the constant-
+  allocation lower bound (§4.4).  A high-frequency flag is only cleared when
+  *both* the prominent-peak count and the history's standard deviation fall
+  below their thresholds (the std check catches fast oscillation that the
+  fixed-prominence peak counter misses).
+* **First derivative** — for low-frequency units, a derivative above the
+  positive threshold marks rising power (high priority: the unit needs power
+  now or soon); below the negative threshold marks falling power (low
+  priority).  In between, the previous priority is *kept*: a unit that rose
+  stays high priority until its power actually falls again.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import PriorityConfig
+from repro.core.peaks import count_prominent_peaks_multi
+
+__all__ = ["PriorityModule"]
+
+
+class PriorityModule:
+    """Stateful high/low priority classifier for a bank of units.
+
+    Args:
+        n_units: number of units tracked.
+        config: thresholds and window lengths.
+        use_frequency: when False, skip high-frequency detection entirely
+            (derivative-only classification; ablation 2 in DESIGN.md §5).
+    """
+
+    def __init__(
+        self,
+        n_units: int,
+        config: PriorityConfig | None = None,
+        use_frequency: bool = True,
+    ) -> None:
+        if n_units < 1:
+            raise ValueError(f"n_units must be >= 1, got {n_units}")
+        self.n_units = n_units
+        self.config = config or PriorityConfig()
+        self.use_frequency = use_frequency
+        self._high_freq = np.zeros(n_units, dtype=bool)
+        self._priority = np.zeros(n_units, dtype=bool)
+
+    @property
+    def priority(self) -> np.ndarray:
+        """Current priorities (True = high), shape ``(n_units,)`` (read-only)."""
+        view = self._priority.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def high_freq(self) -> np.ndarray:
+        """Current high-frequency flags, shape ``(n_units,)`` (read-only)."""
+        view = self._high_freq.view()
+        view.flags.writeable = False
+        return view
+
+    def reset(self) -> None:
+        """Clear all flags and priorities."""
+        self._high_freq.fill(False)
+        self._priority.fill(False)
+
+    def update(self, history: np.ndarray, dt_s: float) -> np.ndarray:
+        """Reclassify all units from the latest power history.
+
+        Args:
+            history: estimated power history, shape ``(h, n_units)`` with the
+                oldest sample first; ``h`` may be shorter than the configured
+                history length during warm-up.  With fewer than
+                ``deriv_window`` samples no classification happens and the
+                previous priorities are kept (DPS's ~20 s deployment window,
+                §6.5).
+            dt_s: sampling period of the history (s).
+
+        Returns:
+            Copy of the updated priority array.
+        """
+        history = np.asarray(history, dtype=np.float64)
+        if history.ndim != 2 or history.shape[1] != self.n_units:
+            raise ValueError(
+                f"history shape {history.shape} incompatible with "
+                f"{self.n_units} units"
+            )
+        if dt_s <= 0:
+            raise ValueError(f"dt_s must be > 0, got {dt_s}")
+        h = history.shape[0]
+        cfg = self.config
+        if h < cfg.deriv_window:
+            return self._priority.copy()
+
+        # Batch the numeric features once per step (the per-unit loop below
+        # is pure flag logic on native floats — see peaks.py on why).
+        if self.use_frequency:
+            pp_counts = count_prominent_peaks_multi(
+                history, cfg.peak_prominence
+            ).tolist()
+            stds = history.std(axis=0).tolist()
+        if cfg.deriv_method == "lsq":
+            # Least-squares slope over the window: averages noise across
+            # every sample instead of the two endpoints.
+            window = history[-cfg.deriv_window :]
+            t = (np.arange(cfg.deriv_window) - (cfg.deriv_window - 1) / 2) * dt_s
+            denom = float((t * t).sum())
+            derivs = ((t @ window) / denom).tolist()
+        else:
+            span_s = (cfg.deriv_window - 1) * dt_s
+            derivs = (
+                (history[-1] - history[-cfg.deriv_window]) / span_s
+            ).tolist()
+
+        high_freq = self._high_freq
+        priority = self._priority
+        for u in range(self.n_units):
+            if self.use_frequency:
+                if not high_freq[u]:
+                    if pp_counts[u] > cfg.pp_threshold:
+                        high_freq[u] = True
+                        priority[u] = True
+                        continue
+                else:
+                    if (
+                        pp_counts[u] < cfg.pp_threshold
+                        and stds[u] < cfg.std_threshold
+                    ):
+                        high_freq[u] = False
+                        priority[u] = False
+                    # Either way a (former) high-frequency unit skips the
+                    # derivative check this step (Algorithm 2 lines 10-15).
+                    continue
+
+            # Low-frequency unit: classify by the average first derivative
+            # over the last `deriv_window` samples.
+            if derivs[u] > cfg.deriv_inc_threshold:
+                priority[u] = True
+            elif derivs[u] < cfg.deriv_dec_threshold:
+                priority[u] = False
+            # Otherwise: keep the previous priority (hysteresis).
+
+        return self._priority.copy()

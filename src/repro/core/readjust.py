@@ -1,0 +1,142 @@
+"""Cap-readjusting module: restore and readjust (paper Algorithms 3 and 4).
+
+The readjusting module runs after the stateless module and turns the
+priorities produced by :class:`~repro.core.priority.PriorityModule` into the
+final cap decision:
+
+* **Restore** (Algorithm 3): if *no* unit is drawing meaningful power
+  (every reading is below ``restore_threshold`` of the constant cap), all
+  caps snap back to the constant cap so any unit's incoming work immediately
+  has headroom.
+* **Readjust** (Algorithm 4): otherwise, leftover budget is handed to the
+  high-priority units, weighted *inversely* to their current caps (lower-
+  capped rising units need more budget to reach peak power and would
+  otherwise be penalized hardest); when the budget is exhausted the caps of
+  all high-priority units are equalized, which both repairs any unfairness
+  introduced by the stateless module's random increase order and gives the
+  constant-allocation lower bound.
+
+Faithfulness note: Algorithm 4's first branch computes
+``ratio[u] = budget_high / cap[u]`` and then ``cap[u] <- min(max,
+avail * ratio[u] / total)`` — *replacing* the cap with a share of the
+leftover, which would shrink caps whenever the leftover is small.  Matching
+the paper's prose ("allocates this unassigned budget to all the
+high-priority units"), we *add* the inverse-cap-weighted share instead, with
+a short water-fill loop so budget clipped off at the per-unit maximum is
+recycled to the remaining high-priority units.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+import numpy as np
+
+from repro.core.config import ReadjustConfig
+
+__all__ = ["RestoreResult", "restore", "readjust"]
+
+
+class RestoreResult(NamedTuple):
+    """Outcome of the restore pass.
+
+    Attributes:
+        caps: per-unit caps after the pass (fresh array).
+        restored: True if all caps were reset to the constant cap.
+    """
+
+    caps: np.ndarray
+    restored: bool
+
+
+def restore(
+    power_w: np.ndarray,
+    caps_w: np.ndarray,
+    initial_cap_w: float,
+    config: ReadjustConfig,
+) -> RestoreResult:
+    """Snap all caps back to the constant cap when the system is quiet.
+
+    Args:
+        power_w: per-unit power readings (W).
+        caps_w: per-unit caps after the stateless module (not modified).
+        initial_cap_w: the constant cap (budget / n_units).
+        config: holds ``restore_threshold``.
+
+    Returns:
+        :class:`RestoreResult`; when not restored, ``caps`` is an unmodified
+        copy of the input.
+    """
+    power = np.asarray(power_w, dtype=np.float64)
+    caps = np.asarray(caps_w, dtype=np.float64).copy()
+    if power.shape != caps.shape or power.ndim != 1:
+        raise ValueError(
+            f"power shape {power.shape} and caps shape {caps.shape} must be "
+            "equal 1-D shapes"
+        )
+    if initial_cap_w <= 0:
+        raise ValueError(f"initial_cap_w must be > 0, got {initial_cap_w}")
+
+    if np.any(power > initial_cap_w * config.restore_threshold):
+        return RestoreResult(caps=caps, restored=False)
+    caps.fill(initial_cap_w)
+    return RestoreResult(caps=caps, restored=True)
+
+
+def readjust(
+    caps_w: np.ndarray,
+    priority: np.ndarray,
+    budget_w: float,
+    max_cap_w: float,
+    restored: bool,
+    config: ReadjustConfig,
+) -> np.ndarray:
+    """Hand leftover budget to high-priority units, or equalize their caps.
+
+    Args:
+        caps_w: per-unit caps after the stateless and restore passes.
+        priority: boolean high-priority mask, shape ``(n_units,)``.
+        budget_w: cluster-wide budget (W).
+        max_cap_w: per-unit maximum cap (TDP).
+        restored: flag from :func:`restore`; when True this pass is a no-op
+            (Algorithm 4 line 3).
+        config: holds ``budget_epsilon``.
+
+    Returns:
+        Final per-unit caps (fresh array).
+    """
+    caps = np.asarray(caps_w, dtype=np.float64).copy()
+    prio = np.asarray(priority, dtype=bool)
+    if caps.shape != prio.shape or caps.ndim != 1:
+        raise ValueError(
+            f"caps shape {caps.shape} and priority shape {prio.shape} must "
+            "be equal 1-D shapes"
+        )
+    if restored:
+        return caps
+
+    high = np.flatnonzero(prio)
+    if high.size == 0:
+        return caps
+
+    avail = budget_w - float(caps.sum())
+    if avail > config.budget_epsilon:
+        # Distribute the leftover to high-priority units, inverse-cap
+        # weighted; recycle anything clipped at the per-unit maximum.
+        active = high[caps[high] < max_cap_w]
+        remaining = avail
+        # Each pass either exhausts the budget or saturates at least one
+        # unit, so this terminates in at most len(active) passes.
+        while remaining > config.budget_epsilon and active.size > 0:
+            weights = 1.0 / np.maximum(caps[active], 1e-9)
+            weights /= weights.sum()
+            grant = np.minimum(remaining * weights, max_cap_w - caps[active])
+            caps[active] += grant
+            remaining -= float(grant.sum())
+            active = active[caps[active] < max_cap_w - 1e-12]
+    else:
+        # Budget exhausted: equalize the caps of all high-priority units.
+        equal_cap = min(float(caps[high].mean()), max_cap_w)
+        caps[high] = equal_cap
+
+    return caps

@@ -1,0 +1,111 @@
+"""MIMD stateless allocation core (paper Algorithm 1).
+
+This is the multiplicative-increase / multiplicative-decrease controller
+inspired by SLURM's power-management plugin.  It is used in two places:
+
+* standalone, as the :class:`repro.core.slurm.SlurmManager` baseline, and
+* as the first stage of the DPS pipeline, producing the temporary cap
+  allocation that the priority and cap-readjusting modules then refine.
+
+Faithfulness notes (documented deviations from the paper's pseudocode):
+
+* Algorithm 1 line 12 reads ``tempt <- min(cap[u] * inc_percentile,
+  avail_budget)`` and then *assigns* ``cap[u] <- tempt``, which would set a
+  unit's cap to the leftover budget rather than grow it by at most the
+  leftover.  We implement the evident intent: the cap grows multiplicatively,
+  but the *increase amount* is limited by the remaining budget (and the
+  per-unit maximum).
+* Caps are additionally clamped to ``[min_cap_w, max_cap_w]`` — the RAPL
+  constraint range — which the pseudocode leaves implicit.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+import numpy as np
+
+from repro.core.config import StatelessConfig
+
+__all__ = ["MimdResult", "mimd_step"]
+
+
+class MimdResult(NamedTuple):
+    """Outcome of one MIMD pass.
+
+    Attributes:
+        caps: new per-unit caps (W), shape ``(n_units,)``.
+        changed: boolean mask of units whose cap this pass modified
+            (``set_flag`` in the paper's pseudocode).
+        avail_budget_w: budget left unassigned after the pass (W).
+    """
+
+    caps: np.ndarray
+    changed: np.ndarray
+    avail_budget_w: float
+
+
+def mimd_step(
+    power_w: np.ndarray,
+    caps_w: np.ndarray,
+    budget_w: float,
+    max_cap_w: float,
+    min_cap_w: float,
+    config: StatelessConfig,
+    rng: np.random.Generator,
+) -> MimdResult:
+    """Run one multiplicative-increase / multiplicative-decrease pass.
+
+    First loop: every unit drawing less than ``dec_threshold`` of its cap has
+    its cap lowered to ``max(power, cap * dec_factor)`` — the budget it was
+    not using is reclaimed.  Second loop, in random order so no unit has a
+    standing advantage: every unit drawing more than ``inc_threshold`` of its
+    cap grows its cap by up to ``(inc_factor - 1) * cap``, limited by the
+    unassigned budget and the per-unit maximum.
+
+    Args:
+        power_w: current per-unit power readings (W).
+        caps_w: current per-unit caps (W); not modified.
+        budget_w: cluster-wide budget (W).
+        max_cap_w: per-unit maximum cap (TDP).
+        min_cap_w: per-unit minimum cap.
+        config: MIMD thresholds and factors.
+        rng: randomness source for the increase-loop ordering.
+
+    Returns:
+        :class:`MimdResult` with the new caps (a fresh array).
+    """
+    power = np.asarray(power_w, dtype=np.float64)
+    caps = np.asarray(caps_w, dtype=np.float64).copy()
+    if power.shape != caps.shape or power.ndim != 1:
+        raise ValueError(
+            f"power shape {power.shape} and caps shape {caps.shape} must be "
+            "equal 1-D shapes"
+        )
+    n = caps.shape[0]
+    changed = np.zeros(n, dtype=bool)
+
+    # --- First loop: decrease caps of under-consuming units (vectorized).
+    dec_mask = power < caps * config.dec_threshold
+    if np.any(dec_mask):
+        lowered = np.maximum(power[dec_mask], caps[dec_mask] * config.dec_factor)
+        lowered = np.clip(lowered, min_cap_w, max_cap_w)
+        changed[dec_mask] = lowered != caps[dec_mask]
+        caps[dec_mask] = lowered
+
+    # --- Second loop: increase caps of capped-out units in random order.
+    avail = budget_w - float(caps.sum())
+    if avail > 0.0:
+        want = power > caps * config.inc_threshold
+        for u in rng.permutation(n):
+            if not want[u] or avail <= 0.0:
+                continue
+            target = min(caps[u] * config.inc_factor, max_cap_w)
+            grow = min(target - caps[u], avail)
+            if grow <= 0.0:
+                continue
+            caps[u] += grow
+            avail -= grow
+            changed[u] = True
+
+    return MimdResult(caps=caps, changed=changed, avail_budget_w=max(avail, 0.0))

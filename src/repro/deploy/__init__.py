@@ -1,0 +1,13 @@
+"""Deployable TCP control plane (the artifact's BSD-socket architecture)."""
+
+from repro.deploy.client import DeployClient
+from repro.deploy.loopback import LoopbackResult, run_loopback
+from repro.deploy.server import DeployCycleStats, DeployServer
+
+__all__ = [
+    "DeployClient",
+    "DeployCycleStats",
+    "DeployServer",
+    "LoopbackResult",
+    "run_loopback",
+]

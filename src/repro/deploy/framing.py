@@ -1,0 +1,148 @@
+"""TCP framing of the DPS control protocol (paper §4.3, §6.5).
+
+The artifact's server and clients speak over BSD sockets; this module
+defines the byte-exact framing used by :mod:`repro.deploy`.  All frames
+start with a one-byte type tag:
+
+* ``HELLO`` (client → server, once): ``b'H'`` + node id (2 bytes BE) +
+  unit count (1 byte) — registers the client's sockets.
+* ``POLL`` (server → client): ``b'P'`` — requests one reading per unit.
+* ``READINGS`` (client → server): ``b'R'`` + count (1 byte) + count x
+  3-byte :mod:`repro.comm.protocol` reading messages.
+* ``CAPS`` (server → client): ``b'C'`` + count (1 byte) + count x 3-byte
+  cap messages.
+* ``QUIT`` (server → client): ``b'Q'`` — clean shutdown.
+
+The 3-byte payload messages are exactly the §6.5 wire format; framing adds
+2 bytes per batch, amortized across a node's units.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import NamedTuple
+
+__all__ = [
+    "FRAME_HELLO",
+    "FRAME_POLL",
+    "FRAME_READINGS",
+    "FRAME_CAPS",
+    "FRAME_QUIT",
+    "Hello",
+    "recv_exact",
+    "send_hello",
+    "recv_hello",
+    "send_batch",
+    "recv_batch",
+    "send_tag",
+    "recv_tag",
+]
+
+FRAME_HELLO = b"H"
+FRAME_POLL = b"P"
+FRAME_READINGS = b"R"
+FRAME_CAPS = b"C"
+FRAME_QUIT = b"Q"
+
+_BATCH_TAGS = (FRAME_READINGS, FRAME_CAPS)
+
+
+class Hello(NamedTuple):
+    """Decoded registration frame."""
+
+    node_id: int
+    n_units: int
+
+
+def recv_exact(sock: socket.socket, n: int) -> bytes:
+    """Read exactly ``n`` bytes or raise ``ConnectionError`` on EOF."""
+    chunks = []
+    remaining = n
+    while remaining > 0:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ConnectionError(
+                f"peer closed with {remaining} of {n} bytes outstanding"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_hello(sock: socket.socket, node_id: int, n_units: int) -> None:
+    """Send the registration frame.
+
+    Raises:
+        ValueError: node id or unit count outside the frame's ranges.
+    """
+    if not 0 <= node_id <= 0xFFFF:
+        raise ValueError(f"node_id must fit 16 bits, got {node_id}")
+    if not 1 <= n_units <= 0xFF:
+        raise ValueError(f"n_units must be in [1, 255], got {n_units}")
+    sock.sendall(
+        FRAME_HELLO + node_id.to_bytes(2, "big") + n_units.to_bytes(1, "big")
+    )
+
+
+def recv_hello(sock: socket.socket) -> Hello:
+    """Receive and decode a registration frame.
+
+    Raises:
+        ValueError: wrong frame tag.
+    """
+    tag = recv_exact(sock, 1)
+    if tag != FRAME_HELLO:
+        raise ValueError(f"expected HELLO, got tag {tag!r}")
+    body = recv_exact(sock, 3)
+    return Hello(
+        node_id=int.from_bytes(body[:2], "big"),
+        n_units=body[2],
+    )
+
+
+def send_tag(sock: socket.socket, tag: bytes) -> None:
+    """Send a bare control frame (POLL or QUIT)."""
+    if tag not in (FRAME_POLL, FRAME_QUIT):
+        raise ValueError(f"not a bare control tag: {tag!r}")
+    sock.sendall(tag)
+
+
+def recv_tag(sock: socket.socket) -> bytes:
+    """Receive any frame tag byte."""
+    return recv_exact(sock, 1)
+
+
+def send_batch(
+    sock: socket.socket, tag: bytes, messages: list[bytes]
+) -> int:
+    """Send a READINGS/CAPS batch; returns payload bytes sent.
+
+    Raises:
+        ValueError: wrong tag, empty/oversized batch, or non-3-byte
+            messages.
+    """
+    if tag not in _BATCH_TAGS:
+        raise ValueError(f"not a batch tag: {tag!r}")
+    if not 1 <= len(messages) <= 0xFF:
+        raise ValueError(f"batch size must be in [1, 255], got {len(messages)}")
+    payload = b"".join(messages)
+    if len(payload) != 3 * len(messages):
+        raise ValueError("every batch message must be exactly 3 bytes")
+    sock.sendall(tag + len(messages).to_bytes(1, "big") + payload)
+    return len(payload)
+
+
+def recv_batch(sock: socket.socket, expected_tag: bytes) -> list[bytes]:
+    """Receive a READINGS/CAPS batch of 3-byte messages.
+
+    Raises:
+        ValueError: unexpected frame tag.
+    """
+    if expected_tag not in _BATCH_TAGS:
+        raise ValueError(f"not a batch tag: {expected_tag!r}")
+    tag = recv_exact(sock, 1)
+    if tag != expected_tag:
+        raise ValueError(f"expected {expected_tag!r}, got {tag!r}")
+    count = recv_exact(sock, 1)[0]
+    payload = recv_exact(sock, 3 * count)
+    return [payload[i : i + 3] for i in range(0, len(payload), 3)]

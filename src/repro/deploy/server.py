@@ -1,0 +1,165 @@
+"""The DPS central server over real TCP sockets (paper §4.3).
+
+``DeployServer`` is the deployable counterpart of the in-memory
+:class:`repro.comm.service.PowerServer`: it listens on a TCP port, waits
+for every client daemon to register, and then runs synchronous control
+cycles — POLL every client, collect readings, run the bound power
+manager, push per-unit CAPS frames back.  The cycle is strictly
+request/response over persistent connections, matching the artifact's
+one-second blocking decision loop.
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.comm.protocol import MSG_CAP, MSG_READING, decode, encode
+from repro.core.managers import PowerManager
+from repro.deploy import framing
+
+__all__ = ["DeployServer", "DeployCycleStats"]
+
+
+@dataclass(frozen=True)
+class DeployCycleStats:
+    """Traffic accounting of one TCP control cycle.
+
+    Attributes:
+        bytes_up / bytes_down: reading / cap payload bytes (3 B messages,
+            excluding the 2-byte frame headers).
+        readings_w: the decoded reading vector of the cycle.
+    """
+
+    bytes_up: int
+    bytes_down: int
+    readings_w: np.ndarray
+
+
+class DeployServer:
+    """Blocking TCP control server.
+
+    Args:
+        manager: a *bound* power manager whose unit count equals the sum
+            of the registered clients' units.
+        host / port: listen address; port 0 picks a free port (see
+            :attr:`address` after construction).
+        timeout_s: per-socket-operation timeout — a stuck client fails the
+            cycle instead of hanging the controller.
+    """
+
+    def __init__(
+        self,
+        manager: PowerManager,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout_s: float = 5.0,
+    ) -> None:
+        self.manager = manager
+        self.timeout_s = timeout_s
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(16)
+        self._listener.settimeout(timeout_s)
+        #: (connection, node_id, base_unit, n_units), registration order.
+        self._clients: list[tuple[socket.socket, int, int, int]] = []
+        self._closed = False
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The (host, port) the server listens on."""
+        return self._listener.getsockname()
+
+    @property
+    def n_registered_units(self) -> int:
+        """Units across all registered clients."""
+        return sum(c[3] for c in self._clients)
+
+    def accept_clients(self, n_clients: int) -> None:
+        """Block until ``n_clients`` have connected and sent HELLO.
+
+        Raises:
+            ValueError: registered units exceed the manager's binding.
+        """
+        for _ in range(n_clients):
+            conn, _ = self._listener.accept()
+            conn.settimeout(self.timeout_s)
+            hello = framing.recv_hello(conn)
+            base = self.n_registered_units
+            if base + hello.n_units > self.manager.n_units:
+                conn.close()
+                raise ValueError(
+                    f"client node {hello.node_id} would register unit "
+                    f"{base + hello.n_units} but the manager is bound to "
+                    f"{self.manager.n_units}"
+                )
+            self._clients.append((conn, hello.node_id, base, hello.n_units))
+
+    def control_cycle(self) -> DeployCycleStats:
+        """Run one poll → decide → cap cycle over TCP.
+
+        Raises:
+            RuntimeError: no clients registered, or registration does not
+                cover the manager's units.
+        """
+        if not self._clients:
+            raise RuntimeError("no clients registered")
+        if self.n_registered_units != self.manager.n_units:
+            raise RuntimeError(
+                f"{self.n_registered_units} registered units != manager's "
+                f"{self.manager.n_units}"
+            )
+        readings = np.empty(self.manager.n_units, dtype=np.float64)
+        bytes_up = 0
+        for conn, _, base, n_units in self._clients:
+            framing.send_tag(conn, framing.FRAME_POLL)
+            batch = framing.recv_batch(conn, framing.FRAME_READINGS)
+            if len(batch) != n_units:
+                raise RuntimeError(
+                    f"client at base {base} sent {len(batch)} readings "
+                    f"for {n_units} units"
+                )
+            for payload in batch:
+                msg = decode(payload)
+                if msg.kind != MSG_READING:
+                    raise RuntimeError(f"expected reading, got {msg}")
+                readings[base + msg.unit] = msg.value_w
+                bytes_up += len(payload)
+
+        caps = self.manager.step(readings)
+
+        bytes_down = 0
+        for conn, _, base, n_units in self._clients:
+            batch = [
+                encode(MSG_CAP, local, min(float(caps[base + local]), 409.5))
+                for local in range(n_units)
+            ]
+            bytes_down += framing.send_batch(
+                conn, framing.FRAME_CAPS, batch
+            )
+        return DeployCycleStats(
+            bytes_up=bytes_up, bytes_down=bytes_down, readings_w=readings
+        )
+
+    def shutdown(self) -> None:
+        """Send QUIT to every client and close all sockets (idempotent)."""
+        if self._closed:
+            return
+        for conn, _, _, _ in self._clients:
+            try:
+                framing.send_tag(conn, framing.FRAME_QUIT)
+            except OSError:
+                pass
+            conn.close()
+        self._clients.clear()
+        self._listener.close()
+        self._closed = True
+
+    def __enter__(self) -> "DeployServer":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown()

@@ -1,0 +1,209 @@
+"""Campaign runner: execute whole benchmark groups and persist results.
+
+This is the reproduction of the artifact's ``run_experiment.sh``: it runs
+every workload pair of the selected §5.2 groups under each group's
+managers, normalizes against the constant-allocation baseline, and collects
+one flat record per (group, pair, manager) — serializable to JSON so the
+figure generators and external analysis can consume a finished campaign
+without re-simulating.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.experiments.harness import ExperimentConfig, ExperimentHarness
+from repro.experiments.setups import (
+    GROUP_MANAGERS,
+    high_utility_pairs,
+    low_utility_pairs,
+    spark_npb_pairs,
+)
+from repro.metrics.summary import GroupStats, summarize
+
+__all__ = ["ExperimentRecord", "CampaignResult", "Campaign"]
+
+_GROUP_PAIRS: dict[str, Callable[[], list[tuple[str, str]]]] = {
+    "low_utility": low_utility_pairs,
+    "high_utility": high_utility_pairs,
+    "spark_npb": spark_npb_pairs,
+}
+
+
+@dataclass(frozen=True)
+class ExperimentRecord:
+    """One (group, pair, manager) measurement.
+
+    Attributes mirror :class:`~repro.experiments.harness.PairEvaluation`,
+    flattened for serialization.
+    """
+
+    group: str
+    workload_a: str
+    workload_b: str
+    manager: str
+    speedup_a: float
+    speedup_b: float
+    hmean_speedup: float
+    satisfaction_a: float
+    satisfaction_b: float
+    fairness: float
+
+
+@dataclass
+class CampaignResult:
+    """All records of a finished campaign.
+
+    Attributes:
+        records: one per (group, pair, manager).
+        seed: the campaign seed (for provenance).
+        time_scale: the duration multiplier used.
+    """
+
+    records: list[ExperimentRecord] = field(default_factory=list)
+    seed: int = 0
+    time_scale: float = 1.0
+
+    def for_group(self, group: str) -> list[ExperimentRecord]:
+        """Records of one group, in run order."""
+        return [r for r in self.records if r.group == group]
+
+    def for_manager(self, manager: str) -> list[ExperimentRecord]:
+        """Records of one manager across groups."""
+        return [r for r in self.records if r.manager == manager]
+
+    def summary(self) -> dict[tuple[str, str], GroupStats]:
+        """Per-(group, manager) statistics over the paired hmean speedups."""
+        keys = sorted({(r.group, r.manager) for r in self.records})
+        return {
+            key: summarize(
+                [
+                    r.hmean_speedup
+                    for r in self.records
+                    if (r.group, r.manager) == key
+                ]
+            )
+            for key in keys
+        }
+
+    def mean_fairness(self) -> dict[tuple[str, str], float]:
+        """Per-(group, manager) mean fairness (the §6.4 aggregates)."""
+        keys = sorted({(r.group, r.manager) for r in self.records})
+        return {
+            key: float(
+                np.mean(
+                    [
+                        r.fairness
+                        for r in self.records
+                        if (r.group, r.manager) == key
+                    ]
+                )
+            )
+            for key in keys
+        }
+
+    def to_json(self) -> str:
+        """Serialize the campaign (format tag included)."""
+        return json.dumps(
+            {
+                "format": "repro-campaign-v1",
+                "seed": self.seed,
+                "time_scale": self.time_scale,
+                "records": [asdict(r) for r in self.records],
+            }
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignResult":
+        """Reconstruct a campaign from :meth:`to_json` output.
+
+        Raises:
+            ValueError: unknown format tag.
+        """
+        doc = json.loads(text)
+        if doc.get("format") != "repro-campaign-v1":
+            raise ValueError(
+                f"unsupported campaign format {doc.get('format')!r}"
+            )
+        return cls(
+            records=[ExperimentRecord(**r) for r in doc["records"]],
+            seed=int(doc["seed"]),
+            time_scale=float(doc["time_scale"]),
+        )
+
+
+class Campaign:
+    """Run the paper's benchmark groups end to end.
+
+    Args:
+        config: harness configuration.
+        groups: which §5.2 groups to run (default: all three).
+        managers: manager override; default is each group's paper set
+            (:data:`~repro.experiments.setups.GROUP_MANAGERS`).
+        limit_pairs: cap on pairs per group (None = all; useful for smoke
+            campaigns, the artifact's "toy examples" mode).
+    """
+
+    def __init__(
+        self,
+        config: ExperimentConfig | None = None,
+        groups: Iterable[str] = ("low_utility", "high_utility", "spark_npb"),
+        managers: tuple[str, ...] | None = None,
+        limit_pairs: int | None = None,
+    ) -> None:
+        self.config = config or ExperimentConfig()
+        self.groups = tuple(groups)
+        for g in self.groups:
+            if g not in _GROUP_PAIRS:
+                raise ValueError(
+                    f"unknown group {g!r}; expected one of "
+                    f"{sorted(_GROUP_PAIRS)}"
+                )
+        if limit_pairs is not None and limit_pairs < 1:
+            raise ValueError(f"limit_pairs must be >= 1, got {limit_pairs}")
+        self.managers = managers
+        self.limit_pairs = limit_pairs
+
+    def run(
+        self,
+        progress: Callable[[str, tuple[str, str], str], None] | None = None,
+    ) -> CampaignResult:
+        """Execute the campaign.
+
+        Args:
+            progress: optional callback invoked before each (group, pair,
+                manager) run — hook for logging long campaigns.
+        """
+        harness = ExperimentHarness(self.config)
+        result = CampaignResult(
+            seed=self.config.seed, time_scale=self.config.sim.time_scale
+        )
+        for group in self.groups:
+            pairs = _GROUP_PAIRS[group]()
+            if self.limit_pairs is not None:
+                pairs = pairs[: self.limit_pairs]
+            managers = self.managers or GROUP_MANAGERS[group]
+            for pair in pairs:
+                for manager in managers:
+                    if progress is not None:
+                        progress(group, pair, manager)
+                    ev = harness.evaluate_pair(pair[0], pair[1], manager)
+                    result.records.append(
+                        ExperimentRecord(
+                            group=group,
+                            workload_a=pair[0],
+                            workload_b=pair[1],
+                            manager=manager,
+                            speedup_a=ev.speedup_a,
+                            speedup_b=ev.speedup_b,
+                            hmean_speedup=ev.hmean_speedup,
+                            satisfaction_a=ev.satisfaction_a,
+                            satisfaction_b=ev.satisfaction_b,
+                            fairness=ev.fairness,
+                        )
+                    )
+        return result

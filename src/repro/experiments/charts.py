@@ -1,0 +1,133 @@
+"""Terminal chart rendering (the artifact's plotting scripts, text edition).
+
+The artifact ships matplotlib scripts for every figure; this repo renders
+the same data as Unicode terminal graphics so the figures are viewable in
+any environment (including this one, which has no display):
+
+* :func:`sparkline` — one-line power trace;
+* :func:`line_chart` — multi-row time-series plot (Figure 2 style);
+* :func:`bar_chart` — horizontal grouped bars for the speedup figures.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["sparkline", "line_chart", "bar_chart"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float] | np.ndarray, width: int = 60) -> str:
+    """One-line trace: values resampled to ``width`` block characters."""
+    v = np.asarray(values, dtype=np.float64)
+    if v.size == 0:
+        raise ValueError("cannot sparkline an empty series")
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    if v.size > width:
+        idx = np.linspace(0, v.size - 1, width).astype(np.intp)
+        v = v[idx]
+    lo, hi = float(v.min()), float(v.max())
+    if hi - lo < 1e-12:
+        return _SPARK_LEVELS[0] * v.size
+    scaled = (v - lo) / (hi - lo) * (len(_SPARK_LEVELS) - 1)
+    return "".join(_SPARK_LEVELS[int(round(s))] for s in scaled)
+
+
+def line_chart(
+    time_s: Sequence[float] | np.ndarray,
+    values: Sequence[float] | np.ndarray,
+    height: int = 10,
+    width: int = 64,
+    label: str = "",
+) -> str:
+    """Render a time series as a character grid with a y-axis.
+
+    Args:
+        time_s: sample times (only the ends are labelled).
+        values: samples.
+        height / width: grid size in characters.
+        label: title line.
+
+    Returns:
+        Multi-line string.
+    """
+    t = np.asarray(time_s, dtype=np.float64)
+    v = np.asarray(values, dtype=np.float64)
+    if t.shape != v.shape or t.ndim != 1 or t.size == 0:
+        raise ValueError("time and values must be equal non-empty 1-D arrays")
+    if height < 2 or width < 8:
+        raise ValueError("height must be >= 2 and width >= 8")
+    if v.size > width:
+        idx = np.linspace(0, v.size - 1, width).astype(np.intp)
+        t, v = t[idx], v[idx]
+    lo, hi = float(v.min()), float(v.max())
+    span = max(hi - lo, 1e-12)
+    rows = [[" "] * v.size for _ in range(height)]
+    for x, val in enumerate(v):
+        y = int(round((val - lo) / span * (height - 1)))
+        rows[height - 1 - y][x] = "•"
+
+    lines = []
+    if label:
+        lines.append(label)
+    for r, row in enumerate(rows):
+        y_val = hi - r * span / (height - 1)
+        lines.append(f"{y_val:7.1f} ┤" + "".join(row))
+    lines.append(
+        " " * 8 + "└" + "─" * v.size
+    )
+    lines.append(f"{'':8s} {t[0]:<.0f}s{'':{max(v.size - 12, 1)}s}{t[-1]:.0f}s")
+    return "\n".join(lines)
+
+
+def bar_chart(
+    series: Mapping[str, Sequence[float]],
+    labels: Sequence[str],
+    width: int = 40,
+    baseline: float = 1.0,
+    unit: str = "x",
+) -> str:
+    """Horizontal grouped bars around a baseline (speedup figures).
+
+    Args:
+        series: name → per-label values.
+        labels: group labels, one per value.
+        width: character width of the bar field.
+        baseline: value rendered at the axis (1.0 for speedups).
+        unit: suffix on the printed values.
+
+    Returns:
+        Multi-line string: one block per label, one bar per series.
+    """
+    if not series:
+        raise ValueError("series must be non-empty")
+    all_values = np.concatenate(
+        [np.asarray(v, dtype=np.float64) for v in series.values()]
+    )
+    for name, vals in series.items():
+        if len(vals) != len(labels):
+            raise ValueError(
+                f"series {name!r} has {len(vals)} values for "
+                f"{len(labels)} labels"
+            )
+    span = max(float(np.abs(all_values - baseline).max()), 1e-9)
+    half = width // 2
+    name_w = max(len(n) for n in series)
+    lines = []
+    for i, label in enumerate(labels):
+        lines.append(f"{label}:")
+        for name, vals in series.items():
+            delta = float(vals[i]) - baseline
+            n = int(round(abs(delta) / span * half))
+            if delta >= 0:
+                bar = " " * half + "│" + "█" * n + " " * (half - n)
+            else:
+                bar = " " * (half - n) + "█" * n + "│" + " " * half
+            lines.append(
+                f"  {name:<{name_w}s} {bar} {vals[i]:.3f}{unit}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,356 @@
+"""Experiment harness: run workload pairs under managers, normalize results.
+
+This is the reproduction of the artifact's ``exp.py``: "one can execute one
+workload with the script by specifying the workloads on two clusters
+respectively, the power management system, and workload repeating times".
+The harness additionally owns the two reference measurements every figure
+needs:
+
+* the **uncapped reference** of each workload (solo run with all caps at
+  TDP) — the denominator of satisfaction (Eq. 1);
+* the **constant-allocation baseline** of each *pair* — the denominator of
+  every speedup (Appendix: "The harmonic mean throughput time of each
+  workload in the Constant Allocation group will be the baseline").
+
+Both are cached per configuration, mirroring how the paper measures its
+baselines once and reuses them across figures.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.simulator import Assignment, Simulation, SimulationResult
+from repro.core.config import (
+    ClusterSpec,
+    DPSConfig,
+    PerfModelConfig,
+    RaplConfig,
+    SimulationConfig,
+    StatelessConfig,
+)
+from repro.core.managers import PowerManager, create_manager
+from repro.metrics.fairness import fairness as fairness_fn
+from repro.metrics.satisfaction import satisfaction as satisfaction_fn
+from repro.metrics.speedup import hmean, paired_hmean_speedup
+from repro.workloads.registry import get_workload
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentHarness",
+    "PairOutcome",
+    "PairEvaluation",
+    "ReferenceStats",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Shared knobs of one experimental campaign.
+
+    Attributes:
+        cluster: topology/budget (defaults: the paper's testbed).
+        sim: step/scale/gap settings; ``time_scale`` below 1 shrinks runs.
+        perf: cap-to-performance model.
+        rapl: RAPL noise/lag.
+        dps: DPS configuration used whenever the ``"dps"`` manager runs.
+        slurm: MIMD configuration used for the ``"slurm"`` manager.
+        repeats: completed runs required of each workload per simulation
+            (the paper uses >= 10 on hardware; simulation variance is far
+            smaller, so a handful suffices).
+        seed: campaign master seed; per-(pair, manager) seeds derive from it
+            deterministically.
+    """
+
+    cluster: ClusterSpec = field(default_factory=ClusterSpec)
+    sim: SimulationConfig = field(default_factory=SimulationConfig)
+    perf: PerfModelConfig = field(default_factory=PerfModelConfig)
+    rapl: RaplConfig = field(default_factory=RaplConfig)
+    dps: DPSConfig = field(default_factory=DPSConfig)
+    slurm: StatelessConfig = field(default_factory=StatelessConfig)
+    repeats: int = 3
+    seed: int = 42
+
+    def make_manager(self, name: str) -> PowerManager:
+        """Instantiate a fresh manager with this campaign's configuration."""
+        if name in ("dps", "dps+"):
+            return create_manager(name, config=self.dps)
+        if name in ("slurm", "hierarchical"):
+            return create_manager(name, config=self.slurm)
+        return create_manager(name)
+
+    def derive_seed(self, *tokens: str) -> int:
+        """Deterministic per-experiment seed from the campaign seed."""
+        h = zlib.crc32("/".join(tokens).encode())
+        return (self.seed * 1_000_003 + h) % (2**31 - 1)
+
+
+@dataclass(frozen=True)
+class ReferenceStats:
+    """Uncapped solo-run statistics of one workload.
+
+    Attributes:
+        mean_duration_s: mean throughput time with caps at TDP.
+        mean_power_w: mean per-active-socket power with caps at TDP
+            (Eq. 1's denominator).
+    """
+
+    mean_duration_s: float
+    mean_power_w: float
+
+
+@dataclass(frozen=True)
+class PairOutcome:
+    """Raw (un-normalized) result of one pair under one manager.
+
+    Attributes:
+        manager: manager name.
+        workload_a / workload_b: the pair, half 0 / half 1.
+        times_a_s / times_b_s: per-run throughput times.
+        power_a_w / power_b_w: mean per-socket power over runs.
+        max_caps_sum_w: budget-respect check from the simulation.
+        sim_time_s: simulated duration.
+    """
+
+    manager: str
+    workload_a: str
+    workload_b: str
+    times_a_s: tuple[float, ...]
+    times_b_s: tuple[float, ...]
+    power_a_w: float
+    power_b_w: float
+    max_caps_sum_w: float
+    sim_time_s: float
+
+
+@dataclass(frozen=True)
+class PairEvaluation:
+    """Normalized result of one pair under one manager.
+
+    Attributes:
+        outcome: the raw measurement.
+        speedup_a / speedup_b: vs the pair's constant-allocation baseline.
+        hmean_speedup: harmonic mean of the two speedups (Figs. 5b, 6).
+        satisfaction_a / satisfaction_b: Eq. 1 values.
+        fairness: Eq. 2 value of the pair.
+    """
+
+    outcome: PairOutcome
+    speedup_a: float
+    speedup_b: float
+    hmean_speedup: float
+    satisfaction_a: float
+    satisfaction_b: float
+    fairness: float
+
+
+class ExperimentHarness:
+    """Caching front end over the simulator for all figures and tables.
+
+    Args:
+        config: campaign configuration.
+    """
+
+    def __init__(self, config: ExperimentConfig | None = None) -> None:
+        self.config = config or ExperimentConfig()
+        self._reference_cache: dict[str, ReferenceStats] = {}
+        self._baseline_cache: dict[tuple[str, str], PairOutcome] = {}
+
+    # ------------------------------------------------------------------
+    # Building blocks
+    # ------------------------------------------------------------------
+
+    def _assign_pair(
+        self, spec_a: WorkloadSpec, spec_b: WorkloadSpec
+    ) -> list[Assignment]:
+        """Place workload A on cluster half 0 and B on half 1."""
+        from repro.cluster.cluster import Cluster  # Local to avoid cycles.
+
+        cluster = Cluster(self.config.cluster)
+        return [
+            Assignment(spec=spec_a, unit_ids=cluster.half_unit_ids(0)),
+            Assignment(spec=spec_b, unit_ids=cluster.half_unit_ids(1)),
+        ]
+
+    def _simulate(
+        self,
+        assignments: list[Assignment],
+        manager: PowerManager,
+        seed: int,
+        cluster_spec: ClusterSpec | None = None,
+        record_telemetry: bool = False,
+    ) -> SimulationResult:
+        sim = Simulation(
+            cluster_spec=cluster_spec or self.config.cluster,
+            manager=manager,
+            assignments=assignments,
+            target_runs=self.config.repeats,
+            sim_config=self.config.sim,
+            perf_config=self.config.perf,
+            rapl_config=self.config.rapl,
+            seed=seed,
+            record_telemetry=record_telemetry,
+        )
+        result = sim.run()
+        if result.truncated:
+            names = [a.spec.name for a in assignments]
+            raise RuntimeError(
+                f"simulation of {names} under {manager.name} hit the "
+                f"{self.config.sim.max_steps}-step limit; raise max_steps "
+                "or time_scale"
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # Reference and baseline runs
+    # ------------------------------------------------------------------
+
+    def uncapped_reference(self, workload: str) -> ReferenceStats:
+        """Solo run of a workload with every cap at TDP (cached).
+
+        Implemented as a constant manager on a budget of 100 % of aggregate
+        TDP, so the "cap" never binds — the paper's "average power under no
+        cap" condition.
+        """
+        if workload in self._reference_cache:
+            return self._reference_cache[workload]
+        spec = get_workload(workload)
+        uncapped_cluster = ClusterSpec(
+            n_nodes=self.config.cluster.n_nodes,
+            sockets_per_node=self.config.cluster.sockets_per_node,
+            tdp_w=self.config.cluster.tdp_w,
+            min_cap_w=self.config.cluster.min_cap_w,
+            budget_fraction=1.0,
+            idle_power_w=self.config.cluster.idle_power_w,
+        )
+        from repro.cluster.cluster import Cluster
+
+        cluster = Cluster(uncapped_cluster)
+        assignments = [
+            Assignment(spec=spec, unit_ids=cluster.half_unit_ids(0))
+        ]
+        result = self._simulate(
+            assignments,
+            self.config.make_manager("constant"),
+            seed=self.config.derive_seed("reference", workload),
+            cluster_spec=uncapped_cluster,
+        )
+        execution = result.execution(workload)
+        stats = ReferenceStats(
+            mean_duration_s=execution.mean_duration_s(),
+            mean_power_w=execution.mean_power_w(),
+        )
+        self._reference_cache[workload] = stats
+        return stats
+
+    def constant_baseline(self, workload_a: str, workload_b: str) -> PairOutcome:
+        """The pair's constant-allocation run (cached; the speedup baseline)."""
+        key = (workload_a, workload_b)
+        if key not in self._baseline_cache:
+            self._baseline_cache[key] = self.run_pair(
+                workload_a, workload_b, "constant"
+            )
+        return self._baseline_cache[key]
+
+    # ------------------------------------------------------------------
+    # Pair runs and evaluation
+    # ------------------------------------------------------------------
+
+    def run_pair(
+        self,
+        workload_a: str,
+        workload_b: str,
+        manager_name: str,
+        record_telemetry: bool = False,
+    ) -> PairOutcome | tuple[PairOutcome, SimulationResult]:
+        """Run one pair under one manager and collect raw timings.
+
+        Args:
+            workload_a / workload_b: names, placed on halves 0 / 1.
+            manager_name: registry name (``constant``/``slurm``/``oracle``/
+                ``dps``).
+            record_telemetry: also return the full
+                :class:`SimulationResult` (with traces) alongside the
+                outcome.
+
+        Returns:
+            The :class:`PairOutcome`, or ``(outcome, result)`` when
+            telemetry was requested.
+        """
+        spec_a = get_workload(workload_a)
+        spec_b = get_workload(workload_b)
+        manager = self.config.make_manager(manager_name)
+        result = self._simulate(
+            self._assign_pair(spec_a, spec_b),
+            manager,
+            seed=self.config.derive_seed(workload_a, workload_b, manager_name),
+            record_telemetry=record_telemetry,
+        )
+        exec_a = result.execution(workload_a)
+        exec_b = result.execution(workload_b)
+        outcome = PairOutcome(
+            manager=manager_name,
+            workload_a=workload_a,
+            workload_b=workload_b,
+            times_a_s=tuple(r.duration_s for r in exec_a.records),
+            times_b_s=tuple(r.duration_s for r in exec_b.records),
+            power_a_w=exec_a.mean_power_w(),
+            power_b_w=exec_b.mean_power_w(),
+            max_caps_sum_w=result.max_caps_sum_w,
+            sim_time_s=result.sim_time_s,
+        )
+        if record_telemetry:
+            return outcome, result
+        return outcome
+
+    def evaluate_pair(
+        self, workload_a: str, workload_b: str, manager_name: str
+    ) -> PairEvaluation:
+        """Run (or reuse) the baseline, run the manager, normalize.
+
+        Returns:
+            A fully normalized :class:`PairEvaluation`.
+        """
+        baseline = self.constant_baseline(workload_a, workload_b)
+        if manager_name == "constant":
+            outcome = baseline
+        else:
+            maybe = self.run_pair(workload_a, workload_b, manager_name)
+            assert isinstance(maybe, PairOutcome)
+            outcome = maybe
+
+        speedup_a = hmean(baseline.times_a_s) / hmean(outcome.times_a_s)
+        speedup_b = hmean(baseline.times_b_s) / hmean(outcome.times_b_s)
+        ref_a = self.uncapped_reference(workload_a)
+        ref_b = self.uncapped_reference(workload_b)
+        sat_a = satisfaction_fn(outcome.power_a_w, ref_a.mean_power_w)
+        sat_b = satisfaction_fn(outcome.power_b_w, ref_b.mean_power_w)
+        return PairEvaluation(
+            outcome=outcome,
+            speedup_a=speedup_a,
+            speedup_b=speedup_b,
+            hmean_speedup=paired_hmean_speedup(speedup_a, speedup_b),
+            satisfaction_a=sat_a,
+            satisfaction_b=sat_b,
+            fairness=fairness_fn(sat_a, sat_b),
+        )
+
+    def evaluate_managers(
+        self,
+        workload_a: str,
+        workload_b: str,
+        manager_names: tuple[str, ...] = ("slurm", "dps"),
+    ) -> dict[str, PairEvaluation]:
+        """Evaluate several managers on the same pair.
+
+        Returns:
+            Mapping manager name → :class:`PairEvaluation`.
+        """
+        return {
+            m: self.evaluate_pair(workload_a, workload_b, m)
+            for m in manager_names
+        }

@@ -1,0 +1,103 @@
+"""Markdown report generation from a finished campaign.
+
+Turns a persisted :class:`~repro.experiments.campaign.CampaignResult` into
+a self-contained markdown document: per-group manager summaries, the
+fairness aggregates of §6.4, the best/worst pairs per manager, and a
+terminal bar chart per group — the equivalent of the artifact's "plotting
+scripts" stage, consumable without re-simulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.campaign import CampaignResult
+from repro.experiments.charts import bar_chart
+from repro.experiments.reporting import render_table
+
+__all__ = ["campaign_report"]
+
+
+def _group_chart(result: CampaignResult, group: str) -> str:
+    records = result.for_group(group)
+    managers = sorted({r.manager for r in records})
+    labels = [group]
+    series = {}
+    for manager in managers:
+        values = [
+            r.hmean_speedup for r in records if r.manager == manager
+        ]
+        series[manager] = [float(np.mean(values))]
+    return bar_chart(series, labels, width=40)
+
+
+def campaign_report(result: CampaignResult) -> str:
+    """Render a campaign as a markdown document.
+
+    Raises:
+        ValueError: the campaign holds no records.
+    """
+    if not result.records:
+        raise ValueError("cannot report an empty campaign")
+
+    groups = sorted({r.group for r in result.records})
+    summary = result.summary()
+    fairness = result.mean_fairness()
+
+    lines = [
+        "# Campaign report",
+        "",
+        f"- seed: {result.seed}",
+        f"- time scale: {result.time_scale}",
+        f"- records: {len(result.records)} "
+        f"({len(groups)} group(s))",
+        "",
+    ]
+
+    for group in groups:
+        records = result.for_group(group)
+        managers = sorted({r.manager for r in records})
+        lines.append(f"## {group}")
+        lines.append("")
+        rows = []
+        for manager in managers:
+            stats = summary[(group, manager)]
+            rows.append(
+                [
+                    manager,
+                    f"{stats.hmean:.3f}",
+                    f"{stats.min:.3f}",
+                    f"{stats.max:.3f}",
+                    str(stats.n),
+                    f"{fairness[(group, manager)]:.3f}",
+                ]
+            )
+        lines.append(
+            render_table(
+                ["manager", "hmean spd", "min", "max", "pairs",
+                 "mean fairness"],
+                rows,
+            )
+        )
+        lines.append("")
+
+        # Best and worst pairs per non-constant manager.
+        for manager in managers:
+            if manager == "constant":
+                continue
+            mgr_records = [r for r in records if r.manager == manager]
+            best = max(mgr_records, key=lambda r: r.hmean_speedup)
+            worst = min(mgr_records, key=lambda r: r.hmean_speedup)
+            lines.append(
+                f"- `{manager}` best pair: {best.workload_a}/"
+                f"{best.workload_b} ({best.hmean_speedup:.3f}); worst: "
+                f"{worst.workload_a}/{worst.workload_b} "
+                f"({worst.hmean_speedup:.3f})"
+            )
+        lines.append("")
+        lines.append("```")
+        lines.append(_group_chart(result, group))
+        lines.append("```")
+        lines.append("")
+
+    return "\n".join(lines)

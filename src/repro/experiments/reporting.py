@@ -1,0 +1,145 @@
+"""Plain-text rendering of figure/table data (the artifact's plot scripts,
+terminal edition)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.experiments.figures import Figure1Data, Figure7Data, FigureBars
+from repro.experiments.tables import OverheadRow, WorkloadRow
+
+__all__ = [
+    "render_table",
+    "render_bars",
+    "render_figure1",
+    "render_figure7",
+    "render_workload_rows",
+    "render_overhead_rows",
+]
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(h) for h in headers]] + [
+        [str(c) for c in row] for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(cells):
+        lines.append(
+            "  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+        )
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def render_bars(data: FigureBars, title: str) -> str:
+    """Render a grouped-bar figure as a speedup table (percent gains)."""
+    headers = ["workload"] + [f"{m} gain %" for m in data.series]
+    rows = []
+    for i, label in enumerate(data.labels):
+        rows.append(
+            [label]
+            + [f"{(data.series[m][i] - 1) * 100:+.1f}" for m in data.series]
+        )
+    return f"{title}\n{render_table(headers, rows)}"
+
+
+def render_figure1(data: Figure1Data) -> str:
+    """Render the motivational example's cap schedules."""
+    lines = [f"Figure 1 (budget = {data.budget_w:.0f} W)"]
+    demand_rows = [
+        ["demand"]
+        + [f"{data.demand[t, 0]:.0f}/{data.demand[t, 1]:.0f}" for t in data.timesteps]
+    ]
+    for name, caps in data.caps.items():
+        demand_rows.append(
+            [name]
+            + [f"{caps[t, 0]:.0f}/{caps[t, 1]:.0f}" for t in data.timesteps]
+        )
+    headers = ["system (node0/node1 W)"] + [f"T{t}" for t in data.timesteps]
+    lines.append(render_table(headers, demand_rows))
+    return "\n".join(lines)
+
+
+def render_figure7(data: Figure7Data) -> str:
+    """Render the fairness comparison with distribution quartiles (the
+    paper plots the per-workload fairness distribution as boxes)."""
+    headers = [
+        "manager", "mean fairness", "min", "p25", "median", "p75", "max",
+        "corr(fair, perf)",
+    ]
+    rows = []
+    for m, values in data.fairness.items():
+        arr = np.asarray(values)
+        q25, q50, q75 = np.quantile(arr, [0.25, 0.5, 0.75])
+        rows.append(
+            [
+                m,
+                f"{data.mean_fairness[m]:.3f}",
+                f"{arr.min():.3f}",
+                f"{q25:.3f}",
+                f"{q50:.3f}",
+                f"{q75:.3f}",
+                f"{arr.max():.3f}",
+                f"{data.correlation[m]:+.2f}",
+            ]
+        )
+    return "Figure 7 — fairness\n" + render_table(headers, rows)
+
+
+def render_workload_rows(rows: list[WorkloadRow], title: str) -> str:
+    """Render a Table 2/4 comparison of paper vs measured values."""
+    headers = [
+        "workload",
+        "class",
+        "data size",
+        "paper dur (s)",
+        "measured dur (s)",
+        "paper >110W %",
+        "measured >110W %",
+    ]
+    body = [
+        [
+            r.name,
+            r.power_class,
+            r.data_size,
+            f"{r.paper_duration_s:.0f}",
+            f"{r.measured_duration_s:.0f}",
+            f"{r.paper_above_110_pct:.1f}",
+            f"{r.measured_above_110_pct:.1f}",
+        ]
+        for r in rows
+    ]
+    return f"{title}\n{render_table(headers, body)}"
+
+
+def render_overhead_rows(rows: list[OverheadRow]) -> str:
+    """Render the §6.5 overhead/scaling table."""
+    headers = [
+        "nodes",
+        "units",
+        "bytes/cycle",
+        "network (ms)",
+        "compute (ms)",
+        "turnaround (ms)",
+        "source",
+    ]
+    body = [
+        [
+            f"{r.n_nodes:,}",
+            f"{r.n_units:,}",
+            f"{r.bytes_per_cycle:,}",
+            f"{r.network_s * 1e3:.3f}",
+            f"{r.compute_s * 1e3:.3f}",
+            f"{r.turnaround_s * 1e3:.3f}",
+            "projected" if r.projected else "measured",
+        ]
+        for r in rows
+    ]
+    return "Overhead analysis (§6.5)\n" + render_table(headers, body)

@@ -1,0 +1,60 @@
+"""The paper's three benchmark setups and their pair enumerations (§5.2).
+
+* **Spark low utility** — every mid/high-power Spark workload paired with
+  every low-power micro workload: 7 x 4 = 28 pairs (Appendix).
+* **Spark high utility** — mid/high-power Spark workloads paired with each
+  other: 7 x 7 = 49 pairs.
+* **Spark NPB** — mid/high-power Spark workloads paired with NPB workloads:
+  7 x 8 = 56 pairs.
+
+The first group is compared against constant allocation, SLURM, and the
+oracle; the contended groups drop the oracle, matching the paper ("an
+oracle in such cases is extremely difficult" — though ours works and the
+ablation benches use it there).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.registry import workload_names
+
+__all__ = [
+    "low_utility_pairs",
+    "high_utility_pairs",
+    "spark_npb_pairs",
+    "demanding_spark_names",
+    "GROUP_MANAGERS",
+]
+
+#: Managers evaluated per group, per the paper's figures.
+GROUP_MANAGERS = {
+    "low_utility": ("slurm", "dps", "oracle"),
+    "high_utility": ("slurm", "dps"),
+    "spark_npb": ("slurm", "dps"),
+}
+
+
+def demanding_spark_names() -> list[str]:
+    """The 7 mid/high-power Spark workloads, Table 2 order."""
+    return workload_names(suite="spark", power_class="mid") + workload_names(
+        suite="spark", power_class="high"
+    )
+
+
+def low_utility_pairs() -> list[tuple[str, str]]:
+    """The 28 (demanding Spark, low-power Spark) pairs."""
+    demanding = demanding_spark_names()
+    low = workload_names(suite="spark", power_class="low")
+    return [(d, l) for d in demanding for l in low]
+
+
+def high_utility_pairs() -> list[tuple[str, str]]:
+    """The 49 (demanding Spark, demanding Spark) pairs, self-pairs included."""
+    demanding = demanding_spark_names()
+    return [(a, b) for a in demanding for b in demanding]
+
+
+def spark_npb_pairs() -> list[tuple[str, str]]:
+    """The 56 (demanding Spark, NPB) pairs."""
+    demanding = demanding_spark_names()
+    npb = workload_names(suite="npb")
+    return [(s, n) for s in demanding for n in npb]

@@ -1,0 +1,267 @@
+"""Data generators for the paper's tables and the §6.5 overhead analysis."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.simulator import Assignment, Simulation
+from repro.comm.network import NetworkModel
+from repro.comm.protocol import MESSAGE_SIZE_BYTES
+from repro.comm.service import PowerClient, PowerServer
+from repro.core.config import ClusterSpec
+from repro.experiments.harness import ExperimentConfig
+from repro.workloads.registry import get_workload, workload_names
+
+__all__ = [
+    "WorkloadRow",
+    "OverheadRow",
+    "table2",
+    "table3",
+    "table4",
+    "overhead_analysis",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadRow:
+    """One row of Table 2 or Table 4: paper values beside measured ones.
+
+    Attributes:
+        name: workload name.
+        power_class: Table 2 label (or ``npb``).
+        data_size: the paper's input-size string.
+        paper_duration_s: published constant-cap latency.
+        measured_duration_s: simulated constant-cap latency, rescaled to
+            full time scale.
+        paper_above_110_pct: published time fraction above 110 W.
+        measured_above_110_pct: the program's uncapped fraction above 110 W.
+    """
+
+    name: str
+    power_class: str
+    data_size: str
+    paper_duration_s: float
+    measured_duration_s: float
+    paper_above_110_pct: float
+    measured_above_110_pct: float
+
+
+def _constant_cap_duration(name: str, config: ExperimentConfig) -> float:
+    """Solo constant-cap run of one workload, full-scale seconds."""
+    cluster = Cluster(config.cluster)
+    sim = Simulation(
+        cluster_spec=config.cluster,
+        manager=config.make_manager("constant"),
+        assignments=[
+            Assignment(
+                spec=get_workload(name), unit_ids=cluster.half_unit_ids(0)
+            )
+        ],
+        target_runs=config.repeats,
+        sim_config=config.sim,
+        perf_config=config.perf,
+        rapl_config=config.rapl,
+        seed=config.derive_seed("table", name),
+    )
+    result = sim.run()
+    if result.truncated:
+        raise RuntimeError(f"constant-cap run of {name} truncated")
+    mean = result.execution(name).mean_duration_s()
+    return mean / config.sim.time_scale
+
+
+def _workload_rows(names: list[str], config: ExperimentConfig) -> list[WorkloadRow]:
+    rows = []
+    for name in names:
+        spec = get_workload(name)
+        rows.append(
+            WorkloadRow(
+                name=name,
+                power_class=spec.power_class,
+                data_size=spec.data_size,
+                paper_duration_s=spec.paper_duration_s,
+                measured_duration_s=_constant_cap_duration(name, config),
+                paper_above_110_pct=spec.paper_above_110_pct,
+                measured_above_110_pct=spec.program.fraction_above(110.0) * 100,
+            )
+        )
+    return rows
+
+
+def table2(config: ExperimentConfig | None = None) -> list[WorkloadRow]:
+    """Table 2: the 11 Spark workloads under the constant 110 W cap."""
+    return _workload_rows(
+        workload_names(suite="spark"), config or ExperimentConfig()
+    )
+
+
+def table3() -> list[tuple[str, int, int]]:
+    """Table 3: Spark computing resources (power class, executors, cores)."""
+    from repro.workloads.registry import executor_config
+
+    return [
+        (cls, *executor_config(cls)) for cls in ("low", "mid", "high")
+    ]
+
+
+def table4(config: ExperimentConfig | None = None) -> list[WorkloadRow]:
+    """Table 4: the 8 NPB workloads under the constant 110 W cap."""
+    return _workload_rows(
+        workload_names(suite="npb"), config or ExperimentConfig()
+    )
+
+
+# ---------------------------------------------------------------------------
+# §6.5 overhead analysis
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OverheadRow:
+    """Measured/projected control-plane cost at one cluster size.
+
+    Attributes:
+        n_nodes: nodes in the deployment.
+        n_units: power-capping units.
+        bytes_per_cycle: protocol traffic per decision loop (up + down).
+        network_s: per-cycle network turnaround (slowest client).
+        compute_s: per-cycle controller decision time.
+        turnaround_s: total cycle latency.
+        projected: True when extrapolated from the measured per-unit costs
+            instead of simulated directly.
+    """
+
+    n_nodes: int
+    n_units: int
+    bytes_per_cycle: int
+    network_s: float
+    compute_s: float
+    turnaround_s: float
+    projected: bool
+
+
+def overhead_analysis(
+    measured_nodes: int = 10,
+    projected_nodes: tuple[int, ...] = (100, 1_000, 10_000, 1_000_000),
+    cycles: int = 30,
+    manager_name: str = "dps",
+    config: ExperimentConfig | None = None,
+) -> list[OverheadRow]:
+    """Reproduce the §6.5 overhead analysis.
+
+    Runs a real server/client message loop (3-byte protocol over the
+    latency-modelled network) at ``measured_nodes`` nodes, then projects the
+    measured per-unit costs to larger deployments exactly the way the paper
+    argues its scaling (serial per-message latency on the server NIC,
+    linear controller compute).
+
+    Returns:
+        One row per cluster size, measured first.
+    """
+    cfg = config or ExperimentConfig()
+    spec = ClusterSpec(
+        n_nodes=measured_nodes,
+        sockets_per_node=cfg.cluster.sockets_per_node,
+        tdp_w=cfg.cluster.tdp_w,
+        min_cap_w=cfg.cluster.min_cap_w,
+        budget_fraction=cfg.cluster.budget_fraction,
+        idle_power_w=cfg.cluster.idle_power_w,
+    )
+    cluster = Cluster(spec, cfg.rapl, np.random.default_rng(cfg.seed))
+    manager = cfg.make_manager(manager_name)
+    manager.bind(
+        n_units=spec.n_units,
+        budget_w=spec.budget_w,
+        max_cap_w=spec.tdp_w,
+        min_cap_w=spec.min_cap_w,
+        dt_s=cfg.sim.dt_s,
+        rng=np.random.default_rng(cfg.derive_seed("overhead")),
+    )
+    network = NetworkModel()
+    server = PowerServer(
+        manager, [PowerClient(node) for node in cluster.nodes], network
+    )
+
+    rng = np.random.default_rng(cfg.derive_seed("overhead", "demand"))
+    reports = []
+    for _ in range(cycles):
+        demand = rng.uniform(40.0, 160.0, size=spec.n_units)
+        cluster.step_physics(demand, cfg.sim.dt_s)
+        reports.append(server.control_cycle(cfg.sim.dt_s))
+
+    bytes_per_cycle = int(
+        np.mean([r.bytes_up + r.bytes_down for r in reports])
+    )
+    network_s = float(np.mean([r.network_s for r in reports]))
+    compute_s = float(np.median([r.compute_s for r in reports]))
+    rows = [
+        OverheadRow(
+            n_nodes=measured_nodes,
+            n_units=spec.n_units,
+            bytes_per_cycle=bytes_per_cycle,
+            network_s=network_s,
+            compute_s=compute_s,
+            turnaround_s=network_s + compute_s,
+            projected=False,
+        )
+    ]
+
+    # Projection (the paper's §6.5 argument): propagation overlaps and is
+    # paid once per direction; controller-side message handling and wire
+    # bytes serialize, so they and the decision compute scale linearly.
+    per_unit_net = 2 * (
+        network.server_per_message_s
+        + MESSAGE_SIZE_BYTES / network.bandwidth_bytes_per_s
+    )
+    per_unit_compute = compute_s / spec.n_units
+    for n_nodes in projected_nodes:
+        n_units = n_nodes * spec.sockets_per_node
+        proj_net = 2 * network.propagation_s() + per_unit_net * n_units
+        proj_compute = per_unit_compute * n_units
+        rows.append(
+            OverheadRow(
+                n_nodes=n_nodes,
+                n_units=n_units,
+                bytes_per_cycle=n_units * MESSAGE_SIZE_BYTES * 2,
+                network_s=proj_net,
+                compute_s=proj_compute,
+                turnaround_s=proj_net + proj_compute,
+                projected=True,
+            )
+        )
+    return rows
+
+
+def measure_decision_time(
+    manager_name: str = "dps",
+    n_units: int = 20,
+    steps: int = 200,
+    config: ExperimentConfig | None = None,
+) -> float:
+    """Median wall time of one bare manager decision (no network).
+
+    Used by the overhead bench to separate controller compute from
+    messaging cost.
+    """
+    cfg = config or ExperimentConfig()
+    manager = cfg.make_manager(manager_name)
+    manager.bind(
+        n_units=n_units,
+        budget_w=110.0 * n_units,
+        max_cap_w=165.0,
+        min_cap_w=30.0,
+        dt_s=1.0,
+        rng=np.random.default_rng(0),
+    )
+    rng = np.random.default_rng(1)
+    times = []
+    for _ in range(steps):
+        power = rng.uniform(40.0, 160.0, size=n_units)
+        started = time.perf_counter()
+        manager.step(power, power if manager.requires_demand else None)
+        times.append(time.perf_counter() - started)
+    return float(np.median(times))

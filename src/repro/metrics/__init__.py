@@ -1,0 +1,42 @@
+"""Evaluation metrics: satisfaction (Eq. 1), fairness (Eq. 2), speedups."""
+
+from repro.metrics.energy import (
+    energy_delay_product,
+    energy_j,
+    energy_to_solution_j,
+)
+from repro.metrics.fairness import (
+    fairness,
+    fairness_performance_correlation,
+    pairwise_fairness,
+)
+from repro.metrics.satisfaction import satisfaction
+from repro.metrics.speedup import hmean, paired_hmean_speedup, speedup
+from repro.metrics.stats import (
+    BootstrapCI,
+    bootstrap_hmean_ci,
+    coefficient_of_variation,
+    prob_speedup_exceeds,
+)
+from repro.metrics.summary import GroupStats, gain_pct, mean_gain_pct, summarize
+
+__all__ = [
+    "BootstrapCI",
+    "GroupStats",
+    "bootstrap_hmean_ci",
+    "coefficient_of_variation",
+    "energy_delay_product",
+    "energy_j",
+    "energy_to_solution_j",
+    "prob_speedup_exceeds",
+    "fairness",
+    "fairness_performance_correlation",
+    "gain_pct",
+    "hmean",
+    "mean_gain_pct",
+    "paired_hmean_speedup",
+    "pairwise_fairness",
+    "satisfaction",
+    "speedup",
+    "summarize",
+]

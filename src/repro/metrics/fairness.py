@@ -1,0 +1,80 @@
+"""Fairness metric (paper Eq. 2).
+
+The paper's novel fairness definition is demand-proportional: two workloads
+are treated fairly when they receive the *same fraction of the power they
+demand*, regardless of the absolute wattages.  For workloads ``i`` and
+``j``::
+
+    fairness(i, j) = 1 - |satisfaction(i) - satisfaction(j)|
+
+Fairness lies in ``[0, 1]``; 1 means both workloads were penalized equally.
+§6.4 observes a general positive correlation between fairness and harmonic
+mean performance — the correlation helper here lets the figure-7 bench
+verify that on simulated data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["fairness", "pairwise_fairness", "fairness_performance_correlation"]
+
+
+def fairness(satisfaction_i: float, satisfaction_j: float) -> float:
+    """Eq. 2: unity minus the absolute satisfaction gap.
+
+    Args:
+        satisfaction_i / satisfaction_j: Eq. 1 values in ``[0, 1]``.
+
+    Returns:
+        Fairness in ``[0, 1]``.
+    """
+    for name, s in (("satisfaction_i", satisfaction_i),
+                    ("satisfaction_j", satisfaction_j)):
+        if not 0.0 <= s <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1], got {s}")
+    return 1.0 - abs(satisfaction_i - satisfaction_j)
+
+
+def pairwise_fairness(satisfactions: np.ndarray) -> np.ndarray:
+    """Fairness matrix over many workloads.
+
+    Args:
+        satisfactions: shape ``(k,)`` of Eq. 1 values.
+
+    Returns:
+        Symmetric ``(k, k)`` matrix with unit diagonal.
+    """
+    s = np.asarray(satisfactions, dtype=np.float64)
+    if s.ndim != 1:
+        raise ValueError(f"expected 1-D satisfactions, got shape {s.shape}")
+    if np.any((s < 0) | (s > 1)):
+        raise ValueError("satisfactions must lie in [0, 1]")
+    return 1.0 - np.abs(s[:, None] - s[None, :])
+
+
+def fairness_performance_correlation(
+    fairness_values: np.ndarray, hmean_speedups: np.ndarray
+) -> float:
+    """Pearson correlation between fairness and harmonic-mean speedup.
+
+    Quantifies the §6.4 observation ("a general positive correlation
+    between fairness and harmonic mean performance").
+
+    Args:
+        fairness_values: one fairness per workload pair.
+        hmean_speedups: matching harmonic-mean speedups.
+
+    Returns:
+        Correlation coefficient in ``[-1, 1]``; 0 for degenerate inputs
+        (fewer than two points or zero variance).
+    """
+    f = np.asarray(fairness_values, dtype=np.float64)
+    h = np.asarray(hmean_speedups, dtype=np.float64)
+    if f.shape != h.shape or f.ndim != 1:
+        raise ValueError(
+            f"inputs must be equal-length 1-D arrays, got {f.shape}, {h.shape}"
+        )
+    if f.size < 2 or np.std(f) == 0 or np.std(h) == 0:
+        return 0.0
+    return float(np.corrcoef(f, h)[0, 1])

@@ -1,0 +1,43 @@
+"""Satisfaction metric (paper Eq. 1).
+
+A node's *satisfaction* is how well its power demand was met over the
+lifetime of a workload::
+
+    satisfaction(n) = avg power under the current cap / avg power under no cap
+
+The uncapped average comes from a reference run of the same workload with
+the budget lifted (the harness caches these per workload).  Satisfaction is
+clipped to 1: measurement noise or headroom can push the capped average a
+hair above the uncapped one, which would otherwise produce satisfactions
+above unity and nonsense fairness values.
+"""
+
+from __future__ import annotations
+
+__all__ = ["satisfaction"]
+
+
+def satisfaction(avg_power_capped_w: float, avg_power_uncapped_w: float) -> float:
+    """Eq. 1: fraction of the demanded power actually delivered.
+
+    Args:
+        avg_power_capped_w: mean per-socket power over the workload's runs
+            under the manager being evaluated.
+        avg_power_uncapped_w: mean per-socket power over reference runs with
+            no effective cap.
+
+    Returns:
+        Value in ``[0, 1]``.
+
+    Raises:
+        ValueError: non-positive uncapped power or negative capped power.
+    """
+    if avg_power_uncapped_w <= 0:
+        raise ValueError(
+            f"uncapped average power must be > 0, got {avg_power_uncapped_w}"
+        )
+    if avg_power_capped_w < 0:
+        raise ValueError(
+            f"capped average power must be >= 0, got {avg_power_capped_w}"
+        )
+    return min(avg_power_capped_w / avg_power_uncapped_w, 1.0)

@@ -1,0 +1,58 @@
+"""Throughput-time speedups and harmonic means (paper §6, Appendix).
+
+The paper's performance metric is *throughput time* (workload latency).
+Every figure normalizes to the constant-allocation baseline:
+
+* the baseline of a workload is the harmonic mean of its throughput times
+  under constant allocation;
+* the speedup of a workload under a manager is ``baseline / hmean(times
+  under that manager)``;
+* when several runs or pairs are grouped, the group value is the harmonic
+  mean of the members (Figures 4-6); Figure 5(b)/6 additionally take the
+  harmonic mean of the *two paired workloads'* speedups.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["hmean", "speedup", "paired_hmean_speedup"]
+
+
+def hmean(values: Sequence[float] | np.ndarray) -> float:
+    """Harmonic mean of positive values.
+
+    Raises:
+        ValueError: empty input or any non-positive value (the harmonic
+            mean is undefined there, and a zero latency is always a bug).
+    """
+    v = np.asarray(values, dtype=np.float64)
+    if v.size == 0:
+        raise ValueError("hmean of empty sequence")
+    if np.any(v <= 0):
+        raise ValueError(f"hmean requires positive values, got min {v.min()}")
+    return float(v.size / np.sum(1.0 / v))
+
+
+def speedup(
+    baseline_times_s: Sequence[float] | np.ndarray,
+    manager_times_s: Sequence[float] | np.ndarray,
+) -> float:
+    """Normalized performance of a workload under a manager.
+
+    Args:
+        baseline_times_s: throughput times under constant allocation.
+        manager_times_s: throughput times under the manager being evaluated.
+
+    Returns:
+        ``hmean(baseline) / hmean(manager)`` — above 1 means the manager
+        beats constant allocation.
+    """
+    return hmean(baseline_times_s) / hmean(manager_times_s)
+
+
+def paired_hmean_speedup(speedup_a: float, speedup_b: float) -> float:
+    """Harmonic mean of the two paired workloads' speedups (Figs. 5b, 6)."""
+    return hmean([speedup_a, speedup_b])

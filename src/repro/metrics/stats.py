@@ -1,0 +1,142 @@
+"""Repeat-run statistics (the paper's variance methodology, §5.2/§6.1).
+
+The paper repeats every workload >= 10 times because "the Spark workloads
+demonstrate such variable performance between different runs" that single
+runs are meaningless — §6.1 even observes DPS beating the oracle within
+that variance.  This module provides the tools to quantify it:
+
+* bootstrap confidence intervals on the harmonic-mean speedup (the
+  statistic every figure reports);
+* coefficient of variation of throughput times;
+* a two-sample bootstrap test for "manager A beats manager B" claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.metrics.speedup import hmean
+
+__all__ = [
+    "BootstrapCI",
+    "bootstrap_hmean_ci",
+    "coefficient_of_variation",
+    "prob_speedup_exceeds",
+]
+
+
+@dataclass(frozen=True)
+class BootstrapCI:
+    """A bootstrap confidence interval.
+
+    Attributes:
+        point: the statistic on the full sample.
+        low / high: interval bounds.
+        confidence: nominal coverage (e.g. 0.95).
+    """
+
+    point: float
+    low: float
+    high: float
+    confidence: float
+
+    def __post_init__(self) -> None:
+        if not self.low <= self.high:
+            raise ValueError(f"low {self.low} > high {self.high}")
+
+    def contains(self, value: float) -> bool:
+        """True if ``value`` lies inside the interval."""
+        return self.low <= value <= self.high
+
+
+def bootstrap_hmean_ci(
+    times_s: Sequence[float],
+    baseline_times_s: Sequence[float],
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> BootstrapCI:
+    """Percentile-bootstrap CI on the speedup ``hmean(base)/hmean(times)``.
+
+    Args:
+        times_s: throughput times under the manager being evaluated.
+        baseline_times_s: times under constant allocation.
+        confidence: nominal coverage in (0, 1).
+        n_resamples: bootstrap resamples.
+        seed: resampling seed.
+
+    Returns:
+        A :class:`BootstrapCI` on the speedup.
+    """
+    if not 0 < confidence < 1:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if n_resamples < 100:
+        raise ValueError(f"n_resamples must be >= 100, got {n_resamples}")
+    t = np.asarray(times_s, dtype=np.float64)
+    b = np.asarray(baseline_times_s, dtype=np.float64)
+    if t.size == 0 or b.size == 0:
+        raise ValueError("both samples must be non-empty")
+    if np.any(t <= 0) or np.any(b <= 0):
+        raise ValueError("times must be positive")
+
+    point = hmean(b) / hmean(t)
+    rng = np.random.default_rng(seed)
+    # Vectorized resampling: harmonic mean = n / sum(1/x).
+    inv_t = 1.0 / t
+    inv_b = 1.0 / b
+    t_idx = rng.integers(0, t.size, size=(n_resamples, t.size))
+    b_idx = rng.integers(0, b.size, size=(n_resamples, b.size))
+    hm_t = t.size / inv_t[t_idx].sum(axis=1)
+    hm_b = b.size / inv_b[b_idx].sum(axis=1)
+    speedups = hm_b / hm_t
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(speedups, [alpha, 1.0 - alpha])
+    return BootstrapCI(
+        point=float(point),
+        low=float(low),
+        high=float(high),
+        confidence=confidence,
+    )
+
+
+def coefficient_of_variation(times_s: Sequence[float]) -> float:
+    """Std / mean of a positive sample (run-to-run variance measure)."""
+    t = np.asarray(times_s, dtype=np.float64)
+    if t.size < 2:
+        raise ValueError("need at least 2 samples")
+    if np.any(t <= 0):
+        raise ValueError("times must be positive")
+    return float(np.std(t, ddof=1) / np.mean(t))
+
+
+def prob_speedup_exceeds(
+    times_a_s: Sequence[float],
+    times_b_s: Sequence[float],
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> float:
+    """Bootstrap probability that sample A is faster than sample B.
+
+    Resamples both time samples and returns the fraction of resamples
+    where ``hmean(A) < hmean(B)`` — the confidence behind statements like
+    "DPS outperforms SLURM on this pair".
+
+    Returns:
+        Probability in [0, 1].
+    """
+    a = np.asarray(times_a_s, dtype=np.float64)
+    b = np.asarray(times_b_s, dtype=np.float64)
+    if a.size == 0 or b.size == 0:
+        raise ValueError("both samples must be non-empty")
+    if np.any(a <= 0) or np.any(b <= 0):
+        raise ValueError("times must be positive")
+    rng = np.random.default_rng(seed)
+    inv_a, inv_b = 1.0 / a, 1.0 / b
+    a_idx = rng.integers(0, a.size, size=(n_resamples, a.size))
+    b_idx = rng.integers(0, b.size, size=(n_resamples, b.size))
+    hm_a = a.size / inv_a[a_idx].sum(axis=1)
+    hm_b = b.size / inv_b[b_idx].sum(axis=1)
+    return float(np.mean(hm_a < hm_b))

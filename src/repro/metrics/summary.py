@@ -1,0 +1,59 @@
+"""Aggregation helpers shared by the figure generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.metrics.speedup import hmean
+
+__all__ = ["GroupStats", "summarize", "mean_gain_pct", "gain_pct"]
+
+
+@dataclass(frozen=True)
+class GroupStats:
+    """Summary statistics of a group of speedups.
+
+    Attributes:
+        hmean: harmonic mean of the group.
+        mean: arithmetic mean.
+        min / max: range.
+        n: member count.
+    """
+
+    hmean: float
+    mean: float
+    min: float
+    max: float
+    n: int
+
+
+def summarize(values: Sequence[float] | np.ndarray) -> GroupStats:
+    """Compute :class:`GroupStats` over positive values."""
+    v = np.asarray(values, dtype=np.float64)
+    if v.size == 0:
+        raise ValueError("cannot summarize an empty group")
+    return GroupStats(
+        hmean=hmean(v),
+        mean=float(v.mean()),
+        min=float(v.min()),
+        max=float(v.max()),
+        n=int(v.size),
+    )
+
+
+def gain_pct(speedup: float) -> float:
+    """Speedup expressed as a percentage gain over the baseline."""
+    if speedup <= 0:
+        raise ValueError(f"speedup must be > 0, got {speedup}")
+    return (speedup - 1.0) * 100.0
+
+
+def mean_gain_pct(speedups_by_key: Mapping[str, float]) -> float:
+    """Mean percentage gain across a keyed set of speedups (paper's
+    "mean X % improvement" statements)."""
+    if not speedups_by_key:
+        raise ValueError("empty speedup mapping")
+    return float(np.mean([gain_pct(s) for s in speedups_by_key.values()]))

@@ -1,0 +1,78 @@
+"""Cap actuation across a bank of RAPL domains.
+
+The paper's clients receive cap commands from the server and program them
+into RAPL; commands computed from the readings of interval *t* take effect
+for interval *t+1*.  :class:`CapActuator` models exactly that one-interval
+command pipeline (optionally zero-delay for idealized studies) plus command
+quantization to whole microwatts, and counts how many caps actually changed
+— the quantity the stateless module's ``set_flag`` tracks and the §6.5
+overhead analysis charges for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.powercap.rapl import RaplDomain
+
+__all__ = ["CapActuator"]
+
+
+class CapActuator:
+    """Applies per-unit cap vectors to RAPL domains.
+
+    Args:
+        domains: the domains actuated, one per unit, in unit order.
+        delay_steps: number of control intervals between a command being
+            issued and it taking effect (0 = immediate, 1 = next interval,
+            matching a networked client).
+    """
+
+    def __init__(self, domains: list[RaplDomain], delay_steps: int = 0) -> None:
+        if not domains:
+            raise ValueError("at least one domain is required")
+        if delay_steps < 0:
+            raise ValueError(f"delay_steps must be >= 0, got {delay_steps}")
+        self._domains = list(domains)
+        self.delay_steps = delay_steps
+        self._pipeline: list[np.ndarray] = []
+        self.commands_applied = 0
+
+    @property
+    def n_units(self) -> int:
+        """Number of actuated units."""
+        return len(self._domains)
+
+    def issue(self, caps_w: np.ndarray) -> int:
+        """Issue a cap command vector; apply whatever is due this interval.
+
+        Args:
+            caps_w: per-unit caps (W), shape ``(n_units,)``.
+
+        Returns:
+            Number of domains whose effective limit changed this interval.
+        """
+        caps = np.asarray(caps_w, dtype=np.float64)
+        if caps.shape != (self.n_units,):
+            raise ValueError(f"caps shape {caps.shape} != ({self.n_units},)")
+        self._pipeline.append(caps.copy())
+        if len(self._pipeline) <= self.delay_steps:
+            return 0
+        due = self._pipeline.pop(0)
+        changed = 0
+        for dom, cap in zip(self._domains, due):
+            # Quantize to whole microwatts, as a sysfs write would.
+            quantized = round(float(cap) * 1e6) / 1e6
+            before = dom.cap_w
+            dom.set_cap_w(quantized)
+            if dom.cap_w != before:
+                changed += 1
+            self.commands_applied += 1
+        return changed
+
+    def flush(self) -> None:
+        """Apply all queued commands immediately (end-of-run cleanup)."""
+        while self._pipeline:
+            due = self._pipeline.pop(0)
+            for dom, cap in zip(self._domains, due):
+                dom.set_cap_w(round(float(cap) * 1e6) / 1e6)

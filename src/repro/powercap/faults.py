@@ -1,0 +1,103 @@
+"""Measurement-fault injection for robustness testing.
+
+The paper "assume[s] pessimistically that RAPL bares certain measurement
+noise" (§4.3) and builds the Kalman filter against it.  Real telemetry
+fails in more ways than Gaussian noise: counters stall (stuck readings),
+samplers drop (zero readings), and transients spike.  :class:`FaultyMeter`
+wraps any power meter with those three fault modes so the test suite can
+verify the managers degrade gracefully — budgets still respected, no
+crashes, recovery after the fault clears.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.powercap.rapl import PowerMeter
+
+__all__ = ["FaultConfig", "FaultyMeter"]
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Per-reading fault probabilities and magnitudes.
+
+    Attributes:
+        stuck_prob: probability a reading repeats the previous value
+            (counter stall).
+        dropout_prob: probability a reading is 0.0 (sampler miss).
+        spike_prob: probability a reading is multiplied by ``spike_gain``
+            (electrical transient / decode glitch).
+        spike_gain: multiplier applied on a spike.
+    """
+
+    stuck_prob: float = 0.0
+    dropout_prob: float = 0.0
+    spike_prob: float = 0.0
+    spike_gain: float = 3.0
+
+    def __post_init__(self) -> None:
+        for name in ("stuck_prob", "dropout_prob", "spike_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        total = self.stuck_prob + self.dropout_prob + self.spike_prob
+        if total > 1.0:
+            raise ValueError(
+                f"fault probabilities sum to {total}, must be <= 1"
+            )
+        if self.spike_gain <= 0:
+            raise ValueError(f"spike_gain must be > 0, got {self.spike_gain}")
+
+
+class FaultyMeter:
+    """A power meter wrapper injecting stuck/dropout/spike faults.
+
+    Exposes the same ``read_power_w`` interface as
+    :class:`~repro.powercap.rapl.PowerMeter`, so it drops into any code
+    that meters sockets.
+
+    Args:
+        meter: the healthy meter being wrapped.
+        config: fault probabilities.
+        rng: fault randomness (seed for reproducibility).
+    """
+
+    def __init__(
+        self,
+        meter: PowerMeter,
+        config: FaultConfig,
+        rng: np.random.Generator,
+    ) -> None:
+        self.meter = meter
+        self.config = config
+        self._rng = rng
+        self._last_w = 0.0
+        self.faults_injected = 0
+
+    def read_power_w(self, dt_s: float) -> float:
+        """Read the underlying meter, possibly corrupted.
+
+        The healthy meter is *always* advanced (its energy-counter cursor
+        must track real time), then the returned value may be replaced.
+        """
+        healthy = self.meter.read_power_w(dt_s)
+        roll = self._rng.random()
+        cfg = self.config
+        if roll < cfg.stuck_prob:
+            self.faults_injected += 1
+            return self._last_w
+        roll -= cfg.stuck_prob
+        if roll < cfg.dropout_prob:
+            self.faults_injected += 1
+            self._last_w = 0.0
+            return 0.0
+        roll -= cfg.dropout_prob
+        if roll < cfg.spike_prob:
+            self.faults_injected += 1
+            self._last_w = healthy * cfg.spike_gain
+            return self._last_w
+        self._last_w = healthy
+        return healthy

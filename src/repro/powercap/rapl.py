@@ -1,0 +1,169 @@
+"""Simulated RAPL domain (paper §4.2; DESIGN.md substitution table row 1).
+
+DPS interacts with the hardware in exactly two ways: reading power and
+setting power caps, both via Intel RAPL.  This module provides a faithful
+software stand-in for one RAPL domain (one socket / package):
+
+* a monotonically increasing **energy counter** in microjoules that wraps at
+  ``max_energy_range_uj``, exactly like the MSR/sysfs counter — consumers
+  must derive power from counter differences, wraps included;
+* **cap enforcement**: the domain's true power never exceeds its limit
+  (RAPL's running-average window is far shorter than the 1 s control loop,
+  so within one step the limit is simply met);
+* a **first-order lag** with which true power approaches its target
+  (``min(demand, cap)``) — power changes with inertia (§3.3);
+* a :class:`PowerMeter` that converts counter reads into power samples and
+  adds Gaussian measurement noise, the noise DPS's Kalman filter exists to
+  absorb (§4.3.2).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.config import RaplConfig
+
+__all__ = ["RaplDomain", "PowerMeter"]
+
+
+class RaplDomain:
+    """One power-capping unit with RAPL read/cap semantics.
+
+    Args:
+        name: identifier (e.g. ``"package-0"``), surfaced in the sysfs tree.
+        max_power_w: hardware maximum power / highest accepted cap (TDP).
+        min_power_w: lowest accepted cap.
+        config: noise, lag, and counter-wrap behaviour.
+        initial_power_w: true power at construction (idle floor).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        max_power_w: float,
+        min_power_w: float = 0.0,
+        config: RaplConfig | None = None,
+        initial_power_w: float = 0.0,
+    ) -> None:
+        if max_power_w <= 0:
+            raise ValueError(f"max_power_w must be > 0, got {max_power_w}")
+        if not 0 <= min_power_w <= max_power_w:
+            raise ValueError(
+                f"min_power_w must be in [0, max_power_w], got {min_power_w}"
+            )
+        if not 0 <= initial_power_w <= max_power_w:
+            raise ValueError(
+                f"initial_power_w must be in [0, max_power_w], "
+                f"got {initial_power_w}"
+            )
+        self.name = name
+        self.max_power_w = float(max_power_w)
+        self.min_power_w = float(min_power_w)
+        self.config = config or RaplConfig()
+        self._cap_w = self.max_power_w
+        self._power_w = float(initial_power_w)
+        self._energy_uj = 0.0
+
+    @property
+    def cap_w(self) -> float:
+        """Current power limit (W)."""
+        return self._cap_w
+
+    @property
+    def power_w(self) -> float:
+        """True instantaneous power (W) — hidden from managers, who must
+        estimate it through the (noisy) meter."""
+        return self._power_w
+
+    def set_cap_w(self, cap_w: float) -> float:
+        """Program a new power limit, clamped to the accepted range.
+
+        Returns:
+            The effective (clamped) limit, mirroring how the powercap sysfs
+            interface clamps out-of-range writes.
+        """
+        if not math.isfinite(cap_w):
+            raise ValueError(f"cap must be finite, got {cap_w!r}")
+        # Native comparisons: this runs per unit per control step, and
+        # np.clip on a scalar costs more than the whole clamp.
+        cap = float(cap_w)
+        if cap < self.min_power_w:
+            cap = self.min_power_w
+        elif cap > self.max_power_w:
+            cap = self.max_power_w
+        self._cap_w = cap
+        return cap
+
+    def read_energy_uj(self) -> int:
+        """Current value of the wrapping energy counter (µJ)."""
+        return int(self._energy_uj % self.config.counter_wrap_uj)
+
+    def step(self, demand_w: float, dt_s: float) -> float:
+        """Advance the physical state by one interval.
+
+        True power relaxes toward ``min(demand, cap)`` through a first-order
+        lag and is hard-clipped at the cap (RAPL enforcement); the energy
+        counter integrates the trajectory.
+
+        Args:
+            demand_w: uncapped power the workload would draw (W).
+            dt_s: interval length (s).
+
+        Returns:
+            True power at the end of the interval (W).
+        """
+        if demand_w < 0:
+            raise ValueError(f"demand_w must be >= 0, got {demand_w}")
+        if dt_s <= 0:
+            raise ValueError(f"dt_s must be > 0, got {dt_s}")
+        target = min(demand_w, self._cap_w)
+        alpha = 1.0 - math.exp(-dt_s / self.config.lag_tau_s)
+        # Trapezoidal energy over the exponential approach is within a few
+        # percent of exact for dt ~ tau; use the midpoint of old/new power.
+        old = self._power_w
+        new = min(old + (target - old) * alpha, self._cap_w)
+        self._power_w = max(new, 0.0)
+        self._energy_uj += (old + self._power_w) * 0.5 * dt_s * 1e6
+        return self._power_w
+
+
+class PowerMeter:
+    """Derives power samples from RAPL energy-counter differences.
+
+    This is how the paper's clients actually obtain power: two counter reads
+    one interval apart, wrap-corrected, divided by the interval — plus the
+    measurement noise the paper pessimistically assumes (§4.3).
+
+    Args:
+        domain: the RAPL domain being metered.
+        rng: noise source; pass a seeded generator for reproducibility.
+    """
+
+    def __init__(self, domain: RaplDomain, rng: np.random.Generator) -> None:
+        self.domain = domain
+        self._rng = rng
+        self._last_uj = domain.read_energy_uj()
+
+    def read_power_w(self, dt_s: float) -> float:
+        """Sample average power over the interval since the previous read.
+
+        Args:
+            dt_s: elapsed time since the last call (s).
+
+        Returns:
+            Noisy, non-negative power sample (W).
+        """
+        if dt_s <= 0:
+            raise ValueError(f"dt_s must be > 0, got {dt_s}")
+        now = self.domain.read_energy_uj()
+        delta = now - self._last_uj
+        if delta < 0:  # Counter wrapped between reads.
+            delta += self.domain.config.counter_wrap_uj
+        self._last_uj = now
+        power = delta / dt_s * 1e-6
+        noise_std = self.domain.config.noise_std_w
+        if noise_std > 0:
+            power += self._rng.normal(0.0, noise_std)
+        return max(power, 0.0)

@@ -1,0 +1,115 @@
+"""In-memory emulation of the Linux powercap sysfs ABI.
+
+Real deployments of DPS read ``/sys/class/powercap/intel-rapl:<n>/energy_uj``
+and write ``.../constraint_0_power_limit_uw`` (the artifact's stated hardware
+requirement is just "Intel processors with RAPL available").  This module
+reproduces that filesystem surface over :class:`~repro.powercap.rapl.
+RaplDomain` objects so client code written against sysfs paths — including
+the examples in this repo — runs unmodified against the simulator:
+
+* ``intel-rapl:<k>/name``                          → domain name
+* ``intel-rapl:<k>/energy_uj``                     → wrapping µJ counter
+* ``intel-rapl:<k>/max_energy_range_uj``           → wrap value
+* ``intel-rapl:<k>/constraint_0_power_limit_uw``   → read/write cap in µW
+* ``intel-rapl:<k>/constraint_0_max_power_uw``     → TDP in µW
+* ``intel-rapl:<k>/constraint_0_name``             → ``"long_term"``
+
+All values are exchanged as decimal strings, exactly like sysfs.
+"""
+
+from __future__ import annotations
+
+from repro.powercap.rapl import RaplDomain
+
+__all__ = ["SysfsPowercap"]
+
+_ROOT = "/sys/class/powercap"
+
+
+class SysfsPowercap:
+    """A dict-backed view of the powercap tree over simulated RAPL domains.
+
+    Args:
+        domains: RAPL domains to expose, in zone-index order.
+    """
+
+    def __init__(self, domains: list[RaplDomain]) -> None:
+        if not domains:
+            raise ValueError("at least one domain is required")
+        self._domains = list(domains)
+
+    @property
+    def domains(self) -> tuple[RaplDomain, ...]:
+        """The underlying domains, in zone order."""
+        return tuple(self._domains)
+
+    def zone_path(self, index: int) -> str:
+        """Absolute sysfs path of zone ``index``."""
+        self._check_index(index)
+        return f"{_ROOT}/intel-rapl:{index}"
+
+    def list_zones(self) -> list[str]:
+        """Paths of all zones, mirroring a directory listing of the root."""
+        return [self.zone_path(i) for i in range(len(self._domains))]
+
+    def read(self, path: str) -> str:
+        """Read a sysfs attribute; returns its contents as a string.
+
+        Raises:
+            FileNotFoundError: unknown path or attribute.
+        """
+        index, attr = self._split(path)
+        dom = self._domains[index]
+        if attr == "name":
+            return dom.name
+        if attr == "energy_uj":
+            return str(dom.read_energy_uj())
+        if attr == "max_energy_range_uj":
+            return str(dom.config.counter_wrap_uj)
+        if attr == "constraint_0_power_limit_uw":
+            return str(int(round(dom.cap_w * 1e6)))
+        if attr == "constraint_0_max_power_uw":
+            return str(int(round(dom.max_power_w * 1e6)))
+        if attr == "constraint_0_name":
+            return "long_term"
+        raise FileNotFoundError(path)
+
+    def write(self, path: str, value: str) -> None:
+        """Write a sysfs attribute (only the power limit is writable).
+
+        Raises:
+            FileNotFoundError: unknown path or attribute.
+            PermissionError: attribute is read-only.
+            ValueError: value is not a valid decimal integer.
+        """
+        index, attr = self._split(path)
+        if attr != "constraint_0_power_limit_uw":
+            if attr in {
+                "name",
+                "energy_uj",
+                "max_energy_range_uj",
+                "constraint_0_max_power_uw",
+                "constraint_0_name",
+            }:
+                raise PermissionError(f"{path} is read-only")
+            raise FileNotFoundError(path)
+        self._domains[index].set_cap_w(int(value) / 1e6)
+
+    def _split(self, path: str) -> tuple[int, str]:
+        prefix = f"{_ROOT}/intel-rapl:"
+        if not path.startswith(prefix):
+            raise FileNotFoundError(path)
+        rest = path[len(prefix) :]
+        zone, sep, attr = rest.partition("/")
+        if not sep or not attr:
+            raise FileNotFoundError(path)
+        try:
+            index = int(zone)
+        except ValueError:
+            raise FileNotFoundError(path) from None
+        self._check_index(index)
+        return index, attr
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < len(self._domains):
+            raise FileNotFoundError(f"{_ROOT}/intel-rapl:{index}")

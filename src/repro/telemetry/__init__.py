@@ -1,0 +1,21 @@
+"""Per-cycle trace recording and analysis (the artifact's power logs)."""
+
+from repro.telemetry.analysis import (
+    PhaseSegment,
+    avg_power,
+    extract_phases,
+    fraction_above,
+)
+from repro.telemetry.export import from_json, to_csv, to_json
+from repro.telemetry.log import TelemetryLog
+
+__all__ = [
+    "PhaseSegment",
+    "TelemetryLog",
+    "avg_power",
+    "extract_phases",
+    "fraction_above",
+    "from_json",
+    "to_csv",
+    "to_json",
+]

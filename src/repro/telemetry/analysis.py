@@ -1,0 +1,144 @@
+"""Post-processing of telemetry traces.
+
+The artifact's analysis scripts "match the power-related data to each
+workload using the start and end time and further plot the time-series
+power-related data"; these helpers do the equivalents used by the figure
+generators: per-workload average power, time above a threshold (the
+"Above 110W" columns), and coarse phase extraction for Figure-2-style
+inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.telemetry.log import TelemetryLog
+
+__all__ = ["PhaseSegment", "avg_power", "fraction_above", "extract_phases"]
+
+
+@dataclass(frozen=True)
+class PhaseSegment:
+    """One detected power phase in a unit's trace.
+
+    Attributes:
+        start_s / end_s: phase boundaries (simulation time).
+        mean_power_w: average power inside the phase.
+    """
+
+    start_s: float
+    end_s: float
+    mean_power_w: float
+
+    @property
+    def duration_s(self) -> float:
+        """Length of the phase."""
+        return self.end_s - self.start_s
+
+
+def avg_power(
+    log: TelemetryLog,
+    unit_ids: np.ndarray,
+    start_s: float,
+    end_s: float,
+) -> float:
+    """Mean per-unit true power of the given units over a time window.
+
+    Args:
+        log: trace to query.
+        unit_ids: units to average over.
+        start_s / end_s: window bounds (``start < t <= end``).
+
+    Returns:
+        Mean power in watts.
+
+    Raises:
+        ValueError: empty window.
+    """
+    data = log.window(start_s, end_s)
+    power = data["power_w"]
+    if power.shape[0] == 0:
+        raise ValueError(f"no samples in window ({start_s}, {end_s}]")
+    return float(power[:, np.asarray(unit_ids, dtype=np.intp)].mean())
+
+
+def fraction_above(
+    log: TelemetryLog, unit_id: int, threshold_w: float
+) -> float:
+    """Fraction of steps one unit's true power exceeded a threshold."""
+    power = log.power_w
+    if power.shape[0] == 0:
+        raise ValueError("empty telemetry log")
+    if not 0 <= unit_id < log.n_units:
+        raise ValueError(f"unit_id {unit_id} out of range [0, {log.n_units})")
+    return float(np.mean(power[:, unit_id] > threshold_w))
+
+
+def extract_phases(
+    time_s: np.ndarray,
+    power_w: np.ndarray,
+    min_delta_w: float = 25.0,
+    min_duration_s: float = 3.0,
+) -> list[PhaseSegment]:
+    """Segment a 1-D power trace into coarse phases.
+
+    A new phase starts whenever the running phase mean and the incoming
+    sample differ by more than ``min_delta_w``; segments shorter than
+    ``min_duration_s`` are merged into their successor.  This is
+    deliberately simple — it exists so tests can assert the *structure* of
+    the Figure-2 traces (LDA has long phases, LR has many short ones), not
+    to be a production change-point detector.
+
+    Args:
+        time_s: sample times, shape ``(n,)``.
+        power_w: power samples, shape ``(n,)``.
+        min_delta_w: level change that opens a new phase.
+        min_duration_s: segments shorter than this merge forward.
+
+    Returns:
+        Chronological list of :class:`PhaseSegment`.
+    """
+    t = np.asarray(time_s, dtype=np.float64)
+    p = np.asarray(power_w, dtype=np.float64)
+    if t.shape != p.shape or t.ndim != 1:
+        raise ValueError("time and power must be equal-length 1-D arrays")
+    if t.size == 0:
+        return []
+
+    # First pass: split on level changes against the running phase mean.
+    raw: list[tuple[int, int]] = []
+    start = 0
+    mean = p[0]
+    count = 1
+    for i in range(1, t.size):
+        if abs(p[i] - mean) > min_delta_w:
+            raw.append((start, i))
+            start, mean, count = i, p[i], 1
+        else:
+            count += 1
+            mean += (p[i] - mean) / count
+    raw.append((start, t.size))
+
+    # Second pass: merge too-short segments into their successor.
+    merged: list[tuple[int, int]] = []
+    for seg in raw:
+        if merged and t[seg[1] - 1] - t[merged[-1][0]] < min_duration_s:
+            merged[-1] = (merged[-1][0], seg[1])
+        elif (
+            merged
+            and t[merged[-1][1] - 1] - t[merged[-1][0]] < min_duration_s
+        ):
+            merged[-1] = (merged[-1][0], seg[1])
+        else:
+            merged.append(seg)
+
+    return [
+        PhaseSegment(
+            start_s=float(t[a]),
+            end_s=float(t[b - 1]),
+            mean_power_w=float(p[a:b].mean()),
+        )
+        for a, b in merged
+    ]

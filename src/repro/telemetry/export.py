@@ -1,0 +1,151 @@
+"""Telemetry serialization (the artifact's result logs).
+
+The artifact stores per-cycle logs ("the average power during every
+operating cycle, the power cap set, and the priority ... for each socket")
+that its plotting scripts consume.  This module writes a
+:class:`~repro.telemetry.log.TelemetryLog` in two interchange formats:
+
+* **CSV** — one row per (step, unit), the long format external tools
+  (pandas, gnuplot) ingest directly;
+* **JSON** — a compact column-oriented document that round-trips back
+  into a ``TelemetryLog`` exactly.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import numpy as np
+
+from repro.telemetry.log import TelemetryLog
+
+__all__ = ["to_csv", "from_csv", "to_json", "from_json"]
+
+_CSV_HEADER = "time_s,unit,power_w,reading_w,cap_w,priority"
+
+
+def to_csv(log: TelemetryLog) -> str:
+    """Render a log as long-format CSV (header + one row per step/unit)."""
+    buf = io.StringIO()
+    buf.write(_CSV_HEADER + "\n")
+    time_s = log.time_s
+    power = log.power_w
+    readings = log.readings_w
+    caps = log.caps_w
+    priority = log.priority
+    for i in range(len(log)):
+        t = time_s[i]
+        for u in range(log.n_units):
+            buf.write(
+                f"{t:.3f},{u},{power[i, u]:.3f},{readings[i, u]:.3f},"
+                f"{caps[i, u]:.3f},{int(priority[i, u])}\n"
+            )
+    return buf.getvalue()
+
+
+def from_csv(text: str) -> TelemetryLog:
+    """Parse :func:`to_csv` output back into a log.
+
+    Rows must be grouped by step (all units of a step contiguous, as
+    written) with every step covering units ``0..n_units-1`` exactly once.
+
+    Raises:
+        ValueError: missing header, ragged steps, or malformed rows.
+    """
+    lines = [ln for ln in text.strip().splitlines() if ln.strip()]
+    if not lines or lines[0].strip() != _CSV_HEADER:
+        raise ValueError(f"expected header {_CSV_HEADER!r}")
+    rows = []
+    for i, line in enumerate(lines[1:], start=2):
+        parts = line.split(",")
+        if len(parts) != 6:
+            raise ValueError(f"line {i}: expected 6 columns")
+        rows.append(
+            (
+                float(parts[0]),
+                int(parts[1]),
+                float(parts[2]),
+                float(parts[3]),
+                float(parts[4]),
+                bool(int(parts[5])),
+            )
+        )
+    if not rows:
+        raise ValueError("CSV contains a header but no rows")
+    n_units = max(r[1] for r in rows) + 1
+    if len(rows) % n_units != 0:
+        raise ValueError(
+            f"{len(rows)} rows do not tile {n_units}-unit steps"
+        )
+    log = TelemetryLog(n_units)
+    for s in range(len(rows) // n_units):
+        step = rows[s * n_units : (s + 1) * n_units]
+        units = [r[1] for r in step]
+        if sorted(units) != list(range(n_units)):
+            raise ValueError(f"step {s} does not cover every unit once")
+        by_unit = {r[1]: r for r in step}
+        log.record(
+            step[0][0],
+            np.asarray([by_unit[u][2] for u in range(n_units)]),
+            np.asarray([by_unit[u][3] for u in range(n_units)]),
+            np.asarray([by_unit[u][4] for u in range(n_units)]),
+            np.asarray([by_unit[u][5] for u in range(n_units)], dtype=bool),
+        )
+    return log
+
+
+def to_json(log: TelemetryLog) -> str:
+    """Serialize a log as a column-oriented JSON document."""
+    doc = {
+        "format": "repro-telemetry-v1",
+        "n_units": log.n_units,
+        "time_s": log.time_s.tolist(),
+        "power_w": log.power_w.tolist(),
+        "readings_w": log.readings_w.tolist(),
+        "caps_w": log.caps_w.tolist(),
+        "priority": log.priority.astype(int).tolist(),
+    }
+    return json.dumps(doc)
+
+
+def from_json(text: str) -> TelemetryLog:
+    """Reconstruct a log from :func:`to_json` output.
+
+    Raises:
+        ValueError: wrong format tag or inconsistent shapes.
+    """
+    doc = json.loads(text)
+    if doc.get("format") != "repro-telemetry-v1":
+        raise ValueError(
+            f"unsupported telemetry format {doc.get('format')!r}"
+        )
+    n_units = int(doc["n_units"])
+    log = TelemetryLog(n_units)
+    time_s = doc["time_s"]
+    expected = (len(time_s), n_units)
+
+    def channel(name: str, dtype: type) -> np.ndarray:
+        arr = np.asarray(doc[name], dtype=dtype)
+        # An empty channel deserializes as shape (0,); normalize it.
+        if arr.size == 0:
+            arr = arr.reshape(0, n_units)
+        return arr
+
+    power = channel("power_w", np.float64)
+    readings = channel("readings_w", np.float64)
+    caps = channel("caps_w", np.float64)
+    priority = channel("priority", bool)
+    for name, arr in (
+        ("power_w", power),
+        ("readings_w", readings),
+        ("caps_w", caps),
+        ("priority", priority),
+    ):
+        if arr.shape != expected:
+            raise ValueError(
+                f"{name} shape {arr.shape} != {expected} in document"
+            )
+    for i, t in enumerate(time_s):
+        log.record(float(t), power[i], readings[i], caps[i], priority[i])
+    return log

@@ -1,0 +1,141 @@
+"""Per-cycle trace recorder (the artifact's power/cap/priority log).
+
+The paper's artifact logs "the average power during every operating cycle,
+the power cap set, and the priority (if DPS is running) at every operating
+decision for each socket".  :class:`TelemetryLog` records exactly those
+channels per step and finalizes them into contiguous arrays for analysis
+(figures 2 and 7 are computed from this log).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["TelemetryLog"]
+
+
+class TelemetryLog:
+    """Append-per-step trace of a simulation.
+
+    Args:
+        n_units: number of units traced.
+    """
+
+    def __init__(self, n_units: int) -> None:
+        if n_units < 1:
+            raise ValueError(f"n_units must be >= 1, got {n_units}")
+        self.n_units = n_units
+        self._time: list[float] = []
+        self._power: list[np.ndarray] = []
+        self._readings: list[np.ndarray] = []
+        self._caps: list[np.ndarray] = []
+        self._priority: list[np.ndarray] = []
+        self._finalized: dict[str, np.ndarray] | None = None
+
+    def __len__(self) -> int:
+        return len(self._time)
+
+    def record(
+        self,
+        time_s: float,
+        true_power_w: np.ndarray,
+        readings_w: np.ndarray,
+        caps_w: np.ndarray,
+        priority: np.ndarray | None = None,
+    ) -> None:
+        """Append one step.
+
+        Args:
+            time_s: simulation time at the end of the step.
+            true_power_w: hidden true power per unit.
+            readings_w: noisy meter readings per unit.
+            caps_w: caps in effect during the step.
+            priority: DPS high-priority mask, or None for other managers
+                (recorded as all-False).
+        """
+        for name, arr in (
+            ("true_power_w", true_power_w),
+            ("readings_w", readings_w),
+            ("caps_w", caps_w),
+        ):
+            if np.shape(arr) != (self.n_units,):
+                raise ValueError(
+                    f"{name} shape {np.shape(arr)} != ({self.n_units},)"
+                )
+        self._finalized = None
+        self._time.append(float(time_s))
+        self._power.append(np.asarray(true_power_w, dtype=np.float64).copy())
+        self._readings.append(np.asarray(readings_w, dtype=np.float64).copy())
+        self._caps.append(np.asarray(caps_w, dtype=np.float64).copy())
+        if priority is None:
+            self._priority.append(np.zeros(self.n_units, dtype=bool))
+        else:
+            if np.shape(priority) != (self.n_units,):
+                raise ValueError(
+                    f"priority shape {np.shape(priority)} != ({self.n_units},)"
+                )
+            self._priority.append(np.asarray(priority, dtype=bool).copy())
+
+    def _finalize(self) -> dict[str, np.ndarray]:
+        if self._finalized is None:
+            self._finalized = {
+                "time_s": np.asarray(self._time, dtype=np.float64),
+                "power_w": (
+                    np.stack(self._power)
+                    if self._power
+                    else np.empty((0, self.n_units))
+                ),
+                "readings_w": (
+                    np.stack(self._readings)
+                    if self._readings
+                    else np.empty((0, self.n_units))
+                ),
+                "caps_w": (
+                    np.stack(self._caps)
+                    if self._caps
+                    else np.empty((0, self.n_units))
+                ),
+                "priority": (
+                    np.stack(self._priority)
+                    if self._priority
+                    else np.empty((0, self.n_units), dtype=bool)
+                ),
+            }
+        return self._finalized
+
+    @property
+    def time_s(self) -> np.ndarray:
+        """Step-end times, shape ``(steps,)``."""
+        return self._finalize()["time_s"]
+
+    @property
+    def power_w(self) -> np.ndarray:
+        """True power, shape ``(steps, n_units)``."""
+        return self._finalize()["power_w"]
+
+    @property
+    def readings_w(self) -> np.ndarray:
+        """Noisy readings, shape ``(steps, n_units)``."""
+        return self._finalize()["readings_w"]
+
+    @property
+    def caps_w(self) -> np.ndarray:
+        """Caps in effect, shape ``(steps, n_units)``."""
+        return self._finalize()["caps_w"]
+
+    @property
+    def priority(self) -> np.ndarray:
+        """High-priority masks, shape ``(steps, n_units)``."""
+        return self._finalize()["priority"]
+
+    def window(self, start_s: float, end_s: float) -> dict[str, np.ndarray]:
+        """Slice all channels to steps with ``start_s < t <= end_s``.
+
+        Returns:
+            Dict with the same keys as the channel properties.
+        """
+        if end_s < start_s:
+            raise ValueError(f"end_s {end_s} < start_s {start_s}")
+        data = self._finalize()
+        mask = (data["time_s"] > start_s) & (data["time_s"] <= end_s)
+        return {k: v[mask] for k, v in data.items()}

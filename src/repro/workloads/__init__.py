@@ -1,0 +1,56 @@
+"""Synthetic HiBench Spark and NPB workload suites (paper Tables 2-4)."""
+
+from repro.workloads.npb import NPB_WORKLOADS, npb_names, npb_workload
+from repro.workloads.phases import (
+    Hold,
+    Oscillate,
+    Phase,
+    PhaseProgram,
+    Ramp,
+    repeat,
+)
+from repro.workloads.registry import (
+    all_workloads,
+    executor_config,
+    get_workload,
+    workload_names,
+)
+from repro.workloads.runtime import RunRecord, WorkloadExecution
+from repro.workloads.spark import SPARK_WORKLOADS, spark_names, spark_workload
+from repro.workloads.spec import POWER_CLASSES, WorkloadSpec
+from repro.workloads.synthetic import random_program, random_workload
+from repro.workloads.traces import (
+    PowerTrace,
+    TracedProgram,
+    record_trace,
+    traced_workload,
+)
+
+__all__ = [
+    "PowerTrace",
+    "TracedProgram",
+    "record_trace",
+    "traced_workload",
+    "Hold",
+    "NPB_WORKLOADS",
+    "Oscillate",
+    "POWER_CLASSES",
+    "Phase",
+    "PhaseProgram",
+    "Ramp",
+    "RunRecord",
+    "SPARK_WORKLOADS",
+    "WorkloadExecution",
+    "WorkloadSpec",
+    "all_workloads",
+    "executor_config",
+    "get_workload",
+    "npb_names",
+    "npb_workload",
+    "random_program",
+    "random_workload",
+    "repeat",
+    "spark_names",
+    "spark_workload",
+    "workload_names",
+]

@@ -1,0 +1,105 @@
+"""Synthetic NAS Parallel Benchmark workloads (paper Table 4).
+
+All eight NPB applications "consistently consume high power" — over 99 % of
+their time above 110 W (§5.2) — so each program is a sustained high-demand
+plateau with a short start-up ramp, a short tear-down, and a gentle
+application-specific ripple (communication vs. compute alternation) that
+never drops below 110 W.  Uncapped durations are the Table 4 constant-cap
+latencies deflated by the expected capping stretch, like the Spark suite.
+
+The §6.3 observation that *short* NPB apps (FT, MG) look phased when run
+back-to-back against a long Spark partner is not baked into the programs —
+it emerges from the inter-run gap of the execution engine.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.phases import Hold, Oscillate, PhaseProgram, Ramp
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = ["NPB_WORKLOADS", "npb_workload", "npb_names"]
+
+# Sustained plateaus stretch by ~1/rate under the 110 W constant cap; with
+# the default perf model (idle 12 W, theta 2) a 157 W plateau runs at
+# ((110-12)/(157-12))**0.5 ~ 0.822, so uncapped duration ~ 0.84 * published.
+_DEFLATE = 0.84
+
+
+def _npb_program(
+    duration_s: float, level_w: float, ripple_w: float, ripple_period_s: float
+) -> PhaseProgram:
+    """Plateau at ``level_w`` +- ``ripple_w`` for ``duration_s`` (uncapped)."""
+    body = max(duration_s * _DEFLATE - 8.0, 4.0)
+    return PhaseProgram(
+        [
+            Ramp(4, 30, level_w),
+            Oscillate(
+                body,
+                level_w - ripple_w,
+                level_w + ripple_w,
+                period_s=ripple_period_s,
+                duty=0.6,
+            ),
+            Ramp(4, level_w, 30),
+        ]
+    )
+
+
+def _spec(
+    name: str,
+    duration_s: float,
+    level_w: float,
+    ripple_w: float,
+    ripple_period_s: float,
+    data_size: str,
+) -> WorkloadSpec:
+    return WorkloadSpec(
+        name=name,
+        suite="npb",
+        power_class="npb",
+        program=_npb_program(duration_s, level_w, ripple_w, ripple_period_s),
+        active_units=None,
+        paper_duration_s=duration_s,
+        paper_above_110_pct=99.0,
+        data_size=data_size,
+        # MPI ranks barrier in principle ("min" sync), but strict
+        # slowest-socket gating taxes every dynamic manager with the
+        # simulator's per-socket jitter and does not match the tolerance
+        # the paper's measured NPB results imply; the default stays
+        # "mean", with "min" available as a sensitivity mode (see
+        # tests/workloads/test_runtime.py::TestSynchronization).
+        sync="mean",
+    )
+
+
+#: The 8 NPB applications of paper Table 4, in table order.  Power levels
+#: differ slightly by kernel (memory-bound CG/IS a touch lower than
+#: compute-bound EP/LU) but all stay far above 110 W.
+NPB_WORKLOADS: dict[str, WorkloadSpec] = {
+    s.name: s
+    for s in (
+        _spec("bt", 3509.29, 156.0, 4.0, 40.0, "247.1 GB"),
+        _spec("cg", 1839.00, 151.0, 5.0, 25.0, "21.8 GB"),
+        _spec("ep", 6019.07, 160.0, 2.0, 60.0, "4 TB"),
+        _spec("ft", 152.83, 155.0, 5.0, 20.0, "400.0 GB"),
+        _spec("is", 416.80, 150.0, 6.0, 15.0, "128.0 GB"),
+        _spec("lu", 1895.89, 158.0, 3.0, 35.0, "296.5 GB"),
+        _spec("mg", 143.82, 154.0, 5.0, 18.0, "400.0 GB"),
+        _spec("sp", 3563.23, 157.0, 4.0, 45.0, "494.2 GB"),
+    )
+}
+
+
+def npb_workload(name: str) -> WorkloadSpec:
+    """Look up one NPB workload by Table 4 name (case-insensitive)."""
+    try:
+        return NPB_WORKLOADS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown NPB workload {name!r}; available: {sorted(NPB_WORKLOADS)}"
+        ) from None
+
+
+def npb_names() -> list[str]:
+    """Names of all NPB workloads, in Table 4 order."""
+    return list(NPB_WORKLOADS)

@@ -1,0 +1,70 @@
+"""Unified lookup across the Spark and NPB workload suites (Tables 2-4)."""
+
+from __future__ import annotations
+
+from repro.workloads.npb import NPB_WORKLOADS
+from repro.workloads.spark import SPARK_WORKLOADS
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = [
+    "get_workload",
+    "all_workloads",
+    "workload_names",
+    "executor_config",
+]
+
+
+def all_workloads() -> dict[str, WorkloadSpec]:
+    """All 19 benchmark workloads keyed by name (Spark first, then NPB)."""
+    merged: dict[str, WorkloadSpec] = {}
+    merged.update(SPARK_WORKLOADS)
+    merged.update(NPB_WORKLOADS)
+    return merged
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Look up any workload by name (case-insensitive).
+
+    Raises:
+        KeyError: unknown name, with the available names listed.
+    """
+    key = name.lower()
+    merged = all_workloads()
+    try:
+        return merged[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(merged)}"
+        ) from None
+
+
+def workload_names(
+    suite: str | None = None, power_class: str | None = None
+) -> list[str]:
+    """Workload names filtered by suite and/or power class.
+
+    Args:
+        suite: ``"spark"``, ``"npb"``, or None for both.
+        power_class: ``"low"``, ``"mid"``, ``"high"``, ``"npb"``, or None.
+    """
+    return [
+        s.name
+        for s in all_workloads().values()
+        if (suite is None or s.suite == suite)
+        and (power_class is None or s.power_class == power_class)
+    ]
+
+
+def executor_config(power_class: str) -> tuple[int, int]:
+    """Spark computing resources of paper Table 3: (executors, cores each).
+
+    Raises:
+        KeyError: for non-Spark power classes.
+    """
+    table3 = {"low": (1, 8), "mid": (48, 8), "high": (48, 8)}
+    try:
+        return table3[power_class]
+    except KeyError:
+        raise KeyError(
+            f"Table 3 covers Spark power classes only, got {power_class!r}"
+        ) from None

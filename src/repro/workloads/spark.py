@@ -1,0 +1,225 @@
+"""Synthetic HiBench Spark workloads (paper Table 2, Figure 2).
+
+Each builder returns the per-socket *uncapped* demand program of one HiBench
+application.  The programs are calibrated against the published
+characterization rather than raw traces (which are not available without the
+authors' cluster; DESIGN.md §2):
+
+* the power class and the "Above 110W" time fraction match Table 2 within a
+  few percentage points (asserted by ``tests/test_workloads_spark.py``);
+* the *uncapped* duration is the Table 2 constant-cap latency deflated by
+  the expected capping stretch, so simulated constant-cap latencies land
+  near the published numbers;
+* the phase structure follows Figure 2: LDA has > 100 s phases, Bayes mixes
+  long and ~13 s phases with per-phase peak diversity, and LR/Linear churn
+  through sub-10 s high-frequency bursts.
+
+Peak socket powers sit in the 130-165 W band the paper's traces show
+(TDP = 165 W); troughs in the 60-90 W band; low-power micro apps stay well
+under 110 W.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.phases import Hold, Oscillate, PhaseProgram, Ramp, repeat
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = ["SPARK_WORKLOADS", "spark_workload", "spark_names"]
+
+
+def _wordcount() -> PhaseProgram:
+    """Micro map-reduce: one shuffle bump, never near 110 W."""
+    return PhaseProgram(
+        [
+            Ramp(3, 15, 68),
+            Hold(10, 68),
+            Oscillate(18, 42, 74, period_s=6, duty=0.5),
+            Hold(6, 52),
+            Ramp(3, 52, 18),
+        ]
+    )
+
+
+def _sort() -> PhaseProgram:
+    """Small sort: brief CPU burst then IO-bound tail."""
+    return PhaseProgram(
+        [
+            Ramp(2, 15, 60),
+            Hold(8, 72),
+            Hold(14, 48),
+            Oscillate(8, 35, 60, period_s=4, duty=0.5),
+            Ramp(3, 45, 15),
+        ]
+    )
+
+
+def _terasort() -> PhaseProgram:
+    """Terasort: two shuffle waves at moderate power."""
+    return PhaseProgram(
+        [
+            Ramp(3, 15, 78),
+            Hold(14, 78),
+            Ramp(4, 78, 45),
+            Hold(10, 45),
+            Ramp(3, 45, 70),
+            Hold(12, 70),
+            Ramp(4, 70, 18),
+        ]
+    )
+
+
+def _repartition() -> PhaseProgram:
+    """Repartition: sustained network/IO phase with small spikes."""
+    return PhaseProgram(
+        [
+            Ramp(3, 15, 62),
+            Oscillate(30, 48, 80, period_s=10, duty=0.4),
+            Hold(6, 40),
+            Ramp(3, 40, 15),
+        ]
+    )
+
+
+def _kmeans() -> PhaseProgram:
+    """Kmeans: long regular iterations, ~48 % of time above 110 W."""
+    iteration = [
+        Ramp(4, 62, 155),
+        Hold(47, 155),
+        Ramp(4, 155, 62),
+        Hold(52, 62),
+    ]
+    return PhaseProgram(
+        [Ramp(5, 20, 62)] + repeat(iteration, 12) + [Ramp(5, 62, 20)]
+    )
+
+
+def _lda() -> PhaseProgram:
+    """LDA: very long phases (Figure 2a), ~52 % above 110 W."""
+    block = [
+        Ramp(5, 70, 160),
+        Hold(110, 160),
+        Ramp(12, 160, 70),
+        Hold(96, 72),
+    ]
+    return PhaseProgram([Ramp(4, 20, 70)] + repeat(block, 5) + [Ramp(4, 70, 20)])
+
+
+def _linear() -> PhaseProgram:
+    """Linear regression: short recurring bursts, ~15 % above 110 W."""
+    block = [
+        Hold(45, 92),
+        Ramp(2, 92, 150),
+        Hold(6, 150),
+        Ramp(2, 150, 92),
+    ]
+    return PhaseProgram([Ramp(4, 20, 92)] + repeat(block, 15) + [Ramp(4, 92, 20)])
+
+
+def _lr() -> PhaseProgram:
+    """Logistic regression: the paper's high-frequency app (Figure 2c).
+
+    Sub-10 s square bursts between ~65 and ~140 W dominate, with short
+    moderate holds between burst trains; ~17 % of time above 110 W.
+    """
+    block = [
+        Oscillate(60, 65, 140, period_s=8, duty=0.25),
+        Hold(29, 82),
+    ]
+    return PhaseProgram([Ramp(3, 20, 70)] + repeat(block, 5) + [Ramp(3, 70, 20)])
+
+
+def _bayes() -> PhaseProgram:
+    """Bayes: mixed phase lengths and per-phase peak diversity (Figure 2b)."""
+    block = [
+        Ramp(3, 60, 165),
+        Hold(15, 165),
+        Ramp(5, 165, 75),
+        Hold(26, 75),
+        Ramp(3, 75, 128),
+        Hold(7, 128),  # The ~13 s short phase of Figure 2b.
+        Ramp(4, 128, 70),
+        Hold(26, 70),
+    ]
+    return PhaseProgram([Ramp(3, 20, 60)] + repeat(block, 3) + [Ramp(3, 60, 20)])
+
+
+def _rf() -> PhaseProgram:
+    """Random forest: medium-length tree-building waves, ~36 % above 110 W."""
+    block = [
+        Ramp(4, 68, 150),
+        Hold(24, 150),
+        Ramp(4, 150, 68),
+        Hold(40, 68),
+    ]
+    return PhaseProgram([Ramp(4, 20, 68)] + repeat(block, 5) + [Ramp(4, 68, 20)])
+
+
+def _gmm() -> PhaseProgram:
+    """GMM: the high-power app — ~69 % of time above 110 W, long EM sweeps."""
+    block = [
+        Hold(94, 158),
+        Ramp(4, 158, 75),
+        Hold(37, 75),
+        Ramp(4, 75, 158),
+    ]
+    return PhaseProgram([Ramp(5, 20, 120)] + repeat(block, 15) + [Ramp(5, 120, 20)])
+
+
+def _spec(
+    name: str,
+    power_class: str,
+    builder,
+    active_units: int | None,
+    paper_duration_s: float,
+    paper_above_110_pct: float,
+    data_size: str,
+) -> WorkloadSpec:
+    return WorkloadSpec(
+        name=name,
+        suite="spark",
+        power_class=power_class,
+        program=builder(),
+        active_units=active_units,
+        paper_duration_s=paper_duration_s,
+        paper_above_110_pct=paper_above_110_pct,
+        data_size=data_size,
+    )
+
+
+#: The 11 HiBench applications of paper Table 2, in table order.
+SPARK_WORKLOADS: dict[str, WorkloadSpec] = {
+    s.name: s
+    for s in (
+        _spec("wordcount", "low", _wordcount, 1, 44.36, 0.18, "3.1 GB"),
+        _spec("sort", "low", _sort, 1, 38.48, 0.10, "313.5 MB"),
+        _spec("terasort", "low", _terasort, 1, 54.53, 0.07, "3.0 GB"),
+        _spec("repartition", "low", _repartition, 1, 44.92, 0.20, "3.0 GB"),
+        _spec("kmeans", "mid", _kmeans, None, 1467.08, 47.58, "224.4 GB"),
+        _spec("lda", "mid", _lda, None, 1254.12, 51.54, "4.1 GB"),
+        _spec("linear", "mid", _linear, None, 928.36, 14.53, "745.1 GB"),
+        _spec("lr", "mid", _lr, None, 499.37, 16.69, "52.2 GB"),
+        _spec("bayes", "mid", _bayes, None, 342.18, 33.20, "70.1 GB"),
+        _spec("rf", "mid", _rf, None, 415.71, 35.78, "32.8 GB"),
+        _spec("gmm", "high", _gmm, None, 2432.43, 68.96, "8.6 GB"),
+    )
+}
+
+
+def spark_workload(name: str) -> WorkloadSpec:
+    """Look up one Spark workload by Table 2 name (case-insensitive)."""
+    try:
+        return SPARK_WORKLOADS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown Spark workload {name!r}; "
+            f"available: {sorted(SPARK_WORKLOADS)}"
+        ) from None
+
+
+def spark_names(power_class: str | None = None) -> list[str]:
+    """Names of Spark workloads, optionally filtered by power class."""
+    return [
+        s.name
+        for s in SPARK_WORKLOADS.values()
+        if power_class is None or s.power_class == power_class
+    ]

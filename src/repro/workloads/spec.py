@@ -1,0 +1,70 @@
+"""Workload specification record shared by the Spark and NPB suites."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.phases import PhaseProgram
+
+__all__ = ["WorkloadSpec", "PowerClass", "POWER_CLASSES"]
+
+#: Valid power classes: the paper's Spark labels plus "npb" (§5.2).
+POWER_CLASSES = ("low", "mid", "high", "npb")
+
+PowerClass = str
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One benchmark application as a power-demand program.
+
+    Attributes:
+        name: short identifier (e.g. ``"kmeans"``, ``"bt"``).
+        suite: ``"spark"`` (HiBench) or ``"npb"``.
+        power_class: the paper's label — ``low`` (< 10 % of time above
+            110 W), ``mid`` (>= 10 %), ``high`` (>= 2/3), or ``npb``
+            (>= 99 %); Tables 2-4.
+        program: per-socket uncapped demand program.
+        active_units: sockets this workload loads within its cluster half;
+            None means all of them (the paper's 48-executor configuration),
+            1 models the single-executor low-power configuration.
+        paper_duration_s: mean latency the paper measured under the constant
+            110 W cap (Tables 2 and 4), for side-by-side reporting.
+        paper_above_110_pct: the paper's "Above 110W" column (percent).
+        data_size: the paper's input size string, reporting only.
+        sync: progress synchronization across the workload's sockets —
+            ``"mean"`` (loosely-coupled Spark tasks: stragglers amortize)
+            or ``"min"`` (barrier-synchronized MPI ranks: the slowest
+            socket gates everyone, as in the NPB kernels).
+    """
+
+    name: str
+    suite: str
+    power_class: PowerClass
+    program: PhaseProgram
+    active_units: int | None
+    paper_duration_s: float
+    paper_above_110_pct: float
+    data_size: str
+    sync: str = "mean"
+
+    def __post_init__(self) -> None:
+        if self.suite not in ("spark", "npb"):
+            raise ValueError(f"unknown suite {self.suite!r}")
+        if self.power_class not in POWER_CLASSES:
+            raise ValueError(f"unknown power class {self.power_class!r}")
+        if self.sync not in ("mean", "min"):
+            raise ValueError(f"sync must be 'mean' or 'min', got {self.sync!r}")
+        if self.active_units is not None and self.active_units < 1:
+            raise ValueError(
+                f"active_units must be >= 1 or None, got {self.active_units}"
+            )
+        if self.paper_duration_s <= 0:
+            raise ValueError(
+                f"paper_duration_s must be > 0, got {self.paper_duration_s}"
+            )
+        if not 0 <= self.paper_above_110_pct <= 100:
+            raise ValueError(
+                "paper_above_110_pct must be a percentage, got "
+                f"{self.paper_above_110_pct}"
+            )

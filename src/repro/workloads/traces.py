@@ -1,0 +1,203 @@
+"""Power-trace recording and replay.
+
+The artifact's methodology starts from *measured* power traces (Figure 2's
+uncapped runs); this module closes that loop in the simulator: a
+:class:`PowerTrace` is a sampled (time, power) series that can be
+
+* captured from a telemetry log of an uncapped run,
+* serialized to/from CSV (one row per sample, the format a real RAPL
+  sampling script would produce), and
+* replayed as a :class:`TracedProgram` — a demand program interchangeable
+  with the synthetic :class:`~repro.workloads.phases.PhaseProgram`, so a
+  workload recorded once (or imported from real hardware) can drive any
+  experiment in the harness.
+
+Replay indexes by *progress*, like every program: capping a traced
+workload stretches it exactly as it stretches a synthetic one.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.telemetry.log import TelemetryLog
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = ["PowerTrace", "TracedProgram", "record_trace", "traced_workload"]
+
+
+@dataclass(frozen=True)
+class PowerTrace:
+    """A sampled power series.
+
+    Attributes:
+        time_s: sample times, strictly increasing, shape ``(n,)``.
+        power_w: power at each sample (W), shape ``(n,)``.
+        name: label for reporting.
+    """
+
+    time_s: np.ndarray
+    power_w: np.ndarray
+    name: str = "trace"
+
+    def __post_init__(self) -> None:
+        t = np.asarray(self.time_s, dtype=np.float64)
+        p = np.asarray(self.power_w, dtype=np.float64)
+        if t.ndim != 1 or t.shape != p.shape:
+            raise ValueError(
+                f"time shape {t.shape} and power shape {p.shape} must be "
+                "equal 1-D shapes"
+            )
+        if t.size < 2:
+            raise ValueError("a trace needs at least 2 samples")
+        if np.any(np.diff(t) <= 0):
+            raise ValueError("time_s must be strictly increasing")
+        if np.any(p < 0) or not np.all(np.isfinite(p)):
+            raise ValueError("power_w must be finite and >= 0")
+        object.__setattr__(self, "time_s", t)
+        object.__setattr__(self, "power_w", p)
+
+    @property
+    def duration_s(self) -> float:
+        """Span of the trace."""
+        return float(self.time_s[-1] - self.time_s[0])
+
+    def to_csv(self) -> str:
+        """Serialize as ``time_s,power_w`` CSV with a header row."""
+        buf = io.StringIO()
+        buf.write("time_s,power_w\n")
+        for t, p in zip(self.time_s, self.power_w):
+            buf.write(f"{t:.6f},{p:.6f}\n")
+        return buf.getvalue()
+
+    @classmethod
+    def from_csv(cls, text: str, name: str = "trace") -> "PowerTrace":
+        """Parse the :meth:`to_csv` format (header required).
+
+        Raises:
+            ValueError: malformed header or rows.
+        """
+        lines = [ln for ln in text.strip().splitlines() if ln.strip()]
+        if not lines or lines[0].strip() != "time_s,power_w":
+            raise ValueError("expected 'time_s,power_w' header")
+        times, powers = [], []
+        for i, line in enumerate(lines[1:], start=2):
+            parts = line.split(",")
+            if len(parts) != 2:
+                raise ValueError(f"line {i}: expected 2 columns")
+            times.append(float(parts[0]))
+            powers.append(float(parts[1]))
+        return cls(
+            time_s=np.asarray(times), power_w=np.asarray(powers), name=name
+        )
+
+
+class TracedProgram:
+    """A demand program that replays a recorded power trace.
+
+    Drop-in compatible with :class:`~repro.workloads.phases.PhaseProgram`
+    (``duration_s``, ``demand_at``, ``sample``, ``fraction_above``,
+    ``scaled``): demand at progress ``t`` is the trace linearly
+    interpolated at ``t`` (relative to its first sample).
+
+    Args:
+        trace: the source trace.
+    """
+
+    def __init__(self, trace: PowerTrace) -> None:
+        self.trace = trace
+        self._t0 = float(trace.time_s[0])
+
+    @property
+    def duration_s(self) -> float:
+        """Replay length — the trace's span."""
+        return self.trace.duration_s
+
+    def demand_at(self, progress_s: float) -> float:
+        """Interpolated demand at a progress point (clamped to the ends)."""
+        t = float(np.clip(progress_s, 0.0, self.duration_s))
+        return float(
+            np.interp(t + self._t0, self.trace.time_s, self.trace.power_w)
+        )
+
+    def sample(self, dt_s: float) -> np.ndarray:
+        """Demand resampled every ``dt_s`` of progress."""
+        if dt_s <= 0:
+            raise ValueError(f"dt_s must be > 0, got {dt_s}")
+        n = max(int(np.ceil(self.duration_s / dt_s)), 1)
+        return np.asarray(
+            [self.demand_at(i * dt_s) for i in range(n)], dtype=np.float64
+        )
+
+    def fraction_above(self, threshold_w: float, dt_s: float = 1.0) -> float:
+        """Fraction of replay time above a threshold (Tables 2/4 column)."""
+        trace = self.sample(dt_s)
+        return float(np.mean(trace > threshold_w))
+
+    def scaled(self, factor: float) -> "TracedProgram":
+        """Replay with time compressed/stretched by ``factor``."""
+        if factor <= 0:
+            raise ValueError(f"factor must be > 0, got {factor}")
+        t = self.trace.time_s - self._t0
+        return TracedProgram(
+            PowerTrace(
+                time_s=t * factor + self._t0,
+                power_w=self.trace.power_w.copy(),
+                name=self.trace.name,
+            )
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TracedProgram(name={self.trace.name!r}, "
+            f"duration_s={self.duration_s:.1f})"
+        )
+
+
+def record_trace(
+    log: TelemetryLog, unit_id: int, name: str = "trace"
+) -> PowerTrace:
+    """Capture one unit's true-power series from a telemetry log.
+
+    Args:
+        log: a telemetry log with at least 2 recorded steps.
+        unit_id: the unit whose trace to extract.
+        name: label for the trace.
+    """
+    if not 0 <= unit_id < log.n_units:
+        raise ValueError(f"unit_id {unit_id} out of range [0, {log.n_units})")
+    if len(log) < 2:
+        raise ValueError("telemetry log has fewer than 2 steps")
+    return PowerTrace(
+        time_s=log.time_s.copy(),
+        power_w=log.power_w[:, unit_id].copy(),
+        name=name,
+    )
+
+
+def traced_workload(
+    trace: PowerTrace,
+    power_class: str = "mid",
+    active_units: int | None = None,
+) -> WorkloadSpec:
+    """Wrap a trace into a WorkloadSpec runnable by the harness.
+
+    Args:
+        trace: the demand trace to replay.
+        power_class: label for grouping (does not alter behaviour).
+        active_units: sockets loaded; None = all assigned.
+    """
+    program = TracedProgram(trace)
+    return WorkloadSpec(
+        name=trace.name,
+        suite="spark",
+        power_class=power_class,
+        program=program,  # type: ignore[arg-type]
+        active_units=active_units,
+        paper_duration_s=max(program.duration_s, 1e-9),
+        paper_above_110_pct=min(program.fraction_above(110.0) * 100, 100.0),
+        data_size="traced",
+    )

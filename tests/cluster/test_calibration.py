@@ -1,0 +1,82 @@
+"""Performance-model calibration."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PerfModelConfig
+from repro.cluster.calibration import (
+    Observation,
+    fit_perf_model,
+    observe_rates,
+)
+from repro.cluster.perfmodel import progress_rate
+
+
+class TestObservation:
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError, match="rate"):
+            Observation(cap_w=100.0, demand_w=150.0, rate=0.0)
+        with pytest.raises(ValueError, match="rate"):
+            Observation(cap_w=100.0, demand_w=150.0, rate=1.5)
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ValueError):
+            Observation(cap_w=-1.0, demand_w=150.0, rate=0.5)
+
+
+class TestObserveRates:
+    def test_skips_unconstrained_points(self):
+        obs = observe_rates(
+            lambda cap, demand: 0.8,
+            caps_w=[100.0, 200.0],
+            demands_w=[150.0],
+        )
+        assert len(obs) == 1  # Only cap=100 < demand=150.
+        assert obs[0].cap_w == 100.0
+
+
+class TestFitPerfModel:
+    def _observations(self, true_cfg, noise=0.0, seed=0):
+        rng = np.random.default_rng(seed)
+
+        def source(cap, demand):
+            rate = float(progress_rate(cap, demand, true_cfg))
+            return float(np.clip(rate + rng.normal(0, noise), 1e-3, 1.0))
+
+        return observe_rates(
+            source,
+            caps_w=np.linspace(40, 160, 10),
+            demands_w=np.linspace(80, 165, 6),
+        )
+
+    @pytest.mark.parametrize("theta", [1.0, 2.0, 3.0])
+    def test_recovers_known_theta(self, theta):
+        true_cfg = PerfModelConfig(idle_power_w=12.0, theta=theta)
+        result = fit_perf_model(self._observations(true_cfg))
+        assert result.config.theta == pytest.approx(theta, abs=0.15)
+        assert result.config.idle_power_w == pytest.approx(12.0, abs=5.0)
+        assert result.rmse < 0.01
+
+    def test_robust_to_noise(self):
+        true_cfg = PerfModelConfig(idle_power_w=12.0, theta=2.0)
+        result = fit_perf_model(
+            self._observations(true_cfg, noise=0.02, seed=1)
+        )
+        assert result.config.theta == pytest.approx(2.0, abs=0.4)
+        assert result.rmse < 0.05
+
+    def test_reports_sample_size(self):
+        true_cfg = PerfModelConfig()
+        obs = self._observations(true_cfg)
+        result = fit_perf_model(obs)
+        assert result.n_observations == len(obs)
+
+    def test_rejects_too_few_observations(self):
+        obs = [Observation(100.0, 150.0, 0.8)] * 2
+        with pytest.raises(ValueError, match="at least 3"):
+            fit_perf_model(obs)
+
+    def test_rejects_bad_theta_range(self):
+        obs = [Observation(100.0, 150.0, 0.8)] * 3
+        with pytest.raises(ValueError, match="theta_range"):
+            fit_perf_model(obs, theta_range=(0.5, 2.0))

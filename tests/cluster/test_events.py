@@ -1,0 +1,40 @@
+"""Structured event log."""
+
+import pytest
+
+from repro.cluster.events import Event, EventLog
+
+
+class TestEvent:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            Event(0.0, "exploded")
+
+    def test_fields(self):
+        e = Event(3.0, "run_completed", workload="kmeans", detail="run 2")
+        assert e.time_s == 3.0 and e.workload == "kmeans"
+
+
+class TestEventLog:
+    def test_emit_and_iterate(self):
+        log = EventLog()
+        log.emit(1.0, "run_started", workload="a")
+        log.emit(2.0, "run_completed", workload="a")
+        assert len(log) == 2
+        assert [e.kind for e in log] == ["run_started", "run_completed"]
+
+    def test_of_kind(self):
+        log = EventLog()
+        log.emit(1.0, "run_started", workload="a")
+        log.emit(2.0, "caps_restored")
+        assert len(log.of_kind("caps_restored")) == 1
+
+    def test_of_kind_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            EventLog().of_kind("bogus")
+
+    def test_for_workload(self):
+        log = EventLog()
+        log.emit(1.0, "run_started", workload="a")
+        log.emit(1.0, "run_started", workload="b")
+        assert len(log.for_workload("a")) == 1

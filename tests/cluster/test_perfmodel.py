@@ -1,0 +1,86 @@
+"""Cap-to-performance model properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import PerfModelConfig
+from repro.cluster.perfmodel import progress_rate
+
+CFG = PerfModelConfig(idle_power_w=12.0, theta=2.0, min_rate=0.05)
+
+
+class TestBasics:
+    def test_uncapped_full_speed(self):
+        assert progress_rate(165.0, 150.0, CFG) == pytest.approx(1.0)
+
+    def test_cap_equal_demand_full_speed(self):
+        assert progress_rate(150.0, 150.0, CFG) == pytest.approx(1.0)
+
+    def test_capped_below_demand_slows(self):
+        rate = progress_rate(110.0, 160.0, CFG)
+        expected = ((110.0 - 12.0) / (160.0 - 12.0)) ** 0.5
+        assert rate == pytest.approx(expected)
+
+    def test_demand_below_idle_full_speed(self):
+        assert progress_rate(0.0, 5.0, CFG) == pytest.approx(1.0)
+
+    def test_min_rate_floor(self):
+        assert progress_rate(13.0, 165.0, CFG) >= 0.05
+
+    def test_theta_one_linear(self):
+        cfg = PerfModelConfig(idle_power_w=12.0, theta=1.0)
+        rate = progress_rate(86.0, 160.0, cfg)
+        assert rate == pytest.approx((86.0 - 12.0) / (160.0 - 12.0))
+
+    def test_higher_theta_gentler_penalty(self):
+        mild = PerfModelConfig(theta=3.0)
+        harsh = PerfModelConfig(theta=1.0)
+        assert progress_rate(110.0, 160.0, mild) > progress_rate(
+            110.0, 160.0, harsh
+        )
+
+    def test_vectorized(self):
+        rates = progress_rate(
+            np.array([165.0, 110.0]), np.array([150.0, 160.0]), CFG
+        )
+        assert rates.shape == (2,)
+        assert rates[0] == pytest.approx(1.0)
+        assert rates[1] < 1.0
+
+    def test_rejects_negative_inputs(self):
+        with pytest.raises(ValueError):
+            progress_rate(-1.0, 100.0, CFG)
+        with pytest.raises(ValueError):
+            progress_rate(100.0, -1.0, CFG)
+
+
+class TestProperties:
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_rate_bounded(self, seed):
+        rng = np.random.default_rng(seed)
+        caps = rng.uniform(0, 200, size=16)
+        demand = rng.uniform(0, 200, size=16)
+        rates = progress_rate(caps, demand, CFG)
+        assert np.all(rates >= CFG.min_rate - 1e-12)
+        assert np.all(rates <= 1.0 + 1e-12)
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_cap(self, seed):
+        rng = np.random.default_rng(seed)
+        demand = float(rng.uniform(50, 200))
+        caps = np.sort(rng.uniform(0, 200, size=10))
+        rates = progress_rate(caps, np.full(10, demand), CFG)
+        assert np.all(np.diff(rates) >= -1e-12)
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_antitone_in_demand(self, seed):
+        rng = np.random.default_rng(seed)
+        cap = float(rng.uniform(30, 160))
+        demands = np.sort(rng.uniform(20, 200, size=10))
+        rates = progress_rate(np.full(10, cap), demands, CFG)
+        assert np.all(np.diff(rates) <= 1e-12)

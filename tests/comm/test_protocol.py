@@ -1,0 +1,77 @@
+"""3-byte wire protocol (paper §6.5)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.protocol import (
+    MESSAGE_SIZE_BYTES,
+    MSG_CAP,
+    MSG_READING,
+    decode,
+    encode,
+)
+
+
+class TestEncoding:
+    def test_exactly_three_bytes(self):
+        assert len(encode(MSG_READING, 0, 0.0)) == MESSAGE_SIZE_BYTES
+        assert len(encode(MSG_CAP, 1023, 409.5)) == MESSAGE_SIZE_BYTES
+
+    def test_round_trip(self):
+        msg = decode(encode(MSG_READING, 7, 123.4))
+        assert msg.kind == MSG_READING
+        assert msg.unit == 7
+        assert msg.value_w == pytest.approx(123.4)
+
+    def test_quantized_to_tenth_watt(self):
+        msg = decode(encode(MSG_CAP, 0, 110.04))
+        assert msg.value_w == pytest.approx(110.0)
+        msg = decode(encode(MSG_CAP, 0, 110.06))
+        assert msg.value_w == pytest.approx(110.1)
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            encode(3, 0, 1.0)
+
+    def test_rejects_unit_out_of_range(self):
+        with pytest.raises(ValueError, match="unit"):
+            encode(MSG_READING, 1024, 1.0)
+        with pytest.raises(ValueError, match="unit"):
+            encode(MSG_READING, -1, 1.0)
+
+    def test_rejects_value_out_of_range(self):
+        with pytest.raises(ValueError, match="value_w"):
+            encode(MSG_READING, 0, 410.0)
+        with pytest.raises(ValueError, match="value_w"):
+            encode(MSG_READING, 0, -0.1)
+
+
+class TestDecoding:
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError, match="3 bytes"):
+            decode(b"\x00\x00")
+
+    def test_rejects_corrupt_kind(self):
+        # Set the top kind bits to 3 (invalid).
+        with pytest.raises(ValueError, match="corrupt"):
+            decode(b"\xc0\x00\x00")
+
+
+class TestProperties:
+    @given(
+        st.sampled_from([MSG_READING, MSG_CAP]),
+        st.integers(0, 1023),
+        st.integers(0, 4095),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip_exact_on_grid(self, kind, unit, decis):
+        value = decis / 10.0
+        msg = decode(encode(kind, unit, value))
+        assert msg == (kind, unit, pytest.approx(value))
+
+    @given(st.floats(0.0, 409.5))
+    @settings(max_examples=100, deadline=None)
+    def test_quantization_error_bounded(self, value):
+        msg = decode(encode(MSG_READING, 0, value))
+        assert abs(msg.value_w - value) <= 0.05 + 1e-9

@@ -1,0 +1,104 @@
+"""Model-free demand estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core.demand import DemandEstimator, DemandEstimatorConfig
+
+
+def estimator(n=2, max_demand=165.0, **cfg):
+    return DemandEstimator(
+        n, max_demand, DemandEstimatorConfig(**cfg) if cfg else None
+    )
+
+
+class TestConfig:
+    def test_rejects_bad_pin_threshold(self):
+        with pytest.raises(ValueError, match="pin_threshold"):
+            DemandEstimatorConfig(pin_threshold=0.0)
+
+    def test_rejects_probe_factor_not_above_one(self):
+        with pytest.raises(ValueError, match="probe_factor"):
+            DemandEstimatorConfig(probe_factor=1.0)
+
+    def test_rejects_bad_decay(self):
+        with pytest.raises(ValueError, match="decay"):
+            DemandEstimatorConfig(decay=0.0)
+
+
+class TestVisibleDemand:
+    def test_tracks_unpinned_power(self):
+        est = estimator(n=1)
+        for _ in range(10):
+            out = est.update(np.array([80.0]), np.array([165.0]))
+        assert out[0] == pytest.approx(80.0, abs=1.0)
+
+    def test_never_below_current_power(self):
+        est = estimator(n=1)
+        out = est.update(np.array([120.0]), np.array([165.0]))
+        assert out[0] >= 120.0
+
+
+class TestHiddenDemand:
+    def test_pinned_unit_probes_above_cap(self):
+        est = estimator(n=1)
+        caps = np.array([80.0])
+        out = est.update(np.array([79.0]), caps)  # 79 >= 0.95*80: pinned.
+        assert out[0] > 80.0
+
+    def test_probe_grows_each_step_until_clamp(self):
+        est = estimator(n=1)
+        caps = np.array([80.0])
+        prev = 0.0
+        for _ in range(5):
+            out = est.update(np.array([79.5]), caps)
+            assert out[0] > prev or out[0] == 165.0
+            assert out[0] >= prev
+            prev = out[0]
+        assert prev == pytest.approx(165.0)  # Probe reaches TDP quickly.
+
+    def test_probe_clipped_at_max(self):
+        est = estimator(n=1, max_demand=165.0)
+        caps = np.array([160.0])
+        for _ in range(20):
+            out = est.update(np.array([159.0]), caps)
+        assert out[0] == pytest.approx(165.0)
+
+
+class TestDecay:
+    def test_estimate_relaxes_after_demand_drops(self):
+        est = estimator(n=1)
+        caps = np.array([100.0])
+        for _ in range(5):
+            est.update(np.array([99.0]), caps)  # Pinned: estimate > 100.
+        high = est.estimate[0]
+        for _ in range(10):
+            out = est.update(np.array([40.0]), np.array([165.0]))
+        assert out[0] < high
+        assert out[0] == pytest.approx(40.0, abs=2.0)
+
+
+class TestValidation:
+    def test_rejects_zero_units(self):
+        with pytest.raises(ValueError, match="n_units"):
+            DemandEstimator(0, 165.0)
+
+    def test_rejects_bad_max(self):
+        with pytest.raises(ValueError, match="max_demand_w"):
+            DemandEstimator(2, 0.0)
+
+    def test_rejects_shape_mismatch(self):
+        est = estimator(n=2)
+        with pytest.raises(ValueError, match="shape"):
+            est.update(np.zeros(3), np.zeros(2))
+
+    def test_reset(self):
+        est = estimator(n=1)
+        est.update(np.array([120.0]), np.array([165.0]))
+        est.reset()
+        assert est.estimate[0] == 0.0
+
+    def test_estimate_view_readonly(self):
+        est = estimator(n=1)
+        with pytest.raises(ValueError):
+            est.estimate[0] = 1.0

@@ -1,0 +1,158 @@
+"""DPS manager: closed-loop module interplay (paper §4.3-4.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DPSConfig, PriorityConfig, ReadjustConfig
+from repro.core.dps import DPSManager
+
+
+def bound(config=None, n=2, budget=240.0, seed=0):
+    mgr = DPSManager(config or DPSConfig())
+    mgr.bind(n, budget, max_cap_w=165.0, min_cap_w=0.0,
+             rng=np.random.default_rng(seed))
+    return mgr
+
+
+def closed_loop(mgr, demand, steps):
+    caps = np.asarray(mgr.caps)
+    for _ in range(steps):
+        power = np.minimum(np.asarray(demand, dtype=float), caps)
+        caps = mgr.step(power)
+    return caps
+
+
+class TestPipeline:
+    def test_last_info_populated(self):
+        mgr = bound()
+        assert mgr.last_info is None
+        mgr.step(np.array([50.0, 50.0]))
+        info = mgr.last_info
+        assert info is not None
+        assert info.estimate_w.shape == (2,)
+        assert info.caps_w.shape == (2,)
+
+    def test_priority_exposed(self):
+        mgr = bound()
+        mgr.step(np.array([50.0, 50.0]))
+        assert mgr.priority.shape == (2,)
+
+    def test_budget_respected_always(self):
+        mgr = bound(n=4, budget=440.0)
+        rng = np.random.default_rng(3)
+        caps = np.asarray(mgr.caps)
+        for _ in range(60):
+            demand = rng.uniform(10, 165, size=4)
+            caps = mgr.step(np.minimum(demand, caps))
+            assert caps.sum() <= 440.0 + 1e-6
+
+
+class TestRestore:
+    def test_quiet_system_restores_constant_caps(self):
+        mgr = bound()
+        # Drive one unit hot so caps diverge, then let everything idle.
+        closed_loop(mgr, [160.0, 30.0], steps=15)
+        caps = closed_loop(mgr, [30.0, 30.0], steps=12)
+        np.testing.assert_allclose(caps, [120.0, 120.0], atol=0.1)
+        assert mgr.last_info is not None and mgr.last_info.restored
+
+    def test_busy_system_does_not_restore(self):
+        mgr = bound()
+        closed_loop(mgr, [160.0, 30.0], steps=15)
+        assert mgr.last_info is not None and not mgr.last_info.restored
+
+
+class TestLowerBound:
+    def test_late_riser_recovers_unlike_slurm(self):
+        """The Figure 1 resolution: after node 1 rises, DPS re-equalizes
+        toward the constant cap instead of starving it."""
+        mgr = bound()
+        closed_loop(mgr, [160.0, 30.0], steps=20)
+        caps = closed_loop(mgr, [160.0, 160.0], steps=15)
+        assert caps[1] > 110.0  # At or above the constant cap (120).
+        assert abs(caps[0] - caps[1]) < 10.0
+
+    def test_capped_riser_detected_via_dynamics(self):
+        """Node 1's rise is clipped at its own low cap; the derivative of
+        the small visible rise must still reclassify it high priority."""
+        mgr = bound()
+        closed_loop(mgr, [160.0, 30.0], steps=20)
+        closed_loop(mgr, [160.0, 160.0], steps=10)
+        assert bool(mgr.priority[1])
+
+
+class TestAblationSwitches:
+    def test_without_kalman_uses_raw_power(self):
+        cfg = DPSConfig(use_kalman=False)
+        mgr = bound(cfg)
+        mgr.step(np.array([100.0, 100.0]))
+        info = mgr.last_info
+        assert info is not None
+        # The Kalman estimate is still computed (for introspection), but
+        # the pipeline consumed the raw reading; with identical first-step
+        # behaviour they coincide, so drive a second differing step.
+        mgr.step(np.array([50.0, 150.0]))
+        assert mgr.last_info is not None
+
+    def test_without_frequency_oscillation_not_pinned(self):
+        cfg = DPSConfig(use_frequency=False)
+        mgr = bound(cfg)
+        for t in range(24):
+            level = 150.0 if t % 4 < 2 else 60.0
+            caps = mgr.step(
+                np.minimum(np.array([level, 60.0]), np.asarray(mgr.caps))
+            )
+        assert mgr.last_info is not None
+        assert not mgr.last_info.high_freq.any()
+
+    def test_with_frequency_oscillation_pinned(self):
+        mgr = bound()
+        for t in range(24):
+            level = 150.0 if t % 4 < 2 else 60.0
+            mgr.step(
+                np.minimum(np.array([level, 60.0]), np.asarray(mgr.caps))
+            )
+        assert mgr.last_info is not None
+        assert mgr.last_info.high_freq[0]
+
+
+class TestDeterminism:
+    def test_same_seed_same_trajectory(self):
+        def run(seed):
+            mgr = bound(seed=seed, n=4, budget=440.0)
+            rng = np.random.default_rng(77)
+            caps = np.asarray(mgr.caps)
+            out = []
+            for _ in range(30):
+                demand = rng.uniform(20, 160, size=4)
+                caps = mgr.step(np.minimum(demand, caps))
+                out.append(caps.copy())
+            return np.asarray(out)
+
+        np.testing.assert_allclose(run(5), run(5))
+
+
+class TestWarmupBehaviour:
+    def test_acts_stateless_before_history_fills(self):
+        """During the deriv_window warm-up DPS must still respect budget
+        and produce sane caps (the §6.5 ~20 s deployment window)."""
+        cfg = DPSConfig(priority=PriorityConfig(deriv_window=6))
+        mgr = bound(cfg)
+        caps = mgr.step(np.array([150.0, 30.0]))
+        assert caps.sum() <= 240.0 + 1e-9
+        assert np.all(caps > 0)
+
+    def test_custom_restore_threshold(self):
+        # 70 W of draw is quiet under the 0.8 default (< 96 W) but busy
+        # under a 0.5 threshold (> 60 W): restoration must stay blocked.
+        cfg = DPSConfig(readjust=ReadjustConfig(restore_threshold=0.5))
+        mgr = bound(cfg)
+        closed_loop(mgr, [160.0, 30.0], steps=10)
+        caps = closed_loop(mgr, [70.0, 30.0], steps=10)
+        assert mgr.last_info is not None and not mgr.last_info.restored
+        assert caps.sum() <= 240.0 + 1e-9
+
+        default = bound()
+        closed_loop(default, [160.0, 30.0], steps=10)
+        closed_loop(default, [70.0, 30.0], steps=10)
+        assert default.last_info is not None and default.last_info.restored

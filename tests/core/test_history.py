@@ -1,0 +1,79 @@
+"""HistoryBuffer ring semantics."""
+
+import numpy as np
+import pytest
+
+from repro.core.history import HistoryBuffer
+
+
+class TestConstruction:
+    def test_rejects_zero_length(self):
+        with pytest.raises(ValueError, match="history_len"):
+            HistoryBuffer(0, 2)
+
+    def test_rejects_zero_units(self):
+        with pytest.raises(ValueError, match="n_units"):
+            HistoryBuffer(5, 0)
+
+
+class TestPushAndOrder:
+    def test_empty_initially(self):
+        buf = HistoryBuffer(4, 2)
+        assert len(buf) == 0 and not buf.full
+
+    def test_chronological_before_full(self):
+        buf = HistoryBuffer(4, 1)
+        for v in (1.0, 2.0, 3.0):
+            buf.push(np.array([v]))
+        np.testing.assert_allclose(buf.chronological()[:, 0], [1, 2, 3])
+        assert not buf.full
+
+    def test_chronological_after_wrap(self):
+        buf = HistoryBuffer(3, 1)
+        for v in range(6):
+            buf.push(np.array([float(v)]))
+        np.testing.assert_allclose(buf.chronological()[:, 0], [3, 4, 5])
+        assert buf.full and len(buf) == 3
+
+    def test_exact_fill_no_wrap(self):
+        buf = HistoryBuffer(3, 1)
+        for v in (1.0, 2.0, 3.0):
+            buf.push(np.array([v]))
+        np.testing.assert_allclose(buf.chronological()[:, 0], [1, 2, 3])
+
+    def test_latest(self):
+        buf = HistoryBuffer(3, 2)
+        buf.push(np.array([1.0, 10.0]))
+        buf.push(np.array([2.0, 20.0]))
+        np.testing.assert_allclose(buf.latest(), [2.0, 20.0])
+
+    def test_latest_empty_raises(self):
+        with pytest.raises(IndexError, match="empty"):
+            HistoryBuffer(3, 1).latest()
+
+    def test_push_wrong_shape(self):
+        buf = HistoryBuffer(3, 2)
+        with pytest.raises(ValueError, match="shape"):
+            buf.push(np.zeros(3))
+
+    def test_reset(self):
+        buf = HistoryBuffer(3, 1)
+        buf.push(np.array([5.0]))
+        buf.reset()
+        assert len(buf) == 0
+        buf.push(np.array([7.0]))
+        np.testing.assert_allclose(buf.chronological()[:, 0], [7.0])
+
+    def test_partial_view_readonly(self):
+        buf = HistoryBuffer(4, 1)
+        buf.push(np.array([1.0]))
+        view = buf.chronological()
+        with pytest.raises(ValueError):
+            view[0, 0] = 9.0
+
+    def test_push_copies_sample(self):
+        buf = HistoryBuffer(3, 1)
+        sample = np.array([1.0])
+        buf.push(sample)
+        sample[0] = 99.0
+        assert buf.latest()[0] == 1.0

@@ -1,0 +1,105 @@
+"""Kalman filter bank: initialization, convergence, noise rejection."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import KalmanConfig
+from repro.core.kalman import KalmanBank
+
+
+class TestConstruction:
+    def test_rejects_zero_units(self):
+        with pytest.raises(ValueError, match="n_units"):
+            KalmanBank(0)
+
+    def test_initial_variance(self):
+        bank = KalmanBank(3, KalmanConfig(initial_var=50.0))
+        assert np.all(bank.variance == 50.0)
+
+    def test_estimate_view_is_readonly(self):
+        bank = KalmanBank(2)
+        with pytest.raises(ValueError):
+            bank.estimate[0] = 1.0
+
+
+class TestFirstUpdate:
+    def test_initializes_from_measurement(self):
+        bank = KalmanBank(3)
+        z = np.array([100.0, 50.0, 75.0])
+        est = bank.update(z)
+        np.testing.assert_allclose(est, z)
+
+    def test_no_zero_prior_transient(self):
+        # If the filter started from a zero prior, the first estimates
+        # would be pulled far below the measurement.
+        bank = KalmanBank(1)
+        est = bank.update(np.array([150.0]))
+        assert est[0] == pytest.approx(150.0)
+
+
+class TestTracking:
+    def test_converges_to_constant_signal(self, rng):
+        bank = KalmanBank(1, KalmanConfig(process_var=5.0, measurement_var=9.0))
+        target = 120.0
+        for _ in range(100):
+            est = bank.update(np.array([target + rng.normal(0, 3.0)]))
+        assert est[0] == pytest.approx(target, abs=4.0)
+
+    def test_reduces_noise_variance(self, rng):
+        """Filtered residuals must beat raw measurement noise."""
+        bank = KalmanBank(1, KalmanConfig(process_var=2.0, measurement_var=16.0))
+        target = 100.0
+        raw_err, est_err = [], []
+        for _ in range(500):
+            z = target + rng.normal(0, 4.0)
+            est = bank.update(np.array([z]))
+            raw_err.append(z - target)
+            est_err.append(est[0] - target)
+        assert np.std(est_err[50:]) < 0.6 * np.std(raw_err[50:])
+
+    def test_tracks_step_change_within_few_samples(self):
+        bank = KalmanBank(1)
+        for _ in range(10):
+            bank.update(np.array([60.0]))
+        for _ in range(4):
+            est = bank.update(np.array([160.0]))
+        assert est[0] > 140.0
+
+    def test_units_independent(self):
+        bank = KalmanBank(2)
+        bank.update(np.array([50.0, 150.0]))
+        est = bank.update(np.array([50.0, 150.0]))
+        assert est[0] == pytest.approx(50.0, abs=1.0)
+        assert est[1] == pytest.approx(150.0, abs=1.0)
+
+
+class TestValidation:
+    def test_rejects_wrong_shape(self):
+        bank = KalmanBank(3)
+        with pytest.raises(ValueError, match="shape"):
+            bank.update(np.zeros(2))
+
+    def test_rejects_nan(self):
+        bank = KalmanBank(1)
+        with pytest.raises(ValueError, match="non-finite"):
+            bank.update(np.array([np.nan]))
+
+    def test_rejects_inf(self):
+        bank = KalmanBank(1)
+        with pytest.raises(ValueError, match="non-finite"):
+            bank.update(np.array([np.inf]))
+
+
+class TestReset:
+    def test_reset_reinitializes(self):
+        bank = KalmanBank(1)
+        bank.update(np.array([100.0]))
+        bank.reset()
+        est = bank.update(np.array([40.0]))
+        assert est[0] == pytest.approx(40.0)
+
+    def test_update_returns_copy(self):
+        bank = KalmanBank(1)
+        est = bank.update(np.array([100.0]))
+        est[0] = -1.0
+        assert bank.estimate[0] == pytest.approx(100.0)

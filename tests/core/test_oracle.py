@@ -1,0 +1,83 @@
+"""Oracle manager: demand-clairvoyant equal-satisfaction allocation."""
+
+import numpy as np
+import pytest
+
+from repro.core.oracle import OracleManager
+
+
+def bound(headroom=1.05, n=4, budget=440.0):
+    mgr = OracleManager(headroom=headroom)
+    mgr.bind(n, budget, max_cap_w=165.0, min_cap_w=30.0,
+             rng=np.random.default_rng(0))
+    return mgr
+
+
+class TestConstruction:
+    def test_rejects_headroom_below_one(self):
+        with pytest.raises(ValueError, match="headroom"):
+            OracleManager(headroom=0.9)
+
+    def test_requires_demand(self):
+        mgr = bound()
+        with pytest.raises(ValueError, match="demand"):
+            mgr.step(np.full(4, 100.0))
+
+
+class TestFitsBudget:
+    def test_grants_demand_plus_headroom(self):
+        mgr = bound()
+        demand = np.array([50.0, 60.0, 70.0, 80.0])
+        caps = mgr.step(demand, demand)
+        assert np.all(caps >= demand * 1.05 - 1e-9)
+
+    def test_slack_distributed_fully(self):
+        """No budget wasted unless every unit hits TDP."""
+        mgr = bound()
+        demand = np.full(4, 100.0)
+        caps = mgr.step(demand, demand)
+        assert caps.sum() == pytest.approx(440.0)
+
+    def test_all_low_demand_caps_at_tdp_bound(self):
+        mgr = bound(n=2, budget=340.0)
+        caps = mgr.step(np.full(2, 30.0), np.full(2, 160.0))
+        assert np.all(caps <= 165.0)
+
+
+class TestContention:
+    def test_equal_satisfaction_scaling(self):
+        mgr = bound(n=2, budget=220.0)
+        demand = np.array([160.0, 80.0])
+        caps = mgr.step(demand, demand)
+        # Equal satisfaction: caps proportional to demand.
+        assert caps[0] / 160.0 == pytest.approx(caps[1] / 80.0, rel=1e-6)
+        assert caps.sum() == pytest.approx(220.0)
+
+    def test_min_cap_water_fill(self):
+        """Units scaled below min_cap keep it; others give back budget."""
+        mgr = bound(n=3, budget=200.0)
+        demand = np.array([160.0, 160.0, 35.0])
+        caps = mgr.step(demand, demand)
+        assert np.all(caps >= 30.0 - 1e-9)
+        assert caps.sum() == pytest.approx(200.0)
+
+    def test_budget_respected_under_extreme_demand(self):
+        mgr = bound()
+        demand = np.full(4, 165.0)
+        caps = mgr.step(demand, demand)
+        assert caps.sum() <= 440.0 + 1e-6
+
+
+class TestFigure1Behaviour:
+    def test_reallocates_when_second_node_rises(self):
+        """The T3->T4 move of Figure 1: from lopsided to even."""
+        mgr = bound(n=2, budget=240.0)
+        caps_lopsided = mgr.step(
+            np.array([160.0, 30.0]), np.array([160.0, 30.0])
+        )
+        assert caps_lopsided[0] > 150.0
+        caps_even = mgr.step(
+            np.array([160.0, 160.0]), np.array([160.0, 160.0])
+        )
+        assert caps_even[0] == pytest.approx(caps_even[1])
+        assert caps_even[0] == pytest.approx(120.0, abs=1.0)

@@ -1,0 +1,190 @@
+"""Priority module (paper Algorithm 2): derivative, frequency, hysteresis."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PriorityConfig
+from repro.core.priority import PriorityModule
+
+CFG = PriorityConfig(
+    history_len=20,
+    deriv_window=4,
+    deriv_inc_threshold=2.0,
+    deriv_dec_threshold=-2.0,
+    peak_prominence=20.0,
+    pp_threshold=2,
+    std_threshold=12.0,
+)
+
+
+def hist(*columns):
+    """Build a (h, n_units) history from per-unit sample lists."""
+    return np.stack([np.asarray(c, dtype=float) for c in columns], axis=1)
+
+
+class TestWarmup:
+    def test_no_classification_below_window(self):
+        mod = PriorityModule(1, CFG)
+        out = mod.update(hist([100.0, 200.0]), dt_s=1.0)
+        assert not out[0]  # Huge rise, but only 2 samples < window 4.
+
+    def test_classifies_at_window(self):
+        mod = PriorityModule(1, CFG)
+        out = mod.update(hist([60.0, 90.0, 120.0, 150.0]), dt_s=1.0)
+        assert out[0]
+
+
+class TestDerivative:
+    def test_rising_power_high_priority(self):
+        mod = PriorityModule(1, CFG)
+        out = mod.update(hist([60, 60, 60, 60, 70, 80, 90]), dt_s=1.0)
+        assert out[0]
+
+    def test_falling_power_low_priority(self):
+        mod = PriorityModule(1, CFG)
+        mod.update(hist([60, 70, 80, 90]), dt_s=1.0)
+        out = mod.update(hist([90, 80, 70, 60]), dt_s=1.0)
+        assert not out[0]
+
+    def test_flat_power_keeps_previous_priority(self):
+        """The hysteresis: a riser stays high priority while flat."""
+        mod = PriorityModule(1, CFG)
+        mod.update(hist([60, 80, 100, 120]), dt_s=1.0)
+        out = mod.update(hist([120, 120.5, 119.8, 120.2]), dt_s=1.0)
+        assert out[0]
+
+    def test_flat_power_keeps_low_priority_too(self):
+        mod = PriorityModule(1, CFG)
+        out = mod.update(hist([120, 120, 120, 120]), dt_s=1.0)
+        assert not out[0]
+
+    def test_dt_scales_derivative(self):
+        # A 6 W rise over 3 samples: 2 W/s at dt=1 (not > threshold 2.0),
+        # but 4 W/s at dt=0.5.
+        mod_slow = PriorityModule(1, CFG)
+        assert not mod_slow.update(hist([100, 102, 104, 106]), dt_s=1.0)[0]
+        mod_fast = PriorityModule(1, CFG)
+        assert mod_fast.update(hist([100, 102, 104, 106]), dt_s=0.5)[0]
+
+    def test_capped_rise_is_detected(self):
+        """The critical case from DESIGN.md: a demand rise clipped at a low
+        cap shows only a few watts of slope — it must still classify."""
+        mod = PriorityModule(1, CFG)
+        out = mod.update(hist([74, 74, 78, 81, 81]), dt_s=1.0)
+        assert out[0]
+
+
+class TestFrequency:
+    def _oscillating(self, n=20):
+        t = np.arange(n)
+        return np.where(t % 4 < 2, 150.0, 60.0)
+
+    def test_oscillation_sets_high_freq_and_priority(self):
+        mod = PriorityModule(1, CFG)
+        out = mod.update(hist(self._oscillating()), dt_s=1.0)
+        assert out[0]
+        assert mod.high_freq[0]
+
+    def test_high_freq_pins_priority_through_falling_power(self):
+        mod = PriorityModule(1, CFG)
+        mod.update(hist(self._oscillating()), dt_s=1.0)
+        # Power now falling but still oscillating enough (std high).
+        falling = np.concatenate([self._oscillating(16), [50, 45, 40, 35.0]])
+        out = mod.update(hist(falling), dt_s=1.0)
+        assert out[0]  # Pinned: no derivative check for high-freq units.
+
+    def test_high_freq_cleared_when_quiet_and_low_std(self):
+        mod = PriorityModule(1, CFG)
+        mod.update(hist(self._oscillating()), dt_s=1.0)
+        quiet = np.full(20, 80.0)
+        out = mod.update(hist(quiet), dt_s=1.0)
+        assert not mod.high_freq[0]
+        assert not out[0]
+
+    def test_high_freq_kept_when_std_still_high(self):
+        """Few prominent peaks but large std: the std check keeps the flag
+        (Algorithm 2's extra guard)."""
+        mod = PriorityModule(1, CFG)
+        mod.update(hist(self._oscillating()), dt_s=1.0)
+        # A single big swing: peak count low, std well above threshold.
+        swing = np.concatenate([np.full(10, 60.0), np.full(10, 150.0)])
+        out = mod.update(hist(swing), dt_s=1.0)
+        assert mod.high_freq[0]
+        assert out[0]
+
+    def test_use_frequency_false_skips_detection(self):
+        mod = PriorityModule(1, CFG, use_frequency=False)
+        osc = self._oscillating()
+        mod.update(hist(osc), dt_s=1.0)
+        assert not mod.high_freq[0]
+
+
+class TestLsqDerivative:
+    def _cfg(self, method):
+        import dataclasses
+
+        return dataclasses.replace(CFG, deriv_method=method)
+
+    def test_clean_ramp_same_classification(self):
+        for method in ("endpoints", "lsq"):
+            mod = PriorityModule(1, self._cfg(method))
+            assert mod.update(hist([60, 70, 80, 90]), dt_s=1.0)[0], method
+
+    def test_lsq_slope_matches_linear_series(self):
+        """On an exact line both estimators agree, so classifications do."""
+        series = [100 + 3 * k for k in range(4)]  # Slope 3 W/s > 2.
+        for method in ("endpoints", "lsq"):
+            mod = PriorityModule(1, self._cfg(method))
+            assert mod.update(hist(series), dt_s=1.0)[0], method
+
+    def test_lsq_more_robust_to_endpoint_spike(self):
+        """A single corrupted endpoint flips the endpoint estimator but
+        not the least-squares one (slopes: 2.17 vs 1.95 W/s, threshold 2)."""
+        series = [100.0, 100.0, 100.0, 106.5]  # Last sample spiked.
+        endpoint = PriorityModule(1, self._cfg("endpoints"))
+        lsq = PriorityModule(1, self._cfg("lsq"))
+        assert endpoint.update(hist(series), dt_s=1.0)[0]
+        assert not lsq.update(hist(series), dt_s=1.0)[0]
+
+    def test_config_rejects_unknown_method(self):
+        import dataclasses
+
+        with pytest.raises(ValueError, match="deriv_method"):
+            dataclasses.replace(CFG, deriv_method="spline")
+
+
+class TestMultiUnit:
+    def test_units_classified_independently(self):
+        mod = PriorityModule(2, CFG)
+        rising = [60, 70, 80, 90.0]
+        falling = [90, 80, 70, 60.0]
+        out = mod.update(hist(rising, falling), dt_s=1.0)
+        assert out[0] and not out[1]
+
+    def test_reset_clears_state(self):
+        mod = PriorityModule(1, CFG)
+        mod.update(hist([60, 80, 100, 120]), dt_s=1.0)
+        mod.reset()
+        assert not mod.priority[0] and not mod.high_freq[0]
+
+
+class TestValidation:
+    def test_rejects_wrong_units(self):
+        mod = PriorityModule(2, CFG)
+        with pytest.raises(ValueError, match="incompatible"):
+            mod.update(np.zeros((5, 3)), dt_s=1.0)
+
+    def test_rejects_nonpositive_dt(self):
+        mod = PriorityModule(1, CFG)
+        with pytest.raises(ValueError, match="dt_s"):
+            mod.update(np.zeros((5, 1)), dt_s=0.0)
+
+    def test_rejects_zero_units(self):
+        with pytest.raises(ValueError, match="n_units"):
+            PriorityModule(0, CFG)
+
+    def test_update_returns_copy(self):
+        mod = PriorityModule(1, CFG)
+        out = mod.update(hist([60, 80, 100, 120]), dt_s=1.0)
+        out[0] = False
+        assert mod.priority[0]

@@ -1,0 +1,178 @@
+"""Cap-readjusting module (paper Algorithms 3-4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ReadjustConfig
+from repro.core.readjust import readjust, restore
+
+CFG = ReadjustConfig(restore_threshold=0.8, budget_epsilon=1.0)
+
+
+class TestRestore:
+    def test_restores_when_all_quiet(self):
+        result = restore(
+            power_w=np.array([40.0, 50.0]),
+            caps_w=np.array([60.0, 150.0]),
+            initial_cap_w=110.0,
+            config=CFG,
+        )
+        assert result.restored
+        np.testing.assert_allclose(result.caps, [110.0, 110.0])
+
+    def test_no_restore_when_any_unit_busy(self):
+        result = restore(
+            power_w=np.array([40.0, 100.0]),  # 100 > 0.8 * 110.
+            caps_w=np.array([60.0, 150.0]),
+            initial_cap_w=110.0,
+            config=CFG,
+        )
+        assert not result.restored
+        np.testing.assert_allclose(result.caps, [60.0, 150.0])
+
+    def test_threshold_boundary(self):
+        # Exactly at the threshold is not "above": restore still fires.
+        result = restore(
+            power_w=np.array([88.0]),
+            caps_w=np.array([50.0]),
+            initial_cap_w=110.0,
+            config=CFG,
+        )
+        assert result.restored
+
+    def test_input_not_mutated(self):
+        caps = np.array([60.0])
+        restore(np.array([10.0]), caps, 110.0, CFG)
+        assert caps[0] == 60.0
+
+    def test_rejects_bad_initial_cap(self):
+        with pytest.raises(ValueError, match="initial_cap_w"):
+            restore(np.array([10.0]), np.array([60.0]), 0.0, CFG)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            restore(np.array([10.0, 20.0]), np.array([60.0]), 110.0, CFG)
+
+
+class TestReadjustGrant:
+    """Leftover budget goes to high-priority units, inverse-cap weighted."""
+
+    def test_noop_after_restore(self):
+        caps = np.array([110.0, 110.0])
+        out = readjust(
+            caps, np.array([True, True]), 400.0, 165.0, restored=True,
+            config=CFG,
+        )
+        np.testing.assert_allclose(out, caps)
+
+    def test_grant_only_to_high_priority(self):
+        out = readjust(
+            np.array([100.0, 100.0]),
+            np.array([True, False]),
+            budget_w=260.0,
+            max_cap_w=165.0,
+            restored=False,
+            config=CFG,
+        )
+        assert out[0] == pytest.approx(160.0)
+        assert out[1] == pytest.approx(100.0)
+
+    def test_lower_capped_unit_gets_more(self):
+        out = readjust(
+            np.array([50.0, 100.0]),
+            np.array([True, True]),
+            budget_w=180.0,  # 30 W leftover.
+            max_cap_w=165.0,
+            restored=False,
+            config=CFG,
+        )
+        grant0 = out[0] - 50.0
+        grant1 = out[1] - 100.0
+        assert grant0 + grant1 == pytest.approx(30.0)
+        assert grant0 == pytest.approx(2 * grant1)  # Inverse-cap weights.
+
+    def test_clipped_grant_recycled(self):
+        """Budget clipped at one unit's max flows to the other."""
+        out = readjust(
+            np.array([160.0, 60.0]),
+            np.array([True, True]),
+            budget_w=300.0,  # 80 W leftover, unit 0 can absorb only 5.
+            max_cap_w=165.0,
+            restored=False,
+            config=CFG,
+        )
+        assert out[0] == pytest.approx(165.0)
+        assert out[1] == pytest.approx(135.0)
+
+    def test_no_high_priority_units_noop(self):
+        caps = np.array([80.0, 90.0])
+        out = readjust(
+            caps, np.array([False, False]), 400.0, 165.0, restored=False,
+            config=CFG,
+        )
+        np.testing.assert_allclose(out, caps)
+
+    def test_all_at_max_leaves_budget_unassigned(self):
+        caps = np.array([165.0, 165.0])
+        out = readjust(
+            caps, np.array([True, True]), 500.0, 165.0, restored=False,
+            config=CFG,
+        )
+        np.testing.assert_allclose(out, caps)
+
+
+class TestReadjustEqualize:
+    """Budget exhausted: equalize the high-priority units' caps."""
+
+    def test_equalizes_high_priority(self):
+        out = readjust(
+            np.array([160.0, 60.0, 80.0]),
+            np.array([True, True, False]),
+            budget_w=300.0,  # sum(caps)=300 -> no leftover.
+            max_cap_w=165.0,
+            restored=False,
+            config=CFG,
+        )
+        assert out[0] == pytest.approx(110.0)
+        assert out[1] == pytest.approx(110.0)
+        assert out[2] == pytest.approx(80.0)  # Low priority untouched.
+
+    def test_equalize_preserves_total(self):
+        caps = np.array([150.0, 70.0, 100.0, 80.0])
+        prio = np.array([True, True, True, False])
+        out = readjust(caps, prio, float(caps.sum()), 165.0, False, CFG)
+        assert out.sum() == pytest.approx(caps.sum())
+
+    def test_epsilon_treats_tiny_leftover_as_exhausted(self):
+        caps = np.array([150.0, 70.0])
+        out = readjust(
+            caps,
+            np.array([True, True]),
+            budget_w=220.5,  # Only 0.5 W leftover < epsilon 1.0.
+            max_cap_w=165.0,
+            restored=False,
+            config=CFG,
+        )
+        # The equalize branch runs: caps average to 110 each (the tiny
+        # leftover is not distributed — it is below the epsilon).
+        np.testing.assert_allclose(out, [110.0, 110.0])
+
+    def test_equalized_cap_clipped_at_max(self):
+        out = readjust(
+            np.array([165.0, 164.0]),
+            np.array([True, True]),
+            budget_w=329.0,
+            max_cap_w=165.0,
+            restored=False,
+            config=CFG,
+        )
+        assert np.all(out <= 165.0)
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            readjust(
+                np.array([1.0, 2.0]), np.array([True]), 100.0, 165.0,
+                False, CFG,
+            )

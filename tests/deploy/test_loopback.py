@@ -1,0 +1,93 @@
+"""End-to-end TCP deployment on localhost."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.core.config import ClusterSpec, RaplConfig
+from repro.core.managers import create_manager
+from repro.deploy.loopback import run_loopback
+
+SPEC = ClusterSpec(n_nodes=2, sockets_per_node=2)
+
+
+def quiet_cluster(seed=0):
+    return Cluster(SPEC, RaplConfig(noise_std_w=0.0),
+                   np.random.default_rng(seed))
+
+
+class TestLoopback:
+    def test_session_completes_cleanly(self):
+        result = run_loopback(
+            quiet_cluster(),
+            create_manager("slurm"),
+            demand_fn=lambda step: np.full(4, 100.0),
+            cycles=10,
+        )
+        assert result.cycles == 10
+        assert result.client_cycles == [10, 10]
+
+    def test_traffic_is_three_bytes_per_unit_per_direction(self):
+        result = run_loopback(
+            quiet_cluster(),
+            create_manager("constant"),
+            demand_fn=lambda step: np.full(4, 80.0),
+            cycles=5,
+        )
+        assert result.bytes_total == 5 * 4 * 3 * 2
+
+    def test_caps_respond_to_demand_over_tcp(self):
+        demand = np.array([160.0, 160.0, 25.0, 25.0])
+        result = run_loopback(
+            quiet_cluster(),
+            create_manager("slurm"),
+            demand_fn=lambda step: demand,
+            cycles=20,
+        )
+        final = result.caps_history[-1]
+        assert final[:2].mean() > 130.0   # Hungry node grew.
+        assert final[2:].mean() < 60.0    # Idle node chased down.
+
+    def test_dps_over_tcp(self):
+        demand = np.array([160.0, 160.0, 40.0, 40.0])
+        result = run_loopback(
+            quiet_cluster(),
+            create_manager("dps"),
+            demand_fn=lambda step: demand,
+            cycles=20,
+        )
+        assert result.caps_history[-1].sum() <= SPEC.budget_w * (1 + 1e-6)
+
+    def test_readings_track_power(self):
+        result = run_loopback(
+            quiet_cluster(),
+            create_manager("constant"),
+            demand_fn=lambda step: np.full(4, 90.0),
+            cycles=15,
+        )
+        # After the lag settles, decoded readings sit near the demand.
+        assert result.readings_history[-1].mean() == pytest.approx(
+            90.0, abs=2.0
+        )
+
+    def test_rejects_zero_cycles(self):
+        with pytest.raises(ValueError, match="cycles"):
+            run_loopback(
+                quiet_cluster(),
+                create_manager("constant"),
+                demand_fn=lambda step: np.full(4, 80.0),
+                cycles=0,
+            )
+
+    def test_budget_respected_across_cycles(self):
+        rng = np.random.default_rng(1)
+        demands = rng.uniform(20, 160, size=(12, 4))
+        result = run_loopback(
+            quiet_cluster(),
+            create_manager("dps"),
+            demand_fn=lambda step: demands[step],
+            cycles=12,
+        )
+        assert np.all(
+            result.caps_history.sum(axis=1) <= SPEC.budget_w * (1 + 1e-6)
+        )

@@ -1,0 +1,119 @@
+"""DeployServer behaviour under misbehaving clients."""
+
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.comm.protocol import MSG_READING, encode
+from repro.core.managers import create_manager
+from repro.deploy import framing
+from repro.deploy.server import DeployServer
+
+
+def bound_manager(n_units=2):
+    mgr = create_manager("constant")
+    mgr.bind(n_units, 110.0 * n_units, 165.0, 30.0,
+             rng=np.random.default_rng(0))
+    return mgr
+
+
+class RawClient:
+    """A hand-driven client for protocol-violation tests."""
+
+    def __init__(self, address):
+        self.sock = socket.create_connection(address, timeout=2.0)
+
+    def hello(self, node_id=0, n_units=2):
+        framing.send_hello(self.sock, node_id, n_units)
+
+    def close(self):
+        self.sock.close()
+
+
+class TestRegistration:
+    def test_over_registration_rejected(self):
+        with DeployServer(bound_manager(n_units=2)) as server:
+            client = RawClient(server.address)
+            errors = []
+
+            def accept():
+                try:
+                    server.accept_clients(1)
+                except ValueError as exc:
+                    errors.append(exc)
+
+            t = threading.Thread(target=accept)
+            t.start()
+            client.hello(n_units=3)  # One more than the manager is bound to.
+            t.join(2.0)
+            client.close()
+            assert errors and "bound to" in str(errors[0])
+
+    def test_cycle_requires_full_registration(self):
+        with DeployServer(bound_manager(n_units=4)) as server:
+            client = RawClient(server.address)
+            t = threading.Thread(target=lambda: server.accept_clients(1))
+            t.start()
+            client.hello(n_units=2)  # Covers only half the units.
+            t.join(2.0)
+            with pytest.raises(RuntimeError, match="registered units"):
+                server.control_cycle()
+            client.close()
+
+    def test_cycle_without_clients(self):
+        with DeployServer(bound_manager()) as server:
+            with pytest.raises(RuntimeError, match="no clients"):
+                server.control_cycle()
+
+
+class TestCycleViolations:
+    def _registered(self, server):
+        client = RawClient(server.address)
+        t = threading.Thread(target=lambda: server.accept_clients(1))
+        t.start()
+        client.hello(n_units=2)
+        t.join(2.0)
+        return client
+
+    def test_short_readings_batch_rejected(self):
+        with DeployServer(bound_manager(n_units=2)) as server:
+            client = self._registered(server)
+            errors = []
+
+            def cycle():
+                try:
+                    server.control_cycle()
+                except RuntimeError as exc:
+                    errors.append(exc)
+
+            t = threading.Thread(target=cycle)
+            t.start()
+            assert framing.recv_tag(client.sock) == framing.FRAME_POLL
+            framing.send_batch(
+                client.sock,
+                framing.FRAME_READINGS,
+                [encode(MSG_READING, 0, 100.0)],  # Only 1 of 2 units.
+            )
+            t.join(2.0)
+            client.close()
+            assert errors and "readings" in str(errors[0])
+
+    def test_client_disconnect_mid_cycle_surfaces(self):
+        with DeployServer(bound_manager(n_units=2)) as server:
+            client = self._registered(server)
+            errors = []
+
+            def cycle():
+                try:
+                    server.control_cycle()
+                except (ConnectionError, RuntimeError, OSError) as exc:
+                    errors.append(exc)
+
+            t = threading.Thread(target=cycle)
+            t.start()
+            framing.recv_tag(client.sock)  # POLL arrives...
+            client.close()  # ...and the client dies.
+            t.join(3.0)
+            assert errors

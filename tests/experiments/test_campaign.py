@@ -1,0 +1,94 @@
+"""Campaign runner: execution, summaries, serialization."""
+
+import pytest
+
+from repro.experiments.campaign import (
+    Campaign,
+    CampaignResult,
+    ExperimentRecord,
+)
+
+
+def small_campaign(fast_config, **kwargs):
+    defaults = dict(
+        config=fast_config,
+        groups=("low_utility",),
+        managers=("constant", "slurm"),
+        limit_pairs=2,
+    )
+    defaults.update(kwargs)
+    return Campaign(**defaults)
+
+
+class TestValidation:
+    def test_rejects_unknown_group(self, fast_config):
+        with pytest.raises(ValueError, match="unknown group"):
+            Campaign(fast_config, groups=("bogus",))
+
+    def test_rejects_bad_limit(self, fast_config):
+        with pytest.raises(ValueError, match="limit_pairs"):
+            Campaign(fast_config, limit_pairs=0)
+
+
+class TestRun:
+    def test_record_count(self, fast_config):
+        result = small_campaign(fast_config).run()
+        assert len(result.records) == 2 * 2  # 2 pairs x 2 managers.
+
+    def test_progress_callback(self, fast_config):
+        seen = []
+        small_campaign(fast_config).run(
+            progress=lambda g, p, m: seen.append((g, p, m))
+        )
+        assert len(seen) == 4
+        assert seen[0][0] == "low_utility"
+
+    def test_group_default_managers(self, fast_config):
+        campaign = small_campaign(fast_config, managers=None, limit_pairs=1)
+        result = campaign.run()
+        assert {r.manager for r in result.records} == {
+            "slurm", "dps", "oracle",
+        }
+
+    def test_filters(self, fast_config):
+        result = small_campaign(fast_config).run()
+        assert len(result.for_group("low_utility")) == 4
+        assert len(result.for_manager("slurm")) == 2
+        assert result.for_group("spark_npb") == []
+
+
+class TestSummaries:
+    def test_summary_keys_and_values(self, fast_config):
+        result = small_campaign(fast_config).run()
+        summary = result.summary()
+        assert ("low_utility", "constant") in summary
+        stats = summary[("low_utility", "constant")]
+        assert stats.n == 2
+        assert stats.hmean == pytest.approx(1.0, abs=1e-6)
+
+    def test_mean_fairness_in_range(self, fast_config):
+        result = small_campaign(fast_config).run()
+        for value in result.mean_fairness().values():
+            assert 0 <= value <= 1
+
+
+class TestSerialization:
+    def test_json_round_trip(self, fast_config):
+        result = small_campaign(fast_config).run()
+        restored = CampaignResult.from_json(result.to_json())
+        assert restored.seed == result.seed
+        assert restored.time_scale == result.time_scale
+        assert restored.records == result.records
+
+    def test_rejects_wrong_format(self):
+        with pytest.raises(ValueError, match="unsupported"):
+            CampaignResult.from_json('{"format": "x"}')
+
+    def test_record_is_frozen(self):
+        rec = ExperimentRecord(
+            group="g", workload_a="a", workload_b="b", manager="m",
+            speedup_a=1.0, speedup_b=1.0, hmean_speedup=1.0,
+            satisfaction_a=1.0, satisfaction_b=1.0, fairness=1.0,
+        )
+        with pytest.raises(AttributeError):
+            rec.fairness = 0.5  # type: ignore[misc]

@@ -1,0 +1,83 @@
+"""Terminal chart rendering."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.charts import bar_chart, line_chart, sparkline
+
+
+class TestSparkline:
+    def test_length_capped_at_width(self):
+        out = sparkline(np.arange(200.0), width=50)
+        assert len(out) == 50
+
+    def test_short_series_kept(self):
+        out = sparkline([1.0, 2.0, 3.0], width=50)
+        assert len(out) == 3
+
+    def test_monotone_series_monotone_blocks(self):
+        out = sparkline([0.0, 1.0, 2.0, 3.0])
+        assert out[0] == "▁" and out[-1] == "█"
+
+    def test_flat_series(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            sparkline([])
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError, match="width"):
+            sparkline([1.0], width=0)
+
+
+class TestLineChart:
+    def test_dimensions(self):
+        t = np.arange(100.0)
+        v = 100 + 50 * np.sin(t / 10)
+        out = line_chart(t, v, height=8, width=40, label="power")
+        lines = out.splitlines()
+        assert lines[0] == "power"
+        assert len(lines) == 1 + 8 + 2  # label + rows + axis + time line.
+
+    def test_extremes_plotted(self):
+        out = line_chart([0.0, 1.0, 2.0], [0.0, 100.0, 0.0], height=5)
+        assert "•" in out
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ValueError, match="equal"):
+            line_chart([1.0, 2.0], [1.0])
+
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(ValueError, match="height"):
+            line_chart([1.0, 2.0], [1.0, 2.0], height=1)
+
+
+class TestBarChart:
+    def test_structure(self):
+        out = bar_chart(
+            {"dps": [1.05, 0.98], "slurm": [0.92, 1.01]},
+            labels=["kmeans", "lda"],
+        )
+        lines = out.splitlines()
+        assert lines[0] == "kmeans:"
+        assert sum(1 for l in lines if "dps" in l) == 2
+        assert "1.050x" in out
+
+    def test_direction_of_bars(self):
+        out = bar_chart({"m": [1.5]}, labels=["w"], width=20)
+        bar_line = out.splitlines()[1]
+        left, _, right = bar_line.partition("│")
+        assert "█" in right and "█" not in left
+        out_neg = bar_chart({"m": [0.5]}, labels=["w"], width=20)
+        bar_line = out_neg.splitlines()[1]
+        left, _, right = bar_line.partition("│")
+        assert "█" in left and "█" not in right
+
+    def test_rejects_empty_series(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            bar_chart({}, labels=["a"])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="values"):
+            bar_chart({"m": [1.0]}, labels=["a", "b"])

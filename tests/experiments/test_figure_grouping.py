@@ -1,0 +1,116 @@
+"""Figure grouping/aggregation math, isolated from the simulator.
+
+A stub harness returns scripted per-pair evaluations so the harmonic-mean
+grouping of each figure generator can be checked against hand-computed
+values (the full-stack behaviour is covered by the benchmarks).
+"""
+
+import pytest
+
+from repro.experiments.figures import figure4, figure5a, figure5b, figure6
+from repro.experiments.harness import PairEvaluation, PairOutcome
+from repro.metrics.speedup import hmean
+
+
+def make_eval(a, b, manager, speedup_a, speedup_b):
+    outcome = PairOutcome(
+        manager=manager,
+        workload_a=a,
+        workload_b=b,
+        times_a_s=(10.0,),
+        times_b_s=(10.0,),
+        power_a_w=100.0,
+        power_b_w=100.0,
+        max_caps_sum_w=0.0,
+        sim_time_s=0.0,
+    )
+    return PairEvaluation(
+        outcome=outcome,
+        speedup_a=speedup_a,
+        speedup_b=speedup_b,
+        hmean_speedup=hmean([speedup_a, speedup_b]),
+        satisfaction_a=1.0,
+        satisfaction_b=1.0,
+        fairness=1.0,
+    )
+
+
+class StubHarness:
+    """Returns scripted speedups keyed by (a, b, manager)."""
+
+    def __init__(self, table):
+        self.table = table
+        self.calls = []
+
+    def evaluate_pair(self, a, b, manager):
+        self.calls.append((a, b, manager))
+        speedup_a, speedup_b = self.table[(a, b, manager)]
+        return make_eval(a, b, manager, speedup_a, speedup_b)
+
+
+class TestFigure4Grouping:
+    def test_hmean_over_low_power_partners(self):
+        table = {
+            ("kmeans", "sort", "dps"): (1.10, 1.0),
+            ("kmeans", "wordcount", "dps"): (1.05, 1.0),
+        }
+        harness = StubHarness(table)
+        data = figure4(
+            harness,
+            managers=("dps",),
+            pairs=[("kmeans", "sort"), ("kmeans", "wordcount")],
+        )
+        assert data.labels == ("kmeans",)
+        assert data.series["dps"][0] == pytest.approx(hmean([1.10, 1.05]))
+
+    def test_pair_values_keep_raw_hmeans(self):
+        table = {("kmeans", "sort", "dps"): (1.2, 0.9)}
+        harness = StubHarness(table)
+        data = figure4(harness, managers=("dps",),
+                       pairs=[("kmeans", "sort")])
+        assert data.pair_values["dps"][("kmeans", "sort")] == pytest.approx(
+            hmean([1.2, 0.9])
+        )
+
+
+class TestFigure5Grouping:
+    def test_5a_reports_own_speedup(self):
+        table = {("bayes", "gmm", "slurm"): (0.9, 1.1)}
+        harness = StubHarness(table)
+        data = figure5a(harness, managers=("slurm",),
+                        mid_workloads=("bayes",))
+        assert data.series["slurm"][0] == pytest.approx(0.9)
+
+    def test_5b_reports_paired_hmean(self):
+        table = {("bayes", "gmm", "slurm"): (0.9, 1.1)}
+        harness = StubHarness(table)
+        data = figure5b(harness, managers=("slurm",), workloads=("bayes",))
+        assert data.series["slurm"][0] == pytest.approx(hmean([0.9, 1.1]))
+
+
+class TestFigure6Grouping:
+    def test_grouped_both_ways(self):
+        table = {
+            ("bayes", "ft", "dps"): (1.0, 1.2),
+            ("bayes", "mg", "dps"): (1.0, 1.1),
+            ("lr", "ft", "dps"): (1.0, 1.3),
+        }
+        harness = StubHarness(table)
+        by_spark, by_npb = figure6(
+            harness,
+            managers=("dps",),
+            pairs=[("bayes", "ft"), ("bayes", "mg"), ("lr", "ft")],
+        )
+        bayes_pairs = [hmean([1.0, 1.2]), hmean([1.0, 1.1])]
+        assert by_spark.series["dps"][0] == pytest.approx(hmean(bayes_pairs))
+        ft_pairs = [hmean([1.0, 1.2]), hmean([1.0, 1.3])]
+        assert by_npb.series["dps"][0] == pytest.approx(hmean(ft_pairs))
+
+    def test_each_pair_evaluated_once_per_manager(self):
+        table = {
+            ("bayes", "ft", "dps"): (1.0, 1.0),
+            ("bayes", "ft", "slurm"): (1.0, 1.0),
+        }
+        harness = StubHarness(table)
+        figure6(harness, managers=("dps", "slurm"), pairs=[("bayes", "ft")])
+        assert len(harness.calls) == 2

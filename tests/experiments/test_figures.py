@@ -1,0 +1,103 @@
+"""Figure generators on fast configurations."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import (
+    figure1,
+    figure2,
+    figure4,
+    figure5a,
+    figure5b,
+    figure6,
+    figure7,
+)
+from repro.experiments.harness import ExperimentHarness
+
+
+class TestFigure1:
+    def test_structure(self):
+        data = figure1()
+        assert data.timesteps == (0, 1, 2, 3, 4)
+        assert set(data.caps) == {"constant", "oracle", "slurm", "dps"}
+        for caps in data.caps.values():
+            assert caps.shape == (5, 2)
+
+    def test_constant_never_moves(self):
+        data = figure1()
+        np.testing.assert_allclose(data.caps["constant"], 120.0)
+
+    def test_budget_respected_by_all(self):
+        data = figure1()
+        for name, caps in data.caps.items():
+            assert np.all(caps.sum(axis=1) <= data.budget_w + 1e-6), name
+
+    def test_stateless_starves_late_riser(self):
+        """The figure's core story at T4."""
+        data = figure1()
+        slurm_t4 = data.caps["slurm"][4]
+        dps_t4 = data.caps["dps"][4]
+        # SLURM: node 1 far below its fair 120 W share.
+        assert slurm_t4[1] < 105.0
+        # DPS: both nodes near the even split, like the oracle.
+        assert abs(dps_t4[0] - dps_t4[1]) < 5.0
+        assert dps_t4[1] > 110.0
+
+    def test_oracle_tracks_demand(self):
+        data = figure1()
+        oracle_t1 = data.caps["oracle"][1]
+        assert oracle_t1[0] > 150.0  # Node 0's surge covered at T1.
+
+
+class TestFigure2:
+    def test_traces_generated(self, fast_config):
+        traces = figure2(workloads=("lr",), config=fast_config)
+        t, p = traces["lr"]
+        assert t.shape == p.shape
+        assert p.max() > 110.0  # LR's bursts visible uncapped.
+        assert p.min() < 90.0
+
+
+class TestBarFigures:
+    @pytest.fixture
+    def harness(self, fast_config):
+        return ExperimentHarness(fast_config)
+
+    def test_figure4_structure(self, harness):
+        pairs = [("bayes", "sort"), ("bayes", "wordcount"), ("lr", "sort")]
+        data = figure4(harness, managers=("slurm", "dps"), pairs=pairs)
+        assert data.labels == ("bayes", "lr")
+        assert set(data.series) == {"slurm", "dps"}
+        assert len(data.series["dps"]) == 2
+        assert len(data.pair_values["dps"]) == 3
+
+    def test_figure5a_structure(self, harness):
+        data = figure5a(
+            harness, managers=("dps",), mid_workloads=("bayes",)
+        )
+        assert data.labels == ("bayes",)
+        assert len(data.series["dps"]) == 1
+
+    def test_figure5b_structure(self, harness):
+        data = figure5b(harness, managers=("dps",), workloads=("bayes",))
+        assert data.labels == ("bayes",)
+        assert data.series["dps"][0] > 0
+
+    def test_figure6_grouping(self, harness):
+        pairs = [("bayes", "ft"), ("bayes", "mg"), ("lr", "ft")]
+        by_spark, by_npb = figure6(
+            harness, managers=("dps",), pairs=pairs
+        )
+        assert by_spark.labels == ("bayes", "lr")
+        assert by_npb.labels == ("ft", "mg")
+        # Grouped series lengths match label counts.
+        assert len(by_spark.series["dps"]) == 2
+        assert len(by_npb.series["dps"]) == 2
+
+    def test_figure7_structure(self, harness):
+        data = figure7(
+            harness, managers=("dps",), pairs=[("bayes", "ft")]
+        )
+        assert set(data.fairness) == {"dps"}
+        assert len(data.fairness["dps"]) == 1
+        assert 0 <= data.mean_fairness["dps"] <= 1

@@ -1,0 +1,109 @@
+"""Experiment harness: references, baselines, normalization, caching."""
+
+import pytest
+
+from repro.experiments.harness import (
+    ExperimentConfig,
+    ExperimentHarness,
+    PairOutcome,
+)
+
+
+class TestConfig:
+    def test_derive_seed_deterministic(self):
+        cfg = ExperimentConfig(seed=5)
+        assert cfg.derive_seed("a", "b") == cfg.derive_seed("a", "b")
+        assert cfg.derive_seed("a", "b") != cfg.derive_seed("b", "a")
+        assert (
+            ExperimentConfig(seed=6).derive_seed("a", "b")
+            != cfg.derive_seed("a", "b")
+        )
+
+    def test_make_manager_applies_configs(self):
+        from repro.core.config import DPSConfig
+
+        cfg = ExperimentConfig(dps=DPSConfig(use_kalman=False))
+        mgr = cfg.make_manager("dps")
+        assert not mgr.config.use_kalman  # type: ignore[attr-defined]
+
+    def test_make_manager_baselines(self):
+        cfg = ExperimentConfig()
+        assert cfg.make_manager("constant").name == "constant"
+        assert cfg.make_manager("oracle").name == "oracle"
+
+
+class TestReferences:
+    def test_uncapped_reference_cached(self, fast_config):
+        harness = ExperimentHarness(fast_config)
+        first = harness.uncapped_reference("sort")
+        second = harness.uncapped_reference("sort")
+        assert first is second
+        assert first.mean_power_w > 0
+        assert first.mean_duration_s > 0
+
+    def test_constant_baseline_cached(self, fast_config):
+        harness = ExperimentHarness(fast_config)
+        b1 = harness.constant_baseline("sort", "wordcount")
+        b2 = harness.constant_baseline("sort", "wordcount")
+        assert b1 is b2
+        assert b1.manager == "constant"
+
+
+class TestRunPair:
+    def test_outcome_fields(self, fast_config):
+        harness = ExperimentHarness(fast_config)
+        outcome = harness.run_pair("sort", "wordcount", "slurm")
+        assert isinstance(outcome, PairOutcome)
+        assert len(outcome.times_a_s) >= fast_config.repeats
+        assert outcome.max_caps_sum_w <= (
+            fast_config.cluster.budget_w * (1 + 1e-6)
+        )
+
+    def test_telemetry_variant(self, fast_config):
+        harness = ExperimentHarness(fast_config)
+        outcome, result = harness.run_pair(
+            "sort", "wordcount", "slurm", record_telemetry=True
+        )
+        assert result.telemetry is not None
+        assert isinstance(outcome, PairOutcome)
+
+
+class TestTruncation:
+    def test_step_limit_raises_with_guidance(self, fast_config):
+        import dataclasses
+
+        from repro.core.config import SimulationConfig
+
+        cramped = dataclasses.replace(
+            fast_config,
+            sim=SimulationConfig(
+                time_scale=0.05, max_steps=3, inter_run_gap_s=2.0
+            ),
+        )
+        harness = ExperimentHarness(cramped)
+        with pytest.raises(RuntimeError, match="max_steps"):
+            harness.run_pair("kmeans", "gmm", "constant")
+
+
+class TestEvaluatePair:
+    def test_constant_is_unity(self, fast_config):
+        harness = ExperimentHarness(fast_config)
+        ev = harness.evaluate_pair("sort", "wordcount", "constant")
+        assert ev.speedup_a == pytest.approx(1.0)
+        assert ev.speedup_b == pytest.approx(1.0)
+        assert ev.hmean_speedup == pytest.approx(1.0)
+
+    def test_metrics_in_range(self, fast_config):
+        harness = ExperimentHarness(fast_config)
+        ev = harness.evaluate_pair("sort", "wordcount", "dps")
+        assert 0 <= ev.satisfaction_a <= 1
+        assert 0 <= ev.satisfaction_b <= 1
+        assert 0 <= ev.fairness <= 1
+        assert ev.speedup_a > 0 and ev.speedup_b > 0
+
+    def test_evaluate_managers_keys(self, fast_config):
+        harness = ExperimentHarness(fast_config)
+        out = harness.evaluate_managers(
+            "sort", "wordcount", ("slurm", "dps")
+        )
+        assert set(out) == {"slurm", "dps"}

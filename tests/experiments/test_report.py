@@ -1,0 +1,72 @@
+"""Campaign markdown report."""
+
+import pytest
+
+from repro.experiments.campaign import CampaignResult, ExperimentRecord
+from repro.experiments.report import campaign_report
+
+
+def record(group="high_utility", a="kmeans", b="gmm", manager="dps",
+           hmean=1.02, fairness=0.95):
+    return ExperimentRecord(
+        group=group, workload_a=a, workload_b=b, manager=manager,
+        speedup_a=hmean, speedup_b=hmean, hmean_speedup=hmean,
+        satisfaction_a=0.9, satisfaction_b=0.9, fairness=fairness,
+    )
+
+
+class TestCampaignReport:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            campaign_report(CampaignResult())
+
+    def test_structure(self):
+        result = CampaignResult(
+            records=[
+                record(manager="dps", hmean=1.02),
+                record(manager="slurm", hmean=0.95),
+                record(a="lda", manager="dps", hmean=1.05),
+                record(a="lda", manager="slurm", hmean=0.9),
+            ],
+            seed=42,
+            time_scale=0.2,
+        )
+        report = campaign_report(result)
+        assert "# Campaign report" in report
+        assert "## high_utility" in report
+        assert "seed: 42" in report
+        assert "mean fairness" in report
+        # Best/worst lines name actual pairs.
+        assert "best pair: lda/gmm (1.050)" in report
+        assert "worst: lda/gmm (0.900)" in report
+        # The chart block is fenced.
+        assert report.count("```") == 2
+
+    def test_constant_has_no_best_worst_line(self):
+        result = CampaignResult(
+            records=[record(manager="constant", hmean=1.0)]
+        )
+        report = campaign_report(result)
+        assert "best pair" not in report
+
+    def test_multi_group(self):
+        result = CampaignResult(
+            records=[
+                record(group="low_utility"),
+                record(group="spark_npb"),
+            ]
+        )
+        report = campaign_report(result)
+        assert "## low_utility" in report
+        assert "## spark_npb" in report
+
+    def test_round_trips_through_json(self, fast_config):
+        from repro.experiments.campaign import Campaign
+
+        campaign = Campaign(
+            fast_config, groups=("low_utility",),
+            managers=("constant", "dps"), limit_pairs=1,
+        )
+        result = campaign.run()
+        restored = CampaignResult.from_json(result.to_json())
+        assert campaign_report(restored) == campaign_report(result)

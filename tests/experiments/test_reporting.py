@@ -1,0 +1,87 @@
+"""Text rendering of figures and tables."""
+
+import numpy as np
+
+from repro.experiments.figures import Figure1Data, Figure7Data, FigureBars
+from repro.experiments.reporting import (
+    render_bars,
+    render_figure1,
+    render_figure7,
+    render_overhead_rows,
+    render_table,
+    render_workload_rows,
+)
+from repro.experiments.tables import OverheadRow, WorkloadRow
+
+
+class TestRenderTable:
+    def test_alignment_and_separator(self):
+        out = render_table(["name", "v"], [["a", 1], ["bb", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_handles_long_cells(self):
+        out = render_table(["x"], [["a-very-long-cell"]])
+        assert "a-very-long-cell" in out
+
+
+class TestRenderBars:
+    def test_percent_gains(self):
+        data = FigureBars(
+            labels=("kmeans",),
+            series={"dps": (1.08,), "slurm": (0.92,)},
+        )
+        out = render_bars(data, "title")
+        assert "title" in out
+        assert "+8.0" in out
+        assert "-8.0" in out
+
+
+class TestRenderFigure1:
+    def test_contains_all_systems(self):
+        data = Figure1Data(
+            timesteps=(0, 1),
+            demand=np.array([[30.0, 30.0], [160.0, 30.0]]),
+            caps={"dps": np.full((2, 2), 120.0)},
+            budget_w=240.0,
+        )
+        out = render_figure1(data)
+        assert "dps" in out and "demand" in out and "T1" in out
+
+
+class TestRenderFigure7:
+    def test_summary_row_per_manager(self):
+        data = Figure7Data(
+            fairness={"dps": (0.9, 0.95)},
+            hmean_speedups={"dps": (1.0, 1.02)},
+            mean_fairness={"dps": 0.925},
+            correlation={"dps": 0.5},
+        )
+        out = render_figure7(data)
+        assert "0.925" in out and "+0.50" in out
+
+
+class TestRenderRows:
+    def test_workload_rows(self):
+        rows = [
+            WorkloadRow(
+                name="kmeans", power_class="mid", data_size="224 GB",
+                paper_duration_s=1467.0, measured_duration_s=1400.0,
+                paper_above_110_pct=47.6, measured_above_110_pct=46.0,
+            )
+        ]
+        out = render_workload_rows(rows, "Table 2")
+        assert "kmeans" in out and "1467" in out and "46.0" in out
+
+    def test_overhead_rows(self):
+        rows = [
+            OverheadRow(
+                n_nodes=10, n_units=20, bytes_per_cycle=120,
+                network_s=2e-4, compute_s=5e-4, turnaround_s=7e-4,
+                projected=False,
+            )
+        ]
+        out = render_overhead_rows(rows)
+        assert "measured" in out and "120" in out

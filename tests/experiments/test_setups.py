@@ -1,0 +1,45 @@
+"""Pair enumerations of the three benchmark setups (paper §5.2, Appendix)."""
+
+from repro.experiments.setups import (
+    GROUP_MANAGERS,
+    demanding_spark_names,
+    high_utility_pairs,
+    low_utility_pairs,
+    spark_npb_pairs,
+)
+
+
+class TestPairCounts:
+    def test_low_utility_28_pairs(self):
+        pairs = low_utility_pairs()
+        assert len(pairs) == 28
+        assert all(b in ("wordcount", "sort", "terasort", "repartition")
+                   for _, b in pairs)
+
+    def test_high_utility_49_pairs(self):
+        pairs = high_utility_pairs()
+        assert len(pairs) == 49
+        assert ("gmm", "gmm") in pairs  # Self-pairs included (7 x 7).
+
+    def test_spark_npb_56_pairs(self):
+        pairs = spark_npb_pairs()
+        assert len(pairs) == 56
+        assert all(b in ("bt", "cg", "ep", "ft", "is", "lu", "mg", "sp")
+                   for _, b in pairs)
+
+    def test_demanding_names(self):
+        names = demanding_spark_names()
+        assert len(names) == 7
+        assert names[-1] == "gmm"  # high-power last.
+
+    def test_no_duplicates(self):
+        for pairs in (low_utility_pairs(), high_utility_pairs(),
+                      spark_npb_pairs()):
+            assert len(set(pairs)) == len(pairs)
+
+
+class TestGroupManagers:
+    def test_oracle_only_in_low_utility(self):
+        assert "oracle" in GROUP_MANAGERS["low_utility"]
+        assert "oracle" not in GROUP_MANAGERS["high_utility"]
+        assert "oracle" not in GROUP_MANAGERS["spark_npb"]

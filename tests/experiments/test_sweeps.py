@@ -1,0 +1,54 @@
+"""Budget and noise sweeps."""
+
+import pytest
+
+from repro.experiments.sweeps import budget_sweep, noise_sweep
+
+
+class TestBudgetSweep:
+    def test_points_per_fraction_and_manager(self, fast_config):
+        points = budget_sweep(
+            fast_config,
+            pair=("bayes", "sort"),
+            budget_fractions=(0.6, 0.8),
+            managers=("constant", "slurm"),
+        )
+        assert len(points) == 4
+        assert {p.parameter for p in points} == {0.6, 0.8}
+        assert {p.manager for p in points} == {"constant", "slurm"}
+
+    def test_constant_is_unity_at_every_budget(self, fast_config):
+        points = budget_sweep(
+            fast_config,
+            pair=("bayes", "sort"),
+            budget_fractions=(0.6, 0.9),
+            managers=("constant",),
+        )
+        for p in points:
+            assert p.hmean_speedup == pytest.approx(1.0)
+
+    def test_rejects_bad_fraction(self, fast_config):
+        with pytest.raises(ValueError, match="fractions"):
+            budget_sweep(fast_config, budget_fractions=(1.5,))
+
+    def test_rejects_empty(self, fast_config):
+        with pytest.raises(ValueError, match="non-empty"):
+            budget_sweep(fast_config, budget_fractions=())
+
+
+class TestNoiseSweep:
+    def test_points_generated(self, fast_config):
+        points = noise_sweep(
+            fast_config,
+            pair=("bayes", "sort"),
+            noise_stds_w=(0.0, 4.0),
+            managers=("dps",),
+        )
+        assert len(points) == 2
+        for p in points:
+            assert 0 <= p.fairness <= 1
+            assert p.hmean_speedup > 0
+
+    def test_rejects_negative_noise(self, fast_config):
+        with pytest.raises(ValueError, match=">= 0"):
+            noise_sweep(fast_config, noise_stds_w=(-1.0,))

@@ -1,0 +1,76 @@
+"""Energy metrics over telemetry."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.energy import (
+    energy_delay_product,
+    energy_j,
+    energy_to_solution_j,
+)
+from repro.telemetry.log import TelemetryLog
+
+
+def make_log(steps=10, n_units=2, power=100.0, dt=1.0):
+    log = TelemetryLog(n_units)
+    for t in range(steps):
+        log.record(
+            (t + 1) * dt,
+            np.full(n_units, power),
+            np.full(n_units, power),
+            np.full(n_units, 110.0),
+        )
+    return log
+
+
+class TestEnergy:
+    def test_constant_power(self):
+        log = make_log(steps=10, power=100.0)
+        # 2 units x 100 W x 10 s = 2000 J.
+        assert energy_j(log, np.array([0, 1]), 0.0, 10.0) == pytest.approx(
+            2000.0
+        )
+
+    def test_single_unit(self):
+        log = make_log(steps=10, power=100.0)
+        assert energy_j(log, np.array([0]), 0.0, 10.0) == pytest.approx(
+            1000.0
+        )
+
+    def test_window_subset(self):
+        log = make_log(steps=10, power=100.0)
+        assert energy_j(log, np.array([0]), 5.0, 10.0) == pytest.approx(
+            500.0
+        )
+
+    def test_nonuniform_dt(self):
+        log = TelemetryLog(1)
+        for t in (1.0, 3.0, 6.0):  # dt 2 then 3 (first step inferred as 2).
+            log.record(t, np.array([100.0]), np.array([100.0]),
+                       np.array([110.0]))
+        assert energy_j(log, np.array([0]), 0.0, 6.0) == pytest.approx(
+            100.0 * (2 + 2 + 3)
+        )
+
+    def test_empty_window_raises(self):
+        log = make_log()
+        with pytest.raises(ValueError, match="no samples"):
+            energy_j(log, np.array([0]), 100.0, 200.0)
+
+    def test_alias(self):
+        log = make_log()
+        assert energy_to_solution_j(
+            log, np.array([0]), 0.0, 10.0
+        ) == energy_j(log, np.array([0]), 0.0, 10.0)
+
+
+class TestEDP:
+    def test_known_value(self):
+        log = make_log(steps=10, power=100.0)
+        edp = energy_delay_product(log, np.array([0, 1]), 0.0, 10.0)
+        assert edp == pytest.approx(2000.0 * 10.0)
+
+    def test_rejects_empty_window(self):
+        log = make_log()
+        with pytest.raises(ValueError, match="positive length"):
+            energy_delay_product(log, np.array([0]), 5.0, 5.0)

@@ -1,0 +1,152 @@
+"""Satisfaction (Eq. 1), fairness (Eq. 2), speedups, summaries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.fairness import (
+    fairness,
+    fairness_performance_correlation,
+    pairwise_fairness,
+)
+from repro.metrics.satisfaction import satisfaction
+from repro.metrics.speedup import hmean, paired_hmean_speedup, speedup
+from repro.metrics.summary import gain_pct, mean_gain_pct, summarize
+
+
+class TestSatisfaction:
+    def test_fully_met(self):
+        assert satisfaction(100.0, 100.0) == pytest.approx(1.0)
+
+    def test_half_met(self):
+        assert satisfaction(50.0, 100.0) == pytest.approx(0.5)
+
+    def test_clipped_at_one(self):
+        assert satisfaction(105.0, 100.0) == 1.0
+
+    def test_rejects_zero_uncapped(self):
+        with pytest.raises(ValueError, match="uncapped"):
+            satisfaction(50.0, 0.0)
+
+    def test_rejects_negative_capped(self):
+        with pytest.raises(ValueError, match="capped"):
+            satisfaction(-1.0, 100.0)
+
+
+class TestFairness:
+    def test_equal_satisfaction_is_one(self):
+        assert fairness(0.7, 0.7) == pytest.approx(1.0)
+
+    def test_gap_reduces_fairness(self):
+        assert fairness(0.9, 0.6) == pytest.approx(0.7)
+
+    def test_symmetric(self):
+        assert fairness(0.3, 0.8) == fairness(0.8, 0.3)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="satisfaction_i"):
+            fairness(1.2, 0.5)
+        with pytest.raises(ValueError, match="satisfaction_j"):
+            fairness(0.5, -0.1)
+
+    @given(st.floats(0, 1), st.floats(0, 1))
+    @settings(max_examples=60, deadline=None)
+    def test_bounded(self, a, b):
+        assert 0.0 <= fairness(a, b) <= 1.0
+
+
+class TestPairwiseFairness:
+    def test_matrix_properties(self):
+        s = np.array([0.5, 0.9, 0.7])
+        m = pairwise_fairness(s)
+        np.testing.assert_allclose(np.diag(m), 1.0)
+        np.testing.assert_allclose(m, m.T)
+        assert m[0, 1] == pytest.approx(0.6)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="\\[0, 1\\]"):
+            pairwise_fairness(np.array([0.5, 1.5]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            pairwise_fairness(np.zeros((2, 2)))
+
+
+class TestCorrelation:
+    def test_positive_relationship(self):
+        f = np.array([0.5, 0.7, 0.9, 1.0])
+        h = np.array([0.9, 0.95, 1.0, 1.05])
+        assert fairness_performance_correlation(f, h) > 0.9
+
+    def test_degenerate_inputs_zero(self):
+        assert fairness_performance_correlation(
+            np.array([0.5]), np.array([1.0])
+        ) == 0.0
+        assert fairness_performance_correlation(
+            np.array([0.5, 0.5]), np.array([1.0, 2.0])
+        ) == 0.0
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ValueError, match="equal-length"):
+            fairness_performance_correlation(
+                np.array([0.5, 0.6]), np.array([1.0])
+            )
+
+
+class TestHmean:
+    def test_known_value(self):
+        assert hmean([1.0, 2.0]) == pytest.approx(4 / 3)
+
+    def test_single_value(self):
+        assert hmean([5.0]) == 5.0
+
+    def test_dominated_by_small_values(self):
+        assert hmean([1.0, 100.0]) < 2.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            hmean([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="positive"):
+            hmean([1.0, 0.0])
+
+    @given(st.lists(st.floats(0.1, 100.0), min_size=1, max_size=10))
+    @settings(max_examples=60, deadline=None)
+    def test_hmean_below_arithmetic_mean(self, values):
+        assert hmean(values) <= np.mean(values) + 1e-9
+
+
+class TestSpeedup:
+    def test_faster_is_above_one(self):
+        assert speedup([10.0, 10.0], [8.0, 8.0]) == pytest.approx(1.25)
+
+    def test_slower_is_below_one(self):
+        assert speedup([10.0], [12.5]) == pytest.approx(0.8)
+
+    def test_paired_hmean(self):
+        assert paired_hmean_speedup(1.0, 1.0) == pytest.approx(1.0)
+        assert paired_hmean_speedup(0.5, 1.5) == pytest.approx(0.75)
+
+
+class TestSummary:
+    def test_summarize(self):
+        stats = summarize([1.0, 2.0, 4.0])
+        assert stats.n == 3
+        assert stats.min == 1.0 and stats.max == 4.0
+        assert stats.hmean <= stats.mean
+
+    def test_summarize_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            summarize([])
+
+    def test_gain_pct(self):
+        assert gain_pct(1.08) == pytest.approx(8.0)
+        with pytest.raises(ValueError, match="speedup"):
+            gain_pct(0.0)
+
+    def test_mean_gain_pct(self):
+        assert mean_gain_pct({"a": 1.1, "b": 1.3}) == pytest.approx(20.0)
+        with pytest.raises(ValueError, match="empty"):
+            mean_gain_pct({})

@@ -1,0 +1,89 @@
+"""Bootstrap statistics over repeat runs."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.stats import (
+    BootstrapCI,
+    bootstrap_hmean_ci,
+    coefficient_of_variation,
+    prob_speedup_exceeds,
+)
+
+
+class TestBootstrapCI:
+    def test_point_matches_hmean_speedup(self):
+        ci = bootstrap_hmean_ci([8.0, 8.0], [10.0, 10.0])
+        assert ci.point == pytest.approx(1.25)
+
+    def test_interval_contains_point_for_tight_samples(self):
+        rng = np.random.default_rng(0)
+        base = 10.0 + rng.normal(0, 0.1, 20)
+        times = 8.0 + rng.normal(0, 0.1, 20)
+        ci = bootstrap_hmean_ci(times, base, seed=1)
+        assert ci.contains(ci.point)
+        assert ci.high - ci.low < 0.1
+
+    def test_wide_variance_widens_interval(self):
+        rng = np.random.default_rng(0)
+        tight = bootstrap_hmean_ci(
+            8.0 + rng.normal(0, 0.05, 15), np.full(15, 10.0), seed=2
+        )
+        wide = bootstrap_hmean_ci(
+            8.0 + rng.normal(0, 2.0, 15), np.full(15, 10.0), seed=2
+        )
+        assert (wide.high - wide.low) > (tight.high - tight.low)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError, match="confidence"):
+            bootstrap_hmean_ci([1.0], [1.0], confidence=1.0)
+        with pytest.raises(ValueError, match="n_resamples"):
+            bootstrap_hmean_ci([1.0], [1.0], n_resamples=10)
+        with pytest.raises(ValueError, match="non-empty"):
+            bootstrap_hmean_ci([], [1.0])
+        with pytest.raises(ValueError, match="positive"):
+            bootstrap_hmean_ci([0.0], [1.0])
+
+    def test_ci_validates_bounds(self):
+        with pytest.raises(ValueError, match="low"):
+            BootstrapCI(point=1.0, low=2.0, high=1.0, confidence=0.95)
+
+    def test_deterministic_in_seed(self):
+        a = bootstrap_hmean_ci([8.0, 9.0, 7.5], [10.0, 10.5], seed=3)
+        b = bootstrap_hmean_ci([8.0, 9.0, 7.5], [10.0, 10.5], seed=3)
+        assert a == b
+
+
+class TestCoefficientOfVariation:
+    def test_zero_for_constant(self):
+        assert coefficient_of_variation([5.0, 5.0, 5.0]) == 0.0
+
+    def test_known_value(self):
+        cv = coefficient_of_variation([9.0, 11.0])
+        assert cv == pytest.approx(np.std([9, 11], ddof=1) / 10.0)
+
+    def test_rejects_single_sample(self):
+        with pytest.raises(ValueError, match="2 samples"):
+            coefficient_of_variation([5.0])
+
+
+class TestProbSpeedupExceeds:
+    def test_clear_winner(self):
+        a = [8.0, 8.1, 7.9, 8.0]
+        b = [10.0, 10.1, 9.9, 10.0]
+        assert prob_speedup_exceeds(a, b, seed=1) > 0.99
+
+    def test_clear_loser(self):
+        a = [10.0, 10.1, 9.9]
+        b = [8.0, 8.1, 7.9]
+        assert prob_speedup_exceeds(a, b, seed=1) < 0.01
+
+    def test_tie_near_half(self):
+        rng = np.random.default_rng(5)
+        a = 10.0 + rng.normal(0, 0.5, 30)
+        b = 10.0 + rng.normal(0, 0.5, 30)
+        assert 0.2 < prob_speedup_exceeds(a, b, seed=2) < 0.8
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            prob_speedup_exceeds([], [1.0])

@@ -1,0 +1,78 @@
+"""Cap actuator: pipeline delay, quantization, change accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import RaplConfig
+from repro.powercap.actuator import CapActuator
+from repro.powercap.rapl import RaplDomain
+
+
+def domains(n=2):
+    return [
+        RaplDomain(f"d{i}", 165.0, 30.0, RaplConfig(noise_std_w=0.0))
+        for i in range(n)
+    ]
+
+
+class TestImmediate:
+    def test_caps_applied_at_once(self):
+        doms = domains()
+        act = CapActuator(doms, delay_steps=0)
+        changed = act.issue(np.array([100.0, 120.0]))
+        assert changed == 2
+        assert doms[0].cap_w == pytest.approx(100.0)
+        assert doms[1].cap_w == pytest.approx(120.0)
+
+    def test_unchanged_caps_not_counted(self):
+        doms = domains()
+        act = CapActuator(doms)
+        act.issue(np.array([100.0, 120.0]))
+        changed = act.issue(np.array([100.0, 120.0]))
+        assert changed == 0
+
+    def test_commands_counted(self):
+        act = CapActuator(domains())
+        act.issue(np.array([100.0, 120.0]))
+        act.issue(np.array([90.0, 120.0]))
+        assert act.commands_applied == 4
+
+
+class TestDelay:
+    def test_one_step_delay(self):
+        doms = domains()
+        act = CapActuator(doms, delay_steps=1)
+        changed = act.issue(np.array([100.0, 100.0]))
+        assert changed == 0
+        assert doms[0].cap_w == pytest.approx(165.0)  # Not yet applied.
+        act.issue(np.array([90.0, 90.0]))
+        assert doms[0].cap_w == pytest.approx(100.0)  # First command lands.
+
+    def test_flush_applies_queue(self):
+        doms = domains()
+        act = CapActuator(doms, delay_steps=2)
+        act.issue(np.array([100.0, 100.0]))
+        act.issue(np.array([90.0, 90.0]))
+        act.flush()
+        assert doms[0].cap_w == pytest.approx(90.0)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError, match="delay_steps"):
+            CapActuator(domains(), delay_steps=-1)
+
+
+class TestValidation:
+    def test_rejects_empty_domains(self):
+        with pytest.raises(ValueError, match="at least one"):
+            CapActuator([])
+
+    def test_rejects_wrong_shape(self):
+        act = CapActuator(domains(2))
+        with pytest.raises(ValueError, match="shape"):
+            act.issue(np.zeros(3))
+
+    def test_quantizes_to_microwatts(self):
+        doms = domains(1)
+        act = CapActuator(doms)
+        act.issue(np.array([100.123456789]))
+        assert doms[0].cap_w == pytest.approx(100.123457, abs=1e-6)

@@ -1,0 +1,111 @@
+"""Sysfs powercap ABI emulation."""
+
+import pytest
+
+from repro.core.config import RaplConfig
+from repro.powercap.rapl import RaplDomain
+from repro.powercap.sysfs import SysfsPowercap
+
+
+@pytest.fixture
+def fs():
+    domains = [
+        RaplDomain(f"package-{i}", 165.0, 30.0, RaplConfig(noise_std_w=0.0))
+        for i in range(2)
+    ]
+    return SysfsPowercap(domains)
+
+
+class TestLayout:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            SysfsPowercap([])
+
+    def test_list_zones(self, fs):
+        assert fs.list_zones() == [
+            "/sys/class/powercap/intel-rapl:0",
+            "/sys/class/powercap/intel-rapl:1",
+        ]
+
+    def test_zone_path_out_of_range(self, fs):
+        with pytest.raises(FileNotFoundError):
+            fs.zone_path(5)
+
+
+class TestRead:
+    def test_name(self, fs):
+        assert fs.read("/sys/class/powercap/intel-rapl:1/name") == "package-1"
+
+    def test_energy_uj_integer_string(self, fs):
+        value = fs.read("/sys/class/powercap/intel-rapl:0/energy_uj")
+        assert value == str(int(value))
+
+    def test_power_limit_uw(self, fs):
+        value = fs.read(
+            "/sys/class/powercap/intel-rapl:0/constraint_0_power_limit_uw"
+        )
+        assert int(value) == 165_000_000
+
+    def test_max_power_uw(self, fs):
+        value = fs.read(
+            "/sys/class/powercap/intel-rapl:0/constraint_0_max_power_uw"
+        )
+        assert int(value) == 165_000_000
+
+    def test_constraint_name(self, fs):
+        assert (
+            fs.read("/sys/class/powercap/intel-rapl:0/constraint_0_name")
+            == "long_term"
+        )
+
+    def test_max_energy_range(self, fs):
+        value = fs.read(
+            "/sys/class/powercap/intel-rapl:0/max_energy_range_uj"
+        )
+        assert int(value) == RaplConfig().counter_wrap_uj
+
+    @pytest.mark.parametrize(
+        "path",
+        [
+            "/sys/class/powercap/intel-rapl:0/bogus",
+            "/sys/class/powercap/intel-rapl:9/name",
+            "/sys/class/powercap/intel-rapl:x/name",
+            "/sys/class/powercap/intel-rapl:0",
+            "/other/path",
+        ],
+    )
+    def test_unknown_paths(self, fs, path):
+        with pytest.raises(FileNotFoundError):
+            fs.read(path)
+
+
+class TestWrite:
+    def test_write_power_limit(self, fs):
+        fs.write(
+            "/sys/class/powercap/intel-rapl:0/constraint_0_power_limit_uw",
+            "90000000",
+        )
+        assert fs.domains[0].cap_w == pytest.approx(90.0)
+
+    def test_write_clamps_like_kernel(self, fs):
+        fs.write(
+            "/sys/class/powercap/intel-rapl:0/constraint_0_power_limit_uw",
+            "999000000",
+        )
+        assert fs.domains[0].cap_w == pytest.approx(165.0)
+
+    def test_write_readonly_attr(self, fs):
+        with pytest.raises(PermissionError):
+            fs.write("/sys/class/powercap/intel-rapl:0/energy_uj", "0")
+
+    def test_write_unknown_attr(self, fs):
+        with pytest.raises(FileNotFoundError):
+            fs.write("/sys/class/powercap/intel-rapl:0/bogus", "1")
+
+    def test_write_bad_value(self, fs):
+        with pytest.raises(ValueError):
+            fs.write(
+                "/sys/class/powercap/intel-rapl:0/"
+                "constraint_0_power_limit_uw",
+                "ninety",
+            )

@@ -1,0 +1,148 @@
+"""Telemetry log and trace analysis."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.analysis import avg_power, extract_phases, fraction_above
+from repro.telemetry.log import TelemetryLog
+
+
+def filled_log(steps=10, n_units=2, power=100.0):
+    log = TelemetryLog(n_units)
+    for t in range(steps):
+        log.record(
+            float(t + 1),
+            np.full(n_units, power),
+            np.full(n_units, power),
+            np.full(n_units, 110.0),
+        )
+    return log
+
+
+class TestLog:
+    def test_rejects_zero_units(self):
+        with pytest.raises(ValueError, match="n_units"):
+            TelemetryLog(0)
+
+    def test_record_and_shapes(self):
+        log = filled_log(steps=5, n_units=3)
+        assert len(log) == 5
+        assert log.power_w.shape == (5, 3)
+        assert log.caps_w.shape == (5, 3)
+        assert log.priority.shape == (5, 3)
+        assert not log.priority.any()
+
+    def test_priority_recorded(self):
+        log = TelemetryLog(2)
+        log.record(
+            1.0, np.zeros(2), np.zeros(2), np.zeros(2),
+            priority=np.array([True, False]),
+        )
+        assert log.priority[0, 0] and not log.priority[0, 1]
+
+    def test_shape_validation(self):
+        log = TelemetryLog(2)
+        with pytest.raises(ValueError, match="true_power_w"):
+            log.record(1.0, np.zeros(3), np.zeros(2), np.zeros(2))
+        with pytest.raises(ValueError, match="priority"):
+            log.record(
+                1.0, np.zeros(2), np.zeros(2), np.zeros(2),
+                priority=np.zeros(3, dtype=bool),
+            )
+
+    def test_window_slicing(self):
+        log = filled_log(steps=10)
+        window = log.window(3.0, 7.0)
+        np.testing.assert_allclose(window["time_s"], [4, 5, 6, 7])
+
+    def test_window_rejects_inverted(self):
+        with pytest.raises(ValueError, match="end_s"):
+            filled_log().window(5.0, 1.0)
+
+    def test_records_are_copies(self):
+        log = TelemetryLog(1)
+        arr = np.array([50.0])
+        log.record(1.0, arr, arr, arr)
+        arr[0] = 999.0
+        assert log.power_w[0, 0] == 50.0
+
+    def test_empty_log_arrays(self):
+        log = TelemetryLog(2)
+        assert log.power_w.shape == (0, 2)
+
+    def test_finalize_cache_invalidated_by_record(self):
+        log = filled_log(steps=2)
+        _ = log.power_w
+        log.record(3.0, np.zeros(2), np.zeros(2), np.zeros(2))
+        assert log.power_w.shape == (3, 2)
+
+
+class TestAnalysis:
+    def test_avg_power(self):
+        log = filled_log(steps=10, power=100.0)
+        assert avg_power(log, np.array([0, 1]), 0.0, 10.0) == pytest.approx(
+            100.0
+        )
+
+    def test_avg_power_empty_window(self):
+        with pytest.raises(ValueError, match="no samples"):
+            avg_power(filled_log(), np.array([0]), 100.0, 200.0)
+
+    def test_fraction_above(self):
+        log = TelemetryLog(1)
+        for t, p in enumerate([50.0, 120.0, 130.0, 60.0]):
+            log.record(float(t + 1), np.array([p]), np.array([p]),
+                       np.array([110.0]))
+        assert fraction_above(log, 0, 110.0) == pytest.approx(0.5)
+
+    def test_fraction_above_validates_unit(self):
+        with pytest.raises(ValueError, match="unit_id"):
+            fraction_above(filled_log(), 5, 110.0)
+
+    def test_fraction_above_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            fraction_above(TelemetryLog(1), 0, 110.0)
+
+
+class TestExtractPhases:
+    def test_two_level_trace(self):
+        t = np.arange(40, dtype=float)
+        p = np.where(t < 20, 60.0, 150.0)
+        phases = extract_phases(t, p, min_delta_w=25.0, min_duration_s=3.0)
+        assert len(phases) == 2
+        assert phases[0].mean_power_w == pytest.approx(60.0)
+        assert phases[1].mean_power_w == pytest.approx(150.0)
+        assert phases[0].duration_s > 15
+
+    def test_flat_trace_single_phase(self):
+        t = np.arange(10, dtype=float)
+        phases = extract_phases(t, np.full(10, 90.0))
+        assert len(phases) == 1
+
+    def test_short_blips_merged(self):
+        t = np.arange(30, dtype=float)
+        p = np.full(30, 60.0)
+        p[10] = 160.0  # One-sample blip.
+        phases = extract_phases(t, p, min_delta_w=25.0, min_duration_s=5.0)
+        assert len(phases) <= 3
+
+    def test_empty(self):
+        assert extract_phases(np.array([]), np.array([])) == []
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ValueError, match="equal-length"):
+            extract_phases(np.zeros(3), np.zeros(2))
+
+    def test_lda_vs_lr_phase_structure(self):
+        """Figure 2's qualitative contrast: LDA phases are much longer."""
+        from repro.workloads.spark import spark_workload
+
+        lda = spark_workload("lda").program.sample(1.0)
+        lr = spark_workload("lr").program.sample(1.0)
+        lda_phases = extract_phases(
+            np.arange(len(lda), dtype=float), lda
+        )
+        lr_phases = extract_phases(np.arange(len(lr), dtype=float), lr)
+        lda_mean = np.mean([p.duration_s for p in lda_phases])
+        lr_mean = np.mean([p.duration_s for p in lr_phases])
+        assert lda_mean > 3 * lr_mean

@@ -1,0 +1,95 @@
+"""CLI parser and the fast subcommands."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_pair_args(self):
+        args = build_parser().parse_args(
+            ["--time-scale", "0.1", "pair", "kmeans", "gmm",
+             "--manager", "dps"]
+        )
+        assert args.command == "pair"
+        assert args.workload_a == "kmeans"
+        assert args.manager == ["dps"]
+        assert args.time_scale == 0.1
+
+    def test_figure_choices(self):
+        args = build_parser().parse_args(["figure", "fig4"])
+        assert args.which == "fig4"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestFastCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "kmeans" in out and "dps" in out
+
+    def test_figure1(self, capsys):
+        assert main(["figure", "fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out and "dps" in out
+
+    def test_pair_runs(self, capsys):
+        code = main(
+            ["--time-scale", "0.05", "--repeats", "1",
+             "pair", "sort", "wordcount", "--manager", "constant"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fairness" in out
+
+    def test_campaign_runs_and_writes(self, capsys, tmp_path):
+        out_file = tmp_path / "campaign.json"
+        code = main(
+            ["--time-scale", "0.05", "--repeats", "1",
+             "campaign", "--group", "low_utility", "--limit-pairs", "1",
+             "--out", str(out_file)]
+        )
+        assert code == 0
+        assert "campaign summary" in capsys.readouterr().out
+        from repro.experiments.campaign import CampaignResult
+
+        restored = CampaignResult.from_json(out_file.read_text())
+        assert len(restored.records) == 3  # 1 pair x 3 low-utility managers.
+
+    def test_sweep_parser(self):
+        args = build_parser().parse_args(
+            ["sweep", "noise", "--pair", "bayes", "sort"]
+        )
+        assert args.which == "noise"
+        assert args.pair == ["bayes", "sort"]
+
+    def test_report_round_trip(self, capsys, tmp_path):
+        out_file = tmp_path / "c.json"
+        main(
+            ["--time-scale", "0.05", "--repeats", "1",
+             "campaign", "--group", "low_utility", "--limit-pairs", "1",
+             "--out", str(out_file)]
+        )
+        capsys.readouterr()
+        assert main(["report", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "# Campaign report" in out
+        assert "## low_utility" in out
+
+    def test_module_entry_point(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "list"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0
+        assert "dps" in proc.stdout

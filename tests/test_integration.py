@@ -1,0 +1,125 @@
+"""End-to-end shape tests: the paper's qualitative results must emerge.
+
+These run the full stack (workloads → RAPL physics → manager → metrics) on
+a 4-node cluster at 0.25 time scale and assert the *orderings* the paper
+reports — who wins, and on which side of the constant-allocation baseline
+each manager lands.  Margins are deliberately loose; exact magnitudes are
+the benchmarks' job.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ClusterSpec, SimulationConfig
+from repro.experiments.harness import ExperimentConfig, ExperimentHarness
+
+
+@pytest.fixture(scope="module")
+def harness():
+    cfg = ExperimentConfig(
+        cluster=ClusterSpec(n_nodes=4, sockets_per_node=2),
+        sim=SimulationConfig(time_scale=0.25, max_steps=200_000),
+        repeats=1,
+        seed=3,
+    )
+    return ExperimentHarness(cfg)
+
+
+class TestHighUtilityShapes:
+    """Paper §6.2: phased Spark paired with the always-hungry GMM."""
+
+    def test_slurm_starves_phased_workload(self, harness):
+        ev = harness.evaluate_pair("kmeans", "gmm", "slurm")
+        assert ev.speedup_a < 0.96
+
+    def test_dps_beats_slurm_on_phased_workload(self, harness):
+        slurm = harness.evaluate_pair("kmeans", "gmm", "slurm")
+        dps = harness.evaluate_pair("kmeans", "gmm", "dps")
+        assert dps.speedup_a > slurm.speedup_a + 0.02
+        assert dps.hmean_speedup > slurm.hmean_speedup
+
+    def test_dps_hmean_at_least_constant(self, harness):
+        dps = harness.evaluate_pair("kmeans", "gmm", "dps")
+        assert dps.hmean_speedup > 0.99
+
+    def test_dps_fairness_exceeds_slurm(self, harness):
+        slurm = harness.evaluate_pair("kmeans", "gmm", "slurm")
+        dps = harness.evaluate_pair("kmeans", "gmm", "dps")
+        assert dps.fairness > slurm.fairness + 0.05
+
+
+class TestSparkNpbShapes:
+    """Paper §6.3: Spark against sustained-high NPB kernels."""
+
+    def test_slurm_hmean_below_constant(self, harness):
+        ev = harness.evaluate_pair("bayes", "cg", "slurm")
+        assert ev.hmean_speedup < 0.99
+        assert ev.speedup_a < 0.9      # Spark side starved...
+        assert ev.speedup_b > 1.05     # ...NPB side boosted.
+
+    def test_dps_hmean_above_constant(self, harness):
+        ev = harness.evaluate_pair("bayes", "cg", "dps")
+        assert ev.hmean_speedup > 1.0
+
+    def test_dps_beats_slurm(self, harness):
+        slurm = harness.evaluate_pair("bayes", "cg", "slurm")
+        dps = harness.evaluate_pair("bayes", "cg", "dps")
+        assert dps.hmean_speedup > slurm.hmean_speedup + 0.02
+        assert dps.fairness > slurm.fairness + 0.1
+
+
+class TestHighFrequencyShapes:
+    """Paper §6.1: SLURM loses on the high-frequency LR; DPS holds the
+    constant-allocation lower bound."""
+
+    def test_slurm_below_constant(self, harness):
+        ev = harness.evaluate_pair("lr", "wordcount", "slurm")
+        assert ev.hmean_speedup < 0.97
+
+    def test_dps_holds_lower_bound(self, harness):
+        ev = harness.evaluate_pair("lr", "wordcount", "dps")
+        assert ev.speedup_a > 0.97
+        assert ev.speedup_b > 0.97
+
+
+class TestLowUtilityShapes:
+    """Paper §6.1: with a low-power partner, DPS tracks the oracle."""
+
+    def test_dps_close_to_oracle(self, harness):
+        oracle = harness.evaluate_pair("bayes", "sort", "oracle")
+        dps = harness.evaluate_pair("bayes", "sort", "dps")
+        assert dps.speedup_a > 1.0  # Both beat constant allocation...
+        assert oracle.speedup_a > 1.0
+        # ...and DPS lands within a few points of the oracle.
+        assert abs(dps.speedup_a - oracle.speedup_a) < 0.06
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("manager", ["constant", "slurm", "dps", "oracle"])
+    def test_budget_respected(self, harness, manager):
+        ev = harness.evaluate_pair("bayes", "sort", manager)
+        budget = harness.config.cluster.budget_w
+        assert ev.outcome.max_caps_sum_w <= budget * (1 + 1e-6)
+
+    def test_reproducible_across_harnesses(self, harness):
+        other = ExperimentHarness(harness.config)
+        a = harness.evaluate_pair("kmeans", "gmm", "dps")
+        b = other.evaluate_pair("kmeans", "gmm", "dps")
+        assert a.speedup_a == pytest.approx(b.speedup_a)
+        assert a.fairness == pytest.approx(b.fairness)
+
+
+class TestAblations:
+    def test_frequency_detection_matters_for_lr(self, harness):
+        """Disabling the high-frequency detector must not beat full DPS on
+        the high-frequency workload (DESIGN.md ablation 2)."""
+        from repro.core.config import DPSConfig
+        import dataclasses
+
+        no_freq_cfg = dataclasses.replace(
+            harness.config, dps=DPSConfig(use_frequency=False)
+        )
+        no_freq = ExperimentHarness(no_freq_cfg)
+        full = harness.evaluate_pair("lr", "gmm", "dps")
+        ablated = no_freq.evaluate_pair("lr", "gmm", "dps")
+        assert full.speedup_a >= ablated.speedup_a - 0.03

@@ -1,0 +1,134 @@
+"""Cross-module property-based tests (hypothesis).
+
+These drive the managers and substrate with randomized-but-valid inputs
+and assert the invariants the paper's evaluation depends on: caps always
+respect the budget and the per-unit range, the closed loop never crashes
+or emits non-finite caps, and the simulator is deterministic in its seed.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import DPSConfig, StatelessConfig
+from repro.core.managers import create_manager
+from repro.core.stateless import mimd_step
+from repro.core.readjust import readjust
+
+MANAGERS = ["constant", "slurm", "dps", "oracle"]
+
+
+@st.composite
+def topology(draw):
+    n = draw(st.integers(2, 12))
+    max_cap = draw(st.floats(100.0, 200.0))
+    min_cap = draw(st.floats(0.0, 40.0))
+    budget = draw(
+        st.floats(n * max(min_cap, 10.0) + 1.0, n * max_cap)
+    )
+    return n, budget, max_cap, min_cap
+
+
+class TestManagerInvariants:
+    @pytest.mark.parametrize("name", MANAGERS)
+    @given(topo=topology(), seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_caps_valid_over_random_demand(self, name, topo, seed):
+        n, budget, max_cap, min_cap = topo
+        mgr = create_manager(name)
+        mgr.bind(n, budget, max_cap, min_cap,
+                 rng=np.random.default_rng(seed))
+        rng = np.random.default_rng(seed + 1)
+        caps = np.asarray(mgr.caps)
+        for _ in range(15):
+            demand = rng.uniform(0.0, max_cap, size=n)
+            power = np.minimum(demand, caps)
+            caps = mgr.step(power, demand)
+            assert np.all(np.isfinite(caps))
+            assert np.all(caps >= min_cap - 1e-9)
+            assert np.all(caps <= max_cap + 1e-9)
+            assert caps.sum() <= budget * (1 + 1e-9)
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_dps_survives_pathological_power(self, seed):
+        """Spiky, flat-lining, and boundary power traces never break DPS."""
+        mgr = create_manager("dps", config=DPSConfig())
+        mgr.bind(4, 440.0, 165.0, 30.0, rng=np.random.default_rng(seed))
+        rng = np.random.default_rng(seed)
+        patterns = [
+            np.zeros(4),
+            np.full(4, 165.0),
+            np.array([0.0, 165.0, 0.0, 165.0]),
+            rng.uniform(0, 165, 4),
+        ]
+        for _ in range(10):
+            caps = mgr.step(patterns[int(rng.integers(0, 4))])
+            assert np.all(np.isfinite(caps))
+            assert caps.sum() <= 440.0 + 1e-9
+
+
+class TestStatelessProperties:
+    @given(seed=st.integers(0, 2**31 - 1), n=st.integers(1, 16))
+    @settings(max_examples=40, deadline=None)
+    def test_mimd_budget_and_bounds(self, seed, n):
+        rng = np.random.default_rng(seed)
+        power = rng.uniform(0, 165, size=n)
+        caps = rng.uniform(30, 165, size=n)
+        budget = float(rng.uniform(caps.sum() * 0.8, caps.sum() * 1.3))
+        result = mimd_step(
+            power, caps, budget, 165.0, 30.0, StatelessConfig(),
+            np.random.default_rng(seed),
+        )
+        assert np.all(result.caps >= 30.0 - 1e-9)
+        assert np.all(result.caps <= 165.0 + 1e-9)
+        # MIMD never grows the total beyond max(initial total, budget).
+        assert result.caps.sum() <= max(caps.sum(), budget) + 1e-6
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_mimd_decrease_monotone(self, seed):
+        """A unit's cap never grows when its power is deep below it."""
+        rng = np.random.default_rng(seed)
+        caps = rng.uniform(60, 165, size=6)
+        power = caps * 0.5
+        result = mimd_step(
+            power, caps, float(caps.sum()), 165.0, 0.0, StatelessConfig(),
+            np.random.default_rng(seed),
+        )
+        assert np.all(result.caps <= caps + 1e-9)
+
+
+class TestReadjustProperties:
+    @given(seed=st.integers(0, 2**31 - 1), n=st.integers(1, 12))
+    @settings(max_examples=40, deadline=None)
+    def test_grant_never_exceeds_budget(self, seed, n):
+        from repro.core.config import ReadjustConfig
+
+        rng = np.random.default_rng(seed)
+        caps = rng.uniform(30, 165, size=n)
+        priority = rng.random(n) < 0.5
+        budget = float(rng.uniform(caps.sum(), caps.sum() + 300))
+        out = readjust(caps, priority, budget, 165.0, False, ReadjustConfig())
+        assert out.sum() <= budget + 1e-6
+        assert np.all(out <= 165.0 + 1e-9)
+        # Low-priority units are never touched.
+        np.testing.assert_allclose(out[~priority], caps[~priority])
+
+    @given(seed=st.integers(0, 2**31 - 1), n=st.integers(2, 12))
+    @settings(max_examples=40, deadline=None)
+    def test_equalize_preserves_high_priority_total(self, seed, n):
+        from repro.core.config import ReadjustConfig
+
+        rng = np.random.default_rng(seed)
+        caps = rng.uniform(30, 160, size=n)
+        priority = np.zeros(n, dtype=bool)
+        priority[: max(1, n // 2)] = True
+        budget = float(caps.sum())  # Exhausted.
+        out = readjust(caps, priority, budget, 165.0, False, ReadjustConfig())
+        assert out[priority].sum() == pytest.approx(
+            caps[priority].sum(), rel=1e-9
+        )
+        # All equalized to one value.
+        assert np.ptp(out[priority]) < 1e-9

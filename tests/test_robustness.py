@@ -1,0 +1,94 @@
+"""Seed robustness and randomized end-to-end invariants.
+
+The paper's conclusions would be worthless if they held for one lucky
+seed; these tests re-run the core comparison across seeds and drive the
+full engine with randomized synthetic workloads, asserting the invariants
+that must hold regardless of the draw.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.simulator import Assignment, Simulation
+from repro.core.config import ClusterSpec, SimulationConfig
+from repro.core.managers import create_manager
+from repro.experiments.harness import ExperimentConfig, ExperimentHarness
+from repro.workloads.synthetic import random_workload
+
+SPEC = ClusterSpec(n_nodes=4, sockets_per_node=2)
+
+
+class TestSeedRobustness:
+    """The DPS > SLURM ordering is not a seed lottery."""
+
+    @pytest.mark.parametrize("seed", [3, 17, 123])
+    def test_contended_ordering_across_seeds(self, seed):
+        cfg = ExperimentConfig(
+            cluster=SPEC,
+            sim=SimulationConfig(time_scale=0.2, max_steps=200_000),
+            repeats=1,
+            seed=seed,
+        )
+        harness = ExperimentHarness(cfg)
+        slurm = harness.evaluate_pair("bayes", "cg", "slurm")
+        dps = harness.evaluate_pair("bayes", "cg", "dps")
+        assert dps.hmean_speedup > slurm.hmean_speedup
+        assert dps.fairness > slurm.fairness
+
+
+class TestRandomizedEndToEnd:
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=8, deadline=None)
+    def test_random_pair_completes_with_invariants(self, seed):
+        """Any structurally valid workload pair simulates to completion
+        with the budget respected, under DPS."""
+        cluster = Cluster(SPEC)
+        a = random_workload(seed, max_phase_s=40.0)
+        rng = np.random.default_rng(seed)
+        b = random_workload(int(rng.integers(0, 2**31)), max_phase_s=40.0)
+        sim = Simulation(
+            cluster_spec=SPEC,
+            manager=create_manager("dps"),
+            assignments=[
+                Assignment(spec=a, unit_ids=cluster.half_unit_ids(0)),
+                Assignment(spec=b, unit_ids=cluster.half_unit_ids(1)),
+            ],
+            target_runs=1,
+            sim_config=SimulationConfig(
+                time_scale=0.5, max_steps=30_000, inter_run_gap_s=2.0
+            ),
+            seed=seed,
+        )
+        result = sim.run()
+        assert not result.truncated
+        assert result.max_caps_sum_w <= SPEC.budget_w * (1 + 1e-6)
+        assert all(d > 0 for d in result.durations.values())
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=5, deadline=None)
+    def test_random_pair_deterministic(self, seed):
+        """Identical seeds give identical results for random workloads."""
+
+        def run():
+            cluster = Cluster(SPEC)
+            sim = Simulation(
+                cluster_spec=SPEC,
+                manager=create_manager("slurm"),
+                assignments=[
+                    Assignment(
+                        spec=random_workload(seed, max_phase_s=30.0),
+                        unit_ids=cluster.half_unit_ids(0),
+                    )
+                ],
+                target_runs=1,
+                sim_config=SimulationConfig(
+                    time_scale=0.5, max_steps=30_000, inter_run_gap_s=2.0
+                ),
+                seed=seed,
+            )
+            return sim.run().durations
+
+        assert run() == run()

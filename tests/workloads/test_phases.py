@@ -1,0 +1,157 @@
+"""Phase primitives and programs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.phases import Hold, Oscillate, PhaseProgram, Ramp, repeat
+from repro.workloads.synthetic import random_program
+
+
+class TestHold:
+    def test_constant_demand(self):
+        p = Hold(10.0, 120.0)
+        assert p.demand_at(0.0) == 120.0
+        assert p.demand_at(9.9) == 120.0
+
+    def test_scaled(self):
+        assert Hold(10.0, 120.0).scaled(0.5).duration_s == 5.0
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            Hold(0.0, 120.0)
+        with pytest.raises(ValueError):
+            Hold(10.0, -1.0)
+
+
+class TestRamp:
+    def test_linear_interpolation(self):
+        p = Ramp(10.0, 50.0, 150.0)
+        assert p.demand_at(0.0) == pytest.approx(50.0)
+        assert p.demand_at(5.0) == pytest.approx(100.0)
+        assert p.demand_at(10.0) == pytest.approx(150.0)
+
+    def test_downward(self):
+        p = Ramp(4.0, 150.0, 50.0)
+        assert p.demand_at(2.0) == pytest.approx(100.0)
+
+    def test_clamps_outside_duration(self):
+        p = Ramp(10.0, 50.0, 150.0)
+        assert p.demand_at(20.0) == pytest.approx(150.0)
+
+    def test_scaled_preserves_endpoints(self):
+        s = Ramp(10.0, 50.0, 150.0).scaled(2.0)
+        assert s.duration_s == 20.0
+        assert s.demand_at(20.0) == pytest.approx(150.0)
+
+
+class TestOscillate:
+    def test_duty_cycle(self):
+        p = Oscillate(100.0, 60.0, 140.0, period_s=10.0, duty=0.3)
+        assert p.demand_at(0.0) == 140.0
+        assert p.demand_at(2.9) == 140.0
+        assert p.demand_at(3.1) == 60.0
+        assert p.demand_at(9.9) == 60.0
+        assert p.demand_at(10.5) == 140.0  # Next period.
+
+    def test_scaled_scales_period_with_floor(self):
+        s = Oscillate(100.0, 60.0, 140.0, period_s=8.0).scaled(0.25)
+        assert s.duration_s == 25.0
+        # 8 * 0.25 = 2 would be unresolvable at dt = 1 s; floored at 4.
+        assert s.period_s == 4.0
+        up = Oscillate(100.0, 60.0, 140.0, period_s=8.0).scaled(2.0)
+        assert up.period_s == 16.0
+
+    def test_rejects_high_below_low(self):
+        with pytest.raises(ValueError, match="high_w"):
+            Oscillate(10.0, 100.0, 50.0, period_s=5.0)
+
+    def test_rejects_bad_duty(self):
+        with pytest.raises(ValueError, match="duty"):
+            Oscillate(10.0, 50.0, 100.0, period_s=5.0, duty=1.0)
+
+
+class TestRepeat:
+    def test_concatenates(self):
+        block = [Hold(1.0, 10.0), Hold(2.0, 20.0)]
+        assert len(repeat(block, 3)) == 6
+
+    def test_rejects_zero_times(self):
+        with pytest.raises(ValueError, match="times"):
+            repeat([Hold(1.0, 10.0)], 0)
+
+
+class TestPhaseProgram:
+    def program(self):
+        return PhaseProgram(
+            [Hold(10.0, 50.0), Ramp(10.0, 50.0, 150.0), Hold(10.0, 150.0)]
+        )
+
+    def test_duration(self):
+        assert self.program().duration_s == pytest.approx(30.0)
+
+    def test_demand_crosses_phases(self):
+        p = self.program()
+        assert p.demand_at(5.0) == pytest.approx(50.0)
+        assert p.demand_at(15.0) == pytest.approx(100.0)
+        assert p.demand_at(25.0) == pytest.approx(150.0)
+
+    def test_demand_clamped_at_ends(self):
+        p = self.program()
+        assert p.demand_at(-5.0) == pytest.approx(50.0)
+        assert p.demand_at(100.0) == pytest.approx(150.0)
+
+    def test_sample_length(self):
+        trace = self.program().sample(1.0)
+        assert trace.shape == (30,)
+
+    def test_fraction_above(self):
+        p = self.program()
+        # Above 110 W: half of the ramp (~4/30) plus the last hold (10/30).
+        assert p.fraction_above(110.0) == pytest.approx(14 / 30, abs=0.05)
+
+    def test_scaled_preserves_fraction(self):
+        p = self.program()
+        assert p.scaled(0.5).fraction_above(110.0, dt_s=0.25) == pytest.approx(
+            p.fraction_above(110.0, dt_s=0.5), abs=0.05
+        )
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            PhaseProgram([])
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError, match="factor"):
+            self.program().scaled(0.0)
+
+    def test_sample_rejects_bad_dt(self):
+        with pytest.raises(ValueError, match="dt_s"):
+            self.program().sample(0.0)
+
+
+class TestProgramProperties:
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_demand_always_in_band(self, seed):
+        program = random_program(seed, min_power_w=15.0, max_power_w=165.0)
+        trace = program.sample(2.0)
+        assert np.all(trace >= 0.0)
+        assert np.all(trace <= 165.0 + 1e-9)
+
+    @given(st.integers(0, 2**31 - 1), st.floats(0.1, 3.0))
+    @settings(max_examples=50, deadline=None)
+    def test_scaling_scales_duration(self, seed, factor):
+        program = random_program(seed)
+        scaled = program.scaled(factor)
+        assert scaled.duration_s == pytest.approx(
+            program.duration_s * factor, rel=1e-9
+        )
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_demand_at_matches_sample(self, seed):
+        program = random_program(seed, n_phases=4)
+        trace = program.sample(1.0)
+        for i in (0, len(trace) // 2, len(trace) - 1):
+            assert trace[i] == pytest.approx(program.demand_at(float(i)))

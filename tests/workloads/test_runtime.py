@@ -1,0 +1,250 @@
+"""WorkloadExecution: progress, repeats, gaps, accounting."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.phases import Hold, PhaseProgram
+from repro.workloads.runtime import WorkloadExecution
+from repro.workloads.spec import WorkloadSpec
+
+
+def spec(duration=10.0, level=100.0, active_units=None):
+    return WorkloadSpec(
+        name="w",
+        suite="spark",
+        power_class="mid",
+        program=PhaseProgram([Hold(duration, level)]),
+        active_units=active_units,
+        paper_duration_s=duration,
+        paper_above_110_pct=0.0,
+        data_size="test",
+    )
+
+
+def execution(duration=10.0, n_units=4, active=None, gap=2.0, noise=0.0,
+              jitter=0.0, seed=0, time_scale=1.0):
+    return WorkloadExecution(
+        spec=spec(duration, active_units=active),
+        unit_ids=np.arange(n_units),
+        rng=np.random.default_rng(seed),
+        time_scale=time_scale,
+        inter_run_gap_s=gap,
+        socket_jitter_std=jitter,
+        demand_noise_std_w=noise,
+    )
+
+
+def advance_full_speed(e, steps, dt=1.0):
+    now = 0.0
+    for _ in range(steps):
+        now += dt
+        e.advance(np.ones(e.n_units), np.full(e.n_units, 100.0), dt, now)
+    return now
+
+
+class TestDemand:
+    def test_active_units_follow_program(self):
+        e = execution()
+        np.testing.assert_allclose(e.demand(), 100.0)
+
+    def test_inactive_units_idle(self):
+        e = execution(active=2)
+        d = e.demand()
+        np.testing.assert_allclose(d[:2], 100.0)
+        np.testing.assert_allclose(d[2:], 12.0)
+
+    def test_gap_demand_idle(self):
+        e = execution(duration=3.0, gap=5.0)
+        advance_full_speed(e, 4)
+        assert e.in_gap
+        np.testing.assert_allclose(e.demand(), 12.0)
+
+    def test_demand_clamped_at_tdp(self):
+        e = WorkloadExecution(
+            spec=spec(level=100.0),
+            unit_ids=np.arange(2),
+            rng=np.random.default_rng(0),
+            max_demand_w=165.0,
+            demand_noise_std_w=500.0,
+        )
+        assert np.all(e.demand() <= 165.0)
+
+    def test_jitter_varies_per_socket(self):
+        e = execution(jitter=0.05, n_units=8, seed=3)
+        d = e.demand()
+        assert np.std(d) > 0.0
+
+
+class TestProgress:
+    def test_completes_at_duration(self):
+        e = execution(duration=10.0)
+        advance_full_speed(e, 10)
+        assert e.runs_completed == 1
+
+    def test_half_rate_doubles_time(self):
+        e = execution(duration=10.0, gap=0.0)
+        now = 0.0
+        while e.runs_completed == 0:
+            now += 1.0
+            e.advance(np.full(4, 0.5), np.full(4, 50.0), 1.0, now)
+        assert e.records[0].duration_s == pytest.approx(20.0)
+
+    def test_rate_uses_active_sockets_only(self):
+        e = execution(duration=10.0, active=2)
+        now = 0.0
+        rates = np.array([1.0, 1.0, 0.0, 0.0])  # Idle sockets don't matter.
+        for _ in range(10):
+            now += 1.0
+            e.advance(rates, np.full(4, 50.0), 1.0, now)
+        assert e.runs_completed == 1
+
+    def test_time_scale_shrinks_duration(self):
+        e = execution(duration=10.0, time_scale=0.5)
+        advance_full_speed(e, 5)
+        assert e.runs_completed == 1
+
+
+class TestRepeats:
+    def test_gap_between_runs(self):
+        e = execution(duration=3.0, gap=2.0)
+        advance_full_speed(e, 3)
+        assert e.runs_completed == 1 and e.in_gap
+        advance_full_speed(e, 2)
+        assert not e.in_gap
+
+    def test_back_to_back_without_gap(self):
+        e = execution(duration=3.0, gap=0.0)
+        advance_full_speed(e, 9)
+        assert e.runs_completed == 3
+
+    def test_record_times_exclude_gap(self):
+        e = execution(duration=3.0, gap=4.0)
+        now = advance_full_speed(e, 3)          # Run 1 done at t=3.
+        now = 3.0 + 4.0                          # Gap until t=7.
+        advance_full_speed(e, 4)
+        e2 = execution(duration=3.0, gap=4.0)
+        for t in range(1, 15):
+            e2.advance(np.ones(4), np.full(4, 100.0), 1.0, float(t))
+            if e2.runs_completed == 2:
+                break
+        second = e2.records[1]
+        assert second.duration_s == pytest.approx(3.0, abs=1.01)
+
+
+class TestSynchronization:
+    def test_min_sync_gated_by_slowest(self):
+        from dataclasses import replace
+
+        min_spec = replace(spec(duration=10.0), sync="min")
+        e = WorkloadExecution(
+            spec=min_spec,
+            unit_ids=np.arange(4),
+            rng=np.random.default_rng(0),
+            inter_run_gap_s=0.0,
+        )
+        rates = np.array([1.0, 1.0, 1.0, 0.5])  # One straggler.
+        now = 0.0
+        while e.runs_completed == 0:
+            now += 1.0
+            e.advance(rates, np.full(4, 100.0), 1.0, now)
+        assert e.records[0].duration_s == pytest.approx(20.0)
+
+    def test_mean_sync_amortizes_straggler(self):
+        e = execution(duration=10.0, gap=0.0)
+        rates = np.array([1.0, 1.0, 1.0, 0.5])
+        now = 0.0
+        while e.runs_completed == 0:
+            now += 1.0
+            e.advance(rates, np.full(4, 100.0), 1.0, now)
+        assert e.records[0].duration_s < 13.0
+
+    def test_npb_specs_default_mean_sync(self):
+        """Strict barrier gating is a sensitivity mode, not the default
+        (see the rationale in workloads/npb.py)."""
+        from repro.workloads.npb import NPB_WORKLOADS
+
+        assert all(s.sync == "mean" for s in NPB_WORKLOADS.values())
+
+    def test_spark_specs_mean_synced(self):
+        from repro.workloads.spark import SPARK_WORKLOADS
+
+        assert all(s.sync == "mean" for s in SPARK_WORKLOADS.values())
+
+    def test_spec_rejects_unknown_sync(self):
+        from dataclasses import replace
+
+        with pytest.raises(ValueError, match="sync"):
+            replace(spec(), sync="median")
+
+
+class TestDurationJitter:
+    def _run_duration(self, jitter, seed, runs=3):
+        e = WorkloadExecution(
+            spec=spec(duration=20.0),
+            unit_ids=np.arange(2),
+            rng=np.random.default_rng(seed),
+            inter_run_gap_s=0.0,
+            socket_jitter_std=0.0,
+            demand_noise_std_w=0.0,
+            duration_jitter_std=jitter,
+        )
+        now = 0.0
+        while e.runs_completed < runs:
+            now += 1.0
+            e.advance(np.ones(2), np.full(2, 100.0), 1.0, now)
+        return [r.duration_s for r in e.records]
+
+    def test_zero_jitter_deterministic(self):
+        durations = self._run_duration(0.0, seed=1)
+        assert max(durations) - min(durations) <= 1.0  # Step quantization.
+
+    def test_jitter_varies_runs(self):
+        durations = self._run_duration(0.20, seed=1, runs=5)
+        assert max(durations) - min(durations) > 1.0
+
+    def test_jitter_centered(self):
+        durations = self._run_duration(0.05, seed=2)
+        assert np.mean(durations) == pytest.approx(20.0, rel=0.2)
+
+    def test_config_rejects_negative(self):
+        from repro.core.config import SimulationConfig
+
+        with pytest.raises(ValueError, match="duration_jitter_std"):
+            SimulationConfig(duration_jitter_std=-0.1)
+
+
+class TestAccounting:
+    def test_avg_power_recorded(self):
+        e = execution(duration=5.0)
+        now = 0.0
+        for _ in range(5):
+            now += 1.0
+            e.advance(np.ones(4), np.full(4, 120.0), 1.0, now)
+        assert e.records[0].avg_power_w == pytest.approx(120.0)
+
+    def test_mean_duration_requires_runs(self):
+        with pytest.raises(ValueError, match="no completed runs"):
+            execution().mean_duration_s()
+
+    def test_mean_power_requires_runs(self):
+        with pytest.raises(ValueError, match="no completed runs"):
+            execution().mean_power_w()
+
+
+class TestValidation:
+    def test_rejects_empty_units(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            execution(n_units=0)
+
+    def test_rejects_more_active_than_assigned(self):
+        with pytest.raises(ValueError, match="active"):
+            WorkloadExecution(
+                spec=spec(active_units=8),
+                unit_ids=np.arange(4),
+                rng=np.random.default_rng(0),
+            )
+
+    def test_rejects_nonpositive_dt(self):
+        e = execution()
+        with pytest.raises(ValueError, match="dt_s"):
+            e.advance(np.ones(4), np.full(4, 50.0), 0.0, 1.0)

@@ -1,0 +1,126 @@
+"""Spark/NPB suite calibration against the paper's Tables 2-4."""
+
+import pytest
+
+from repro.workloads.npb import NPB_WORKLOADS, npb_names, npb_workload
+from repro.workloads.registry import (
+    all_workloads,
+    executor_config,
+    get_workload,
+    workload_names,
+)
+from repro.workloads.spark import SPARK_WORKLOADS, spark_names, spark_workload
+
+
+class TestSparkSuite:
+    def test_eleven_workloads(self):
+        assert len(SPARK_WORKLOADS) == 11
+
+    def test_power_classes_match_table2(self):
+        assert spark_names("low") == [
+            "wordcount", "sort", "terasort", "repartition",
+        ]
+        assert spark_names("high") == ["gmm"]
+        assert len(spark_names("mid")) == 6
+
+    @pytest.mark.parametrize("name", list(SPARK_WORKLOADS))
+    def test_above_110_matches_paper(self, name):
+        """The measured >110 W fraction tracks Table 2 within 5 points."""
+        spec = spark_workload(name)
+        measured = spec.program.fraction_above(110.0) * 100
+        assert measured == pytest.approx(spec.paper_above_110_pct, abs=5.0)
+
+    @pytest.mark.parametrize("name", list(SPARK_WORKLOADS))
+    def test_class_thresholds_hold(self, name):
+        """The paper's labeling rule (§5.2) holds for the programs."""
+        spec = spark_workload(name)
+        frac = spec.program.fraction_above(110.0)
+        if spec.power_class == "low":
+            assert frac < 0.10
+        elif spec.power_class == "mid":
+            assert 0.10 <= frac < 2 / 3
+        else:
+            assert frac >= 2 / 3
+
+    def test_uncapped_durations_below_paper_capped(self):
+        """Uncapped programs must be faster than the capped Table 2 runs."""
+        for spec in SPARK_WORKLOADS.values():
+            assert spec.program.duration_s < spec.paper_duration_s
+
+    def test_lda_has_long_phases(self):
+        """Figure 2a: LDA holds > 100 s phases."""
+        from repro.workloads.phases import Hold
+
+        holds = [
+            p for p in spark_workload("lda").program.phases
+            if isinstance(p, Hold) and p.power_w > 110
+        ]
+        assert any(h.duration_s >= 100 for h in holds)
+
+    def test_lr_is_high_frequency(self):
+        """Figure 2c: LR has sub-10 s bursts."""
+        from repro.workloads.phases import Oscillate
+
+        oscs = [
+            p for p in spark_workload("lr").program.phases
+            if isinstance(p, Oscillate)
+        ]
+        assert oscs and all(o.period_s < 10 for o in oscs)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="available"):
+            spark_workload("nope")
+
+    def test_lookup_case_insensitive(self):
+        assert spark_workload("KMeans").name == "kmeans"
+
+    def test_low_power_single_active_unit(self):
+        for name in spark_names("low"):
+            assert spark_workload(name).active_units == 1
+
+
+class TestNpbSuite:
+    def test_eight_workloads(self):
+        assert len(NPB_WORKLOADS) == 8
+        assert npb_names() == ["bt", "cg", "ep", "ft", "is", "lu", "mg", "sp"]
+
+    @pytest.mark.parametrize("name", list(NPB_WORKLOADS))
+    def test_sustained_high_power(self, name):
+        """§5.2: over 99 % of time above 110 W (tolerance for the ramps)."""
+        spec = npb_workload(name)
+        assert spec.program.fraction_above(110.0) > 0.93
+
+    @pytest.mark.parametrize("name", list(NPB_WORKLOADS))
+    def test_durations_track_table4(self, name):
+        spec = npb_workload(name)
+        assert spec.program.duration_s < spec.paper_duration_s
+        assert spec.program.duration_s > 0.6 * spec.paper_duration_s
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="available"):
+            npb_workload("zz")
+
+
+class TestRegistry:
+    def test_all_nineteen(self):
+        assert len(all_workloads()) == 19
+
+    def test_get_spans_suites(self):
+        assert get_workload("gmm").suite == "spark"
+        assert get_workload("EP").suite == "npb"
+
+    def test_filtering(self):
+        assert len(workload_names(suite="spark")) == 11
+        assert len(workload_names(suite="npb")) == 8
+        assert len(workload_names(power_class="mid")) == 6
+
+    def test_executor_config_table3(self):
+        assert executor_config("low") == (1, 8)
+        assert executor_config("mid") == (48, 8)
+        assert executor_config("high") == (48, 8)
+        with pytest.raises(KeyError, match="Spark"):
+            executor_config("npb")
+
+    def test_unknown_workload_lists_names(self):
+        with pytest.raises(KeyError, match="kmeans"):
+            get_workload("missing")

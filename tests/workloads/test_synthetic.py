@@ -1,0 +1,35 @@
+"""Synthetic workload composer."""
+
+import pytest
+
+from repro.workloads.synthetic import random_program, random_workload
+
+
+class TestRandomProgram:
+    def test_deterministic(self):
+        a = random_program(42)
+        b = random_program(42)
+        assert a.duration_s == b.duration_s
+        assert len(a.phases) == len(b.phases)
+
+    def test_different_seeds_differ(self):
+        assert random_program(1).duration_s != random_program(2).duration_s
+
+    def test_requested_phase_count(self):
+        assert len(random_program(5, n_phases=7).phases) == 7
+
+    def test_rejects_zero_phases(self):
+        with pytest.raises(ValueError, match="n_phases"):
+            random_program(1, n_phases=0)
+
+    def test_rejects_inverted_band(self):
+        with pytest.raises(ValueError, match="max_power_w"):
+            random_program(1, min_power_w=100.0, max_power_w=50.0)
+
+
+class TestRandomWorkload:
+    def test_wraps_in_spec(self):
+        w = random_workload(9)
+        assert w.name == "synthetic-9"
+        assert w.program.duration_s > 0
+        assert 0 <= w.paper_above_110_pct <= 100
