@@ -54,6 +54,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="manager to evaluate (repeatable; default slurm + dps)",
     )
+    pair.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "inject faults: comma-separated stuck/dropout/spike "
+            "probabilities and a node-kill schedule, e.g. "
+            "'stuck=0.05,dropout=0.05,spike=0.02,kill=1@30-60+2@45' "
+            "(kill is node@start[-end] in sim seconds; no end = permanent)"
+        ),
+    )
 
     fig = sub.add_parser("figure", help="regenerate one figure's data")
     fig.add_argument(
@@ -107,8 +118,10 @@ def _config(args: argparse.Namespace) -> ExperimentConfig:
 
 
 def _cmd_pair(args: argparse.Namespace) -> str:
-    harness = ExperimentHarness(_config(args))
     managers = tuple(args.manager) if args.manager else ("slurm", "dps")
+    if args.chaos is not None:
+        return _cmd_pair_chaos(args, managers)
+    harness = ExperimentHarness(_config(args))
     rows = []
     for m in managers:
         ev = harness.evaluate_pair(args.workload_a, args.workload_b, m)
@@ -129,6 +142,52 @@ def _cmd_pair(args: argparse.Namespace) -> str:
         "fairness",
     ]
     return reporting.render_table(headers, rows)
+
+
+def _cmd_pair_chaos(
+    args: argparse.Namespace, managers: tuple[str, ...]
+) -> str:
+    # Chaos pulls in the resilience + simulator stack; import lazily so
+    # the plain CLI paths stay light.
+    from repro.resilience.chaos import parse_chaos, run_chaos_pair
+
+    chaos = parse_chaos(args.chaos)
+    cfg = _config(args)
+    rows = []
+    for m in managers:
+        outcome = run_chaos_pair(
+            cfg, args.workload_a, args.workload_b, m, chaos
+        )
+        res = outcome.result
+        completed = sum(e.runs_completed for e in res.executions)
+        rows.append(
+            [
+                m,
+                str(completed),
+                "yes" if res.truncated else "no",
+                "yes" if outcome.budget_respected else "NO",
+                str(outcome.node_failures),
+                str(outcome.node_recoveries),
+                str(outcome.safe_mode_entries),
+            ]
+        )
+    header = (
+        f"chaos pair {args.workload_a}/{args.workload_b} "
+        f"({args.chaos}):"
+    )
+    table = reporting.render_table(
+        [
+            "manager",
+            "runs done",
+            "truncated",
+            "budget ok",
+            "node fails",
+            "recoveries",
+            "safe-mode",
+        ],
+        rows,
+    )
+    return header + "\n" + table
 
 
 def _cmd_figure(args: argparse.Namespace) -> str:

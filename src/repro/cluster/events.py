@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator
 
-__all__ = ["Event", "EventLog", "EventKind"]
+__all__ = ["Event", "EventLog", "EventKind", "NodeFailureEvent"]
 
 EventKind = str
 
@@ -22,7 +22,47 @@ EVENT_KINDS = (
     "caps_restored",
     "budget_violation",
     "simulation_truncated",
+    "node_failed",
+    "node_recovered",
+    "safe_mode_entered",
+    "safe_mode_exited",
 )
+
+
+@dataclass(frozen=True)
+class NodeFailureEvent:
+    """A scheduled node crash (and optional recovery) for the simulator.
+
+    While a node is down its units draw no power (the machine is off) and
+    their meters read as dropouts (exactly 0.0 W) — the same signature a
+    dead host leaves in real telemetry.  On recovery the node resumes from
+    cold (idle power, lagging back up under its workload's demand).
+
+    Attributes:
+        node_id: the node that fails.
+        fail_at_s: simulation time of the crash.
+        recover_at_s: simulation time of the recovery, or None if the
+            node never comes back.
+    """
+
+    node_id: int
+    fail_at_s: float
+    recover_at_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.node_id < 0:
+            raise ValueError(f"node_id must be >= 0, got {self.node_id}")
+        if self.fail_at_s < 0:
+            raise ValueError(
+                f"fail_at_s must be >= 0, got {self.fail_at_s}"
+            )
+        if self.recover_at_s is not None and (
+            self.recover_at_s <= self.fail_at_s
+        ):
+            raise ValueError(
+                f"recover_at_s {self.recover_at_s} must be after "
+                f"fail_at_s {self.fail_at_s}"
+            )
 
 
 @dataclass(frozen=True)

@@ -19,11 +19,12 @@ methodology, and records the artifact-style logs (telemetry + events).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
 from repro.cluster.cluster import Cluster
-from repro.cluster.events import EventLog
+from repro.cluster.events import EventLog, NodeFailureEvent
 from repro.cluster.perfmodel import progress_rate
 from repro.core.config import (
     ClusterSpec,
@@ -34,7 +35,8 @@ from repro.core.config import (
 from repro.core.dps import DPSManager
 from repro.core.managers import PowerManager
 from repro.powercap.actuator import CapActuator
-from repro.telemetry.log import TelemetryLog
+from repro.powercap.faults import FaultConfig, FaultyMeter
+from repro.telemetry.log import ResilienceEventLog, TelemetryLog
 from repro.workloads.runtime import WorkloadExecution
 from repro.workloads.spec import WorkloadSpec
 
@@ -123,6 +125,14 @@ class Simulation:
             quantization included) and the result carries the measured
             traffic/turnaround.  Not supported for demand-requiring
             managers (the oracle has no wire format for true demand).
+        failures: scheduled node crash/recovery events.  While a node is
+            down its units draw no power, its workload stalls, and its
+            readings are dropouts (0.0 W).  Not supported together with
+            ``use_comm`` (the TCP deploy layer owns its own failure
+            semantics).
+        fault_config: per-reading measurement-fault probabilities; every
+            socket's meter is wrapped in a
+            :class:`~repro.powercap.faults.FaultyMeter` when given.
     """
 
     def __init__(
@@ -138,6 +148,8 @@ class Simulation:
         record_telemetry: bool = False,
         actuation_delay_steps: int = 0,
         use_comm: bool = False,
+        failures: Sequence[NodeFailureEvent] = (),
+        fault_config: FaultConfig | None = None,
     ) -> None:
         if target_runs < 1:
             raise ValueError(f"target_runs must be >= 1, got {target_runs}")
@@ -148,6 +160,19 @@ class Simulation:
                 f"{manager.name} requires true demand, which the comm "
                 "protocol does not carry"
             )
+        if use_comm and failures:
+            raise ValueError(
+                "node-failure injection is not supported on the comm path; "
+                "use the deploy layer's chaos schedule instead"
+            )
+        for nf in failures:
+            if nf.node_id >= cluster_spec.n_nodes:
+                raise ValueError(
+                    f"failure schedules node {nf.node_id} but the cluster "
+                    f"has {cluster_spec.n_nodes} nodes"
+                )
+        self.failures = tuple(failures)
+        self.fault_config = fault_config
         self.cluster_spec = cluster_spec
         self.manager = manager
         self.sim_config = sim_config or SimulationConfig()
@@ -192,6 +217,12 @@ class Simulation:
         cluster = Cluster(self.cluster_spec, self.rapl_config, cluster_rng)
         sim_cfg = self.sim_config
         dt = sim_cfg.dt_s
+        if self.fault_config is not None:
+            # Spawned after the baseline streams so fault-free runs keep
+            # their exact seed lineage.
+            fault_rngs = rng.spawn(cluster.n_units)
+            for sock, frng in zip(cluster.sockets, fault_rngs):
+                sock.meter = FaultyMeter(sock.meter, self.fault_config, frng)
 
         executions = [
             WorkloadExecution(
@@ -248,6 +279,11 @@ class Simulation:
         now = 0.0
         steps = 0
         truncated = False
+        down_nodes: set[int] = set()
+        pending_failures = sorted(self.failures, key=lambda f: f.fail_at_s)
+        fail_fired = [False] * len(pending_failures)
+        recover_fired = [False] * len(pending_failures)
+        in_safe_mode = bool(getattr(self.manager, "safe_mode", False))
 
         while any(e.runs_completed < self.target_runs for e in executions):
             if steps >= sim_cfg.max_steps:
@@ -255,10 +291,54 @@ class Simulation:
                 events.emit(now, "simulation_truncated")
                 break
 
+            # 0. Scheduled node failures/recoveries crossing this step.
+            for idx, nf in enumerate(pending_failures):
+                if not fail_fired[idx] and nf.fail_at_s <= now:
+                    fail_fired[idx] = True
+                    down_nodes.add(nf.node_id)
+                    for sock in cluster.nodes[nf.node_id].sockets:
+                        sock.domain.power_off()
+                    events.emit(
+                        now, "node_failed", detail=f"node={nf.node_id}"
+                    )
+                    if telemetry is not None:
+                        telemetry.events.emit(
+                            now, "node_failed", node_id=nf.node_id
+                        )
+                elif (
+                    fail_fired[idx]
+                    and not recover_fired[idx]
+                    and nf.recover_at_s is not None
+                    and nf.recover_at_s <= now
+                ):
+                    recover_fired[idx] = True
+                    down_nodes.discard(nf.node_id)
+                    events.emit(
+                        now, "node_recovered", detail=f"node={nf.node_id}"
+                    )
+                    if telemetry is not None:
+                        telemetry.events.emit(
+                            now, "node_recovered", node_id=nf.node_id
+                        )
+            down_units = (
+                np.asarray(
+                    [
+                        uid
+                        for nid in down_nodes
+                        for uid in cluster.nodes[nid].unit_ids
+                    ],
+                    dtype=np.intp,
+                )
+                if down_nodes
+                else None
+            )
+
             # 1. Demands from every workload; unassigned units idle.
             demand.fill(self.cluster_spec.idle_power_w)
             for e in executions:
                 demand[e.unit_ids] = e.demand()
+            if down_units is not None:
+                demand[down_units] = 0.0  # A dead machine draws nothing.
 
             # 2. Physics under the caps currently in effect.
             caps_in_effect = cluster.caps_w()
@@ -267,8 +347,10 @@ class Simulation:
             now += dt
             steps += 1
 
-            # 3. Progress under those caps.
+            # 3. Progress under those caps; a dead node's workload stalls.
             rates = progress_rate(caps_in_effect, demand, self.perf_config)
+            if down_units is not None:
+                rates[down_units] = 0.0
             for e in executions:
                 e.advance(
                     rates[e.unit_ids], true_power[e.unit_ids], dt, now
@@ -289,11 +371,22 @@ class Simulation:
                 new_caps = np.asarray(self.manager.caps)
             else:
                 readings = cluster.read_powers_w(dt)
+                if down_units is not None:
+                    # A dead host's telemetry is a dropout, not a number.
+                    readings[down_units] = 0.0
                 new_caps = self.manager.step(
                     readings,
                     demand if self.manager.requires_demand else None,
                 )
                 actuator.issue(new_caps)
+
+            safe = bool(getattr(self.manager, "safe_mode", False))
+            if safe != in_safe_mode:
+                kind = "safe_mode_entered" if safe else "safe_mode_exited"
+                events.emit(now, kind)
+                if telemetry is not None:
+                    telemetry.events.emit(now, kind)
+                in_safe_mode = safe
 
             if telemetry is not None:
                 priority = (
@@ -315,6 +408,13 @@ class Simulation:
         for e in executions:
             if e.records:
                 durations[e.spec.name] = e.mean_duration_s()
+        # Per-unit suspect-reading events from a resilient manager ride
+        # along with the telemetry traces.
+        mgr_events = getattr(self.manager, "events", None)
+        if telemetry is not None and isinstance(
+            mgr_events, ResilienceEventLog
+        ):
+            telemetry.events.extend(mgr_events)
         comm_bytes = sum(r.bytes_up + r.bytes_down for r in cycle_reports)
         comm_turnaround = (
             float(np.mean([r.turnaround_s for r in cycle_reports]))

@@ -1,7 +1,8 @@
 """The paper's contribution: DPS and the baseline power managers.
 
-Importing this package registers all four managers (``constant``, ``slurm``,
-``oracle``, ``dps``) with :func:`repro.core.managers.create_manager`.
+Importing this package registers the paper's four managers (``constant``,
+``slurm``, ``oracle``, ``dps``), their extensions, and the fault-tolerant
+``resilient`` wrapper with :func:`repro.core.managers.create_manager`.
 """
 
 from repro.core.config import (
@@ -40,6 +41,12 @@ from repro.core.readjust import RestoreResult, readjust, restore
 from repro.core.slurm import SlurmManager
 from repro.core.stateless import MimdResult, mimd_step
 
+# Imported last: the resilience package depends on the core modules above.
+from repro.resilience.manager import (  # noqa: E402
+    ResilientConfig,
+    ResilientManager,
+)
+
 __all__ = [
     "ClusterSpec",
     "ConstantManager",
@@ -62,6 +69,8 @@ __all__ = [
     "PriorityModule",
     "RaplConfig",
     "ReadjustConfig",
+    "ResilientConfig",
+    "ResilientManager",
     "RestoreResult",
     "SimulationConfig",
     "SlurmManager",

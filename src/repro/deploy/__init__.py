@@ -1,13 +1,19 @@
 """Deployable TCP control plane (the artifact's BSD-socket architecture)."""
 
 from repro.deploy.client import DeployClient
-from repro.deploy.loopback import LoopbackResult, run_loopback
-from repro.deploy.server import DeployCycleStats, DeployServer
+from repro.deploy.loopback import ChaosSchedule, LoopbackResult, run_loopback
+from repro.deploy.server import (
+    PROTOCOL_MAX_W,
+    DeployCycleStats,
+    DeployServer,
+)
 
 __all__ = [
+    "ChaosSchedule",
     "DeployClient",
     "DeployCycleStats",
     "DeployServer",
     "LoopbackResult",
+    "PROTOCOL_MAX_W",
     "run_loopback",
 ]

@@ -48,6 +48,7 @@ class DeployClient:
         self._thread: threading.Thread | None = None
         self.cycles_served = 0
         self.error: BaseException | None = None
+        self.killed = False
 
     def connect(self) -> None:
         """Connect and register with the server."""
@@ -108,12 +109,30 @@ class DeployClient:
         )
         self._thread.start()
 
+    def kill(self) -> None:
+        """Simulate a daemon crash: sever the connection without QUIT.
+
+        The serving thread dies on the broken socket; :meth:`join` treats
+        the resulting error as expected.  The node's hardware is
+        untouched — its last programmed caps stay in effect, exactly like
+        a killed daemon on a live machine.
+        """
+        self.killed = True
+        sock = self._sock
+        if sock is not None:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            sock.close()
+
     def join(self, timeout_s: float = 5.0) -> None:
         """Wait for the serving thread to exit.
 
         Raises:
             RuntimeError: the thread is still alive after the timeout, or
-                the daemon died with an exception.
+                the daemon died with an exception (killed daemons exit
+                without raising).
         """
         if self._thread is not None:
             self._thread.join(timeout_s)
@@ -121,7 +140,7 @@ class DeployClient:
                 raise RuntimeError(
                     f"client {self.node.node_id} did not shut down"
                 )
-        if self.error is not None:
+        if self.error is not None and not self.killed:
             raise RuntimeError(
                 f"client {self.node.node_id} failed"
             ) from self.error

@@ -5,12 +5,16 @@ Runs the real :class:`~repro.deploy.server.DeployServer` and one
 TCP, while the calling thread advances the simulated cluster physics —
 the closest this repo gets to the artifact's actual deployment, exercising
 sockets, framing, quantization, and the threaded daemons end to end.
+
+A :class:`ChaosSchedule` lets a session kill client daemons mid-run and
+reconnect them later, driving the server's quarantine / fallback /
+HELLO-rejoin machinery over real sockets.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Mapping
 
 import numpy as np
 
@@ -18,8 +22,34 @@ from repro.cluster.cluster import Cluster
 from repro.core.managers import PowerManager
 from repro.deploy.client import DeployClient
 from repro.deploy.server import DeployServer
+from repro.resilience.health import HealthState, ResilienceConfig
+from repro.telemetry.log import ResilienceEventLog
 
-__all__ = ["LoopbackResult", "run_loopback"]
+__all__ = ["ChaosSchedule", "LoopbackResult", "run_loopback"]
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """Client-daemon failure plan for a loopback session.
+
+    Attributes:
+        kill_at: node id → cycle index at which that node's daemon is
+            killed (socket severed without QUIT — the daemon crashes, the
+            node's hardware keeps running under its last caps).
+        reconnect_at: node id → cycle index at which a fresh daemon for
+            that node connects and HELLO-rejoins.
+    """
+
+    kill_at: Mapping[int, int] = field(default_factory=dict)
+    reconnect_at: Mapping[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for node_id, cycle in self.reconnect_at.items():
+            if node_id in self.kill_at and cycle <= self.kill_at[node_id]:
+                raise ValueError(
+                    f"node {node_id} reconnects at cycle {cycle}, before "
+                    f"its kill at cycle {self.kill_at[node_id]}"
+                )
 
 
 @dataclass
@@ -34,8 +64,15 @@ class LoopbackResult:
             before answering its next POLL), so the hardware-side caps may
             trail by under one cycle and differ by the protocol's 0.1 W
             quantization.
-        readings_history: decoded readings per cycle, ``(cycles, units)``.
-        client_cycles: per-node cycles served (all equal on success).
+        readings_history: the reading vectors the manager consumed per
+            cycle, ``(cycles, units)`` — wire readings for healthy
+            clients, fallback values for quarantined ones.
+        client_cycles: per-node cycles served by the *original* daemons
+            (all equal when no chaos was scheduled).
+        fallback_cycles: cycles in which at least one unit's reading came
+            from the fallback policy.
+        events: structured quarantine/fallback/rejoin/clamp events.
+        final_health: health state per node id at session end.
     """
 
     cycles: int
@@ -43,6 +80,9 @@ class LoopbackResult:
     caps_history: np.ndarray
     readings_history: np.ndarray
     client_cycles: list[int] = field(default_factory=list)
+    fallback_cycles: int = 0
+    events: ResilienceEventLog = field(default_factory=ResilienceEventLog)
+    final_health: dict[int, HealthState] = field(default_factory=dict)
 
 
 def run_loopback(
@@ -52,6 +92,8 @@ def run_loopback(
     cycles: int,
     dt_s: float = 1.0,
     rng: np.random.Generator | None = None,
+    chaos: ChaosSchedule | None = None,
+    resilience: ResilienceConfig | None = None,
 ) -> LoopbackResult:
     """Drive a full TCP control-plane session on localhost.
 
@@ -62,6 +104,8 @@ def run_loopback(
         cycles: number of control cycles to run.
         dt_s: control period.
         rng: manager randomness (seeded default if omitted).
+        chaos: optional daemon kill/reconnect schedule.
+        resilience: server quarantine/fallback configuration.
 
     Returns:
         A :class:`LoopbackResult`; the server and every client are shut
@@ -69,6 +113,17 @@ def run_loopback(
     """
     if cycles < 1:
         raise ValueError(f"cycles must be >= 1, got {cycles}")
+    chaos = chaos or ChaosSchedule()
+    node_ids = {node.node_id for node in cluster.nodes}
+    for label, schedule in (
+        ("kill_at", chaos.kill_at),
+        ("reconnect_at", chaos.reconnect_at),
+    ):
+        for node_id in schedule:
+            if node_id not in node_ids:
+                raise ValueError(
+                    f"chaos {label} names unknown node {node_id}"
+                )
     manager.bind(
         n_units=cluster.n_units,
         budget_w=cluster.budget_w,
@@ -80,26 +135,46 @@ def run_loopback(
     caps_history = np.empty((cycles, cluster.n_units))
     readings_history = np.empty((cycles, cluster.n_units))
     bytes_total = 0
+    fallback_cycles = 0
 
-    clients: list[DeployClient] = []
-    with DeployServer(manager) as server:
+    originals: list[DeployClient] = []
+    replacements: list[DeployClient] = []
+    nodes_by_id = {node.node_id: node for node in cluster.nodes}
+    clients_by_id: dict[int, DeployClient] = {}
+    with DeployServer(manager, resilience=resilience) as server:
         try:
             for node in cluster.nodes:
                 client = DeployClient(node, server.address, dt_s=dt_s)
                 client.start()
-                clients.append(client)
-            server.accept_clients(len(clients))
+                originals.append(client)
+                clients_by_id[node.node_id] = client
+            server.accept_clients(len(originals))
 
             for step in range(cycles):
+                for node_id, kill_cycle in chaos.kill_at.items():
+                    if kill_cycle == step:
+                        clients_by_id[node_id].kill()
+                for node_id, rc_cycle in chaos.reconnect_at.items():
+                    if rc_cycle == step:
+                        fresh = DeployClient(
+                            nodes_by_id[node_id], server.address, dt_s=dt_s
+                        )
+                        fresh.start()
+                        replacements.append(fresh)
+                        clients_by_id[node_id] = fresh
+
                 demand = demand_fn(step)
                 cluster.step_physics(demand, dt_s)
                 stats = server.control_cycle()
                 bytes_total += stats.bytes_up + stats.bytes_down
                 readings_history[step] = stats.readings_w
                 caps_history[step] = np.asarray(manager.caps)
+                if stats.fallback_units > 0:
+                    fallback_cycles += 1
+            final_health = server.health
         finally:
             server.shutdown()
-            for client in clients:
+            for client in originals + replacements:
                 client.join()
 
     return LoopbackResult(
@@ -107,5 +182,8 @@ def run_loopback(
         bytes_total=bytes_total,
         caps_history=caps_history,
         readings_history=readings_history,
-        client_cycles=[c.cycles_served for c in clients],
+        client_cycles=[c.cycles_served for c in originals],
+        fallback_cycles=fallback_cycles,
+        events=server.events,
+        final_health=final_health,
     )

@@ -7,47 +7,102 @@ cycles — POLL every client, collect readings, run the bound power
 manager, push per-unit CAPS frames back.  The cycle is strictly
 request/response over persistent connections, matching the artifact's
 one-second blocking decision loop.
+
+Unlike the artifact's loop, a control cycle survives partial failures: a
+client that times out, disconnects, or violates the protocol is
+*quarantined* (its connection is closed — a framed request/response
+stream cannot be trusted after a mid-frame fault) instead of killing the
+controller.  Quarantined clients walk the
+:class:`~repro.resilience.health.ClientHealth` state machine
+(DEGRADED → DEAD under exponential-backoff rejoin windows), their units
+fall back to a configurable reading policy, and a dead client's daemon
+may reconnect and re-register through the HELLO-rejoin path drained at
+the top of every cycle.  The cluster budget stays enforced throughout:
+the manager's budget invariant holds for whatever reading vector the
+cycle assembles.
 """
 
 from __future__ import annotations
 
+import select
 import socket
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.comm.protocol import MSG_CAP, MSG_READING, decode, encode
 from repro.core.managers import PowerManager
 from repro.deploy import framing
+from repro.resilience.health import ClientHealth, HealthState, ResilienceConfig
+from repro.telemetry.log import ResilienceEventLog
 
-__all__ = ["DeployServer", "DeployCycleStats"]
+__all__ = ["DeployServer", "DeployCycleStats", "PROTOCOL_MAX_W"]
+
+#: Largest value a 3-byte protocol message can carry (§6.5 wire format).
+PROTOCOL_MAX_W = 409.5
 
 
 @dataclass(frozen=True)
 class DeployCycleStats:
-    """Traffic accounting of one TCP control cycle.
+    """Traffic and health accounting of one TCP control cycle.
 
     Attributes:
         bytes_up / bytes_down: reading / cap payload bytes (3 B messages,
             excluding the 2-byte frame headers).
-        readings_w: the decoded reading vector of the cycle.
+        readings_w: the reading vector the manager consumed this cycle —
+            decoded wire values for healthy clients, fallback values for
+            quarantined ones.
+        n_healthy / n_degraded / n_dead: client health census after the
+            cycle.
+        fallback_units: units whose reading came from the fallback policy.
+        caps_clamped: cap messages clamped at the 3-byte protocol ceiling
+            (409.5 W) this cycle.
+        quarantined: node ids quarantined *during* this cycle.
+        rejoined: node ids re-integrated during this cycle.
     """
 
     bytes_up: int
     bytes_down: int
     readings_w: np.ndarray
+    n_healthy: int = 0
+    n_degraded: int = 0
+    n_dead: int = 0
+    fallback_units: int = 0
+    caps_clamped: int = 0
+    quarantined: tuple[int, ...] = ()
+    rejoined: tuple[int, ...] = ()
+
+
+@dataclass
+class _ClientRecord:
+    """Server-side state of one registered client."""
+
+    conn: socket.socket | None
+    node_id: int
+    base: int
+    n_units: int
+    health: ClientHealth = field(
+        default_factory=lambda: ClientHealth(ResilienceConfig())
+    )
+    #: True once the current quarantine episode's fallback was logged.
+    fallback_announced: bool = False
 
 
 class DeployServer:
-    """Blocking TCP control server.
+    """Blocking TCP control server with per-client failure isolation.
 
     Args:
         manager: a *bound* power manager whose unit count equals the sum
             of the registered clients' units.
         host / port: listen address; port 0 picks a free port (see
             :attr:`address` after construction).
-        timeout_s: per-socket-operation timeout — a stuck client fails the
-            cycle instead of hanging the controller.
+        timeout_s: per-socket-operation timeout — a stuck client is
+            quarantined instead of hanging the controller.
+        resilience: quarantine/backoff/fallback configuration.
+        events: structured event sink for quarantine/fallback/clamp
+            transitions (an internal log is created if omitted; see
+            :attr:`events`).  Event times are control-cycle indices — the
+            deploy layer has no simulated clock.
     """
 
     def __init__(
@@ -56,17 +111,24 @@ class DeployServer:
         host: str = "127.0.0.1",
         port: int = 0,
         timeout_s: float = 5.0,
+        resilience: ResilienceConfig | None = None,
+        events: ResilienceEventLog | None = None,
     ) -> None:
         self.manager = manager
         self.timeout_s = timeout_s
+        self.resilience = resilience or ResilienceConfig()
+        self.events = events if events is not None else ResilienceEventLog()
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
         self._listener.listen(16)
         self._listener.settimeout(timeout_s)
-        #: (connection, node_id, base_unit, n_units), registration order.
-        self._clients: list[tuple[socket.socket, int, int, int]] = []
+        self._clients: list[_ClientRecord] = []
         self._closed = False
+        self._cycle = 0
+        self._last_good: np.ndarray | None = None
+        #: Total cap messages clamped at the protocol ceiling (all cycles).
+        self.total_caps_clamped = 0
 
     @property
     def address(self) -> tuple[str, int]:
@@ -76,34 +138,163 @@ class DeployServer:
     @property
     def n_registered_units(self) -> int:
         """Units across all registered clients."""
-        return sum(c[3] for c in self._clients)
+        return sum(c.n_units for c in self._clients)
+
+    @property
+    def health(self) -> dict[int, HealthState]:
+        """Current health state per registered node id."""
+        return {c.node_id: c.health.state for c in self._clients}
 
     def accept_clients(self, n_clients: int) -> None:
         """Block until ``n_clients`` have connected and sent HELLO.
 
+        On a failed registration (over-registration or duplicate node id)
+        every connection accepted by *this call* is sent QUIT and closed
+        before the error propagates, so no half-registered session leaks.
+
         Raises:
-            ValueError: registered units exceed the manager's binding.
+            ValueError: registered units exceed the manager's binding, or
+                a node id registers twice.
         """
-        for _ in range(n_clients):
-            conn, _ = self._listener.accept()
-            conn.settimeout(self.timeout_s)
-            hello = framing.recv_hello(conn)
-            base = self.n_registered_units
-            if base + hello.n_units > self.manager.n_units:
-                conn.close()
-                raise ValueError(
-                    f"client node {hello.node_id} would register unit "
-                    f"{base + hello.n_units} but the manager is bound to "
-                    f"{self.manager.n_units}"
+        accepted: list[_ClientRecord] = []
+        try:
+            for _ in range(n_clients):
+                conn, _ = self._listener.accept()
+                conn.settimeout(self.timeout_s)
+                try:
+                    hello = framing.recv_hello(conn)
+                    base = self.n_registered_units
+                    if any(
+                        c.node_id == hello.node_id for c in self._clients
+                    ):
+                        raise ValueError(
+                            f"node {hello.node_id} is already registered"
+                        )
+                    if base + hello.n_units > self.manager.n_units:
+                        raise ValueError(
+                            f"client node {hello.node_id} would register "
+                            f"unit {base + hello.n_units} but the manager "
+                            f"is bound to {self.manager.n_units}"
+                        )
+                except BaseException:
+                    conn.close()
+                    raise
+                record = _ClientRecord(
+                    conn=conn,
+                    node_id=hello.node_id,
+                    base=base,
+                    n_units=hello.n_units,
+                    health=ClientHealth(self.resilience),
                 )
-            self._clients.append((conn, hello.node_id, base, hello.n_units))
+                self._clients.append(record)
+                accepted.append(record)
+        except BaseException:
+            for record in accepted:
+                if record.conn is not None:
+                    try:
+                        framing.send_tag(record.conn, framing.FRAME_QUIT)
+                    except OSError:
+                        pass
+                    record.conn.close()
+                self._clients.remove(record)
+            raise
+
+    # ------------------------------------------------------------------
+    # Failure isolation internals.
+    # ------------------------------------------------------------------
+
+    def _quarantine(self, record: _ClientRecord, reason: str) -> None:
+        """Close a faulted client's connection and advance its health."""
+        if record.conn is not None:
+            record.conn.close()
+            record.conn = None
+        state = record.health.record_failure()
+        self.events.emit(
+            float(self._cycle),
+            "client_quarantined",
+            node_id=record.node_id,
+            detail=reason,
+        )
+        if state is HealthState.DEAD:
+            self.events.emit(
+                float(self._cycle),
+                "client_dead",
+                node_id=record.node_id,
+                detail=f"after {record.health.consecutive_failures} failures",
+            )
+
+    def _drain_rejoins(self) -> list[int]:
+        """Accept pending reconnects and re-attach known quarantined nodes.
+
+        A pending connection must HELLO as a quarantined node id with the
+        same unit count it registered originally; anything else is closed.
+        Returns the node ids that rejoined.
+        """
+        rejoined = []
+        while True:
+            ready, _, _ = select.select([self._listener], [], [], 0.0)
+            if not ready:
+                break
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                break
+            conn.settimeout(self.timeout_s)
+            try:
+                hello = framing.recv_hello(conn)
+            except (OSError, ValueError, ConnectionError):
+                conn.close()
+                continue
+            record = next(
+                (
+                    c
+                    for c in self._clients
+                    if c.node_id == hello.node_id
+                    and c.health.quarantined
+                    and c.n_units == hello.n_units
+                ),
+                None,
+            )
+            if record is None:
+                conn.close()
+                continue
+            record.conn = conn
+            record.health.rejoin()
+            record.fallback_announced = False
+            rejoined.append(record.node_id)
+            self.events.emit(
+                float(self._cycle),
+                "client_rejoined",
+                node_id=record.node_id,
+            )
+        return rejoined
+
+    def _fallback_readings(
+        self, record: _ClientRecord, readings: np.ndarray
+    ) -> None:
+        """Fill a quarantined client's slice of the reading vector."""
+        lo, hi = record.base, record.base + record.n_units
+        if self.resilience.fallback == "assume-tdp":
+            readings[lo:hi] = self.manager.max_cap_w
+        else:  # hold-last
+            assert self._last_good is not None
+            readings[lo:hi] = self._last_good[lo:hi]
+
+    # ------------------------------------------------------------------
+    # The control cycle.
+    # ------------------------------------------------------------------
 
     def control_cycle(self) -> DeployCycleStats:
         """Run one poll → decide → cap cycle over TCP.
 
+        Client faults (timeout, disconnect, protocol violation) quarantine
+        the client and substitute fallback readings; the cycle itself
+        always completes and reports the health census in its stats.
+
         Raises:
             RuntimeError: no clients registered, or registration does not
-                cover the manager's units.
+                cover the manager's units (configuration errors, not
+                runtime faults).
         """
         if not self._clients:
             raise RuntimeError("no clients registered")
@@ -112,48 +303,147 @@ class DeployServer:
                 f"{self.n_registered_units} registered units != manager's "
                 f"{self.manager.n_units}"
             )
+        self._cycle += 1
+        if self._last_good is None:
+            # Neutral prior before any reading: the equal-share cap.
+            self._last_good = np.full(
+                self.manager.n_units, self.manager.initial_cap_w
+            )
+
+        rejoined = self._drain_rejoins()
+
         readings = np.empty(self.manager.n_units, dtype=np.float64)
         bytes_up = 0
-        for conn, _, base, n_units in self._clients:
-            framing.send_tag(conn, framing.FRAME_POLL)
-            batch = framing.recv_batch(conn, framing.FRAME_READINGS)
-            if len(batch) != n_units:
-                raise RuntimeError(
-                    f"client at base {base} sent {len(batch)} readings "
-                    f"for {n_units} units"
-                )
-            for payload in batch:
-                msg = decode(payload)
-                if msg.kind != MSG_READING:
-                    raise RuntimeError(f"expected reading, got {msg}")
-                readings[base + msg.unit] = msg.value_w
-                bytes_up += len(payload)
+        fallback_units = 0
+        quarantined_now: list[int] = []
+        for record in self._clients:
+            if record.health.quarantined:
+                before = record.health.state
+                after = record.health.tick()
+                if (
+                    after is HealthState.DEAD
+                    and before is not HealthState.DEAD
+                ):
+                    self.events.emit(
+                        float(self._cycle),
+                        "client_dead",
+                        node_id=record.node_id,
+                        detail="rejoin window expired",
+                    )
+                self._fallback_readings(record, readings)
+                fallback_units += record.n_units
+                if not record.fallback_announced:
+                    record.fallback_announced = True
+                    self.events.emit(
+                        float(self._cycle),
+                        "fallback_applied",
+                        node_id=record.node_id,
+                        detail=self.resilience.fallback,
+                    )
+                continue
+            try:
+                bytes_up += self._poll_client(record, readings)
+                record.health.record_success()
+            except (OSError, ValueError, RuntimeError) as exc:
+                self._quarantine(record, f"poll: {exc}")
+                quarantined_now.append(record.node_id)
+                self._fallback_readings(record, readings)
+                fallback_units += record.n_units
+
+        for record in self._clients:
+            if not record.health.quarantined:
+                lo, hi = record.base, record.base + record.n_units
+                self._last_good[lo:hi] = readings[lo:hi]
 
         caps = self.manager.step(readings)
 
         bytes_down = 0
-        for conn, _, base, n_units in self._clients:
-            batch = [
-                encode(MSG_CAP, local, min(float(caps[base + local]), 409.5))
-                for local in range(n_units)
-            ]
-            bytes_down += framing.send_batch(
-                conn, framing.FRAME_CAPS, batch
-            )
+        caps_clamped = 0
+        for record in self._clients:
+            if record.health.quarantined:
+                continue
+            batch = []
+            for local in range(record.n_units):
+                cap = float(caps[record.base + local])
+                if cap > PROTOCOL_MAX_W:
+                    caps_clamped += 1
+                    self.events.emit(
+                        float(self._cycle),
+                        "cap_clamped",
+                        unit=record.base + local,
+                        node_id=record.node_id,
+                        detail=f"{cap:.1f}->{PROTOCOL_MAX_W}",
+                    )
+                    cap = PROTOCOL_MAX_W
+                batch.append(encode(MSG_CAP, local, cap))
+            try:
+                bytes_down += framing.send_batch(
+                    record.conn, framing.FRAME_CAPS, batch
+                )
+            except (OSError, ValueError) as exc:
+                self._quarantine(record, f"caps: {exc}")
+                quarantined_now.append(record.node_id)
+        self.total_caps_clamped += caps_clamped
+
+        census = {state: 0 for state in HealthState}
+        for record in self._clients:
+            census[record.health.state] += 1
         return DeployCycleStats(
-            bytes_up=bytes_up, bytes_down=bytes_down, readings_w=readings
+            bytes_up=bytes_up,
+            bytes_down=bytes_down,
+            readings_w=readings,
+            n_healthy=census[HealthState.HEALTHY],
+            n_degraded=census[HealthState.DEGRADED],
+            n_dead=census[HealthState.DEAD],
+            fallback_units=fallback_units,
+            caps_clamped=caps_clamped,
+            quarantined=tuple(quarantined_now),
+            rejoined=tuple(rejoined),
         )
+
+    def _poll_client(
+        self, record: _ClientRecord, readings: np.ndarray
+    ) -> int:
+        """POLL one healthy client into ``readings``; returns bytes read.
+
+        Raises:
+            OSError / ValueError / RuntimeError: socket or protocol fault
+                (handled by the caller's quarantine path).
+        """
+        assert record.conn is not None
+        framing.send_tag(record.conn, framing.FRAME_POLL)
+        batch = framing.recv_batch(record.conn, framing.FRAME_READINGS)
+        if len(batch) != record.n_units:
+            raise RuntimeError(
+                f"client at base {record.base} sent {len(batch)} readings "
+                f"for {record.n_units} units"
+            )
+        bytes_up = 0
+        for payload in batch:
+            msg = decode(payload)
+            if msg.kind != MSG_READING:
+                raise RuntimeError(f"expected reading, got {msg}")
+            if msg.unit >= record.n_units:
+                raise RuntimeError(
+                    f"reading for unit {msg.unit} out of range "
+                    f"[0, {record.n_units})"
+                )
+            readings[record.base + msg.unit] = msg.value_w
+            bytes_up += len(payload)
+        return bytes_up
 
     def shutdown(self) -> None:
         """Send QUIT to every client and close all sockets (idempotent)."""
         if self._closed:
             return
-        for conn, _, _, _ in self._clients:
+        for record in self._clients:
+            if record.conn is None:
+                continue
             try:
-                framing.send_tag(conn, framing.FRAME_QUIT)
+                framing.send_tag(record.conn, framing.FRAME_QUIT)
             except OSError:
                 pass
-            conn.close()
+            record.conn.close()
         self._clients.clear()
         self._listener.close()
         self._closed = True

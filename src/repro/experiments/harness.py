@@ -21,8 +21,6 @@ from __future__ import annotations
 import zlib
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.cluster.simulator import Assignment, Simulation, SimulationResult
 from repro.core.config import (
     ClusterSpec,

@@ -75,6 +75,7 @@ class FaultyMeter:
         self.config = config
         self._rng = rng
         self._last_w = 0.0
+        self._has_last = False
         self.faults_injected = 0
 
     def read_power_w(self, dt_s: float) -> float:
@@ -82,22 +83,33 @@ class FaultyMeter:
 
         The healthy meter is *always* advanced (its energy-counter cursor
         must track real time), then the returned value may be replaced.
+        A stuck fault needs a previous value to repeat; on the very first
+        reading it passes the healthy value through instead of returning
+        the meaningless 0.0 initial state (which would be a dropout, not
+        a stall).
         """
         healthy = self.meter.read_power_w(dt_s)
         roll = self._rng.random()
         cfg = self.config
         if roll < cfg.stuck_prob:
-            self.faults_injected += 1
-            return self._last_w
+            if self._has_last:
+                self.faults_injected += 1
+                return self._last_w
+            self._last_w = healthy
+            self._has_last = True
+            return healthy
         roll -= cfg.stuck_prob
         if roll < cfg.dropout_prob:
             self.faults_injected += 1
             self._last_w = 0.0
+            self._has_last = True
             return 0.0
         roll -= cfg.dropout_prob
         if roll < cfg.spike_prob:
             self.faults_injected += 1
             self._last_w = healthy * cfg.spike_gain
+            self._has_last = True
             return self._last_w
         self._last_w = healthy
+        self._has_last = True
         return healthy

@@ -100,6 +100,17 @@ class RaplDomain:
         """Current value of the wrapping energy counter (µJ)."""
         return int(self._energy_uj % self.config.counter_wrap_uj)
 
+    def power_off(self) -> None:
+        """Hard power loss: true power drops to zero instantly.
+
+        Models a node crash — unlike stepping with zero demand (which
+        decays through the first-order lag), a dead machine stops drawing
+        power immediately.  The energy counter and the programmed cap are
+        preserved, exactly as RAPL state survives in the simulator's
+        bookkeeping of a host that will later reboot.
+        """
+        self._power_w = 0.0
+
     def step(self, demand_w: float, dt_s: float) -> float:
         """Advance the physical state by one interval.
 

@@ -1,0 +1,40 @@
+"""Fault-tolerant control plane: health tracking, validation, safe mode.
+
+This package makes the reproduction survive the failure modes a
+production power-capped cluster must tolerate: crashed or hung client
+daemons (``health`` + the hardened :mod:`repro.deploy.server`), corrupted
+telemetry (``validate``), and whole-manager fallback under mass
+unobservability (``manager``).  The CLI-facing chaos spec lives in
+:mod:`repro.resilience.chaos` (imported lazily to keep this package free
+of simulator dependencies).
+"""
+
+from repro.resilience.health import (
+    FALLBACK_POLICIES,
+    ClientHealth,
+    HealthState,
+    ResilienceConfig,
+)
+from repro.resilience.manager import (
+    ResilienceStepInfo,
+    ResilientConfig,
+    ResilientManager,
+)
+from repro.resilience.validate import (
+    ReadingValidator,
+    ValidationResult,
+    ValidatorConfig,
+)
+
+__all__ = [
+    "FALLBACK_POLICIES",
+    "ClientHealth",
+    "HealthState",
+    "ReadingValidator",
+    "ResilienceConfig",
+    "ResilienceStepInfo",
+    "ResilientConfig",
+    "ResilientManager",
+    "ValidationResult",
+    "ValidatorConfig",
+]

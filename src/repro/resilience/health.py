@@ -1,0 +1,171 @@
+"""Client health state machine for the fault-tolerant control plane.
+
+The paper's server runs a strictly synchronous poll→decide→cap loop
+(§4.3); a single stuck or crashed client daemon would stall or kill the
+whole controller.  :class:`ClientHealth` tracks each client through a
+three-state machine so the server can keep enforcing the cluster budget
+through partial failures:
+
+```
+          failure            window expired / max retries
+  HEALTHY ───────> DEGRADED ────────────────────────────> DEAD
+     ^                 │                                    │
+     └── HELLO rejoin ─┴─────────── HELLO rejoin ───────────┘
+```
+
+A failure quarantines the client (its connection is closed — after a
+timeout or protocol error mid-frame the byte stream cannot be trusted)
+and opens an exponentially growing *rejoin window*: after the *k*-th
+consecutive failure the client has ``backoff_cycles * backoff_factor**(k-1)``
+control cycles to reconnect and re-register before it is declared DEAD.
+Reaching ``max_retries`` consecutive failures declares it DEAD
+immediately.  DEAD clients may still rejoin; a successful poll after a
+rejoin resets the consecutive-failure count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = [
+    "HealthState",
+    "ResilienceConfig",
+    "ClientHealth",
+    "FALLBACK_POLICIES",
+]
+
+#: Reading policies for quarantined clients: ``"hold-last"`` replays the
+#: last good reading per unit (optimistic — assumes the node keeps doing
+#: what it did); ``"assume-tdp"`` reports TDP per unit (pessimistic — the
+#: manager budgets as if the unobserved node drew maximum power, so the
+#: rest of the cluster is throttled conservatively).
+FALLBACK_POLICIES = ("hold-last", "assume-tdp")
+
+
+class HealthState(Enum):
+    """Liveness of one registered client."""
+
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    DEAD = "dead"
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Deploy-layer failure-isolation knobs.
+
+    Attributes:
+        max_retries: consecutive failures after which a client is DEAD.
+        backoff_cycles: rejoin window (control cycles) after the first
+            failure.
+        backoff_factor: multiplicative window growth per consecutive
+            failure.
+        fallback: reading policy for quarantined units, one of
+            :data:`FALLBACK_POLICIES`.
+    """
+
+    max_retries: int = 3
+    backoff_cycles: int = 4
+    backoff_factor: float = 2.0
+    fallback: str = "hold-last"
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 1:
+            raise ValueError(
+                f"max_retries must be >= 1, got {self.max_retries}"
+            )
+        if self.backoff_cycles < 1:
+            raise ValueError(
+                f"backoff_cycles must be >= 1, got {self.backoff_cycles}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.fallback not in FALLBACK_POLICIES:
+            raise ValueError(
+                f"fallback must be one of {FALLBACK_POLICIES}, "
+                f"got {self.fallback!r}"
+            )
+
+    def rejoin_window(self, consecutive_failures: int) -> int:
+        """Rejoin window (cycles) after the given consecutive failure."""
+        if consecutive_failures < 1:
+            raise ValueError("window is defined after at least one failure")
+        return math.ceil(
+            self.backoff_cycles
+            * self.backoff_factor ** (consecutive_failures - 1)
+        )
+
+
+class ClientHealth:
+    """Health record of one client, advanced by the server per cycle.
+
+    Args:
+        config: retry/backoff parameters shared by all clients.
+    """
+
+    def __init__(self, config: ResilienceConfig) -> None:
+        self.config = config
+        self.state = HealthState.HEALTHY
+        self.consecutive_failures = 0
+        self.total_failures = 0
+        self.rejoins = 0
+        #: Cycles left in the current rejoin window (DEGRADED only).
+        self.window_cycles = 0
+
+    def record_failure(self) -> HealthState:
+        """Register one poll/cap failure; returns the new state."""
+        self.consecutive_failures += 1
+        self.total_failures += 1
+        if self.consecutive_failures >= self.config.max_retries:
+            self.state = HealthState.DEAD
+            self.window_cycles = 0
+        else:
+            self.state = HealthState.DEGRADED
+            self.window_cycles = self.config.rejoin_window(
+                self.consecutive_failures
+            )
+        return self.state
+
+    def record_success(self) -> None:
+        """Register one clean poll→cap exchange (resets the retry count)."""
+        self.state = HealthState.HEALTHY
+        self.consecutive_failures = 0
+        self.window_cycles = 0
+
+    def tick(self) -> HealthState:
+        """Advance one quarantined cycle; DEGRADED decays to DEAD when the
+        rejoin window expires.  Returns the (possibly new) state."""
+        if self.state is HealthState.DEGRADED:
+            self.window_cycles -= 1
+            if self.window_cycles <= 0:
+                self.state = HealthState.DEAD
+        return self.state
+
+    def rejoin(self) -> None:
+        """Re-attach after a HELLO-rejoin (allowed from DEGRADED and DEAD).
+
+        The consecutive-failure count is *not* reset here — only a
+        successful poll (:meth:`record_success`) proves recovery, so a
+        flapping client still converges to DEAD.
+        """
+        if self.state is HealthState.HEALTHY:
+            raise RuntimeError("cannot rejoin a healthy client")
+        self.state = HealthState.HEALTHY
+        self.window_cycles = 0
+        self.rejoins += 1
+
+    @property
+    def quarantined(self) -> bool:
+        """True while the client must not be polled (DEGRADED or DEAD)."""
+        return self.state is not HealthState.HEALTHY
+
+    def __repr__(self) -> str:
+        return (
+            f"ClientHealth(state={self.state.value}, "
+            f"failures={self.consecutive_failures}/{self.total_failures}, "
+            f"window={self.window_cycles})"
+        )

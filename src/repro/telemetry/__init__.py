@@ -6,13 +6,27 @@ from repro.telemetry.analysis import (
     extract_phases,
     fraction_above,
 )
-from repro.telemetry.export import from_json, to_csv, to_json
-from repro.telemetry.log import TelemetryLog
+from repro.telemetry.export import (
+    events_to_csv,
+    from_json,
+    to_csv,
+    to_json,
+)
+from repro.telemetry.log import (
+    RESILIENCE_EVENT_KINDS,
+    ResilienceEvent,
+    ResilienceEventLog,
+    TelemetryLog,
+)
 
 __all__ = [
     "PhaseSegment",
+    "RESILIENCE_EVENT_KINDS",
+    "ResilienceEvent",
+    "ResilienceEventLog",
     "TelemetryLog",
     "avg_power",
+    "events_to_csv",
     "extract_phases",
     "fraction_above",
     "from_json",

@@ -9,6 +9,10 @@ that its plotting scripts consume.  This module writes a
   (pandas, gnuplot) ingest directly;
 * **JSON** — a compact column-oriented document that round-trips back
   into a ``TelemetryLog`` exactly.
+
+Structured resilience events (quarantines, fallbacks, safe-mode
+transitions) attached to the log ride along in the JSON document and have
+their own long-format CSV via :func:`events_to_csv`.
 """
 
 from __future__ import annotations
@@ -18,9 +22,9 @@ import json
 
 import numpy as np
 
-from repro.telemetry.log import TelemetryLog
+from repro.telemetry.log import ResilienceEventLog, TelemetryLog
 
-__all__ = ["to_csv", "from_csv", "to_json", "from_json"]
+__all__ = ["to_csv", "from_csv", "to_json", "from_json", "events_to_csv"]
 
 _CSV_HEADER = "time_s,unit,power_w,reading_w,cap_w,priority"
 
@@ -105,8 +109,24 @@ def to_json(log: TelemetryLog) -> str:
         "readings_w": log.readings_w.tolist(),
         "caps_w": log.caps_w.tolist(),
         "priority": log.priority.astype(int).tolist(),
+        "events": [
+            [e.time_s, e.kind, e.unit, e.node_id, e.detail]
+            for e in log.events
+        ],
     }
     return json.dumps(doc)
+
+
+def events_to_csv(events: ResilienceEventLog) -> str:
+    """Render a resilience event log as long-format CSV."""
+    buf = io.StringIO()
+    buf.write("time_s,kind,unit,node_id,detail\n")
+    for e in events:
+        unit = "" if e.unit is None else str(e.unit)
+        node = "" if e.node_id is None else str(e.node_id)
+        detail = e.detail.replace(",", ";")
+        buf.write(f"{e.time_s:.3f},{e.kind},{unit},{node},{detail}\n")
+    return buf.getvalue()
 
 
 def from_json(text: str) -> TelemetryLog:
@@ -148,4 +168,15 @@ def from_json(text: str) -> TelemetryLog:
             )
     for i, t in enumerate(time_s):
         log.record(float(t), power[i], readings[i], caps[i], priority[i])
+    # Events are optional so documents written before the resilience layer
+    # still load.
+    for row in doc.get("events", []):
+        time, kind, unit, node_id, detail = row
+        log.events.emit(
+            float(time),
+            str(kind),
+            unit=None if unit is None else int(unit),
+            node_id=None if node_id is None else int(node_id),
+            detail=str(detail),
+        )
     return log

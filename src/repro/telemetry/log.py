@@ -9,9 +9,101 @@ channels per step and finalizes them into contiguous arrays for analysis
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Iterator
+
 import numpy as np
 
-__all__ = ["TelemetryLog"]
+__all__ = [
+    "TelemetryLog",
+    "ResilienceEvent",
+    "ResilienceEventLog",
+    "RESILIENCE_EVENT_KINDS",
+]
+
+#: Recognized structured resilience event kinds (control-plane failures,
+#: fallback decisions, and safe-mode transitions).
+RESILIENCE_EVENT_KINDS = (
+    "client_quarantined",
+    "client_dead",
+    "client_rejoined",
+    "fallback_applied",
+    "cap_clamped",
+    "reading_suspect",
+    "safe_mode_entered",
+    "safe_mode_exited",
+    "node_failed",
+    "node_recovered",
+)
+
+
+@dataclass(frozen=True)
+class ResilienceEvent:
+    """One structured fault/fallback/safe-mode transition.
+
+    Attributes:
+        time_s: event time — simulation seconds, or the control-cycle
+            index for the TCP deploy layer (which has no simulated clock).
+        kind: one of :data:`RESILIENCE_EVENT_KINDS`.
+        unit: global unit index, if the event concerns a single unit.
+        node_id: node index, if the event concerns a node or its client.
+        detail: free-form payload (failure reason, counts, fractions).
+    """
+
+    time_s: float
+    kind: str
+    unit: int | None = None
+    node_id: int | None = None
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in RESILIENCE_EVENT_KINDS:
+            raise ValueError(
+                f"unknown resilience event kind {self.kind!r}; "
+                f"expected one of {RESILIENCE_EVENT_KINDS}"
+            )
+
+
+class ResilienceEventLog:
+    """Append-only chronological log of resilience events."""
+
+    def __init__(self) -> None:
+        self._events: list[ResilienceEvent] = []
+
+    def emit(
+        self,
+        time_s: float,
+        kind: str,
+        unit: int | None = None,
+        node_id: int | None = None,
+        detail: str = "",
+    ) -> ResilienceEvent:
+        """Append an event and return it."""
+        event = ResilienceEvent(
+            time_s=time_s, kind=kind, unit=unit, node_id=node_id, detail=detail
+        )
+        self._events.append(event)
+        return event
+
+    def extend(self, other: "ResilienceEventLog") -> None:
+        """Append every event of another log (e.g. a manager's internal log)."""
+        self._events.extend(other._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[ResilienceEvent]:
+        return iter(self._events)
+
+    def of_kind(self, kind: str) -> list[ResilienceEvent]:
+        """All events of one kind, in order."""
+        if kind not in RESILIENCE_EVENT_KINDS:
+            raise ValueError(f"unknown resilience event kind {kind!r}")
+        return [e for e in self._events if e.kind == kind]
+
+    def for_node(self, node_id: int) -> list[ResilienceEvent]:
+        """All events tagged with the given node, in order."""
+        return [e for e in self._events if e.node_id == node_id]
 
 
 class TelemetryLog:
@@ -31,6 +123,9 @@ class TelemetryLog:
         self._caps: list[np.ndarray] = []
         self._priority: list[np.ndarray] = []
         self._finalized: dict[str, np.ndarray] | None = None
+        #: Structured resilience events recorded alongside the traces
+        #: (quarantines, fallbacks, clamps, safe-mode transitions).
+        self.events = ResilienceEventLog()
 
     def __len__(self) -> int:
         return len(self._time)

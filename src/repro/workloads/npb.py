@@ -14,7 +14,7 @@ it emerges from the inter-run gap of the execution engine.
 
 from __future__ import annotations
 
-from repro.workloads.phases import Hold, Oscillate, PhaseProgram, Ramp
+from repro.workloads.phases import Oscillate, PhaseProgram, Ramp
 from repro.workloads.spec import WorkloadSpec
 
 __all__ = ["NPB_WORKLOADS", "npb_workload", "npb_names"]

@@ -1,0 +1,112 @@
+"""Scheduled node-failure injection in the simulator."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.events import NodeFailureEvent
+from repro.cluster.simulator import Assignment, Simulation
+from repro.core.config import ClusterSpec, SimulationConfig
+from repro.core.managers import create_manager
+from repro.powercap.faults import FaultConfig
+from repro.workloads.registry import get_workload
+
+SPEC = ClusterSpec(n_nodes=4, sockets_per_node=2)
+SIM = SimulationConfig(time_scale=0.05, max_steps=60_000, inter_run_gap_s=2.0)
+
+
+def build(manager="dps", failures=(), fault_config=None, record=True,
+          use_comm=False, spec=SPEC):
+    cluster = Cluster(spec)
+    return Simulation(
+        cluster_spec=spec,
+        manager=create_manager(manager),
+        assignments=[
+            Assignment(
+                spec=get_workload("kmeans"),
+                unit_ids=cluster.half_unit_ids(0),
+            ),
+            Assignment(
+                spec=get_workload("gmm"),
+                unit_ids=cluster.half_unit_ids(1),
+            ),
+        ],
+        target_runs=1,
+        sim_config=SIM,
+        seed=7,
+        record_telemetry=record,
+        failures=failures,
+        fault_config=fault_config,
+        use_comm=use_comm,
+    )
+
+
+class TestNodeFailureEvent:
+    def test_recover_must_follow_fail(self):
+        with pytest.raises(ValueError):
+            NodeFailureEvent(node_id=0, fail_at_s=10.0, recover_at_s=5.0)
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(ValueError):
+            NodeFailureEvent(node_id=0, fail_at_s=-1.0)
+
+
+class TestValidation:
+    def test_unknown_node_rejected(self):
+        with pytest.raises(ValueError, match="node 9"):
+            build(failures=[NodeFailureEvent(node_id=9, fail_at_s=1.0)])
+
+    def test_comm_path_rejects_failures(self):
+        with pytest.raises(ValueError, match="comm"):
+            build(
+                manager="slurm",
+                failures=[NodeFailureEvent(node_id=0, fail_at_s=1.0)],
+                use_comm=True,
+            )
+
+
+class TestFailureInjection:
+    FAILURES = (NodeFailureEvent(node_id=1, fail_at_s=5.0, recover_at_s=20.0),)
+
+    def test_events_fire_once_and_budget_holds(self):
+        result = build(failures=self.FAILURES).run()
+        assert len(result.events.of_kind("node_failed")) == 1
+        assert len(result.events.of_kind("node_recovered")) == 1
+        assert result.max_caps_sum_w <= SPEC.budget_w * (1 + 1e-6)
+        # Mirrored into the structured telemetry channel.
+        assert len(result.telemetry.events.of_kind("node_failed")) == 1
+
+    def test_down_node_reads_zero_then_recovers(self):
+        result = build(failures=self.FAILURES).run()
+        t = result.telemetry.time_s
+        down = (t >= 5.0 + 1.0) & (t <= 20.0 - 1.0)
+        up = t > 21.0
+        node1 = [2, 3]  # units of node 1 (2 sockets per node)
+        assert (result.telemetry.readings_w[down][:, node1] == 0.0).all()
+        assert (result.telemetry.readings_w[up][:, node1] > 0.0).all()
+
+    def test_permanent_failure_never_recovers(self):
+        failures = (NodeFailureEvent(node_id=0, fail_at_s=3.0),)
+        result = build(failures=failures).run()
+        assert len(result.events.of_kind("node_failed")) == 1
+        assert not result.events.of_kind("node_recovered")
+
+    def test_resilient_manager_survives_failure(self):
+        result = build(manager="resilient", failures=self.FAILURES).run()
+        assert not result.truncated
+        assert result.max_caps_sum_w <= SPEC.budget_w * (1 + 1e-6)
+
+
+class TestMeterFaultInjection:
+    def test_faults_do_not_break_the_run(self):
+        cfg = FaultConfig(stuck_prob=0.05, dropout_prob=0.05, spike_prob=0.02)
+        result = build(manager="resilient", fault_config=cfg).run()
+        assert not result.truncated
+        assert result.max_caps_sum_w <= SPEC.budget_w * (1 + 1e-6)
+
+    def test_seed_unchanged_without_faults(self):
+        """Enabling the fault plumbing with no config must not disturb the
+        seed lineage of an existing simulation."""
+        a = build(fault_config=None).run()
+        b = build(fault_config=None).run()
+        assert a.durations == b.durations

@@ -77,16 +77,13 @@ class TestCycleViolations:
         t.join(2.0)
         return client
 
-    def test_short_readings_batch_rejected(self):
+    def test_short_readings_batch_quarantines(self):
         with DeployServer(bound_manager(n_units=2)) as server:
             client = self._registered(server)
-            errors = []
+            results = []
 
             def cycle():
-                try:
-                    server.control_cycle()
-                except RuntimeError as exc:
-                    errors.append(exc)
+                results.append(server.control_cycle())
 
             t = threading.Thread(target=cycle)
             t.start()
@@ -96,24 +93,30 @@ class TestCycleViolations:
                 framing.FRAME_READINGS,
                 [encode(MSG_READING, 0, 100.0)],  # Only 1 of 2 units.
             )
-            t.join(2.0)
+            t.join(3.0)
             client.close()
-            assert errors and "readings" in str(errors[0])
+            assert results, "cycle must complete despite the short batch"
+            stats = results[0]
+            assert stats.quarantined == (0,)
+            assert stats.fallback_units == 2
+            quarantines = server.events.of_kind("client_quarantined")
+            assert quarantines and "readings" in quarantines[0].detail
 
-    def test_client_disconnect_mid_cycle_surfaces(self):
+    def test_client_disconnect_mid_cycle_quarantines(self):
         with DeployServer(bound_manager(n_units=2)) as server:
             client = self._registered(server)
-            errors = []
+            results = []
 
             def cycle():
-                try:
-                    server.control_cycle()
-                except (ConnectionError, RuntimeError, OSError) as exc:
-                    errors.append(exc)
+                results.append(server.control_cycle())
 
             t = threading.Thread(target=cycle)
             t.start()
             framing.recv_tag(client.sock)  # POLL arrives...
             client.close()  # ...and the client dies.
             t.join(3.0)
-            assert errors
+            assert results, "cycle must survive a mid-cycle disconnect"
+            stats = results[0]
+            assert stats.quarantined == (0,)
+            assert stats.n_healthy == 0
+            assert server.events.of_kind("client_quarantined")

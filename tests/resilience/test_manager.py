@@ -1,0 +1,122 @@
+"""ResilientManager: sanitization, safe mode, and the budget invariant."""
+
+import numpy as np
+import pytest
+
+from repro.core import create_manager
+from repro.core.dps import DPSManager
+from repro.resilience.manager import ResilientConfig, ResilientManager
+from repro.resilience.validate import ValidatorConfig
+
+N = 8
+BUDGET = 110.0 * N
+
+
+def bound(config=None, inner=None):
+    mgr = ResilientManager(inner=inner, config=config)
+    mgr.bind(N, BUDGET, 165.0, 30.0, rng=np.random.default_rng(3))
+    return mgr
+
+
+def healthy_readings(rng):
+    return 100.0 + rng.normal(0.0, 1.0, N)
+
+
+class TestRegistry:
+    def test_registered_and_wraps_dps_by_default(self):
+        mgr = create_manager("resilient")
+        assert isinstance(mgr, ResilientManager)
+        assert isinstance(mgr.inner, DPSManager)
+
+    def test_forwards_inner_demand_requirement(self):
+        oracle = create_manager("oracle")
+        mgr = ResilientManager(inner=oracle)
+        assert mgr.requires_demand == oracle.requires_demand
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"safe_fraction": 0.0},
+            {"safe_fraction": 1.5},
+            {"reengage_cycles": 0},
+            {"reengage_fraction": 0.9},  # >= safe_fraction default
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ResilientConfig(**kwargs)
+
+
+class TestSanitization:
+    def test_suspect_readings_replaced_by_estimate(self):
+        mgr = bound()
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            mgr.step(healthy_readings(rng))
+        z = healthy_readings(rng)
+        z[0] = 0.0  # dropout
+        z[1] = 400.0  # spike, far above any programmed cap
+        mgr.step(z)
+        info = mgr.last_resilience
+        assert info.dropout[0] and info.spike[1]
+        assert info.sanitized_w[0] > 50.0  # estimate, not the zero
+        assert info.sanitized_w[1] < 200.0  # estimate, not the spike
+        kinds = [e.detail for e in mgr.events.of_kind("reading_suspect")]
+        assert "dropout" in kinds and "spike" in kinds
+
+    def test_budget_invariant_under_garbage(self):
+        mgr = bound()
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            z = np.abs(rng.normal(100.0, 80.0, N))
+            caps = mgr.step(z)
+            assert caps.sum() <= BUDGET * (1 + 1e-9)
+
+
+class TestSafeMode:
+    CFG = ResilientConfig(safe_fraction=0.5, reengage_cycles=3)
+
+    def test_mass_dropout_enters_safe_mode(self):
+        mgr = bound(self.CFG)
+        rng = np.random.default_rng(2)
+        for _ in range(5):
+            mgr.step(healthy_readings(rng))
+        caps = mgr.step(np.zeros(N))  # every unit unobservable
+        assert mgr.safe_mode
+        # Safe mode is the constant allocation.
+        np.testing.assert_allclose(caps, mgr.initial_cap_w)
+        assert len(mgr.events.of_kind("safe_mode_entered")) == 1
+
+    def test_reengages_after_clean_streak(self):
+        mgr = bound(self.CFG)
+        rng = np.random.default_rng(4)
+        for _ in range(5):
+            mgr.step(healthy_readings(rng))
+        mgr.step(np.zeros(N))
+        assert mgr.safe_mode
+        for _ in range(self.CFG.reengage_cycles):
+            assert mgr.safe_mode
+            mgr.step(healthy_readings(rng))
+        assert not mgr.safe_mode
+        assert len(mgr.events.of_kind("safe_mode_exited")) == 1
+
+    def test_dirty_cycle_resets_the_streak(self):
+        mgr = bound(self.CFG)
+        rng = np.random.default_rng(5)
+        for _ in range(5):
+            mgr.step(healthy_readings(rng))
+        mgr.step(np.zeros(N))
+        mgr.step(healthy_readings(rng))  # clean 1
+        mgr.step(np.zeros(N))  # dirty — streak resets, still safe
+        for _ in range(self.CFG.reengage_cycles - 1):
+            mgr.step(healthy_readings(rng))
+        assert mgr.safe_mode  # one short of the required streak
+
+    def test_rebind_clears_state(self):
+        mgr = bound(self.CFG)
+        mgr.step(np.zeros(N))
+        mgr.bind(N, BUDGET, 165.0, 30.0, rng=np.random.default_rng(9))
+        assert not mgr.safe_mode
+        assert len(mgr.events) == 0

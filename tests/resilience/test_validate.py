@@ -1,0 +1,96 @@
+"""Reading validation against the stuck/dropout/spike taxonomy."""
+
+import numpy as np
+import pytest
+
+from repro.resilience.validate import ReadingValidator, ValidatorConfig
+
+
+def make(n=4, **kwargs):
+    return ReadingValidator(n, ValidatorConfig(**kwargs)) if kwargs else (
+        ReadingValidator(n)
+    )
+
+
+CAPS = np.full(4, 110.0)
+EST = np.full(4, 100.0)
+
+
+class TestValidatorConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"dropout_floor_w": -1.0},
+            {"dropout_min_estimate_w": 0.5},  # below the floor
+            {"spike_cap_slack": 0.9},
+            {"spike_margin_w": -1.0},
+            {"stuck_run": 1},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ValidatorConfig(**kwargs)
+
+
+class TestDropout:
+    def test_zero_reading_with_high_estimate_flagged(self):
+        v = make()
+        z = np.array([0.0, 100.0, 100.0, 100.0])
+        res = v.validate(z, CAPS, EST)
+        assert res.dropout.tolist() == [True, False, False, False]
+        assert res.suspect[0]
+
+    def test_zero_reading_with_idle_estimate_believed(self):
+        """A unit genuinely idling near zero is not a dropout."""
+        v = make()
+        z = np.zeros(4)
+        est = np.full(4, 2.0)  # below dropout_min_estimate_w
+        assert not v.validate(z, CAPS, est).dropout.any()
+
+
+class TestSpike:
+    def test_reading_far_above_cap_flagged(self):
+        v = make()
+        z = np.array([300.0, 100.0, 100.0, 100.0])  # cap is 110 W
+        res = v.validate(z, CAPS, EST)
+        assert res.spike.tolist() == [True, False, False, False]
+
+    def test_reading_slightly_above_cap_tolerated(self):
+        """Actuation lag and noise keep sub-threshold overshoot unflagged."""
+        v = make()
+        z = np.full(4, 120.0)  # under 110 * 1.1 + 15
+        assert not v.validate(z, CAPS, EST).spike.any()
+
+
+class TestStuck:
+    def test_exact_repeats_flag_after_run(self):
+        v = make(stuck_run=3)
+        z = np.array([50.0, 50.1, 50.2, 50.3])
+        assert not v.validate(z, CAPS, EST).stuck.any()
+        assert not v.validate(z, CAPS, EST).stuck.any()
+        assert v.validate(z, CAPS, EST).stuck.all()
+
+    def test_any_change_resets_the_run(self):
+        v = make(stuck_run=3)
+        z = np.full(4, 50.0)
+        v.validate(z, CAPS, EST)
+        v.validate(z + 0.001, CAPS, EST)  # noise breaks the run
+        assert not v.validate(z, CAPS, EST).stuck.any()
+
+    def test_reset_forgets_history(self):
+        v = make(stuck_run=2)
+        z = np.full(4, 50.0)
+        v.validate(z, CAPS, EST)
+        v.reset()
+        assert not v.validate(z, CAPS, EST).stuck.any()
+
+
+class TestShapes:
+    def test_wrong_shape_rejected(self):
+        v = make()
+        with pytest.raises(ValueError, match="shape"):
+            v.validate(np.zeros(3), CAPS, EST)
+
+    def test_bad_n_units(self):
+        with pytest.raises(ValueError):
+            ReadingValidator(0)

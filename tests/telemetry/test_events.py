@@ -1,0 +1,79 @@
+"""Structured resilience events: log semantics and export round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.export import events_to_csv, from_json, to_json
+from repro.telemetry.log import (
+    RESILIENCE_EVENT_KINDS,
+    ResilienceEvent,
+    ResilienceEventLog,
+    TelemetryLog,
+)
+
+
+def small_log():
+    log = TelemetryLog(n_units=2)
+    caps = np.array([110.0, 110.0])
+    log.record(0.0, np.array([100.0, 90.0]), np.array([99.0, 91.0]), caps)
+    log.record(1.0, np.array([101.0, 91.0]), np.array([100.0, 92.0]), caps)
+    return log
+
+
+class TestResilienceEvent:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            ResilienceEvent(0.0, "meltdown")
+
+    @pytest.mark.parametrize("kind", RESILIENCE_EVENT_KINDS)
+    def test_all_kinds_constructible(self, kind):
+        assert ResilienceEvent(1.0, kind).kind == kind
+
+
+class TestResilienceEventLog:
+    def test_emit_of_kind_for_node(self):
+        log = ResilienceEventLog()
+        log.emit(1.0, "client_quarantined", node_id=2, detail="timeout")
+        log.emit(2.0, "client_rejoined", node_id=2)
+        log.emit(3.0, "cap_clamped", unit=5, node_id=1)
+        assert len(log) == 3
+        assert [e.kind for e in log.of_kind("client_rejoined")] == [
+            "client_rejoined"
+        ]
+        assert len(log.for_node(2)) == 2
+
+    def test_extend_merges(self):
+        a, b = ResilienceEventLog(), ResilienceEventLog()
+        b.emit(0.0, "safe_mode_entered")
+        a.extend(b)
+        assert len(a) == 1
+
+
+class TestEventExport:
+    def test_json_round_trip_preserves_events(self):
+        log = small_log()
+        log.events.emit(0.0, "node_failed", node_id=1)
+        log.events.emit(1.0, "fallback_applied", node_id=1, detail="hold-last")
+        restored = from_json(to_json(log))
+        assert len(restored.events) == 2
+        evts = list(restored.events)
+        assert evts[0].kind == "node_failed" and evts[0].node_id == 1
+        assert evts[1].detail == "hold-last"
+
+    def test_json_without_events_still_loads(self):
+        """Documents written before the events channel keep loading."""
+        import json
+
+        doc = json.loads(to_json(small_log()))
+        del doc["events"]
+        restored = from_json(json.dumps(doc))
+        assert len(restored.events) == 0
+
+    def test_events_to_csv(self):
+        log = ResilienceEventLog()
+        log.emit(2.0, "client_quarantined", node_id=0, detail="poll, timeout")
+        text = events_to_csv(log)
+        lines = text.strip().splitlines()
+        assert lines[0] == "time_s,kind,unit,node_id,detail"
+        # A comma inside the detail must not add a column.
+        assert lines[1].count(",") == 4

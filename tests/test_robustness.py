@@ -16,6 +16,7 @@ from repro.cluster.simulator import Assignment, Simulation
 from repro.core.config import ClusterSpec, SimulationConfig
 from repro.core.managers import create_manager
 from repro.experiments.harness import ExperimentConfig, ExperimentHarness
+from repro.powercap.faults import FaultConfig, FaultyMeter
 from repro.workloads.synthetic import random_workload
 
 SPEC = ClusterSpec(n_nodes=4, sockets_per_node=2)
@@ -92,3 +93,69 @@ class TestRandomizedEndToEnd:
             return sim.run().durations
 
         assert run() == run()
+
+
+class TestResilientRecovery:
+    """The resilience acceptance scenario: heavy measurement faults must
+    never break the budget, and once they clear the resilient-wrapped DPS
+    must recover to within 2% of a fault-free run."""
+
+    FAULTS = FaultConfig(stuck_prob=0.05, dropout_prob=0.05, spike_prob=0.02)
+    FAULT_CYCLES = 150
+    TOTAL_CYCLES = 300
+    WINDOW = 50  # Trailing cycles scored after the faults clear.
+
+    def _drive(self, inject_faults):
+        """A closed control loop over the cluster physics; faults (when
+        injected) corrupt every meter for the first FAULT_CYCLES cycles,
+        then the healthy meters are restored."""
+        cluster = Cluster(SPEC, rng=np.random.default_rng(21))
+        manager = create_manager("resilient")
+        manager.bind(
+            cluster.n_units,
+            cluster.budget_w,
+            SPEC.tdp_w,
+            SPEC.min_cap_w,
+            rng=np.random.default_rng(5),
+        )
+        # A hungry half and an idle-ish half, so DPS has power to shift
+        # and the post-fault allocation is a real decision.
+        demand = np.where(
+            np.arange(cluster.n_units) < cluster.n_units // 2, 150.0, 60.0
+        )
+        healthy_meters = [s.meter for s in cluster.sockets]
+        if inject_faults:
+            fault_rngs = np.random.default_rng(99).spawn(cluster.n_units)
+            for sock, frng in zip(cluster.sockets, fault_rngs):
+                sock.meter = FaultyMeter(sock.meter, self.FAULTS, frng)
+
+        power_trace = np.empty((self.TOTAL_CYCLES, cluster.n_units))
+        for cycle in range(self.TOTAL_CYCLES):
+            if inject_faults and cycle == self.FAULT_CYCLES:
+                for sock, meter in zip(cluster.sockets, healthy_meters):
+                    sock.meter = meter  # The fault episode ends.
+            true_power = cluster.step_physics(demand, 1.0)
+            readings = cluster.read_powers_w(1.0)
+            caps = manager.step(readings)
+            assert caps.sum() <= cluster.budget_w * (1 + 1e-9), (
+                f"budget violated at cycle {cycle}"
+            )
+            for dom, cap in zip(cluster.domains, caps):
+                dom.set_cap_w(float(cap))
+            power_trace[cycle] = true_power
+        return power_trace
+
+    @staticmethod
+    def _hmean_progress(trace):
+        """Harmonic mean across units of window-mean delivered power —
+        the speedup proxy (progress tracks delivered power in the
+        perf model, and hmean is the paper's pairing metric)."""
+        unit_means = trace.mean(axis=0)
+        return len(unit_means) / np.sum(1.0 / unit_means)
+
+    def test_budget_held_and_recovery_within_2pct(self):
+        faulty = self._drive(inject_faults=True)
+        clean = self._drive(inject_faults=False)
+        h_faulty = self._hmean_progress(faulty[-self.WINDOW:])
+        h_clean = self._hmean_progress(clean[-self.WINDOW:])
+        assert abs(h_faulty - h_clean) / h_clean <= 0.02
