@@ -65,6 +65,24 @@ def build_parser() -> argparse.ArgumentParser:
             "(kill is node@start[-end] in sim seconds; no end = permanent)"
         ),
     )
+    pair.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="PATH",
+        help=(
+            "run the controller checkpointed: journal every cycle and "
+            "write durable snapshots under PATH (one subdirectory per "
+            "manager); a crashed run continues with `dps-repro resume "
+            "PATH`"
+        ),
+    )
+    pair.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=10,
+        metavar="N",
+        help="control cycles between checkpoint generations (default 10)",
+    )
 
     fig = sub.add_parser("figure", help="regenerate one figure's data")
     fig.add_argument(
@@ -106,6 +124,15 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="render a saved campaign JSON as markdown"
     )
     report.add_argument("campaign_json", help="path from `campaign --out`")
+
+    resume = sub.add_parser(
+        "resume",
+        help="continue a checkpointed `pair --checkpoint-dir` session",
+    )
+    resume.add_argument(
+        "checkpoint_dir",
+        help="the --checkpoint-dir of the interrupted pair run",
+    )
     return parser
 
 
@@ -119,8 +146,15 @@ def _config(args: argparse.Namespace) -> ExperimentConfig:
 
 def _cmd_pair(args: argparse.Namespace) -> str:
     managers = tuple(args.manager) if args.manager else ("slurm", "dps")
+    if args.chaos is not None and args.checkpoint_dir is not None:
+        raise SystemExit(
+            "--chaos and --checkpoint-dir cannot be combined (chaos runs "
+            "through the fault-injection path, which owns its own manager)"
+        )
     if args.chaos is not None:
         return _cmd_pair_chaos(args, managers)
+    if args.checkpoint_dir is not None:
+        return _cmd_pair_checkpointed(args, managers, resume=False)
     harness = ExperimentHarness(_config(args))
     rows = []
     for m in managers:
@@ -188,6 +222,121 @@ def _cmd_pair_chaos(
         rows,
     )
     return header + "\n" + table
+
+
+def _cmd_pair_checkpointed(
+    args: argparse.Namespace, managers: tuple[str, ...], resume: bool
+) -> str:
+    # The checkpointed path pulls in the recovery + simulator stack;
+    # import lazily so the plain CLI paths stay light.
+    import json
+    from pathlib import Path
+
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.simulator import Assignment, Simulation
+    from repro.workloads.registry import get_workload
+
+    root = Path(args.checkpoint_dir)
+    meta_path = root / "session.json"
+    if resume:
+        try:
+            meta = json.loads(meta_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise SystemExit(
+                f"{meta_path}: not a resumable session ({exc}); "
+                "start one with `pair --checkpoint-dir`"
+            ) from None
+        workload_a = meta["workload_a"]
+        workload_b = meta["workload_b"]
+        managers = tuple(meta["managers"])
+        args.time_scale = meta["time_scale"]
+        args.repeats = meta["repeats"]
+        args.seed = meta["seed"]
+        checkpoint_every = meta["checkpoint_every"]
+    else:
+        workload_a = args.workload_a
+        workload_b = args.workload_b
+        checkpoint_every = args.checkpoint_every
+        root.mkdir(parents=True, exist_ok=True)
+        meta_path.write_text(
+            json.dumps(
+                {
+                    "workload_a": workload_a,
+                    "workload_b": workload_b,
+                    "managers": list(managers),
+                    "time_scale": args.time_scale,
+                    "repeats": args.repeats,
+                    "seed": args.seed,
+                    "checkpoint_every": checkpoint_every,
+                }
+            ),
+            encoding="utf-8",
+        )
+
+    cfg = _config(args)
+    cluster = Cluster(cfg.cluster)
+    rows = []
+    for m in managers:
+        sim = Simulation(
+            cluster_spec=cfg.cluster,
+            manager=cfg.make_manager(m),
+            assignments=[
+                Assignment(
+                    spec=get_workload(workload_a),
+                    unit_ids=cluster.half_unit_ids(0),
+                ),
+                Assignment(
+                    spec=get_workload(workload_b),
+                    unit_ids=cluster.half_unit_ids(1),
+                ),
+            ],
+            target_runs=cfg.repeats,
+            sim_config=cfg.sim,
+            perf_config=cfg.perf,
+            rapl_config=cfg.rapl,
+            seed=cfg.derive_seed("recover", workload_a, workload_b, m),
+            checkpoint_dir=root / m,
+            checkpoint_every=checkpoint_every,
+            resume=resume,
+        )
+        res = sim.run()
+        budget_ok = res.max_caps_sum_w <= res.budget_w * (1 + 1e-6)
+        completed = sum(e.runs_completed for e in res.executions)
+        rows.append(
+            [
+                m,
+                str(completed),
+                str(res.checkpoints_written),
+                (
+                    "cold"
+                    if res.resumed_at_cycle is None
+                    else f"cycle {res.resumed_at_cycle}"
+                ),
+                str(res.journal_replayed),
+                "yes" if budget_ok else "NO",
+            ]
+        )
+    verb = "resumed" if resume else "checkpointed"
+    header = (
+        f"{verb} pair {workload_a}/{workload_b} "
+        f"(state under {root}, every {checkpoint_every} cycles):"
+    )
+    table = reporting.render_table(
+        [
+            "manager",
+            "runs done",
+            "ckpts written",
+            "resumed at",
+            "replayed",
+            "budget ok",
+        ],
+        rows,
+    )
+    return header + "\n" + table
+
+
+def _cmd_resume(args: argparse.Namespace) -> str:
+    return _cmd_pair_checkpointed(args, (), resume=True)
 
 
 def _cmd_figure(args: argparse.Namespace) -> str:
@@ -342,6 +491,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "campaign": _cmd_campaign,
         "sweep": _cmd_sweep,
         "report": _cmd_report,
+        "resume": _cmd_resume,
     }
     try:
         print(handlers[args.command](args))

@@ -136,6 +136,38 @@ class Cluster:
             dtype=np.float64,
         )
 
+    def rebaseline_meters(self) -> None:
+        """Re-anchor every meter's energy cursor (controller restart).
+
+        See :meth:`~repro.powercap.rapl.PowerMeter.rebaseline`: without
+        this, the first post-restart reading is charged all the energy
+        accumulated during the outage and comes back wildly inflated.
+        """
+        for sock in self.sockets:
+            sock.meter.rebaseline()
+
+    def snapshot(self) -> dict:
+        """JSON-able document of every domain and meter (for deterministic
+        replay of simulations; a real cluster's state lives in hardware)."""
+        return {
+            "domains": [d.snapshot() for d in self.domains],
+            "meters": [s.meter.snapshot() for s in self.sockets],
+        }
+
+    def restore(self, state: dict) -> None:
+        """Overwrite every domain and meter with a snapshot's content."""
+        domains = state["domains"]
+        meters = state["meters"]
+        if len(domains) != self.n_units or len(meters) != self.n_units:
+            raise ValueError(
+                f"snapshot holds {len(domains)}/{len(meters)} units, "
+                f"cluster has {self.n_units}"
+            )
+        for dom, doc in zip(self.domains, domains):
+            dom.restore(doc)
+        for sock, doc in zip(self.sockets, meters):
+            sock.meter.restore(doc)
+
     def __repr__(self) -> str:
         return (
             f"Cluster(nodes={self.spec.n_nodes}, "

@@ -19,6 +19,7 @@ methodology, and records the artifact-style logs (telemetry + events).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Sequence
 
 import numpy as np
@@ -84,6 +85,16 @@ class SimulationResult:
     comm_bytes: int = 0
     #: Mean control-cycle turnaround (s; 0.0 unless the comm path was used).
     comm_turnaround_s: float = 0.0
+    #: Checkpoint generations written (0 unless checkpointing was enabled).
+    checkpoints_written: int = 0
+    #: Journal records replayed by a resumed run (0 for cold starts).
+    journal_replayed: int = 0
+    #: Control cycle the manager state resumed at (None for cold starts).
+    resumed_at_cycle: int | None = None
+    #: Verified-actuation write retries that eventually succeeded.
+    actuation_retries: int = 0
+    #: Cap writes whose read-back verification exhausted the retry budget.
+    actuation_verify_failures: int = 0
 
     def execution(self, name: str) -> WorkloadExecution:
         """The execution record of the named workload.
@@ -133,6 +144,24 @@ class Simulation:
         fault_config: per-reading measurement-fault probabilities; every
             socket's meter is wrapped in a
             :class:`~repro.powercap.faults.FaultyMeter` when given.
+        verify_actuation: read every programmed cap back and retry on
+            mismatch (:class:`~repro.powercap.actuator.CapActuator`
+            verify mode); verification events flow into the telemetry
+            event channel, never exceptions.
+        checkpoint_dir: when given, the manager runs wrapped in a
+            :class:`~repro.recovery.controller.RecoverableController`
+            that journals every cycle's inputs to
+            ``checkpoint_dir/journal.log`` and writes durable snapshot
+            generations there every ``checkpoint_every`` cycles.  Not
+            supported together with ``use_comm`` (the comm server steps
+            the manager directly, bypassing the journal).
+        checkpoint_every: cycles between checkpoint generations (>= 1).
+        resume: warm-restore the manager from the newest valid
+            checkpoint in ``checkpoint_dir`` (replaying the journal
+            tail) before the first cycle.  Requires ``checkpoint_dir``.
+            The physics restart cold — resume preserves the *controller*
+            state (filters, priorities, RNG stream), which keeps the
+            budget guarantee from cycle 0 and skips re-convergence.
     """
 
     def __init__(
@@ -150,6 +179,10 @@ class Simulation:
         use_comm: bool = False,
         failures: Sequence[NodeFailureEvent] = (),
         fault_config: FaultConfig | None = None,
+        verify_actuation: bool = False,
+        checkpoint_dir: str | Path | None = None,
+        checkpoint_every: int = 10,
+        resume: bool = False,
     ) -> None:
         if target_runs < 1:
             raise ValueError(f"target_runs must be >= 1, got {target_runs}")
@@ -164,6 +197,17 @@ class Simulation:
             raise ValueError(
                 "node-failure injection is not supported on the comm path; "
                 "use the deploy layer's chaos schedule instead"
+            )
+        if use_comm and checkpoint_dir is not None:
+            raise ValueError(
+                "checkpointing is not supported on the comm path: the comm "
+                "server steps the manager directly, bypassing the journal"
+            )
+        if resume and checkpoint_dir is None:
+            raise ValueError("resume requires checkpoint_dir")
+        if checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
             )
         for nf in failures:
             if nf.node_id >= cluster_spec.n_nodes:
@@ -183,6 +227,12 @@ class Simulation:
         self.actuation_delay_steps = actuation_delay_steps
         self.use_comm = use_comm
         self.seed = seed
+        self.verify_actuation = verify_actuation
+        self.checkpoint_dir = (
+            Path(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        self.checkpoint_every = checkpoint_every
+        self.resume = resume
 
         # Validate the assignment slices partition-or-less the unit range.
         seen: set[int] = set()
@@ -246,8 +296,29 @@ class Simulation:
             dt_s=dt,
             rng=manager_rng,
         )
+        stepper = self.manager
+        controller = None
+        resumed_at: int | None = None
+        if self.checkpoint_dir is not None:
+            # Imported here: repro.recovery.controller imports the manager
+            # registry, and the plain simulator path must stay light.
+            from repro.recovery.checkpoint import CheckpointStore, CycleJournal
+            from repro.recovery.controller import RecoverableController
+
+            controller = RecoverableController(
+                self.manager,
+                CheckpointStore(self.checkpoint_dir),
+                CycleJournal(self.checkpoint_dir / "journal.log"),
+                checkpoint_every=self.checkpoint_every,
+            )
+            if self.resume and controller.resume():
+                resumed_at = controller.cycle
+            stepper = controller
+
         actuator = CapActuator(
-            cluster.domains, delay_steps=self.actuation_delay_steps
+            cluster.domains,
+            delay_steps=self.actuation_delay_steps,
+            verify=self.verify_actuation,
         )
         actuator.issue(np.asarray(self.manager.caps))
         actuator.flush()
@@ -267,6 +338,15 @@ class Simulation:
         telemetry = (
             TelemetryLog(cluster.n_units) if self.record_telemetry else None
         )
+
+        def drain_actuator(at_s: float) -> None:
+            """Move pending verification events into the telemetry channel."""
+            if telemetry is not None:
+                for kind, unit, detail in actuator.events:
+                    telemetry.events.emit(at_s, kind, unit=unit, detail=detail)
+            actuator.events.clear()
+
+        drain_actuator(0.0)
         events = EventLog()
         for e in executions:
             events.emit(0.0, "run_started", workload=e.spec.name)
@@ -374,11 +454,12 @@ class Simulation:
                 if down_units is not None:
                     # A dead host's telemetry is a dropout, not a number.
                     readings[down_units] = 0.0
-                new_caps = self.manager.step(
+                new_caps = stepper.step(
                     readings,
                     demand if self.manager.requires_demand else None,
                 )
                 actuator.issue(new_caps)
+                drain_actuator(now)
 
             safe = bool(getattr(self.manager, "safe_mode", False))
             if safe != in_safe_mode:
@@ -415,6 +496,8 @@ class Simulation:
             mgr_events, ResilienceEventLog
         ):
             telemetry.events.extend(mgr_events)
+        if telemetry is not None and controller is not None:
+            telemetry.events.extend(controller.events)
         comm_bytes = sum(r.bytes_up + r.bytes_down for r in cycle_reports)
         comm_turnaround = (
             float(np.mean([r.turnaround_s for r in cycle_reports]))
@@ -433,4 +516,15 @@ class Simulation:
             durations=durations,
             comm_bytes=comm_bytes,
             comm_turnaround_s=comm_turnaround,
+            checkpoints_written=(
+                len(controller.events.of_kind("checkpoint_written"))
+                if controller is not None
+                else 0
+            ),
+            journal_replayed=(
+                controller.replayed if controller is not None else 0
+            ),
+            resumed_at_cycle=resumed_at,
+            actuation_retries=actuator.retries,
+            actuation_verify_failures=actuator.verify_failures,
         )

@@ -24,6 +24,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.recovery.state import decode_array, encode_array
+
 __all__ = ["DemandEstimatorConfig", "DemandEstimator"]
 
 
@@ -95,6 +97,19 @@ class DemandEstimator:
     def reset(self) -> None:
         """Forget all estimates."""
         self._estimate.fill(0.0)
+
+    def snapshot(self) -> dict:
+        """JSON-able document of the demand estimates."""
+        return {"estimate": encode_array(self._estimate)}
+
+    def restore(self, state: dict) -> None:
+        """Overwrite the estimates with a snapshot's content."""
+        estimate = decode_array(state["estimate"])
+        if estimate.shape != (self.n_units,):
+            raise ValueError(
+                f"snapshot shape {estimate.shape} != ({self.n_units},)"
+            )
+        self._estimate[:] = estimate
 
     def update(self, power_w: np.ndarray, caps_w: np.ndarray) -> np.ndarray:
         """Advance the estimates one step.

@@ -95,6 +95,28 @@ class DPSManager(PowerManager):
         assert self._priority_mod is not None
         return self._priority_mod.priority
 
+    def _snapshot_state(self) -> dict:
+        assert (
+            self._kalman is not None
+            and self._priority_mod is not None
+            and self._history is not None
+        )
+        return {
+            "kalman": self._kalman.snapshot(),
+            "priority": self._priority_mod.snapshot(),
+            "history": self._history.snapshot(),
+        }
+
+    def _restore_state(self, state: dict) -> None:
+        assert (
+            self._kalman is not None
+            and self._priority_mod is not None
+            and self._history is not None
+        )
+        self._kalman.restore(state["kalman"])
+        self._priority_mod.restore(state["priority"])
+        self._history.restore(state["history"])
+
     def _decide(
         self, power_w: np.ndarray, demand_w: np.ndarray | None
     ) -> np.ndarray:

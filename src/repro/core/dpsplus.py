@@ -78,6 +78,18 @@ class DPSPlusManager(PowerManager):
         assert self._estimator is not None
         return self._estimator.estimate
 
+    def _snapshot_state(self) -> dict:
+        assert self._kalman is not None and self._estimator is not None
+        return {
+            "kalman": self._kalman.snapshot(),
+            "estimator": self._estimator.snapshot(),
+        }
+
+    def _restore_state(self, state: dict) -> None:
+        assert self._kalman is not None and self._estimator is not None
+        self._kalman.restore(state["kalman"])
+        self._estimator.restore(state["estimator"])
+
     def _decide(
         self, power_w: np.ndarray, demand_w: np.ndarray | None
     ) -> np.ndarray:

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.recovery.state import decode_array, encode_array
+
 __all__ = ["HistoryBuffer"]
 
 
@@ -47,6 +49,31 @@ class HistoryBuffer:
         self._data.fill(0.0)
         self._count = 0
         self._head = 0
+
+    def snapshot(self) -> dict:
+        """JSON-able document of the ring contents and cursor."""
+        return {
+            "data": encode_array(self._data),
+            "count": self._count,
+            "head": self._head,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Overwrite the ring with a snapshot's content."""
+        data = decode_array(state["data"])
+        if data.shape != self._data.shape:
+            raise ValueError(
+                f"snapshot shape {data.shape} != {self._data.shape}"
+            )
+        count = int(state["count"])
+        head = int(state["head"])
+        if not 0 <= count <= self.history_len or not 0 <= head < self.history_len:
+            raise ValueError(
+                f"snapshot cursor count={count} head={head} out of range"
+            )
+        self._data[:] = data
+        self._count = count
+        self._head = head
 
     def push(self, sample: np.ndarray) -> None:
         """Append one per-unit sample, evicting the oldest when full.

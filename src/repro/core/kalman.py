@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.config import KalmanConfig
+from repro.recovery.state import decode_array, encode_array
 
 __all__ = ["KalmanBank"]
 
@@ -59,6 +60,26 @@ class KalmanBank:
         self._x.fill(0.0)
         self._p.fill(self.config.initial_var)
         self._initialized = False
+
+    def snapshot(self) -> dict:
+        """JSON-able document of the complete filter-bank state."""
+        return {
+            "x": encode_array(self._x),
+            "p": encode_array(self._p),
+            "initialized": self._initialized,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Overwrite the bank's state with a snapshot's content."""
+        x = decode_array(state["x"])
+        p = decode_array(state["p"])
+        if x.shape != (self.n_units,) or p.shape != (self.n_units,):
+            raise ValueError(
+                f"snapshot shapes {x.shape}/{p.shape} != ({self.n_units},)"
+            )
+        self._x[:] = x
+        self._p[:] = p
+        self._initialized = bool(state["initialized"])
 
     def update(self, measurement: np.ndarray) -> np.ndarray:
         """Advance every filter one step with the given measurements.

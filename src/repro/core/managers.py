@@ -20,7 +20,12 @@ from typing import Callable, ClassVar
 
 import numpy as np
 
+from repro.recovery.state import decode_array, encode_array, make_rng, rng_state
+
 __all__ = ["PowerManager", "register_manager", "create_manager", "available_managers"]
+
+#: Schema version of the manager snapshot document.
+MANAGER_SNAPSHOT_VERSION = 1
 
 
 class PowerManager(ABC):
@@ -167,6 +172,87 @@ class PowerManager(ABC):
         self, power_w: np.ndarray, demand_w: np.ndarray | None
     ) -> np.ndarray:
         """Compute the next caps from validated inputs (subclass logic)."""
+
+    # ------------------------------------------------------------------
+    # Crash-recovery state protocol
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Capture the complete mutable state as a JSON-able document.
+
+        The document restores bit-exactly: a manager restored from it
+        produces the same cap vectors an uninterrupted one would, given
+        the same subsequent readings (including RNG-dependent decisions —
+        the stream position travels with the snapshot).
+        """
+        self._check_bound()
+        return {
+            "manager": self.name,
+            "version": MANAGER_SNAPSHOT_VERSION,
+            "binding": {
+                "n_units": self.n_units,
+                "budget_w": self.budget_w,
+                "max_cap_w": self.max_cap_w,
+                "min_cap_w": self.min_cap_w,
+                "dt_s": self.dt_s,
+            },
+            "caps": encode_array(self._caps),
+            "rng": rng_state(self._rng),
+            "state": self._snapshot_state(),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Overwrite this manager's state with a snapshot's content.
+
+        Works on a fresh (never-bound) instance as well as a live one:
+        the binding is re-established from the snapshot, then the RNG
+        stream, caps, and subclass state are overwritten in that order —
+        ``bind`` resets subclass state via ``_on_bind``, so everything
+        snapshot-borne must land after it.
+
+        Raises:
+            ValueError: snapshot from a different manager type or an
+                incompatible schema version.
+        """
+        if state.get("manager") != self.name:
+            raise ValueError(
+                f"snapshot is for manager {state.get('manager')!r}, "
+                f"not {self.name!r}"
+            )
+        if state.get("version") != MANAGER_SNAPSHOT_VERSION:
+            raise ValueError(
+                f"snapshot schema version {state.get('version')!r} != "
+                f"{MANAGER_SNAPSHOT_VERSION}"
+            )
+        b = state["binding"]
+        self.bind(
+            n_units=int(b["n_units"]),
+            budget_w=float(b["budget_w"]),
+            max_cap_w=float(b["max_cap_w"]),
+            min_cap_w=float(b["min_cap_w"]),
+            dt_s=float(b["dt_s"]),
+            rng=np.random.default_rng(0),
+        )
+        self._rng = make_rng(state["rng"])
+        caps = decode_array(state["caps"])
+        if caps.shape != (self.n_units,):
+            raise ValueError(
+                f"snapshot caps shape {caps.shape} != ({self.n_units},)"
+            )
+        self._caps = caps
+        self._restore_state(state["state"])
+
+    def _snapshot_state(self) -> dict:
+        """Subclass hook: serialize state beyond caps/binding/RNG."""
+        return {}
+
+    def _restore_state(self, state: dict) -> None:
+        """Subclass hook: the inverse of :meth:`_snapshot_state`.
+
+        Called after ``bind`` has rebuilt fresh components, so hooks only
+        need to overwrite their contents.
+        """
+        del state
 
     def _check_bound(self) -> None:
         if not self._bound:

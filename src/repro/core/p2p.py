@@ -75,6 +75,12 @@ class P2PManager(PowerManager):
     def _on_bind(self) -> None:
         self.trades = 0
 
+    def _snapshot_state(self) -> dict:
+        return {"trades": self.trades}
+
+    def _restore_state(self, state: dict) -> None:
+        self.trades = int(state["trades"])
+
     def _decide(
         self, power_w: np.ndarray, demand_w: np.ndarray | None
     ) -> np.ndarray:

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.core.config import PriorityConfig
 from repro.core.peaks import count_prominent_peaks_multi
+from repro.recovery.state import decode_array, encode_array
 
 __all__ = ["PriorityModule"]
 
@@ -70,6 +71,28 @@ class PriorityModule:
         """Clear all flags and priorities."""
         self._high_freq.fill(False)
         self._priority.fill(False)
+
+    def snapshot(self) -> dict:
+        """JSON-able document of the classifier flags."""
+        return {
+            "high_freq": encode_array(self._high_freq),
+            "priority": encode_array(self._priority),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Overwrite the classifier flags with a snapshot's content."""
+        high_freq = decode_array(state["high_freq"])
+        priority = decode_array(state["priority"])
+        if (
+            high_freq.shape != (self.n_units,)
+            or priority.shape != (self.n_units,)
+        ):
+            raise ValueError(
+                f"snapshot shapes {high_freq.shape}/{priority.shape} != "
+                f"({self.n_units},)"
+            )
+        self._high_freq[:] = high_freq
+        self._priority[:] = priority
 
     def update(self, history: np.ndarray, dt_s: float) -> np.ndarray:
         """Reclassify all units from the latest power history.

@@ -8,12 +8,25 @@ sockets, framing, quantization, and the threaded daemons end to end.
 
 A :class:`ChaosSchedule` lets a session kill client daemons mid-run and
 reconnect them later, driving the server's quarantine / fallback /
-HELLO-rejoin machinery over real sockets.
+HELLO-rejoin machinery over real sockets — and, with
+``controller_kill_at`` / ``controller_hang_at``, kill or hang the
+*controller itself*.  Controller chaos requires :class:`RecoveryOptions`:
+the session then runs under a
+:class:`~repro.recovery.supervisor.Supervisor`, the manager is wrapped in
+a :class:`~repro.recovery.controller.RecoverableController`
+(journal + periodic checkpoints), and each restart warm-restores from the
+latest valid checkpoint, replays the journal tail, re-baselines the
+meters, and waits for every client to re-HELLO before the control loop
+continues.  Cycles during the outage advance physics only — the hardware
+holds its last programmed caps, exactly as RAPL does when the controller
+is down.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Mapping
 
 import numpy as np
@@ -22,15 +35,28 @@ from repro.cluster.cluster import Cluster
 from repro.core.managers import PowerManager
 from repro.deploy.client import DeployClient
 from repro.deploy.server import DeployServer
+from repro.recovery.checkpoint import CheckpointStore, CycleJournal
+from repro.recovery.controller import RecoverableController
+from repro.recovery.supervisor import (
+    ControllerCrash,
+    ControllerHang,
+    Heartbeat,
+    Supervisor,
+)
 from repro.resilience.health import HealthState, ResilienceConfig
 from repro.telemetry.log import ResilienceEventLog
 
-__all__ = ["ChaosSchedule", "LoopbackResult", "run_loopback"]
+__all__ = [
+    "ChaosSchedule",
+    "LoopbackResult",
+    "RecoveryOptions",
+    "run_loopback",
+]
 
 
 @dataclass(frozen=True)
 class ChaosSchedule:
-    """Client-daemon failure plan for a loopback session.
+    """Failure plan for a loopback session.
 
     Attributes:
         kill_at: node id → cycle index at which that node's daemon is
@@ -38,10 +64,17 @@ class ChaosSchedule:
             node's hardware keeps running under its last caps).
         reconnect_at: node id → cycle index at which a fresh daemon for
             that node connects and HELLO-rejoins.
+        controller_kill_at: cycle indices at which the *controller*
+            process crashes (each fires once; requires recovery options).
+        controller_hang_at: cycle indices at which the controller stops
+            making progress until the watchdog aborts it (each fires
+            once; requires recovery options).
     """
 
     kill_at: Mapping[int, int] = field(default_factory=dict)
     reconnect_at: Mapping[int, int] = field(default_factory=dict)
+    controller_kill_at: tuple[int, ...] = ()
+    controller_hang_at: tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         for node_id, cycle in self.reconnect_at.items():
@@ -50,6 +83,68 @@ class ChaosSchedule:
                     f"node {node_id} reconnects at cycle {cycle}, before "
                     f"its kill at cycle {self.kill_at[node_id]}"
                 )
+        for label, steps in (
+            ("controller_kill_at", self.controller_kill_at),
+            ("controller_hang_at", self.controller_hang_at),
+        ):
+            for step in steps:
+                if step < 0:
+                    raise ValueError(f"{label} holds negative cycle {step}")
+        overlap = set(self.controller_kill_at) & set(self.controller_hang_at)
+        if overlap:
+            raise ValueError(
+                f"cycles {sorted(overlap)} appear in both controller_kill_at "
+                "and controller_hang_at"
+            )
+
+    @property
+    def has_controller_chaos(self) -> bool:
+        """True when any controller kill/hang is scheduled."""
+        return bool(self.controller_kill_at or self.controller_hang_at)
+
+
+@dataclass(frozen=True)
+class RecoveryOptions:
+    """Controller crash-recovery configuration of a loopback session.
+
+    Attributes:
+        checkpoint_dir: directory for checkpoint generations and the
+            cycle journal.
+        checkpoint_every: cycles between checkpoints.
+        keep_generations: checkpoint generations retained.
+        max_restarts: controller restarts allowed before the session
+            fails.
+        hang_timeout_s: heartbeat staleness (wall-clock) at which the
+            watchdog declares the controller hung.
+        restart_delay_cycles: control cycles the restart takes — physics
+            advances, hardware holds its last caps, no control happens.
+    """
+
+    checkpoint_dir: str | Path
+    checkpoint_every: int = 5
+    keep_generations: int = 3
+    max_restarts: int = 3
+    hang_timeout_s: float = 2.0
+    restart_delay_cycles: int = 2
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
+            )
+        if self.keep_generations < 1:
+            raise ValueError(
+                f"keep_generations must be >= 1, got {self.keep_generations}"
+            )
+        if self.max_restarts < 0:
+            raise ValueError(
+                f"max_restarts must be >= 0, got {self.max_restarts}"
+            )
+        if self.restart_delay_cycles < 0:
+            raise ValueError(
+                "restart_delay_cycles must be >= 0, got "
+                f"{self.restart_delay_cycles}"
+            )
 
 
 @dataclass
@@ -57,32 +152,89 @@ class LoopbackResult:
     """Outcome of a loopback session.
 
     Attributes:
-        cycles: control cycles executed.
+        cycles: control cycles executed (including controller-outage
+            cycles, which advance physics only).
         bytes_total: protocol payload bytes both directions.
         caps_history: the manager's cap decisions per cycle,
             ``(cycles, units)``.  Clients apply them asynchronously (each
             before answering its next POLL), so the hardware-side caps may
             trail by under one cycle and differ by the protocol's 0.1 W
-            quantization.
+            quantization.  During a controller outage the row holds the
+            hardware's held caps.
         readings_history: the reading vectors the manager consumed per
             cycle, ``(cycles, units)`` — wire readings for healthy
-            clients, fallback values for quarantined ones.
+            clients, fallback values for quarantined ones, NaN during a
+            controller outage (nobody read the meters).
+        power_history: true per-unit power at the end of each cycle,
+            ``(cycles, units)`` — the progress ground truth.
         client_cycles: per-node cycles served by the *original* daemons
             (all equal when no chaos was scheduled).
         fallback_cycles: cycles in which at least one unit's reading came
             from the fallback policy.
-        events: structured quarantine/fallback/rejoin/clamp events.
+        events: structured resilience *and* recovery events of the whole
+            session (all attempts).
         final_health: health state per node id at session end.
+        controller_restarts: supervisor restarts performed.
+        checkpoints_written: checkpoint generations written.
+        journal_replayed: journal records replayed across all restarts.
     """
 
     cycles: int
     bytes_total: int
     caps_history: np.ndarray
     readings_history: np.ndarray
+    power_history: np.ndarray
     client_cycles: list[int] = field(default_factory=list)
     fallback_cycles: int = 0
     events: ResilienceEventLog = field(default_factory=ResilienceEventLog)
     final_health: dict[int, HealthState] = field(default_factory=dict)
+    controller_restarts: int = 0
+    checkpoints_written: int = 0
+    journal_replayed: int = 0
+
+
+def _await_cap_application(
+    server: DeployServer,
+    clients_by_id: Mapping[int, DeployClient],
+    served_before: Mapping[int, int],
+    timeout_s: float = 1.0,
+) -> None:
+    """Block until every healthy client has applied this cycle's caps.
+
+    ``control_cycle`` returns once the cap frames are *written*; the
+    client threads decode and program them asynchronously.  Real
+    deployments have the same property, but leaving the race in the
+    harness makes session power — and therefore every quality
+    measurement built on it — depend on thread scheduling.  The harness
+    serializes instead: physics advance only after the caps this cycle
+    decided are actually on the domains.  (A client increments
+    ``cycles_served`` immediately after programming its caps.)
+    """
+    deadline = time.monotonic() + timeout_s
+    for node_id, health in server.health.items():
+        if health is not HealthState.HEALTHY:
+            continue
+        client = clients_by_id.get(node_id)
+        if client is None:
+            continue
+        while (
+            client.cycles_served <= served_before.get(node_id, 0)
+            and client.error is None
+            and not client.killed
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.0005)
+
+
+def _validate_chaos(chaos: ChaosSchedule, cluster: Cluster) -> None:
+    node_ids = {node.node_id for node in cluster.nodes}
+    for label, schedule in (
+        ("kill_at", chaos.kill_at),
+        ("reconnect_at", chaos.reconnect_at),
+    ):
+        for node_id in schedule:
+            if node_id not in node_ids:
+                raise ValueError(f"chaos {label} names unknown node {node_id}")
 
 
 def run_loopback(
@@ -94,6 +246,7 @@ def run_loopback(
     rng: np.random.Generator | None = None,
     chaos: ChaosSchedule | None = None,
     resilience: ResilienceConfig | None = None,
+    recovery: RecoveryOptions | None = None,
 ) -> LoopbackResult:
     """Drive a full TCP control-plane session on localhost.
 
@@ -104,8 +257,11 @@ def run_loopback(
         cycles: number of control cycles to run.
         dt_s: control period.
         rng: manager randomness (seeded default if omitted).
-        chaos: optional daemon kill/reconnect schedule.
+        chaos: optional daemon/controller kill schedule.
         resilience: server quarantine/fallback configuration.
+        recovery: checkpoint/supervisor configuration; required when the
+            chaos schedule kills or hangs the controller, optional (plain
+            periodic checkpointing) otherwise.
 
     Returns:
         A :class:`LoopbackResult`; the server and every client are shut
@@ -114,16 +270,11 @@ def run_loopback(
     if cycles < 1:
         raise ValueError(f"cycles must be >= 1, got {cycles}")
     chaos = chaos or ChaosSchedule()
-    node_ids = {node.node_id for node in cluster.nodes}
-    for label, schedule in (
-        ("kill_at", chaos.kill_at),
-        ("reconnect_at", chaos.reconnect_at),
-    ):
-        for node_id in schedule:
-            if node_id not in node_ids:
-                raise ValueError(
-                    f"chaos {label} names unknown node {node_id}"
-                )
+    _validate_chaos(chaos, cluster)
+    if chaos.has_controller_chaos and recovery is None:
+        raise ValueError(
+            "controller kill/hang chaos requires recovery options"
+        )
     manager.bind(
         n_units=cluster.n_units,
         budget_w=cluster.budget_w,
@@ -132,8 +283,26 @@ def run_loopback(
         dt_s=dt_s,
         rng=rng if rng is not None else np.random.default_rng(0),
     )
+    if recovery is None:
+        return _run_plain(cluster, manager, demand_fn, cycles, dt_s, chaos, resilience)
+    return _run_supervised(
+        cluster, manager, demand_fn, cycles, dt_s, chaos, resilience, recovery
+    )
+
+
+def _run_plain(
+    cluster: Cluster,
+    manager: PowerManager,
+    demand_fn: Callable[[int], np.ndarray],
+    cycles: int,
+    dt_s: float,
+    chaos: ChaosSchedule,
+    resilience: ResilienceConfig | None,
+) -> LoopbackResult:
+    """The unsupervised session: one attempt, no checkpoints."""
     caps_history = np.empty((cycles, cluster.n_units))
     readings_history = np.empty((cycles, cluster.n_units))
+    power_history = np.empty((cycles, cluster.n_units))
     bytes_total = 0
     fallback_cycles = 0
 
@@ -165,10 +334,15 @@ def run_loopback(
 
                 demand = demand_fn(step)
                 cluster.step_physics(demand, dt_s)
+                served_before = {
+                    nid: c.cycles_served for nid, c in clients_by_id.items()
+                }
                 stats = server.control_cycle()
+                _await_cap_application(server, clients_by_id, served_before)
                 bytes_total += stats.bytes_up + stats.bytes_down
                 readings_history[step] = stats.readings_w
                 caps_history[step] = np.asarray(manager.caps)
+                power_history[step] = cluster.true_power_w()
                 if stats.fallback_units > 0:
                     fallback_cycles += 1
             final_health = server.health
@@ -182,8 +356,162 @@ def run_loopback(
         bytes_total=bytes_total,
         caps_history=caps_history,
         readings_history=readings_history,
+        power_history=power_history,
         client_cycles=[c.cycles_served for c in originals],
         fallback_cycles=fallback_cycles,
         events=server.events,
         final_health=final_health,
+    )
+
+
+def _run_supervised(
+    cluster: Cluster,
+    manager: PowerManager,
+    demand_fn: Callable[[int], np.ndarray],
+    cycles: int,
+    dt_s: float,
+    chaos: ChaosSchedule,
+    resilience: ResilienceConfig | None,
+    recovery: RecoveryOptions,
+) -> LoopbackResult:
+    """The supervised session: restartable attempts over one step counter."""
+    ckpt_dir = Path(recovery.checkpoint_dir)
+    events = ResilienceEventLog()
+    controller = RecoverableController(
+        manager,
+        store=CheckpointStore(ckpt_dir, keep=recovery.keep_generations),
+        journal=CycleJournal(ckpt_dir / "journal.log"),
+        checkpoint_every=recovery.checkpoint_every,
+        events=events,
+    )
+    supervisor = Supervisor(
+        max_restarts=recovery.max_restarts,
+        hang_timeout_s=recovery.hang_timeout_s,
+        events=events,
+    )
+
+    caps_history = np.full((cycles, cluster.n_units), np.nan)
+    readings_history = np.full((cycles, cluster.n_units), np.nan)
+    power_history = np.full((cycles, cluster.n_units), np.nan)
+    nodes_by_id = {node.node_id: node for node in cluster.nodes}
+
+    # Shared across attempts: the global step cursor, the chaos events
+    # already fired, and the session accounting.
+    state = {"step": 0, "bytes": 0, "fallback": 0, "replayed": 0}
+    fired: set[int] = set()
+    first_clients: list[DeployClient] = []
+    final_health: dict[int, HealthState] = {}
+
+    def outage_cycle(step: int) -> None:
+        """One controller-down cycle: physics only, caps held by hardware."""
+        cluster.step_physics(demand_fn(step), dt_s)
+        caps_history[step] = cluster.caps_w()
+        power_history[step] = cluster.true_power_w()
+
+    def attempt(index: int, heartbeat: Heartbeat) -> dict[int, HealthState]:
+        if index > 0:
+            # The restart window: the supervisor is re-launching the
+            # controller while the machines keep running under their
+            # last programmed caps.
+            for _ in range(recovery.restart_delay_cycles):
+                if state["step"] >= cycles:
+                    break
+                outage_cycle(state["step"])
+                state["step"] += 1
+            if controller.resume():
+                state["replayed"] += controller.replayed
+            # A restarted metering daemon re-anchors its energy cursors;
+            # without this the outage's accumulated energy lands on the
+            # first post-restart reading.
+            cluster.rebaseline_meters()
+        if state["step"] >= cycles:
+            return dict(final_health)
+
+        clients: list[DeployClient] = []
+        clients_by_id: dict[int, DeployClient] = {}
+        with DeployServer(
+            controller, resilience=resilience, events=events
+        ) as server:
+            try:
+                for node in cluster.nodes:
+                    client = DeployClient(node, server.address, dt_s=dt_s)
+                    client.start()
+                    clients.append(client)
+                    clients_by_id[node.node_id] = client
+                if index == 0:
+                    first_clients.extend(clients)
+                # Safe until every client re-HELLOs: accept_clients blocks
+                # here, so no control decision happens before the plane is
+                # fully re-registered.
+                server.accept_clients(len(clients))
+
+                while state["step"] < cycles:
+                    step = state["step"]
+                    if step in chaos.controller_kill_at and step not in fired:
+                        fired.add(step)
+                        raise ControllerCrash(f"injected kill at cycle {step}")
+                    if step in chaos.controller_hang_at and step not in fired:
+                        fired.add(step)
+                        # Stall without beating until the watchdog aborts
+                        # the attempt — the hang is *detected*, not timed.
+                        while not heartbeat.aborted:
+                            time.sleep(0.005)
+                        raise ControllerHang(f"hang detected at cycle {step}")
+                    for node_id, kill_cycle in chaos.kill_at.items():
+                        if kill_cycle == step:
+                            clients_by_id[node_id].kill()
+                    for node_id, rc_cycle in chaos.reconnect_at.items():
+                        if rc_cycle == step:
+                            fresh = DeployClient(
+                                nodes_by_id[node_id], server.address, dt_s=dt_s
+                            )
+                            fresh.start()
+                            clients.append(fresh)
+                            clients_by_id[node_id] = fresh
+
+                    cluster.step_physics(demand_fn(step), dt_s)
+                    served_before = {
+                        nid: c.cycles_served
+                        for nid, c in clients_by_id.items()
+                    }
+                    stats = server.control_cycle()
+                    _await_cap_application(
+                        server, clients_by_id, served_before
+                    )
+                    heartbeat.beat()
+                    state["bytes"] += stats.bytes_up + stats.bytes_down
+                    readings_history[step] = stats.readings_w
+                    caps_history[step] = np.asarray(controller.caps)
+                    power_history[step] = cluster.true_power_w()
+                    if stats.fallback_units > 0:
+                        state["fallback"] += 1
+                    state["step"] = step + 1
+                return server.health
+            finally:
+                final_health.clear()
+                final_health.update(server.health)
+                server.shutdown()
+                for client in clients:
+                    # A client of a crashed controller exits on the broken
+                    # socket; don't let its error fail the session.
+                    try:
+                        client.join()
+                    except RuntimeError:
+                        pass
+
+    health = supervisor.run(attempt)
+
+    return LoopbackResult(
+        cycles=cycles,
+        bytes_total=state["bytes"],
+        caps_history=caps_history,
+        readings_history=readings_history,
+        power_history=power_history,
+        client_cycles=[c.cycles_served for c in first_clients],
+        fallback_cycles=state["fallback"],
+        events=events,
+        final_health=health,
+        controller_restarts=supervisor.restarts,
+        checkpoints_written=len(events.of_kind("checkpoint_written")),
+        journal_replayed=state["replayed"],
     )

@@ -1,4 +1,4 @@
-"""Measurement-fault injection for robustness testing.
+"""Measurement- and actuation-fault injection for robustness testing.
 
 The paper "assume[s] pessimistically that RAPL bares certain measurement
 noise" (§4.3) and builds the Kalman filter against it.  Real telemetry
@@ -7,6 +7,12 @@ samplers drop (zero readings), and transients spike.  :class:`FaultyMeter`
 wraps any power meter with those three fault modes so the test suite can
 verify the managers degrade gracefully — budgets still respected, no
 crashes, recovery after the fault clears.
+
+The write path fails too: a powercap sysfs write can be silently dropped
+(EAGAIN under MSR contention, firmware-clamped limits, stale cached
+values).  :class:`FlakyDomain` wraps a :class:`RaplDomain` so a
+``set_cap_w`` sometimes does not take, which is exactly the fault the
+actuator's read-back verification exists to catch.
 """
 
 from __future__ import annotations
@@ -15,9 +21,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.powercap.rapl import PowerMeter
+from repro.powercap.rapl import PowerMeter, RaplDomain
 
-__all__ = ["FaultConfig", "FaultyMeter"]
+__all__ = ["FaultConfig", "FaultyMeter", "FlakyDomain"]
 
 
 @dataclass(frozen=True)
@@ -113,3 +119,81 @@ class FaultyMeter:
         self._last_w = healthy
         self._has_last = True
         return healthy
+
+    def rebaseline(self) -> None:
+        """Re-anchor the wrapped meter's energy cursor (see PowerMeter)."""
+        self.meter.rebaseline()
+
+
+class FlakyDomain:
+    """A RAPL domain wrapper whose cap writes sometimes do not take.
+
+    Drops each ``set_cap_w`` with probability ``drop_prob`` (the limit
+    silently keeps its previous value, as a failed sysfs write leaves it),
+    optionally only for the first ``max_drops`` writes so tests can model
+    transient contention that a bounded retry rides out.  Reads and
+    physics pass straight through to the wrapped domain.
+
+    Args:
+        domain: the healthy domain being wrapped.
+        drop_prob: probability any given write is silently dropped.
+        rng: fault randomness (seed for reproducibility).
+        max_drops: total writes ever dropped (None = unlimited).
+    """
+
+    def __init__(
+        self,
+        domain: RaplDomain,
+        drop_prob: float,
+        rng: np.random.Generator,
+        max_drops: int | None = None,
+    ) -> None:
+        if not 0.0 <= drop_prob <= 1.0:
+            raise ValueError(f"drop_prob must be in [0, 1], got {drop_prob}")
+        if max_drops is not None and max_drops < 0:
+            raise ValueError(f"max_drops must be >= 0, got {max_drops}")
+        self.domain = domain
+        self.drop_prob = drop_prob
+        self._rng = rng
+        self.max_drops = max_drops
+        #: Writes silently dropped so far.
+        self.writes_dropped = 0
+
+    @property
+    def name(self) -> str:
+        return self.domain.name
+
+    @property
+    def max_power_w(self) -> float:
+        return self.domain.max_power_w
+
+    @property
+    def min_power_w(self) -> float:
+        return self.domain.min_power_w
+
+    @property
+    def cap_w(self) -> float:
+        return self.domain.cap_w
+
+    @property
+    def power_w(self) -> float:
+        return self.domain.power_w
+
+    def set_cap_w(self, cap_w: float) -> float:
+        """Program a limit — unless this write is the one that fails."""
+        budget_left = (
+            self.max_drops is None or self.writes_dropped < self.max_drops
+        )
+        if budget_left and self._rng.random() < self.drop_prob:
+            self.writes_dropped += 1
+            return self.domain.cap_w
+        return self.domain.set_cap_w(cap_w)
+
+    def read_energy_uj(self) -> int:
+        return self.domain.read_energy_uj()
+
+    def power_off(self) -> None:
+        self.domain.power_off()
+
+    def step(self, demand_w: float, dt_s: float) -> float:
+        return self.domain.step(demand_w, dt_s)

@@ -24,6 +24,7 @@ import math
 import numpy as np
 
 from repro.core.config import RaplConfig
+from repro.recovery.state import make_rng, rng_state
 
 __all__ = ["RaplDomain", "PowerMeter"]
 
@@ -111,6 +112,20 @@ class RaplDomain:
         """
         self._power_w = 0.0
 
+    def snapshot(self) -> dict:
+        """JSON-able document of the domain's physical state."""
+        return {
+            "cap_w": self._cap_w,
+            "power_w": self._power_w,
+            "energy_uj": self._energy_uj,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Overwrite the physical state with a snapshot's content."""
+        self._cap_w = float(state["cap_w"])
+        self._power_w = float(state["power_w"])
+        self._energy_uj = float(state["energy_uj"])
+
     def step(self, demand_w: float, dt_s: float) -> float:
         """Advance the physical state by one interval.
 
@@ -156,6 +171,25 @@ class PowerMeter:
         self.domain = domain
         self._rng = rng
         self._last_uj = domain.read_energy_uj()
+
+    def rebaseline(self) -> None:
+        """Re-anchor the counter cursor at the domain's current energy.
+
+        A restarted metering daemon constructs a fresh meter and takes a
+        new first read; an in-process restart must do the same, or the
+        energy accumulated while the controller was down is charged to the
+        first post-restart interval and the reading comes back inflated.
+        """
+        self._last_uj = self.domain.read_energy_uj()
+
+    def snapshot(self) -> dict:
+        """JSON-able document of the meter cursor and noise stream."""
+        return {"last_uj": self._last_uj, "rng": rng_state(self._rng)}
+
+    def restore(self, state: dict) -> None:
+        """Overwrite the cursor and noise stream with a snapshot's content."""
+        self._last_uj = int(state["last_uj"])
+        self._rng = make_rng(state["rng"])
 
     def read_power_w(self, dt_s: float) -> float:
         """Sample average power over the interval since the previous read.

@@ -1,0 +1,298 @@
+"""Durable checkpoint store and bounded cycle journal.
+
+Controller recovery has two halves.  A **checkpoint** is a full snapshot
+of the controller's state, written durably every N cycles; a **journal**
+is the append-only record of every control input since the last
+checkpoint.  Restore = load the newest valid checkpoint + replay the
+journal tail, which reproduces the pre-crash state exactly (every
+manager's ``step`` is deterministic given its snapshot, including its RNG
+stream).
+
+Durability discipline (the part that actually matters in a crash):
+
+* checkpoints are written to a temp file, ``fsync``\\ ed, then atomically
+  ``os.replace``\\ d into place, and the directory is fsynced — a crash
+  mid-write leaves the previous generation intact, never a half-file;
+* every checkpoint embeds a schema version and a SHA-256 checksum over
+  its payload; load rejects version mismatches and corrupt documents and
+  falls back to the next-older generation;
+* the journal appends one self-checksummed line per cycle with
+  flush+fsync; replay stops at the first corrupt/torn line (the expected
+  signature of a crash mid-append) and keeps the valid prefix.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import NamedTuple
+
+__all__ = [
+    "CHECKPOINT_SCHEMA_VERSION",
+    "Checkpoint",
+    "CheckpointStore",
+    "CycleJournal",
+    "JournalRecord",
+]
+
+#: Bump on any incompatible change to the checkpoint document layout.
+CHECKPOINT_SCHEMA_VERSION = 1
+
+_CKPT_RE = re.compile(r"^ckpt-(\d{8})\.json$")
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _fsync_dir(path: Path) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+class Checkpoint(NamedTuple):
+    """One successfully loaded checkpoint generation.
+
+    Attributes:
+        cycle: control cycle the snapshot was taken after.
+        payload: the controller state document.
+        path: file the checkpoint was read from.
+    """
+
+    cycle: int
+    payload: dict
+    path: Path
+
+
+class CheckpointStore:
+    """Versioned, checksummed, multi-generation checkpoint directory.
+
+    Args:
+        directory: where checkpoint files live (created if missing).
+        keep: generations retained; older files are pruned after each
+            successful save (>= 1 — corruption fallback needs history).
+    """
+
+    def __init__(self, directory: str | Path, keep: int = 3) -> None:
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.keep = keep
+        #: Files rejected (bad checksum/version) by the most recent load.
+        self.last_rejected: list[Path] = []
+
+    def paths(self) -> list[Path]:
+        """Checkpoint files present, oldest first."""
+        found = [
+            p
+            for p in self.directory.iterdir()
+            if _CKPT_RE.match(p.name)
+        ]
+        return sorted(found)
+
+    def save(self, cycle: int, payload: dict) -> Path:
+        """Durably write one checkpoint generation.
+
+        Args:
+            cycle: control cycle the payload describes the end of.
+            payload: JSON-serializable controller state.
+
+        Returns:
+            The path of the new generation.
+        """
+        if cycle < 0:
+            raise ValueError(f"cycle must be >= 0, got {cycle}")
+        body = json.dumps(
+            {"cycle": int(cycle), "payload": payload}, sort_keys=True
+        )
+        doc = {
+            "format": "repro-checkpoint",
+            "version": CHECKPOINT_SCHEMA_VERSION,
+            "sha256": _sha256(body),
+            "body": body,
+        }
+        final = self.directory / f"ckpt-{cycle:08d}.json"
+        tmp = final.with_suffix(".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, final)
+        _fsync_dir(self.directory)
+        self._prune()
+        return final
+
+    def _prune(self) -> None:
+        for stale in self.paths()[: -self.keep]:
+            stale.unlink(missing_ok=True)
+
+    def _load_one(self, path: Path) -> Checkpoint:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        if doc.get("format") != "repro-checkpoint":
+            raise ValueError(f"{path.name}: not a checkpoint document")
+        if doc.get("version") != CHECKPOINT_SCHEMA_VERSION:
+            raise ValueError(
+                f"{path.name}: schema version {doc.get('version')!r} != "
+                f"{CHECKPOINT_SCHEMA_VERSION}"
+            )
+        body = doc.get("body", "")
+        if _sha256(body) != doc.get("sha256"):
+            raise ValueError(f"{path.name}: checksum mismatch")
+        inner = json.loads(body)
+        return Checkpoint(
+            cycle=int(inner["cycle"]), payload=inner["payload"], path=path
+        )
+
+    def load_latest(self) -> Checkpoint | None:
+        """Newest generation that validates, or None if none does.
+
+        Corrupt/incompatible generations are skipped (recorded in
+        :attr:`last_rejected`), falling back to older files — the recovery
+        contract when the crash that killed the controller also tore the
+        newest checkpoint.
+        """
+        self.last_rejected = []
+        for path in reversed(self.paths()):
+            try:
+                return self._load_one(path)
+            except (OSError, ValueError, KeyError, json.JSONDecodeError):
+                self.last_rejected.append(path)
+        return None
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One journaled control cycle.
+
+    Attributes:
+        cycle: cycle index the inputs belong to (0-based).
+        data: arbitrary JSON document (readings, optional demand).
+    """
+
+    cycle: int
+    data: dict = field(default_factory=dict)
+
+
+class CycleJournal:
+    """Append-only, self-checksummed record of control-cycle inputs.
+
+    One line per cycle: ``<sha256-prefix> <json>``.  Appends flush+fsync
+    so a record survives the very next crash; reads stop at the first
+    line that fails its checksum (a torn tail write) and return the valid
+    prefix.  The journal is bounded by truncation at every checkpoint —
+    only the tail since the last checkpoint is ever needed — plus a hard
+    ``capacity`` backstop against a controller that never checkpoints.
+
+    Args:
+        path: journal file (created on first append).
+        capacity: records kept; when an append would exceed it, the
+            oldest record is dropped and :attr:`overflowed` latches True
+            (replay then only trusts records contiguous with the
+            checkpoint, so an overflow degrades to checkpoint-only
+            recovery instead of silently replaying a gapped tail).
+    """
+
+    _CHECK_LEN = 16
+
+    def __init__(self, path: str | Path, capacity: int = 10_000) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.path = Path(path)
+        self.capacity = capacity
+        self.overflowed = False
+        self._count = len(self.read())
+
+    def __len__(self) -> int:
+        return self._count
+
+    def append(self, cycle: int, data: dict) -> None:
+        """Durably append one record."""
+        if self._count >= self.capacity:
+            records = self.read()[1:]
+            self.overflowed = True
+            self._rewrite(records)
+        body = json.dumps(
+            {"cycle": int(cycle), "data": data}, sort_keys=True
+        )
+        line = f"{_sha256(body)[: self._CHECK_LEN]} {body}\n"
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(line)
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._count += 1
+
+    def _rewrite(self, records: list[JournalRecord]) -> None:
+        tmp = self.path.with_suffix(".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            for rec in records:
+                body = json.dumps(
+                    {"cycle": rec.cycle, "data": rec.data}, sort_keys=True
+                )
+                fh.write(f"{_sha256(body)[: self._CHECK_LEN]} {body}\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        self._count = len(records)
+
+    def read(self) -> list[JournalRecord]:
+        """All valid records, oldest first.
+
+        Stops at the first corrupt line: everything after a torn write is
+        untrustworthy, and a mid-append crash only ever tears the tail.
+        """
+        if not self.path.exists():
+            return []
+        records: list[JournalRecord] = []
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.rstrip("\n")
+                if not line:
+                    continue
+                check, _, body = line.partition(" ")
+                if (
+                    not body
+                    or _sha256(body)[: self._CHECK_LEN] != check
+                ):
+                    break
+                try:
+                    doc = json.loads(body)
+                    records.append(
+                        JournalRecord(
+                            cycle=int(doc["cycle"]), data=doc["data"]
+                        )
+                    )
+                except (ValueError, KeyError):
+                    break
+        return records
+
+    def tail_after(self, cycle: int) -> list[JournalRecord]:
+        """Records strictly after ``cycle``, contiguous from ``cycle + 1``.
+
+        The replay contract: the returned tail starts exactly one cycle
+        after the checkpoint and has no gaps.  A journal that overflowed
+        (or whose head was lost) yields only the contiguous prefix of the
+        tail — possibly empty — never a gapped sequence.
+        """
+        tail = [r for r in self.read() if r.cycle > cycle]
+        contiguous: list[JournalRecord] = []
+        expected = cycle + 1
+        for rec in tail:
+            if rec.cycle != expected:
+                break
+            contiguous.append(rec)
+            expected += 1
+        return contiguous
+
+    def truncate(self) -> None:
+        """Drop all records (called after each successful checkpoint)."""
+        self._rewrite([])
+        self.overflowed = False

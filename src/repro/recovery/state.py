@@ -1,0 +1,141 @@
+"""Exact state serialization for the crash-recovery subsystem.
+
+DPS's advantage over the stateless baselines is precisely the state a
+crash destroys — Kalman estimates, power histories, priority flags, and
+the RNG streams that make reruns reproducible.  Restoring that state must
+be *bit-exact*: a restored controller has to produce the same cap vectors
+an uninterrupted one would, or the recovery guarantee degrades into "we
+restarted something".  JSON's float round-trip is exact for finite doubles
+but silently widens dtypes and loses array shapes, so arrays travel as
+base64 of their raw little-endian bytes plus explicit dtype/shape, and
+NumPy ``Generator`` streams travel as their bit-generator state dicts.
+
+Every stateful component implements the two-method protocol below:
+
+* ``snapshot() -> dict`` — a JSON-serializable document of the complete
+  mutable state;
+* ``restore(state) -> None`` — overwrite the component's state with a
+  snapshot's content (shapes validated, everything else trusted — the
+  checkpoint store authenticates documents by checksum before they get
+  here).
+"""
+
+from __future__ import annotations
+
+import base64
+from typing import Any, Protocol, runtime_checkable
+
+import numpy as np
+
+__all__ = [
+    "Snapshottable",
+    "encode_array",
+    "decode_array",
+    "rng_state",
+    "restore_rng",
+    "make_rng",
+]
+
+
+@runtime_checkable
+class Snapshottable(Protocol):
+    """The state protocol every recoverable component implements."""
+
+    def snapshot(self) -> dict: ...
+
+    def restore(self, state: dict) -> None: ...
+
+
+def encode_array(arr: np.ndarray) -> dict:
+    """Encode an array as base64 raw bytes with dtype and shape.
+
+    The little-endian byte image round-trips every value bit-exactly
+    (floats, bools, ints alike), unlike ``tolist()`` which widens and
+    re-parses.
+    """
+    a = np.ascontiguousarray(arr)
+    le = a.astype(a.dtype.newbyteorder("<"), copy=False)
+    return {
+        "dtype": le.dtype.str,
+        "shape": list(a.shape),
+        "data": base64.b64encode(le.tobytes()).decode("ascii"),
+    }
+
+
+def decode_array(doc: dict) -> np.ndarray:
+    """Reconstruct an array written by :func:`encode_array`.
+
+    Raises:
+        ValueError: byte payload inconsistent with dtype/shape.
+    """
+    dtype = np.dtype(doc["dtype"])
+    shape = tuple(int(s) for s in doc["shape"])
+    raw = base64.b64decode(doc["data"].encode("ascii"))
+    expected = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+    if len(raw) != expected:
+        raise ValueError(
+            f"array payload holds {len(raw)} bytes, dtype/shape imply "
+            f"{expected}"
+        )
+    arr = np.frombuffer(raw, dtype=dtype).reshape(shape)
+    # A mutable native-order copy (frombuffer views are read-only).
+    return arr.astype(dtype.newbyteorder("="), copy=True)
+
+
+def _jsonify(obj: Any) -> Any:
+    """Recursively convert NumPy scalars/arrays in a bit-generator state
+    dict to plain Python types (PCG64 states are ints; Philox/SFC64 carry
+    uint64 arrays)."""
+    if isinstance(obj, dict):
+        return {k: _jsonify(v) for k, v in obj.items()}
+    if isinstance(obj, np.ndarray):
+        return {"__ndarray__": encode_array(obj)}
+    if isinstance(obj, np.generic):
+        return obj.item()
+    return obj
+
+
+def _unjsonify(obj: Any) -> Any:
+    if isinstance(obj, dict):
+        if "__ndarray__" in obj and len(obj) == 1:
+            return decode_array(obj["__ndarray__"])
+        return {k: _unjsonify(v) for k, v in obj.items()}
+    return obj
+
+
+def rng_state(rng: np.random.Generator) -> dict:
+    """Capture a ``Generator``'s stream position as a JSON-able document."""
+    return _jsonify(rng.bit_generator.state)
+
+
+def make_rng(state: dict) -> np.random.Generator:
+    """Build a fresh ``Generator`` positioned at a captured state.
+
+    Raises:
+        ValueError: unknown bit-generator name in the state document.
+    """
+    name = state.get("bit_generator", "PCG64")
+    try:
+        bitgen_cls = getattr(np.random, str(name))
+    except AttributeError:
+        raise ValueError(f"unknown bit generator {name!r}") from None
+    bitgen = bitgen_cls()
+    bitgen.state = _unjsonify(state)
+    return np.random.Generator(bitgen)
+
+
+def restore_rng(rng: np.random.Generator, state: dict) -> None:
+    """Reposition an existing ``Generator`` at a captured state.
+
+    The generator's bit-generator type must match the snapshot's.
+
+    Raises:
+        ValueError: bit-generator type mismatch.
+    """
+    name = state.get("bit_generator")
+    actual = type(rng.bit_generator).__name__
+    if name != actual:
+        raise ValueError(
+            f"snapshot holds a {name} stream but the generator is {actual}"
+        )
+    rng.bit_generator.state = _unjsonify(state)

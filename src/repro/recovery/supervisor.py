@@ -1,0 +1,192 @@
+"""Supervisor: restartable control loop with heartbeat hang detection.
+
+A controller fails two ways: it *crashes* (the process dies — an
+exception in-model) or it *hangs* (alive but not making progress — only
+detectable from outside).  The supervisor handles both with one
+mechanism: the control loop runs as a restartable *attempt*, beats a
+:class:`Heartbeat` once per cycle, and a :class:`Watchdog` thread aborts
+the attempt when the heartbeat goes stale.  A failed attempt is followed
+by a fresh one that warm-restores from the latest valid checkpoint
+(:meth:`~repro.recovery.controller.RecoverableController.resume`), up to
+``max_restarts`` times.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, TypeVar
+
+from repro.telemetry.log import ResilienceEventLog
+
+__all__ = [
+    "ControllerCrash",
+    "ControllerHang",
+    "Heartbeat",
+    "Watchdog",
+    "Supervisor",
+]
+
+T = TypeVar("T")
+
+
+class ControllerCrash(Exception):
+    """The controller process died mid-run (fault injection or real)."""
+
+
+class ControllerHang(Exception):
+    """The controller stopped making progress and was aborted."""
+
+
+class Heartbeat:
+    """Thread-safe progress pulse shared by a control loop and its watchdog.
+
+    The control loop calls :meth:`beat` once per cycle; the watchdog
+    measures staleness with :meth:`seconds_since` and calls :meth:`abort`
+    when the loop is stuck.  A hung loop that is still able to observe
+    :attr:`aborted` (e.g. a stall in a waiting primitive) uses it to bail
+    out; a truly wedged loop would be killed at the process level, which
+    the in-process harness models by raising on its behalf.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._last = time.monotonic()
+        self._aborted = threading.Event()
+
+    def beat(self) -> None:
+        """Record one unit of progress (and clear nothing — aborts stick)."""
+        with self._lock:
+            self._last = time.monotonic()
+
+    def seconds_since(self) -> float:
+        """Seconds since the most recent beat."""
+        with self._lock:
+            return time.monotonic() - self._last
+
+    @property
+    def aborted(self) -> bool:
+        """True once the watchdog has given up on this attempt."""
+        return self._aborted.is_set()
+
+    def abort(self) -> None:
+        """Mark the attempt as abandoned (idempotent)."""
+        self._aborted.set()
+
+    def wait_aborted(self, timeout_s: float) -> bool:
+        """Block up to ``timeout_s`` for an abort; True if aborted."""
+        return self._aborted.wait(timeout_s)
+
+
+class Watchdog:
+    """Background thread aborting a heartbeat that goes stale.
+
+    Args:
+        heartbeat: the pulse being watched.
+        timeout_s: staleness threshold (> 0).
+        poll_s: check interval (defaults to a tenth of the timeout).
+    """
+
+    def __init__(
+        self,
+        heartbeat: Heartbeat,
+        timeout_s: float,
+        poll_s: float | None = None,
+    ) -> None:
+        if timeout_s <= 0:
+            raise ValueError(f"timeout_s must be > 0, got {timeout_s}")
+        self.heartbeat = heartbeat
+        self.timeout_s = timeout_s
+        self.poll_s = poll_s if poll_s is not None else timeout_s / 10.0
+        self.fired = False
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._watch, daemon=True)
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop watching (idempotent; joins the watch thread)."""
+        self._stop.set()
+        if self._thread.is_alive():
+            self._thread.join()
+
+    def _watch(self) -> None:
+        while not self._stop.wait(self.poll_s):
+            if self.heartbeat.seconds_since() > self.timeout_s:
+                self.fired = True
+                self.heartbeat.abort()
+                return
+
+
+class Supervisor:
+    """Runs a control loop as restartable attempts with hang detection.
+
+    Each attempt receives a fresh :class:`Heartbeat` (already watched by a
+    running :class:`Watchdog`) and either returns the session result or
+    raises :class:`ControllerCrash` / :class:`ControllerHang`.  The
+    supervisor restarts failed attempts — the attempt callable is expected
+    to warm-restore from the checkpoint store on attempts after the first
+    — and gives up after ``max_restarts`` restarts.
+
+    Args:
+        max_restarts: restarts allowed after the initial attempt (>= 0).
+        hang_timeout_s: heartbeat staleness threshold per attempt.
+        events: recovery event sink (an internal log is created if
+            omitted).
+    """
+
+    def __init__(
+        self,
+        max_restarts: int = 3,
+        hang_timeout_s: float = 5.0,
+        events: ResilienceEventLog | None = None,
+    ) -> None:
+        if max_restarts < 0:
+            raise ValueError(f"max_restarts must be >= 0, got {max_restarts}")
+        self.max_restarts = max_restarts
+        self.hang_timeout_s = hang_timeout_s
+        self.events = events if events is not None else ResilienceEventLog()
+        #: Restarts performed by the most recent :meth:`run`.
+        self.restarts = 0
+
+    def run(self, attempt: Callable[[int, Heartbeat], T]) -> T:
+        """Drive attempts until one completes.
+
+        Args:
+            attempt: callable ``(attempt_index, heartbeat) -> result``;
+                index 0 is the cold start, higher indices are restarts.
+
+        Returns:
+            The first completing attempt's result.
+
+        Raises:
+            ControllerCrash / ControllerHang: the final attempt failed and
+                the restart budget is exhausted.
+        """
+        self.restarts = 0
+        for index in range(self.max_restarts + 1):
+            heartbeat = Heartbeat()
+            watchdog = Watchdog(heartbeat, self.hang_timeout_s)
+            watchdog.start()
+            try:
+                result = attempt(index, heartbeat)
+                return result
+            except ControllerCrash as exc:
+                self._on_failure(index, "controller_killed", str(exc))
+            except ControllerHang as exc:
+                self._on_failure(index, "controller_hung", str(exc))
+            finally:
+                watchdog.stop()
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _on_failure(self, index: int, kind: str, detail: str) -> None:
+        self.events.emit(float(index), kind, detail=detail)
+        if index >= self.max_restarts:
+            raise
+        self.restarts += 1
+        self.events.emit(
+            float(index),
+            "controller_restarted",
+            detail=f"attempt {index + 1} of {self.max_restarts + 1}",
+        )

@@ -33,6 +33,7 @@ import numpy as np
 from repro.core.dps import DPSManager
 from repro.core.kalman import KalmanBank
 from repro.core.managers import PowerManager, register_manager
+from repro.recovery.state import decode_array, encode_array
 from repro.resilience.validate import ReadingValidator, ValidatorConfig
 from repro.telemetry.log import ResilienceEventLog
 
@@ -146,6 +147,39 @@ class ResilientManager(PowerManager):
             dt_s=self.dt_s,
             rng=self._rng.spawn(1)[0],
         )
+
+    def _snapshot_state(self) -> dict:
+        assert self._validator is not None and self._kalman is not None
+        # The event log is telemetry, not control state: a restored
+        # controller starts a fresh log (the recovery layer emits its own
+        # restore events), so caps stay bit-exact without replaying logs.
+        return {
+            "validator": self._validator.snapshot(),
+            "kalman": self._kalman.snapshot(),
+            "safe_mode": self._safe_mode,
+            "clean_streak": self._clean_streak,
+            "cycle": self._cycle,
+            "prev_suspect": encode_array(self._prev_suspect),
+            "inner": self.inner.snapshot(),
+        }
+
+    def _restore_state(self, state: dict) -> None:
+        assert self._validator is not None and self._kalman is not None
+        self._validator.restore(state["validator"])
+        self._kalman.restore(state["kalman"])
+        self._safe_mode = bool(state["safe_mode"])
+        self._clean_streak = int(state["clean_streak"])
+        self._cycle = int(state["cycle"])
+        prev_suspect = decode_array(state["prev_suspect"])
+        if prev_suspect.shape != (self.n_units,):
+            raise ValueError(
+                f"snapshot prev_suspect shape {prev_suspect.shape} != "
+                f"({self.n_units},)"
+            )
+        self._prev_suspect = prev_suspect.astype(bool)
+        # The inner manager's nested restore overwrites the rng the bind
+        # above spawned for it, repositioning its stream exactly.
+        self.inner.restore(state["inner"])
 
     @property
     def safe_mode(self) -> bool:

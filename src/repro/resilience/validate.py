@@ -31,6 +31,8 @@ from typing import NamedTuple
 
 import numpy as np
 
+from repro.recovery.state import decode_array, encode_array
+
 __all__ = ["ValidatorConfig", "ValidationResult", "ReadingValidator"]
 
 
@@ -158,3 +160,22 @@ class ReadingValidator:
         """Forget the repeat-run state (e.g. after a rebind)."""
         self._prev.fill(np.nan)
         self._run.fill(0)
+
+    def snapshot(self) -> dict:
+        """JSON-able document of the repeat-run detector state."""
+        return {
+            "prev": encode_array(self._prev),
+            "run": encode_array(self._run),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Overwrite the detector state with a snapshot's content."""
+        prev = decode_array(state["prev"])
+        run = decode_array(state["run"])
+        if prev.shape != (self.n_units,) or run.shape != (self.n_units,):
+            raise ValueError(
+                f"snapshot shapes {prev.shape}/{run.shape} != "
+                f"({self.n_units},)"
+            )
+        self._prev[:] = prev
+        self._run[:] = run.astype(np.intp)

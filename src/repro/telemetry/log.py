@@ -18,7 +18,9 @@ __all__ = [
     "TelemetryLog",
     "ResilienceEvent",
     "ResilienceEventLog",
+    "RecoveryEvent",
     "RESILIENCE_EVENT_KINDS",
+    "RECOVERY_EVENT_KINDS",
 ]
 
 #: Recognized structured resilience event kinds (control-plane failures,
@@ -36,6 +38,25 @@ RESILIENCE_EVENT_KINDS = (
     "node_recovered",
 )
 
+#: Crash-recovery event kinds (checkpointing, restarts, verified
+#: actuation).  They share the resilience event channel — one structured
+#: stream covers everything that went wrong and what recovery did about
+#: it — but are enumerated separately so exports and dashboards can
+#: filter recovery activity.
+RECOVERY_EVENT_KINDS = (
+    "checkpoint_written",
+    "checkpoint_rejected",
+    "restore_performed",
+    "journal_replayed",
+    "actuation_retried",
+    "actuation_retry_exhausted",
+    "controller_killed",
+    "controller_hung",
+    "controller_restarted",
+)
+
+_ALL_EVENT_KINDS = RESILIENCE_EVENT_KINDS + RECOVERY_EVENT_KINDS
+
 
 @dataclass(frozen=True)
 class ResilienceEvent:
@@ -44,7 +65,8 @@ class ResilienceEvent:
     Attributes:
         time_s: event time — simulation seconds, or the control-cycle
             index for the TCP deploy layer (which has no simulated clock).
-        kind: one of :data:`RESILIENCE_EVENT_KINDS`.
+        kind: one of :data:`RESILIENCE_EVENT_KINDS` or
+            :data:`RECOVERY_EVENT_KINDS`.
         unit: global unit index, if the event concerns a single unit.
         node_id: node index, if the event concerns a node or its client.
         detail: free-form payload (failure reason, counts, fractions).
@@ -57,10 +79,10 @@ class ResilienceEvent:
     detail: str = ""
 
     def __post_init__(self) -> None:
-        if self.kind not in RESILIENCE_EVENT_KINDS:
+        if self.kind not in _ALL_EVENT_KINDS:
             raise ValueError(
-                f"unknown resilience event kind {self.kind!r}; "
-                f"expected one of {RESILIENCE_EVENT_KINDS}"
+                f"unknown event kind {self.kind!r}; "
+                f"expected one of {_ALL_EVENT_KINDS}"
             )
 
 
@@ -97,13 +119,18 @@ class ResilienceEventLog:
 
     def of_kind(self, kind: str) -> list[ResilienceEvent]:
         """All events of one kind, in order."""
-        if kind not in RESILIENCE_EVENT_KINDS:
-            raise ValueError(f"unknown resilience event kind {kind!r}")
+        if kind not in _ALL_EVENT_KINDS:
+            raise ValueError(f"unknown event kind {kind!r}")
         return [e for e in self._events if e.kind == kind]
 
     def for_node(self, node_id: int) -> list[ResilienceEvent]:
         """All events tagged with the given node, in order."""
         return [e for e in self._events if e.node_id == node_id]
+
+
+#: Recovery events use the same structured record as resilience events;
+#: the alias names the crash-recovery subset at its sites of use.
+RecoveryEvent = ResilienceEvent
 
 
 class TelemetryLog:

@@ -198,3 +198,53 @@ class TestIdleUnits:
         assert tl is not None
         # Units 2-3 were never assigned: their power stays near idle.
         assert float(tl.power_w[:, 2:].mean()) < 20.0
+
+
+class TestCheckpointing:
+    def test_checkpointed_run_matches_plain_run(self, tmp_path):
+        plain = make_sim(manager="dps", seed=7).run()
+        ckpt = make_sim(
+            manager="dps", seed=7,
+            checkpoint_dir=tmp_path, checkpoint_every=5,
+        ).run()
+        # Checkpointing is pure bookkeeping: same seed, same trajectory.
+        assert ckpt.durations == plain.durations
+        assert ckpt.steps == plain.steps
+        assert ckpt.checkpoints_written > 0
+        assert ckpt.resumed_at_cycle is None
+        assert ckpt.journal_replayed == 0
+
+    def test_resume_restores_controller_state(self, tmp_path):
+        first = make_sim(
+            manager="dps", seed=7,
+            checkpoint_dir=tmp_path, checkpoint_every=5,
+        ).run()
+        resumed = make_sim(
+            manager="dps", seed=7,
+            checkpoint_dir=tmp_path, checkpoint_every=5, resume=True,
+        ).run()
+        assert resumed.resumed_at_cycle is not None
+        assert resumed.resumed_at_cycle > 0
+        assert not resumed.truncated
+        assert resumed.max_caps_sum_w <= resumed.budget_w * (1 + 1e-6)
+        assert first.checkpoints_written > 0
+
+    def test_rejects_resume_without_checkpoint_dir(self):
+        with pytest.raises(ValueError, match="resume"):
+            make_sim(resume=True)
+
+    def test_rejects_checkpointing_on_the_comm_path(self, tmp_path):
+        with pytest.raises(ValueError, match="comm"):
+            make_sim(use_comm=True, checkpoint_dir=tmp_path)
+
+    def test_rejects_checkpoint_every_below_one(self, tmp_path):
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            make_sim(checkpoint_dir=tmp_path, checkpoint_every=0)
+
+
+class TestVerifiedActuation:
+    def test_verified_run_is_clean_on_healthy_hardware(self):
+        result = make_sim(manager="dps", verify_actuation=True).run()
+        assert not result.truncated
+        assert result.actuation_retries == 0
+        assert result.actuation_verify_failures == 0

@@ -1,0 +1,198 @@
+"""Controller crash-recovery acceptance: kill → restart → warm resume.
+
+The bar (mirrors docs/resilience.md "Layer 3"): a controller killed
+mid-run over real loopback TCP is restarted by the supervisor, restores
+from checkpoint + journal, every post-restart *decision* cycle satisfies
+the budget, and harmonic-mean progress stays within 2% of an
+uninterrupted run.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.core.config import ClusterSpec, RaplConfig
+from repro.core.managers import create_manager
+from repro.deploy.loopback import ChaosSchedule, RecoveryOptions, run_loopback
+
+SPEC = ClusterSpec(n_nodes=2, sockets_per_node=2)
+#: Long enough that the bounded re-convergence transient after the
+#: demand flip (the recovered controller missed the outage's readings,
+#: so its state diverges briefly) stays well inside the 2% budget.
+CYCLES = 160
+#: Clients program caps from 3-byte wire messages quantized to 0.1 W, so
+#: each unit's hardware-held cap may round up by at most 0.05 W.
+WIRE_SLACK_W = 0.05 * SPEC.n_units
+
+
+def quiet_cluster(seed=0):
+    return Cluster(
+        SPEC, RaplConfig(noise_std_w=0.0), np.random.default_rng(seed)
+    )
+
+
+def demand_fn(step):
+    # A mid-run load flip so the controller state being recovered matters.
+    if step < 60:
+        return np.array([160.0, 160.0, 40.0, 40.0])
+    return np.array([40.0, 40.0, 160.0, 160.0])
+
+
+def hmean_progress(power_history):
+    unit_mean = power_history.mean(axis=0)
+    return len(unit_mean) / np.sum(1.0 / unit_mean)
+
+
+def assert_budget_respected(result):
+    """Decision cycles meet the budget exactly; outage cycles hold the
+    hardware's last programmed (wire-quantized) caps."""
+    sums = result.caps_history.sum(axis=1)
+    decided = ~np.isnan(result.readings_history).any(axis=1)
+    assert np.all(sums[decided] <= SPEC.budget_w * (1 + 1e-9))
+    assert np.all(sums[~decided] <= SPEC.budget_w + WIRE_SLACK_W)
+
+
+class TestControllerKill:
+    def test_kill_restart_warm_resume_within_two_percent(self, tmp_path):
+        baseline = run_loopback(
+            quiet_cluster(seed=4),
+            create_manager("dps"),
+            demand_fn=demand_fn,
+            cycles=CYCLES,
+            rng=np.random.default_rng(1),
+        )
+
+        result = run_loopback(
+            quiet_cluster(seed=4),
+            create_manager("dps"),
+            demand_fn=demand_fn,
+            cycles=CYCLES,
+            rng=np.random.default_rng(1),
+            chaos=ChaosSchedule(controller_kill_at=(47,)),
+            recovery=RecoveryOptions(
+                checkpoint_dir=tmp_path,
+                checkpoint_every=5,
+                restart_delay_cycles=2,
+                hang_timeout_s=10.0,
+            ),
+        )
+        # Artifacts for CI upload on failure: the structured event stream
+        # next to the checkpoint generations already in tmp_path.
+        (tmp_path / "events.json").write_text(
+            json.dumps(
+                [
+                    [e.time_s, e.kind, e.unit, e.node_id, e.detail]
+                    for e in result.events
+                ]
+            ),
+            encoding="utf-8",
+        )
+
+        assert result.controller_restarts == 1
+        assert result.checkpoints_written > 0
+        assert result.journal_replayed > 0
+        kinds = [e.kind for e in result.events]
+        for kind in (
+            "controller_killed",
+            "controller_restarted",
+            "restore_performed",
+            "journal_replayed",
+        ):
+            assert kind in kinds
+
+        assert_budget_respected(result)
+        # Outage cycles exist and are exactly the NaN-readings rows.
+        outage = np.isnan(result.readings_history).any(axis=1)
+        assert 0 < outage.sum() <= 5
+
+        ratio = hmean_progress(result.power_history) / hmean_progress(
+            baseline.power_history
+        )
+        assert ratio > 0.98, f"progress ratio {ratio:.4f} below 2% bound"
+
+    def test_kill_without_recovery_options_rejected(self):
+        with pytest.raises(ValueError, match="recovery"):
+            run_loopback(
+                quiet_cluster(),
+                create_manager("dps"),
+                demand_fn=demand_fn,
+                cycles=10,
+                chaos=ChaosSchedule(controller_kill_at=(5,)),
+            )
+
+    def test_exhausted_restart_budget_propagates(self, tmp_path):
+        from repro.recovery.supervisor import ControllerCrash
+
+        with pytest.raises(ControllerCrash):
+            run_loopback(
+                quiet_cluster(),
+                create_manager("dps"),
+                demand_fn=demand_fn,
+                cycles=30,
+                chaos=ChaosSchedule(controller_kill_at=(3, 6, 9)),
+                recovery=RecoveryOptions(
+                    checkpoint_dir=tmp_path, max_restarts=1
+                ),
+            )
+
+
+class TestControllerHang:
+    def test_hang_detected_and_restarted(self, tmp_path):
+        result = run_loopback(
+            quiet_cluster(seed=2),
+            create_manager("dps"),
+            demand_fn=demand_fn,
+            cycles=60,
+            rng=np.random.default_rng(1),
+            chaos=ChaosSchedule(controller_hang_at=(20,)),
+            recovery=RecoveryOptions(
+                checkpoint_dir=tmp_path,
+                checkpoint_every=5,
+                restart_delay_cycles=2,
+                hang_timeout_s=0.5,
+            ),
+        )
+        assert result.controller_restarts == 1
+        kinds = [e.kind for e in result.events]
+        assert "controller_hung" in kinds
+        assert "restore_performed" in kinds
+        assert_budget_respected(result)
+
+
+class TestCheckpointedWithoutChaos:
+    def test_recovery_options_alone_do_not_perturb_the_session(
+        self, tmp_path
+    ):
+        # Caps cross real TCP and are applied by client threads, so two
+        # sessions are not bit-identical (the manager-level guarantee is;
+        # see tests/recovery/test_snapshot_property.py).  Checkpointing
+        # must leave the session's *behavior* unchanged: no restarts, no
+        # outage cycles, budget met, and progress equal to a plain run.
+        plain = run_loopback(
+            quiet_cluster(seed=9),
+            create_manager("dps"),
+            demand_fn=demand_fn,
+            cycles=30,
+            rng=np.random.default_rng(3),
+        )
+        checkpointed = run_loopback(
+            quiet_cluster(seed=9),
+            create_manager("dps"),
+            demand_fn=demand_fn,
+            cycles=30,
+            rng=np.random.default_rng(3),
+            recovery=RecoveryOptions(
+                checkpoint_dir=tmp_path, checkpoint_every=5
+            ),
+        )
+        assert checkpointed.controller_restarts == 0
+        assert checkpointed.checkpoints_written == 6
+        assert checkpointed.journal_replayed == 0
+        assert not np.isnan(checkpointed.readings_history).any()
+        assert_budget_respected(checkpointed)
+        ratio = hmean_progress(checkpointed.power_history) / hmean_progress(
+            plain.power_history
+        )
+        assert ratio == pytest.approx(1.0, abs=0.01)

@@ -1,0 +1,141 @@
+"""Checkpoint store durability/corruption-fallback and the cycle journal."""
+
+import json
+
+import pytest
+
+from repro.recovery.checkpoint import (
+    CHECKPOINT_SCHEMA_VERSION,
+    CheckpointStore,
+    CycleJournal,
+)
+
+
+class TestCheckpointStore:
+    def test_save_load_round_trip(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(12, {"a": [1, 2], "b": "x"})
+        ckpt = store.load_latest()
+        assert ckpt is not None
+        assert ckpt.cycle == 12
+        assert ckpt.payload == {"a": [1, 2], "b": "x"}
+
+    def test_empty_store_loads_none(self, tmp_path):
+        assert CheckpointStore(tmp_path).load_latest() is None
+
+    def test_generations_pruned_to_keep(self, tmp_path):
+        store = CheckpointStore(tmp_path, keep=2)
+        for cycle in (5, 10, 15, 20):
+            store.save(cycle, {})
+        names = [p.name for p in store.paths()]
+        assert names == ["ckpt-00000015.json", "ckpt-00000020.json"]
+
+    def test_bit_flipped_checkpoint_falls_back_to_previous_generation(
+        self, tmp_path
+    ):
+        # Regression: a snapshot corrupted on disk (single bit flip in the
+        # body) must be rejected by checksum and the previous generation
+        # used instead.
+        store = CheckpointStore(tmp_path)
+        store.save(10, {"caps": [100.0, 110.0]})
+        newest = store.save(20, {"caps": [90.0, 120.0]})
+        raw = bytearray(newest.read_bytes())
+        target = raw.find(b'"body"')
+        assert target != -1
+        raw[target + 12] ^= 0x01  # Flip one bit inside the body payload.
+        newest.write_bytes(bytes(raw))
+
+        ckpt = store.load_latest()
+        assert ckpt is not None
+        assert ckpt.cycle == 10
+        assert store.last_rejected == [newest]
+
+    def test_truncated_checkpoint_rejected(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save(10, {"x": 1})
+        newest = store.save(20, {"x": 2})
+        text = newest.read_text(encoding="utf-8")
+        newest.write_text(text[: len(text) // 2], encoding="utf-8")
+        ckpt = store.load_latest()
+        assert ckpt is not None and ckpt.cycle == 10
+
+    def test_schema_version_mismatch_rejected(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        path = store.save(5, {"x": 1})
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        assert doc["version"] == CHECKPOINT_SCHEMA_VERSION
+        doc["version"] = CHECKPOINT_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(doc), encoding="utf-8")
+        assert store.load_latest() is None
+        assert store.last_rejected == [path]
+
+    def test_all_generations_corrupt_loads_none(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        for cycle in (1, 2):
+            store.save(cycle, {}).write_text("garbage", encoding="utf-8")
+        assert store.load_latest() is None
+        assert len(store.last_rejected) == 2
+
+    def test_rejects_keep_below_one(self, tmp_path):
+        with pytest.raises(ValueError, match="keep"):
+            CheckpointStore(tmp_path, keep=0)
+
+
+class TestCycleJournal:
+    def test_append_read_round_trip(self, tmp_path):
+        journal = CycleJournal(tmp_path / "j.log")
+        journal.append(1, {"power": [1.0]})
+        journal.append(2, {"power": [2.0]})
+        records = journal.read()
+        assert [(r.cycle, r.data) for r in records] == [
+            (1, {"power": [1.0]}),
+            (2, {"power": [2.0]}),
+        ]
+
+    def test_survives_reopen(self, tmp_path):
+        path = tmp_path / "j.log"
+        CycleJournal(path).append(1, {"x": 1})
+        reopened = CycleJournal(path)
+        assert len(reopened) == 1
+
+    def test_torn_tail_line_dropped(self, tmp_path):
+        path = tmp_path / "j.log"
+        journal = CycleJournal(path)
+        journal.append(1, {"x": 1})
+        journal.append(2, {"x": 2})
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("deadbeef {torn")  # A crash mid-append.
+        assert [r.cycle for r in CycleJournal(path).read()] == [1, 2]
+
+    def test_corrupt_middle_line_stops_replay(self, tmp_path):
+        path = tmp_path / "j.log"
+        journal = CycleJournal(path)
+        for c in (1, 2, 3):
+            journal.append(c, {})
+        lines = path.read_text(encoding="utf-8").splitlines()
+        lines[1] = "0" * 16 + lines[1][16:]
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        assert [r.cycle for r in journal.read()] == [1]
+
+    def test_tail_after_returns_contiguous_run_only(self, tmp_path):
+        journal = CycleJournal(tmp_path / "j.log")
+        for c in (6, 7, 9):  # Gap at 8.
+            journal.append(c, {})
+        assert [r.cycle for r in journal.tail_after(5)] == [6, 7]
+        assert journal.tail_after(7) == []
+
+    def test_truncate_empties(self, tmp_path):
+        journal = CycleJournal(tmp_path / "j.log")
+        journal.append(1, {})
+        journal.truncate()
+        assert journal.read() == [] and len(journal) == 0
+
+    def test_capacity_overflow_drops_oldest_and_latches(self, tmp_path):
+        journal = CycleJournal(tmp_path / "j.log", capacity=3)
+        for c in (1, 2, 3, 4):
+            journal.append(c, {})
+        assert journal.overflowed
+        assert [r.cycle for r in journal.read()] == [2, 3, 4]
+        # The gapped head means checkpoint-only recovery, never a gapped
+        # replay.
+        assert journal.tail_after(0) == []

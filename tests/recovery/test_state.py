@@ -1,0 +1,94 @@
+"""Bit-exact array/RNG serialization (the snapshot protocol's substrate)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.recovery.state import (
+    decode_array,
+    encode_array,
+    make_rng,
+    restore_rng,
+    rng_state,
+)
+
+
+class TestArrayCodec:
+    @pytest.mark.parametrize(
+        "arr",
+        [
+            np.array([1.0, -2.5, 3e-300, np.inf]),
+            np.array([], dtype=np.float64),
+            np.arange(6, dtype=np.intp).reshape(2, 3),
+            np.array([True, False, True]),
+            np.float32([0.1, 0.2]),
+        ],
+    )
+    def test_round_trip_bit_exact(self, arr):
+        out = decode_array(encode_array(arr))
+        assert out.dtype == arr.dtype
+        assert out.shape == arr.shape
+        assert out.tobytes() == arr.tobytes()
+
+    def test_nan_payload_survives(self):
+        arr = np.array([np.nan, 1.0])
+        out = decode_array(encode_array(arr))
+        assert np.isnan(out[0]) and out[1] == 1.0
+
+    def test_document_is_json_serializable(self):
+        doc = encode_array(np.array([1.5, 2.5]))
+        out = decode_array(json.loads(json.dumps(doc)))
+        assert out.tolist() == [1.5, 2.5]
+
+    def test_non_contiguous_input(self):
+        arr = np.arange(10, dtype=np.float64)[::2]
+        assert decode_array(encode_array(arr)).tolist() == arr.tolist()
+
+    def test_decoded_array_is_writable(self):
+        out = decode_array(encode_array(np.array([1.0, 2.0])))
+        out[0] = 9.0  # Must not raise: restores assign in place.
+        assert out[0] == 9.0
+
+    def test_corrupt_byte_count_rejected(self):
+        doc = encode_array(np.array([1.0, 2.0, 3.0]))
+        doc["shape"] = [2]
+        with pytest.raises(ValueError, match="byte"):
+            decode_array(doc)
+
+
+class TestRngCodec:
+    def test_restored_stream_continues_identically(self):
+        rng = np.random.default_rng(7)
+        rng.standard_normal(13)
+        state = rng_state(rng)
+        a = rng.standard_normal(50)
+        b = make_rng(json.loads(json.dumps(state))).standard_normal(50)
+        assert a.tobytes() == b.tobytes()
+
+    def test_restore_rng_in_place(self):
+        rng = np.random.default_rng(3)
+        state = rng_state(rng)
+        drifted = np.random.default_rng(3)
+        drifted.standard_normal(99)
+        restore_rng(drifted, state)
+        assert (
+            drifted.standard_normal(10).tobytes()
+            == np.random.default_rng(3).standard_normal(10).tobytes()
+        )
+
+    def test_restore_rng_requires_matching_bit_generator(self):
+        state = rng_state(np.random.default_rng(0))
+        other = np.random.Generator(np.random.MT19937(0))
+        with pytest.raises(ValueError, match="stream"):
+            restore_rng(other, state)
+
+    def test_make_rng_builds_named_bit_generator(self):
+        src = np.random.Generator(np.random.Philox(5))
+        src.integers(0, 10, size=4)
+        clone = make_rng(rng_state(src))
+        assert type(clone.bit_generator) is np.random.Philox
+        assert (
+            clone.integers(0, 10, size=8).tobytes()
+            == src.integers(0, 10, size=8).tobytes()
+        )

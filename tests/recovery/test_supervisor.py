@@ -1,0 +1,110 @@
+"""Heartbeat, watchdog, and the restartable-attempt supervisor."""
+
+import time
+
+import pytest
+
+from repro.recovery.supervisor import (
+    ControllerCrash,
+    ControllerHang,
+    Heartbeat,
+    Supervisor,
+    Watchdog,
+)
+
+
+class TestHeartbeat:
+    def test_beat_resets_staleness(self):
+        hb = Heartbeat()
+        time.sleep(0.02)
+        assert hb.seconds_since() >= 0.02
+        hb.beat()
+        assert hb.seconds_since() < 0.02
+
+    def test_abort_is_sticky_and_observable(self):
+        hb = Heartbeat()
+        assert not hb.aborted
+        hb.abort()
+        hb.beat()
+        assert hb.aborted
+        assert hb.wait_aborted(0.01)
+
+
+class TestWatchdog:
+    def test_fires_on_stale_heartbeat(self):
+        hb = Heartbeat()
+        dog = Watchdog(hb, timeout_s=0.05, poll_s=0.01)
+        dog.start()
+        try:
+            deadline = time.monotonic() + 2.0
+            while not hb.aborted and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert dog.fired and hb.aborted
+        finally:
+            dog.stop()
+
+    def test_quiet_while_beaten(self):
+        hb = Heartbeat()
+        dog = Watchdog(hb, timeout_s=0.1, poll_s=0.01)
+        dog.start()
+        try:
+            for _ in range(10):
+                hb.beat()
+                time.sleep(0.02)
+            assert not dog.fired and not hb.aborted
+        finally:
+            dog.stop()
+
+    def test_rejects_nonpositive_timeout(self):
+        with pytest.raises(ValueError, match="timeout_s"):
+            Watchdog(Heartbeat(), timeout_s=0.0)
+
+
+class TestSupervisor:
+    def test_success_on_first_attempt(self):
+        sup = Supervisor(max_restarts=3, hang_timeout_s=5.0)
+        assert sup.run(lambda index, hb: index) == 0
+        assert sup.restarts == 0
+
+    def test_restarts_until_success(self):
+        sup = Supervisor(max_restarts=3, hang_timeout_s=5.0)
+
+        def attempt(index, heartbeat):
+            if index < 2:
+                raise ControllerCrash(f"boom {index}")
+            return "done"
+
+        assert sup.run(attempt) == "done"
+        assert sup.restarts == 2
+        kinds = [e.kind for e in sup.events]
+        assert kinds.count("controller_killed") == 2
+        assert kinds.count("controller_restarted") == 2
+
+    def test_exhausted_budget_reraises_crash(self):
+        sup = Supervisor(max_restarts=1, hang_timeout_s=5.0)
+
+        def attempt(index, heartbeat):
+            raise ControllerCrash("always")
+
+        with pytest.raises(ControllerCrash):
+            sup.run(attempt)
+        assert sup.restarts == 1
+
+    def test_hang_detected_by_watchdog_and_restarted(self):
+        sup = Supervisor(max_restarts=1, hang_timeout_s=0.05)
+
+        def attempt(index, heartbeat):
+            if index == 0:
+                # Stall without beating; the watchdog must end this.
+                while not heartbeat.aborted:
+                    time.sleep(0.005)
+                raise ControllerHang("stalled")
+            return index
+
+        assert sup.run(attempt) == 1
+        kinds = [e.kind for e in sup.events]
+        assert "controller_hung" in kinds and "controller_restarted" in kinds
+
+    def test_rejects_negative_max_restarts(self):
+        with pytest.raises(ValueError, match="max_restarts"):
+            Supervisor(max_restarts=-1)

@@ -81,6 +81,38 @@ class TestFastCommands:
         assert "# Campaign report" in out
         assert "## low_utility" in out
 
+    def test_pair_checkpointed_then_resume(self, capsys, tmp_path):
+        ckpt = tmp_path / "session"
+        code = main(
+            ["--time-scale", "0.05", "--repeats", "1",
+             "pair", "sort", "wordcount", "--manager", "constant",
+             "--checkpoint-dir", str(ckpt), "--checkpoint-every", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "checkpointed pair sort/wordcount" in out
+        assert "cold" in out and "budget ok" in out
+        # The session is self-describing: meta + per-manager state on disk.
+        assert (ckpt / "session.json").exists()
+        assert (ckpt / "constant" / "journal.log").exists()
+        assert list((ckpt / "constant").glob("ckpt-*.json"))
+
+        assert main(["resume", str(ckpt)]) == 0
+        out = capsys.readouterr().out
+        assert "resumed pair sort/wordcount" in out
+        assert "cycle" in out  # Warm restore, not a cold start.
+
+    def test_resume_of_nonexistent_session_fails_helpfully(self, tmp_path):
+        with pytest.raises(SystemExit, match="resumable"):
+            main(["resume", str(tmp_path / "nope")])
+
+    def test_pair_rejects_chaos_with_checkpointing(self, tmp_path):
+        with pytest.raises(SystemExit, match="chaos"):
+            main(
+                ["pair", "sort", "wordcount", "--chaos", "flaky_nodes",
+                 "--checkpoint-dir", str(tmp_path)]
+            )
+
     def test_module_entry_point(self):
         import subprocess
         import sys
