@@ -1,0 +1,177 @@
+"""§6.5 — control-cycle latency scaling: sequential vs concurrent fan-out.
+
+The paper's overhead claim rests on the decision loop staying cheap
+"regardless of cluster size".  A sequential request/response cycle is
+O(n_clients) round-trips — and one slow (not yet dead) client stalls
+every other node for up to ``timeout_s``.  The concurrent fan-out/fan-in
+cycle makes wall time max-of-clients instead of sum-of-clients.
+
+This benchmark drives real TCP loopback clients through both poll modes,
+with and without one straggler delayed to 0.8 x the cycle deadline, at
+each cluster size in ``REPRO_BENCH_CYCLE_CLIENTS`` (default "4,32").
+Every healthy daemon pays ``METER_DELAY_S`` per poll — the node-side
+metering latency a real RAPL read costs — which is exactly the per-client
+cost a sequential chain serializes and the concurrent cycle overlaps.
+
+Results are printed (run with ``-s``) and written to a
+``BENCH_cycle_latency.json`` trajectory artifact (override the path via
+``REPRO_BENCH_CYCLE_ARTIFACT``) so CI accumulates the perf history.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.core.config import ClusterSpec, RaplConfig
+from repro.core.managers import create_manager
+from repro.deploy.client import DeployClient
+from repro.deploy.server import DeployServer
+from repro.telemetry.export import timings_to_json
+
+N_CLIENTS = tuple(
+    int(x)
+    for x in os.environ.get("REPRO_BENCH_CYCLE_CLIENTS", "4,32").split(",")
+)
+#: The per-cycle collection deadline; the straggler answers at 80% of it.
+TIMEOUT_S = float(os.environ.get("REPRO_BENCH_CYCLE_TIMEOUT_S", "0.25"))
+#: Node-side metering latency every healthy daemon pays per poll.
+METER_DELAY_S = 0.02
+#: Measured cycles per configuration (after one warm-up cycle).
+CYCLES = int(os.environ.get("REPRO_BENCH_CYCLE_CYCLES", "3"))
+ARTIFACT = os.environ.get(
+    "REPRO_BENCH_CYCLE_ARTIFACT", "BENCH_cycle_latency.json"
+)
+
+
+def _measure_cycle(
+    n_clients: int, poll_mode: str, straggler: bool
+) -> dict:
+    """Median control-cycle wall time of one loopback configuration."""
+    spec = ClusterSpec(n_nodes=n_clients, sockets_per_node=1)
+    cluster = Cluster(
+        spec, RaplConfig(noise_std_w=0.0), np.random.default_rng(7)
+    )
+    manager = create_manager("slurm")
+    manager.bind(
+        n_units=cluster.n_units,
+        budget_w=cluster.budget_w,
+        max_cap_w=spec.tdp_w,
+        min_cap_w=spec.min_cap_w,
+        rng=np.random.default_rng(7),
+    )
+    straggler_delay = 0.8 * TIMEOUT_S
+    clients: list[DeployClient] = []
+    with DeployServer(
+        manager, timeout_s=TIMEOUT_S, poll_mode=poll_mode
+    ) as server:
+        for i, node in enumerate(cluster.nodes):
+            delay = (
+                straggler_delay
+                if straggler and i == n_clients // 2
+                else METER_DELAY_S
+            )
+            client = DeployClient(node, server.address, poll_delay_s=delay)
+            client.start()
+            clients.append(client)
+        server.accept_clients(n_clients)
+
+        server.control_cycle()  # Warm-up: thread scheduling, buffers.
+        wall: list[float] = []
+        for _ in range(CYCLES):
+            t0 = time.perf_counter()
+            stats = server.control_cycle()
+            wall.append(time.perf_counter() - t0)
+        assert stats.n_healthy == n_clients, (
+            f"straggler must beat the deadline, census: {stats.n_healthy}"
+        )
+        phase_doc = json.loads(timings_to_json(server.timings))
+        server.shutdown()
+        for client in clients:
+            try:
+                client.join()
+            except RuntimeError:
+                pass  # A daemon of a closing session may exit on EOF.
+    return {
+        "n_clients": n_clients,
+        "poll_mode": poll_mode,
+        "straggler": straggler,
+        "cycle_s": float(np.median(wall)),
+        "cycle_s_all": [float(w) for w in wall],
+        "phases": phase_doc,
+    }
+
+
+def test_cycle_latency_scaling(benchmark):
+    results = benchmark.pedantic(
+        lambda: [
+            _measure_cycle(n, mode, straggler)
+            for n in N_CLIENTS
+            for mode in ("sequential", "concurrent")
+            for straggler in (False, True)
+        ],
+        rounds=1, iterations=1,
+    )
+
+    by_key = {
+        (r["n_clients"], r["poll_mode"], r["straggler"]): r["cycle_s"]
+        for r in results
+    }
+    print("\ncycle wall time (median of %d):" % CYCLES)
+    speedups = {}
+    for n in N_CLIENTS:
+        for straggler in (False, True):
+            seq = by_key[(n, "sequential", straggler)]
+            con = by_key[(n, "concurrent", straggler)]
+            speedups[(n, straggler)] = seq / con
+            label = "straggler" if straggler else "uniform  "
+            print(
+                f"  n={n:3d} {label}: sequential {seq * 1e3:7.1f} ms, "
+                f"concurrent {con * 1e3:7.1f} ms, {seq / con:4.1f}x"
+            )
+
+    doc = {
+        "format": "repro-bench-cycle-latency-v1",
+        "timeout_s": TIMEOUT_S,
+        "meter_delay_s": METER_DELAY_S,
+        "cycles": CYCLES,
+        "results": results,
+        "speedup": {
+            f"n{n}_{'straggler' if s else 'uniform'}": ratio
+            for (n, s), ratio in speedups.items()
+        },
+    }
+    with open(ARTIFACT, "w") as fh:
+        json.dump(doc, fh, indent=2)
+    print(f"wrote {ARTIFACT}")
+
+    n_max = max(N_CLIENTS)
+    # Sequential pays every client's metering latency; concurrent pays
+    # only the slowest client's.  Both still wait for the straggler (it
+    # answers inside the deadline), so the win is the serialized tail.
+    assert speedups[(n_max, False)] > 2.0, (
+        f"uniform speedup at n={n_max}: {speedups[(n_max, False)]:.2f}"
+    )
+    if n_max >= 32:
+        # The acceptance bar: 32 clients, one straggler at 0.8 x the
+        # deadline, concurrent >= 3x faster than the sequential chain.
+        assert speedups[(n_max, True)] >= 3.0, (
+            f"straggler speedup at n={n_max}: {speedups[(n_max, True)]:.2f}"
+        )
+
+
+def test_straggler_does_not_stall_concurrent_cycle(benchmark):
+    """The concurrent cycle's wall time is the straggler's delay, not the
+    sum of everyone's — and the phase timer attributes it to collect."""
+    result = benchmark.pedantic(
+        lambda: _measure_cycle(8, "concurrent", True), rounds=1, iterations=1
+    )
+    straggler_delay = 0.8 * TIMEOUT_S
+    assert result["cycle_s"] < straggler_delay + 7 * METER_DELAY_S
+    collect = result["phases"]["collect_s"]
+    # The collect phase dominated: it absorbed the straggler's wait.
+    assert max(collect) > 0.5 * straggler_delay

@@ -28,6 +28,7 @@ __all__ = [
     "FRAME_READINGS",
     "FRAME_CAPS",
     "FRAME_QUIT",
+    "BatchAssembler",
     "Hello",
     "recv_exact",
     "send_hello",
@@ -130,6 +131,83 @@ def send_batch(
         raise ValueError("every batch message must be exactly 3 bytes")
     sock.sendall(tag + len(messages).to_bytes(1, "big") + payload)
     return len(payload)
+
+
+class BatchAssembler:
+    """Incremental reassembly of one READINGS/CAPS batch.
+
+    The concurrent control cycle reads whatever bytes each client socket
+    has ready; frames arrive in arbitrary fragments (a TCP stream has no
+    message boundaries).  An assembler accumulates those fragments and
+    reports completion once the whole ``tag + count + count x 3 B`` frame
+    is in — without ever blocking on the socket.
+
+    Args:
+        expected_tag: the batch frame tag this assembler accepts
+            (``FRAME_READINGS`` or ``FRAME_CAPS``).
+    """
+
+    def __init__(self, expected_tag: bytes) -> None:
+        if expected_tag not in _BATCH_TAGS:
+            raise ValueError(f"not a batch tag: {expected_tag!r}")
+        self.expected_tag = expected_tag
+        self._buffer = bytearray()
+        self._count: int | None = None
+        self._batch: list[bytes] | None = None
+
+    @property
+    def complete(self) -> bool:
+        """True once the whole frame has been assembled."""
+        return self._batch is not None
+
+    @property
+    def batch(self) -> list[bytes]:
+        """The assembled 3-byte messages.
+
+        Raises:
+            RuntimeError: the frame is not complete yet.
+        """
+        if self._batch is None:
+            raise RuntimeError("batch is not complete")
+        return self._batch
+
+    def feed(self, data: bytes) -> bool:
+        """Consume one fragment; returns True once the frame is complete.
+
+        Raises:
+            ValueError: wrong frame tag, or bytes beyond the end of the
+                frame (a client speaking out of turn) — the stream cannot
+                be trusted after either.
+        """
+        if self._batch is not None and data:
+            raise ValueError(
+                f"{len(data)} bytes beyond the end of the frame"
+            )
+        self._buffer.extend(data)
+        if self._count is None:
+            if not self._buffer:
+                return False
+            tag = bytes(self._buffer[:1])
+            if tag != self.expected_tag:
+                raise ValueError(
+                    f"expected {self.expected_tag!r}, got {tag!r}"
+                )
+            if len(self._buffer) < 2:
+                return False
+            self._count = self._buffer[1]
+            if self._count == 0:
+                raise ValueError("batch frame declares zero messages")
+        body_end = 2 + 3 * self._count
+        if len(self._buffer) < body_end:
+            return False
+        if len(self._buffer) > body_end:
+            raise ValueError(
+                f"{len(self._buffer) - body_end} bytes beyond the end of "
+                "the frame"
+            )
+        payload = bytes(self._buffer[2:body_end])
+        self._batch = [payload[i : i + 3] for i in range(0, len(payload), 3)]
+        return True
 
 
 def recv_batch(sock: socket.socket, expected_tag: bytes) -> list[bytes]:

@@ -44,7 +44,7 @@ from repro.recovery.supervisor import (
     Supervisor,
 )
 from repro.resilience.health import HealthState, ResilienceConfig
-from repro.telemetry.log import ResilienceEventLog
+from repro.telemetry.log import CycleTimingLog, ResilienceEventLog
 
 __all__ = [
     "ChaosSchedule",
@@ -173,6 +173,8 @@ class LoopbackResult:
             from the fallback policy.
         events: structured resilience *and* recovery events of the whole
             session (all attempts).
+        timings: per-cycle phase timings of the server's control cycles
+            (all attempts; outage cycles run no control and are absent).
         final_health: health state per node id at session end.
         controller_restarts: supervisor restarts performed.
         checkpoints_written: checkpoint generations written.
@@ -187,6 +189,7 @@ class LoopbackResult:
     client_cycles: list[int] = field(default_factory=list)
     fallback_cycles: int = 0
     events: ResilienceEventLog = field(default_factory=ResilienceEventLog)
+    timings: CycleTimingLog = field(default_factory=CycleTimingLog)
     final_health: dict[int, HealthState] = field(default_factory=dict)
     controller_restarts: int = 0
     checkpoints_written: int = 0
@@ -247,6 +250,7 @@ def run_loopback(
     chaos: ChaosSchedule | None = None,
     resilience: ResilienceConfig | None = None,
     recovery: RecoveryOptions | None = None,
+    poll_mode: str = "concurrent",
 ) -> LoopbackResult:
     """Drive a full TCP control-plane session on localhost.
 
@@ -262,6 +266,10 @@ def run_loopback(
         recovery: checkpoint/supervisor configuration; required when the
             chaos schedule kills or hangs the controller, optional (plain
             periodic checkpointing) otherwise.
+        poll_mode: the server's cycle strategy — ``"concurrent"``
+            fan-out/fan-in (default) or the ``"sequential"`` baseline.
+            Sessions are reproducible cycle-for-cycle in either mode, and
+            both modes produce the identical trace.
 
     Returns:
         A :class:`LoopbackResult`; the server and every client are shut
@@ -284,9 +292,13 @@ def run_loopback(
         rng=rng if rng is not None else np.random.default_rng(0),
     )
     if recovery is None:
-        return _run_plain(cluster, manager, demand_fn, cycles, dt_s, chaos, resilience)
+        return _run_plain(
+            cluster, manager, demand_fn, cycles, dt_s, chaos, resilience,
+            poll_mode,
+        )
     return _run_supervised(
-        cluster, manager, demand_fn, cycles, dt_s, chaos, resilience, recovery
+        cluster, manager, demand_fn, cycles, dt_s, chaos, resilience,
+        recovery, poll_mode,
     )
 
 
@@ -298,6 +310,7 @@ def _run_plain(
     dt_s: float,
     chaos: ChaosSchedule,
     resilience: ResilienceConfig | None,
+    poll_mode: str,
 ) -> LoopbackResult:
     """The unsupervised session: one attempt, no checkpoints."""
     caps_history = np.empty((cycles, cluster.n_units))
@@ -310,7 +323,9 @@ def _run_plain(
     replacements: list[DeployClient] = []
     nodes_by_id = {node.node_id: node for node in cluster.nodes}
     clients_by_id: dict[int, DeployClient] = {}
-    with DeployServer(manager, resilience=resilience) as server:
+    with DeployServer(
+        manager, resilience=resilience, poll_mode=poll_mode
+    ) as server:
         try:
             for node in cluster.nodes:
                 client = DeployClient(node, server.address, dt_s=dt_s)
@@ -360,6 +375,7 @@ def _run_plain(
         client_cycles=[c.cycles_served for c in originals],
         fallback_cycles=fallback_cycles,
         events=server.events,
+        timings=server.timings,
         final_health=final_health,
     )
 
@@ -373,10 +389,12 @@ def _run_supervised(
     chaos: ChaosSchedule,
     resilience: ResilienceConfig | None,
     recovery: RecoveryOptions,
+    poll_mode: str,
 ) -> LoopbackResult:
     """The supervised session: restartable attempts over one step counter."""
     ckpt_dir = Path(recovery.checkpoint_dir)
     events = ResilienceEventLog()
+    timings = CycleTimingLog()
     controller = RecoverableController(
         manager,
         store=CheckpointStore(ckpt_dir, keep=recovery.keep_generations),
@@ -430,7 +448,10 @@ def _run_supervised(
         clients: list[DeployClient] = []
         clients_by_id: dict[int, DeployClient] = {}
         with DeployServer(
-            controller, resilience=resilience, events=events
+            controller,
+            resilience=resilience,
+            events=events,
+            poll_mode=poll_mode,
         ) as server:
             try:
                 for node in cluster.nodes:
@@ -490,6 +511,7 @@ def _run_supervised(
             finally:
                 final_health.clear()
                 final_health.update(server.health)
+                timings.extend(server.timings)
                 server.shutdown()
                 for client in clients:
                     # A client of a crashed controller exits on the broken
@@ -510,6 +532,7 @@ def _run_supervised(
         client_cycles=[c.cycles_served for c in first_clients],
         fallback_cycles=state["fallback"],
         events=events,
+        timings=timings,
         final_health=health,
         controller_restarts=supervisor.restarts,
         checkpoints_written=len(events.of_kind("checkpoint_written")),

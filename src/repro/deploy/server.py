@@ -2,17 +2,28 @@
 
 ``DeployServer`` is the deployable counterpart of the in-memory
 :class:`repro.comm.service.PowerServer`: it listens on a TCP port, waits
-for every client daemon to register, and then runs synchronous control
-cycles — POLL every client, collect readings, run the bound power
-manager, push per-unit CAPS frames back.  The cycle is strictly
-request/response over persistent connections, matching the artifact's
-one-second blocking decision loop.
+for every client daemon to register, and then runs one-second control
+cycles — poll every client, collect readings, run the bound power
+manager, push per-unit CAPS frames back.
 
-Unlike the artifact's loop, a control cycle survives partial failures: a
-client that times out, disconnects, or violates the protocol is
-*quarantined* (its connection is closed — a framed request/response
-stream cannot be trusted after a mid-frame fault) instead of killing the
-controller.  Quarantined clients walk the
+The cycle is a concurrent fan-out/fan-in, not a sequential
+request/response chain: POLL is broadcast to every healthy client up
+front, READINGS batches are collected by a ``selectors``-driven event
+loop with per-client incremental frame reassembly
+(:class:`~repro.deploy.framing.BatchAssembler`) under a single per-cycle
+deadline, and CAPS batches are dispatched to every client without
+waiting on any acknowledgement.  Cycle wall time is therefore
+max-of-clients instead of sum-of-clients — a slow (not yet dead) client
+no longer stalls its peers, it simply misses the deadline and takes the
+quarantine/fallback path.  ``poll_mode="sequential"`` keeps the
+artifact's strict blocking chain as a baseline for benchmarks and
+determinism checks.
+
+A control cycle survives partial failures: a client that misses the
+deadline, disconnects, or violates the protocol is *quarantined* (its
+connection is closed — a framed request/response stream cannot be
+trusted after a mid-frame fault) instead of killing the controller.
+Quarantined clients walk the
 :class:`~repro.resilience.health.ClientHealth` state machine
 (DEGRADED → DEAD under exponential-backoff rejoin windows), their units
 fall back to a configurable reading policy, and a dead client's daemon
@@ -20,12 +31,21 @@ may reconnect and re-register through the HELLO-rejoin path drained at
 the top of every cycle.  The cluster budget stays enforced throughout:
 the manager's budget invariant holds for whatever reading vector the
 cycle assembles.
+
+Collection order is an I/O detail, never a semantic one: batches are
+buffered as they arrive, and all decoding, validation, health
+transitions, and event emission happen in a post-collection pass over
+the clients in registration order — so a session's trace is
+reproducible cycle-for-cycle regardless of which client answered first.
 """
 
 from __future__ import annotations
 
+import math
 import select
+import selectors
 import socket
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -34,17 +54,41 @@ from repro.comm.protocol import MSG_CAP, MSG_READING, decode, encode
 from repro.core.managers import PowerManager
 from repro.deploy import framing
 from repro.resilience.health import ClientHealth, HealthState, ResilienceConfig
-from repro.telemetry.log import ResilienceEventLog
+from repro.telemetry.log import (
+    CyclePhaseTimings,
+    CycleTimingLog,
+    ResilienceEventLog,
+)
 
 __all__ = ["DeployServer", "DeployCycleStats", "PROTOCOL_MAX_W"]
 
 #: Largest value a 3-byte protocol message can carry (§6.5 wire format).
 PROTOCOL_MAX_W = 409.5
 
+_ZERO_TIMINGS = CyclePhaseTimings(
+    cycle=0, rejoin_s=0.0, poll_s=0.0, collect_s=0.0, decide_s=0.0,
+    dispatch_s=0.0,
+)
+
+
+def _configure_conn(conn: socket.socket, timeout_s: float) -> None:
+    """Per-connection socket options of the control plane.
+
+    TCP_NODELAY matters here: the protocol exchanges single-digit-byte
+    frames once per second, exactly the pattern where Nagle's algorithm
+    interacting with delayed ACKs adds ~40 ms per exchange — dwarfing the
+    sub-millisecond turnaround §6.5 claims.
+    """
+    conn.settimeout(timeout_s)
+    try:
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    except OSError:
+        pass  # Not fatal; some transports reject the option.
+
 
 @dataclass(frozen=True)
 class DeployCycleStats:
-    """Traffic and health accounting of one TCP control cycle.
+    """Traffic, health, and timing accounting of one TCP control cycle.
 
     Attributes:
         bytes_up / bytes_down: reading / cap payload bytes (3 B messages,
@@ -55,10 +99,12 @@ class DeployCycleStats:
         n_healthy / n_degraded / n_dead: client health census after the
             cycle.
         fallback_units: units whose reading came from the fallback policy.
-        caps_clamped: cap messages clamped at the 3-byte protocol ceiling
-            (409.5 W) this cycle.
+        caps_clamped: cap messages clamped into the protocol's value range
+            (``[0, 409.5]`` W) this cycle.
         quarantined: node ids quarantined *during* this cycle.
         rejoined: node ids re-integrated during this cycle.
+        timings: wall-clock phase breakdown (rejoin / poll / collect /
+            decide / dispatch) of this cycle.
     """
 
     bytes_up: int
@@ -71,9 +117,10 @@ class DeployCycleStats:
     caps_clamped: int = 0
     quarantined: tuple[int, ...] = ()
     rejoined: tuple[int, ...] = ()
+    timings: CyclePhaseTimings = _ZERO_TIMINGS
 
 
-@dataclass
+@dataclass(eq=False)  # Identity semantics: records key selector maps.
 class _ClientRecord:
     """Server-side state of one registered client."""
 
@@ -89,20 +136,25 @@ class _ClientRecord:
 
 
 class DeployServer:
-    """Blocking TCP control server with per-client failure isolation.
+    """TCP control server with per-client failure isolation.
 
     Args:
         manager: a *bound* power manager whose unit count equals the sum
             of the registered clients' units.
         host / port: listen address; port 0 picks a free port (see
             :attr:`address` after construction).
-        timeout_s: per-socket-operation timeout — a stuck client is
+        timeout_s: the per-cycle collection deadline (and the per-socket
+            timeout of registration/dispatch writes) — a stuck client is
             quarantined instead of hanging the controller.
         resilience: quarantine/backoff/fallback configuration.
         events: structured event sink for quarantine/fallback/clamp
             transitions (an internal log is created if omitted; see
             :attr:`events`).  Event times are control-cycle indices — the
             deploy layer has no simulated clock.
+        poll_mode: ``"concurrent"`` (default) broadcasts POLL and
+            collects readings under one deadline; ``"sequential"`` polls
+            one client at a time over blocking sockets (the artifact's
+            original chain, kept as a benchmark baseline).
     """
 
     def __init__(
@@ -113,21 +165,32 @@ class DeployServer:
         timeout_s: float = 5.0,
         resilience: ResilienceConfig | None = None,
         events: ResilienceEventLog | None = None,
+        poll_mode: str = "concurrent",
     ) -> None:
+        if poll_mode not in ("concurrent", "sequential"):
+            raise ValueError(
+                f"poll_mode must be 'concurrent' or 'sequential', "
+                f"got {poll_mode!r}"
+            )
         self.manager = manager
         self.timeout_s = timeout_s
+        self.poll_mode = poll_mode
         self.resilience = resilience or ResilienceConfig()
         self.events = events if events is not None else ResilienceEventLog()
+        #: Per-cycle phase timings (the §6.5 overhead instrumentation).
+        self.timings = CycleTimingLog()
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
-        self._listener.listen(16)
+        # A whole cluster's daemons may connect before accept_clients
+        # drains them; a short backlog would time their connects out.
+        self._listener.listen(128)
         self._listener.settimeout(timeout_s)
         self._clients: list[_ClientRecord] = []
         self._closed = False
         self._cycle = 0
         self._last_good: np.ndarray | None = None
-        #: Total cap messages clamped at the protocol ceiling (all cycles).
+        #: Total cap messages clamped into the protocol range (all cycles).
         self.total_caps_clamped = 0
 
     @property
@@ -160,7 +223,7 @@ class DeployServer:
         try:
             for _ in range(n_clients):
                 conn, _ = self._listener.accept()
-                conn.settimeout(self.timeout_s)
+                _configure_conn(conn, self.timeout_s)
                 try:
                     hello = framing.recv_hello(conn)
                     base = self.n_registered_units
@@ -239,7 +302,7 @@ class DeployServer:
                 conn, _ = self._listener.accept()
             except OSError:
                 break
-            conn.settimeout(self.timeout_s)
+            _configure_conn(conn, self.timeout_s)
             try:
                 hello = framing.recv_hello(conn)
             except (OSError, ValueError, ConnectionError):
@@ -285,16 +348,18 @@ class DeployServer:
     # ------------------------------------------------------------------
 
     def control_cycle(self) -> DeployCycleStats:
-        """Run one poll → decide → cap cycle over TCP.
+        """Run one poll → collect → decide → dispatch cycle over TCP.
 
-        Client faults (timeout, disconnect, protocol violation) quarantine
-        the client and substitute fallback readings; the cycle itself
-        always completes and reports the health census in its stats.
+        Client faults (deadline miss, disconnect, protocol violation)
+        quarantine the client and substitute fallback readings; the cycle
+        itself always completes and reports the health census and phase
+        timings in its stats.
 
         Raises:
-            RuntimeError: no clients registered, or registration does not
-                cover the manager's units (configuration errors, not
-                runtime faults).
+            RuntimeError: no clients registered, registration does not
+                cover the manager's units, or the manager emitted a
+                non-finite cap (configuration / server-side errors, not
+                client faults).
         """
         if not self._clients:
             raise RuntimeError("no clients registered")
@@ -310,12 +375,17 @@ class DeployServer:
                 self.manager.n_units, self.manager.initial_cap_w
             )
 
+        t0 = time.perf_counter()
         rejoined = self._drain_rejoins()
+        t1 = time.perf_counter()
 
-        readings = np.empty(self.manager.n_units, dtype=np.float64)
-        bytes_up = 0
+        # Seed from the last-good vector: a slot a client fails to report
+        # (or reports invalidly) holds a trusted value, never whatever
+        # np.empty found in memory.
+        readings = self._last_good.copy()
         fallback_units = 0
         quarantined_now: list[int] = []
+        polled: list[_ClientRecord] = []
         for record in self._clients:
             if record.health.quarantined:
                 before = record.health.state
@@ -340,12 +410,36 @@ class DeployServer:
                         node_id=record.node_id,
                         detail=self.resilience.fallback,
                     )
+            else:
+                polled.append(record)
+
+        if self.poll_mode == "concurrent":
+            pending, errors = self._broadcast_poll(polled)
+            t2 = time.perf_counter()
+            raw, collect_errors = self._collect_readings(pending)
+            errors.update(collect_errors)
+        else:
+            raw, errors = self._poll_sequential(polled)
+            t2 = time.perf_counter()
+
+        # Post-collection pass in registration order: decode, validate,
+        # and transition health deterministically — arrival order was
+        # only ever an I/O detail.
+        bytes_up = 0
+        for record in polled:
+            if record.node_id in errors:
+                self._quarantine(record, errors[record.node_id])
+                quarantined_now.append(record.node_id)
+                self._fallback_readings(record, readings)
+                fallback_units += record.n_units
                 continue
             try:
-                bytes_up += self._poll_client(record, readings)
+                bytes_up += self._ingest_readings(
+                    record, raw[record.node_id], readings
+                )
                 record.health.record_success()
-            except (OSError, ValueError, RuntimeError) as exc:
-                self._quarantine(record, f"poll: {exc}")
+            except (RuntimeError, ValueError) as exc:
+                self._quarantine(record, f"readings: {exc}")
                 quarantined_now.append(record.node_id)
                 self._fallback_readings(record, readings)
                 fallback_units += record.n_units
@@ -354,36 +448,23 @@ class DeployServer:
             if not record.health.quarantined:
                 lo, hi = record.base, record.base + record.n_units
                 self._last_good[lo:hi] = readings[lo:hi]
+        t3 = time.perf_counter()
 
         caps = self.manager.step(readings)
+        t4 = time.perf_counter()
 
-        bytes_down = 0
-        caps_clamped = 0
-        for record in self._clients:
-            if record.health.quarantined:
-                continue
-            batch = []
-            for local in range(record.n_units):
-                cap = float(caps[record.base + local])
-                if cap > PROTOCOL_MAX_W:
-                    caps_clamped += 1
-                    self.events.emit(
-                        float(self._cycle),
-                        "cap_clamped",
-                        unit=record.base + local,
-                        node_id=record.node_id,
-                        detail=f"{cap:.1f}->{PROTOCOL_MAX_W}",
-                    )
-                    cap = PROTOCOL_MAX_W
-                batch.append(encode(MSG_CAP, local, cap))
-            try:
-                bytes_down += framing.send_batch(
-                    record.conn, framing.FRAME_CAPS, batch
-                )
-            except (OSError, ValueError) as exc:
-                self._quarantine(record, f"caps: {exc}")
-                quarantined_now.append(record.node_id)
-        self.total_caps_clamped += caps_clamped
+        bytes_down, caps_clamped = self._dispatch_caps(caps, quarantined_now)
+        t5 = time.perf_counter()
+
+        timings = CyclePhaseTimings(
+            cycle=self._cycle,
+            rejoin_s=t1 - t0,
+            poll_s=t2 - t1,
+            collect_s=t3 - t2,
+            decide_s=t4 - t3,
+            dispatch_s=t5 - t4,
+        )
+        self.timings.record(timings)
 
         census = {state: 0 for state in HealthState}
         for record in self._clients:
@@ -399,25 +480,132 @@ class DeployServer:
             caps_clamped=caps_clamped,
             quarantined=tuple(quarantined_now),
             rejoined=tuple(rejoined),
+            timings=timings,
         )
 
-    def _poll_client(
-        self, record: _ClientRecord, readings: np.ndarray
+    def _broadcast_poll(
+        self, polled: list[_ClientRecord]
+    ) -> tuple[dict[_ClientRecord, framing.BatchAssembler], dict[int, str]]:
+        """Fan-out: send POLL to every healthy client before reading any.
+
+        Returns the clients awaiting collection (with their frame
+        assemblers) and the send failures keyed by node id.
+        """
+        pending: dict[_ClientRecord, framing.BatchAssembler] = {}
+        errors: dict[int, str] = {}
+        for record in polled:
+            assert record.conn is not None
+            try:
+                framing.send_tag(record.conn, framing.FRAME_POLL)
+            except OSError as exc:
+                errors[record.node_id] = f"poll: {exc}"
+            else:
+                pending[record] = framing.BatchAssembler(
+                    framing.FRAME_READINGS
+                )
+        return pending, errors
+
+    def _collect_readings(
+        self, pending: dict[_ClientRecord, framing.BatchAssembler]
+    ) -> tuple[dict[int, list[bytes]], dict[int, str]]:
+        """Fan-in: collect READINGS batches under one per-cycle deadline.
+
+        Every pending socket is watched by one selector; whatever bytes a
+        client has ready are fed to its frame assembler.  A client that
+        has not completed a valid batch when the deadline expires is
+        reported as errored — it delays nobody else.
+        """
+        raw: dict[int, list[bytes]] = {}
+        errors: dict[int, str] = {}
+        if not pending:
+            return raw, errors
+        sel = selectors.DefaultSelector()
+        outstanding: set[int] = set()
+        for record, assembler in pending.items():
+            sel.register(
+                record.conn, selectors.EVENT_READ, (record, assembler)
+            )
+            outstanding.add(record.node_id)
+        deadline = time.monotonic() + self.timeout_s
+        try:
+            while outstanding:
+                remaining_s = deadline - time.monotonic()
+                if remaining_s <= 0:
+                    break
+                for key, _ in sel.select(remaining_s):
+                    record, assembler = key.data
+                    failure: str | None = None
+                    complete = False
+                    try:
+                        data = key.fileobj.recv(65536)
+                    except OSError as exc:
+                        failure = f"readings: {exc}"
+                    else:
+                        if not data:
+                            failure = "readings: peer closed mid-collection"
+                        else:
+                            try:
+                                complete = assembler.feed(data)
+                            except ValueError as exc:
+                                failure = f"readings: {exc}"
+                    if failure is not None or complete:
+                        sel.unregister(key.fileobj)
+                        outstanding.discard(record.node_id)
+                        if failure is not None:
+                            errors[record.node_id] = failure
+                        else:
+                            raw[record.node_id] = assembler.batch
+            for node_id in outstanding:
+                errors[node_id] = (
+                    "readings: no complete batch within the "
+                    f"{self.timeout_s} s cycle deadline"
+                )
+        finally:
+            sel.close()
+        return raw, errors
+
+    def _poll_sequential(
+        self, polled: list[_ClientRecord]
+    ) -> tuple[dict[int, list[bytes]], dict[int, str]]:
+        """The artifact's baseline: blocking request/response per client."""
+        raw: dict[int, list[bytes]] = {}
+        errors: dict[int, str] = {}
+        for record in polled:
+            assert record.conn is not None
+            try:
+                framing.send_tag(record.conn, framing.FRAME_POLL)
+                raw[record.node_id] = framing.recv_batch(
+                    record.conn, framing.FRAME_READINGS
+                )
+            except (OSError, ValueError) as exc:
+                errors[record.node_id] = f"poll: {exc}"
+        return raw, errors
+
+    def _ingest_readings(
+        self,
+        record: _ClientRecord,
+        batch: list[bytes],
+        readings: np.ndarray,
     ) -> int:
-        """POLL one healthy client into ``readings``; returns bytes read.
+        """Validate one READINGS batch and write it into ``readings``.
+
+        The batch must carry exactly one reading per unit: duplicate or
+        out-of-range unit ids are protocol violations, not tolerable
+        noise — with ``np.empty``-style assembly a duplicate would leave
+        a slot holding garbage memory for the manager to consume.
+        Nothing is written unless the whole batch validates.
 
         Raises:
-            OSError / ValueError / RuntimeError: socket or protocol fault
-                (handled by the caller's quarantine path).
+            RuntimeError / ValueError: protocol violation (handled by the
+                caller's quarantine path).
         """
-        assert record.conn is not None
-        framing.send_tag(record.conn, framing.FRAME_POLL)
-        batch = framing.recv_batch(record.conn, framing.FRAME_READINGS)
         if len(batch) != record.n_units:
             raise RuntimeError(
-                f"client at base {record.base} sent {len(batch)} readings "
-                f"for {record.n_units} units"
+                f"client sent {len(batch)} readings for "
+                f"{record.n_units} units"
             )
+        values = np.empty(record.n_units, dtype=np.float64)
+        seen = np.zeros(record.n_units, dtype=bool)
         bytes_up = 0
         for payload in batch:
             msg = decode(payload)
@@ -428,9 +616,68 @@ class DeployServer:
                     f"reading for unit {msg.unit} out of range "
                     f"[0, {record.n_units})"
                 )
-            readings[record.base + msg.unit] = msg.value_w
+            if seen[msg.unit]:
+                raise RuntimeError(
+                    f"duplicate reading for unit {msg.unit}"
+                )
+            seen[msg.unit] = True
+            values[msg.unit] = msg.value_w
             bytes_up += len(payload)
+        readings[record.base : record.base + record.n_units] = values
         return bytes_up
+
+    def _dispatch_caps(
+        self, caps: np.ndarray, quarantined_now: list[int]
+    ) -> tuple[int, int]:
+        """Clamp, encode, and send every healthy client's CAPS batch.
+
+        All batches are built (and all caps validated) before any frame
+        is written: a non-finite cap is a server-side bug and must abort
+        the dispatch loudly instead of raising inside the send loop and
+        quarantining whichever healthy client happened to be next.
+
+        Returns ``(bytes_down, caps_clamped)``.
+
+        Raises:
+            RuntimeError: the manager emitted a NaN/inf cap.
+        """
+        batches: list[tuple[_ClientRecord, list[bytes]]] = []
+        caps_clamped = 0
+        for record in self._clients:
+            if record.health.quarantined:
+                continue
+            batch = []
+            for local in range(record.n_units):
+                unit = record.base + local
+                cap = float(caps[unit])
+                if not math.isfinite(cap):
+                    raise RuntimeError(
+                        f"manager emitted non-finite cap {cap!r} for "
+                        f"unit {unit}"
+                    )
+                clamped = min(max(cap, 0.0), PROTOCOL_MAX_W)
+                if clamped != cap:
+                    caps_clamped += 1
+                    self.events.emit(
+                        float(self._cycle),
+                        "cap_clamped",
+                        unit=unit,
+                        node_id=record.node_id,
+                        detail=f"{cap:.1f}->{clamped:.1f}",
+                    )
+                batch.append(encode(MSG_CAP, local, clamped))
+            batches.append((record, batch))
+        bytes_down = 0
+        for record, batch in batches:
+            try:
+                bytes_down += framing.send_batch(
+                    record.conn, framing.FRAME_CAPS, batch
+                )
+            except OSError as exc:
+                self._quarantine(record, f"caps: {exc}")
+                quarantined_now.append(record.node_id)
+        self.total_caps_clamped += caps_clamped
+        return bytes_down, caps_clamped
 
     def shutdown(self) -> None:
         """Send QUIT to every client and close all sockets (idempotent)."""

@@ -9,17 +9,26 @@ from repro.telemetry.analysis import (
 from repro.telemetry.export import (
     events_to_csv,
     from_json,
+    timings_from_json,
+    timings_to_csv,
+    timings_to_json,
     to_csv,
     to_json,
 )
 from repro.telemetry.log import (
+    CYCLE_PHASES,
     RESILIENCE_EVENT_KINDS,
+    CyclePhaseTimings,
+    CycleTimingLog,
     ResilienceEvent,
     ResilienceEventLog,
     TelemetryLog,
 )
 
 __all__ = [
+    "CYCLE_PHASES",
+    "CyclePhaseTimings",
+    "CycleTimingLog",
     "PhaseSegment",
     "RESILIENCE_EVENT_KINDS",
     "ResilienceEvent",
@@ -30,6 +39,9 @@ __all__ = [
     "extract_phases",
     "fraction_above",
     "from_json",
+    "timings_from_json",
+    "timings_to_csv",
+    "timings_to_json",
     "to_csv",
     "to_json",
 ]

@@ -22,9 +22,24 @@ import json
 
 import numpy as np
 
-from repro.telemetry.log import ResilienceEventLog, TelemetryLog
+from repro.telemetry.log import (
+    CYCLE_PHASES,
+    CyclePhaseTimings,
+    CycleTimingLog,
+    ResilienceEventLog,
+    TelemetryLog,
+)
 
-__all__ = ["to_csv", "from_csv", "to_json", "from_json", "events_to_csv"]
+__all__ = [
+    "to_csv",
+    "from_csv",
+    "to_json",
+    "from_json",
+    "events_to_csv",
+    "timings_to_csv",
+    "timings_to_json",
+    "timings_from_json",
+]
 
 _CSV_HEADER = "time_s,unit,power_w,reading_w,cap_w,priority"
 
@@ -127,6 +142,54 @@ def events_to_csv(events: ResilienceEventLog) -> str:
         detail = e.detail.replace(",", ";")
         buf.write(f"{e.time_s:.3f},{e.kind},{unit},{node},{detail}\n")
     return buf.getvalue()
+
+
+def timings_to_csv(timings: CycleTimingLog) -> str:
+    """Render a cycle-timing log as long-format CSV (one row per cycle)."""
+    buf = io.StringIO()
+    buf.write("cycle," + ",".join(CYCLE_PHASES) + ",total_s\n")
+    for t in timings:
+        phases = ",".join(f"{getattr(t, p):.6f}" for p in CYCLE_PHASES)
+        buf.write(f"{t.cycle},{phases},{t.total_s:.6f}\n")
+    return buf.getvalue()
+
+
+def timings_to_json(timings: CycleTimingLog) -> str:
+    """Serialize a cycle-timing log as a column-oriented JSON document."""
+    doc: dict = {"format": "repro-cycle-timings-v1"}
+    doc["cycle"] = [t.cycle for t in timings]
+    for phase in CYCLE_PHASES:
+        doc[phase] = [getattr(t, phase) for t in timings]
+    return json.dumps(doc)
+
+
+def timings_from_json(text: str) -> CycleTimingLog:
+    """Reconstruct a cycle-timing log from :func:`timings_to_json` output.
+
+    Raises:
+        ValueError: wrong format tag or ragged columns.
+    """
+    doc = json.loads(text)
+    if doc.get("format") != "repro-cycle-timings-v1":
+        raise ValueError(
+            f"unsupported timings format {doc.get('format')!r}"
+        )
+    cycles = doc["cycle"]
+    for phase in CYCLE_PHASES:
+        if len(doc[phase]) != len(cycles):
+            raise ValueError(
+                f"{phase} holds {len(doc[phase])} entries for "
+                f"{len(cycles)} cycles"
+            )
+    log = CycleTimingLog()
+    for i, cycle in enumerate(cycles):
+        log.record(
+            CyclePhaseTimings(
+                cycle=int(cycle),
+                **{phase: float(doc[phase][i]) for phase in CYCLE_PHASES},
+            )
+        )
+    return log
 
 
 def from_json(text: str) -> TelemetryLog:

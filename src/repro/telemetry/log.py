@@ -21,6 +21,9 @@ __all__ = [
     "RecoveryEvent",
     "RESILIENCE_EVENT_KINDS",
     "RECOVERY_EVENT_KINDS",
+    "CyclePhaseTimings",
+    "CycleTimingLog",
+    "CYCLE_PHASES",
 ]
 
 #: Recognized structured resilience event kinds (control-plane failures,
@@ -108,8 +111,18 @@ class ResilienceEventLog:
         return event
 
     def extend(self, other: "ResilienceEventLog") -> None:
-        """Append every event of another log (e.g. a manager's internal log)."""
-        self._events.extend(other._events)
+        """Merge another log (e.g. a manager's internal log) into this one.
+
+        The merge is stable by ``time_s``, preserving the chronological
+        ordering that ``window()``-style consumers and the CSV/JSON
+        exporters assume; at equal times this log's events come first,
+        then the other log's, each in their original order.
+        """
+        if not other._events:
+            return
+        merged = self._events + list(other._events)
+        merged.sort(key=lambda e: e.time_s)  # Stable: ties keep order.
+        self._events = merged
 
     def __len__(self) -> int:
         return len(self._events)
@@ -131,6 +144,86 @@ class ResilienceEventLog:
 #: Recovery events use the same structured record as resilience events;
 #: the alias names the crash-recovery subset at its sites of use.
 RecoveryEvent = ResilienceEvent
+
+
+#: Phases of one TCP control cycle, in execution order (see
+#: :class:`~repro.deploy.server.DeployServer`).
+CYCLE_PHASES = ("rejoin_s", "poll_s", "collect_s", "decide_s", "dispatch_s")
+
+
+@dataclass(frozen=True)
+class CyclePhaseTimings:
+    """Wall-clock phase breakdown of one control cycle.
+
+    Attributes:
+        cycle: 1-based control-cycle index.
+        rejoin_s: draining pending HELLO-rejoins.
+        poll_s: POLL fan-out (concurrent mode) or the whole blocking
+            request/response exchange (sequential mode, where
+            ``collect_s`` is zero).
+        collect_s: fan-in — the event loop collecting READINGS batches
+            up to the per-cycle deadline.
+        decide_s: the manager's decision step.
+        dispatch_s: building and writing the CAPS batches.
+    """
+
+    cycle: int
+    rejoin_s: float
+    poll_s: float
+    collect_s: float
+    decide_s: float
+    dispatch_s: float
+
+    @property
+    def total_s(self) -> float:
+        """Sum of all phases — the cycle's wall time."""
+        return (
+            self.rejoin_s
+            + self.poll_s
+            + self.collect_s
+            + self.decide_s
+            + self.dispatch_s
+        )
+
+
+class CycleTimingLog:
+    """Append-only per-cycle phase-timing channel of a deploy session."""
+
+    def __init__(self) -> None:
+        self._timings: list[CyclePhaseTimings] = []
+
+    def record(self, timings: CyclePhaseTimings) -> None:
+        """Append one cycle's phase breakdown."""
+        self._timings.append(timings)
+
+    def extend(self, other: "CycleTimingLog") -> None:
+        """Append another log's cycles (e.g. a later supervised attempt)."""
+        self._timings.extend(other._timings)
+
+    def __len__(self) -> int:
+        return len(self._timings)
+
+    def __iter__(self) -> Iterator[CyclePhaseTimings]:
+        return iter(self._timings)
+
+    def __getitem__(self, index: int) -> CyclePhaseTimings:
+        return self._timings[index]
+
+    def as_columns(self) -> dict[str, np.ndarray]:
+        """Column-oriented view: cycle indices plus one array per phase."""
+        cols: dict[str, np.ndarray] = {
+            "cycle": np.asarray(
+                [t.cycle for t in self._timings], dtype=np.int64
+            )
+        }
+        for phase in CYCLE_PHASES:
+            cols[phase] = np.asarray(
+                [getattr(t, phase) for t in self._timings], dtype=np.float64
+            )
+        cols["total_s"] = np.asarray(
+            [t.total_s for t in self._timings], dtype=np.float64
+        )
+        return cols
 
 
 class TelemetryLog:

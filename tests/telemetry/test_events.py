@@ -48,6 +48,31 @@ class TestResilienceEventLog:
         a.extend(b)
         assert len(a) == 1
 
+    def test_extend_merges_chronologically(self):
+        """Regression: extend() used to append, leaving interleaved logs
+        out of time order and breaking window()-style consumers."""
+        a, b = ResilienceEventLog(), ResilienceEventLog()
+        a.emit(1.0, "client_quarantined", node_id=0)
+        a.emit(3.0, "client_rejoined", node_id=0)
+        b.emit(0.0, "safe_mode_entered")
+        b.emit(2.0, "safe_mode_exited")
+        a.extend(b)
+        assert [e.time_s for e in a] == [0.0, 1.0, 2.0, 3.0]
+
+    def test_extend_is_stable_at_equal_times(self):
+        """Ties keep self's events first, then the other's, in their
+        original order — the merge never reshuffles same-time events."""
+        a, b = ResilienceEventLog(), ResilienceEventLog()
+        a.emit(1.0, "client_quarantined", node_id=0)
+        b.emit(1.0, "safe_mode_entered")
+        b.emit(1.0, "safe_mode_exited")
+        a.extend(b)
+        assert [e.kind for e in a] == [
+            "client_quarantined",
+            "safe_mode_entered",
+            "safe_mode_exited",
+        ]
+
 
 class TestEventExport:
     def test_json_round_trip_preserves_events(self):

@@ -1,0 +1,98 @@
+"""The per-cycle phase-timing channel and its exporters."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry import (
+    CYCLE_PHASES,
+    CyclePhaseTimings,
+    CycleTimingLog,
+    timings_from_json,
+    timings_to_csv,
+    timings_to_json,
+)
+
+
+def timing(cycle, **phases):
+    base = {phase: 0.0 for phase in CYCLE_PHASES}
+    base.update(phases)
+    return CyclePhaseTimings(cycle=cycle, **base)
+
+
+class TestCycleTimingLog:
+    def test_total_is_the_phase_sum(self):
+        t = timing(1, rejoin_s=0.1, poll_s=0.2, collect_s=0.3,
+                   decide_s=0.4, dispatch_s=0.5)
+        assert t.total_s == pytest.approx(1.5)
+
+    def test_record_iter_and_index(self):
+        log = CycleTimingLog()
+        assert len(log) == 0
+        log.record(timing(1, poll_s=0.01))
+        log.record(timing(2, poll_s=0.02))
+        assert len(log) == 2
+        assert [t.cycle for t in log] == [1, 2]
+        assert log[1].poll_s == pytest.approx(0.02)
+
+    def test_as_columns(self):
+        log = CycleTimingLog()
+        log.record(timing(1, collect_s=0.5, decide_s=0.1))
+        log.record(timing(2, collect_s=0.25, decide_s=0.1))
+        cols = log.as_columns()
+        assert cols["cycle"].dtype == np.int64
+        assert list(cols["cycle"]) == [1, 2]
+        assert cols["collect_s"] == pytest.approx([0.5, 0.25])
+        assert cols["total_s"] == pytest.approx([0.6, 0.35])
+        assert set(cols) == {"cycle", "total_s", *CYCLE_PHASES}
+
+    def test_extend_appends_in_order(self):
+        a, b = CycleTimingLog(), CycleTimingLog()
+        a.record(timing(1))
+        b.record(timing(2))
+        b.record(timing(3))
+        a.extend(b)
+        assert [t.cycle for t in a] == [1, 2, 3]
+
+
+class TestTimingExport:
+    def _log(self):
+        log = CycleTimingLog()
+        log.record(timing(1, rejoin_s=0.001, poll_s=0.002, collect_s=0.4,
+                          decide_s=0.003, dispatch_s=0.004))
+        log.record(timing(2, poll_s=0.005, collect_s=0.2))
+        return log
+
+    def test_csv_shape(self):
+        lines = timings_to_csv(self._log()).strip().splitlines()
+        assert lines[0] == (
+            "cycle,rejoin_s,poll_s,collect_s,decide_s,dispatch_s,total_s"
+        )
+        assert len(lines) == 3
+        row = lines[1].split(",")
+        assert row[0] == "1"
+        assert float(row[3]) == pytest.approx(0.4)
+        assert float(row[6]) == pytest.approx(0.41)
+
+    def test_json_round_trip(self):
+        log = self._log()
+        back = timings_from_json(timings_to_json(log))
+        assert len(back) == len(log)
+        for orig, copy in zip(log, back):
+            assert copy == orig
+
+    def test_empty_log_round_trips(self):
+        back = timings_from_json(timings_to_json(CycleTimingLog()))
+        assert len(back) == 0
+
+    def test_rejects_wrong_format_tag(self):
+        with pytest.raises(ValueError, match="format"):
+            timings_from_json('{"format": "something-else", "cycle": []}')
+
+    def test_rejects_ragged_columns(self):
+        doc = timings_to_json(self._log())
+        broken = doc.replace(
+            '"collect_s": [0.4, 0.2]', '"collect_s": [0.4]'
+        )
+        assert broken != doc, "fixture must actually break the column"
+        with pytest.raises(ValueError, match="collect_s"):
+            timings_from_json(broken)
