@@ -31,6 +31,7 @@ from repro.core.config import ClusterSpec, RaplConfig
 from repro.core.managers import create_manager
 from repro.deploy.client import DeployClient
 from repro.deploy.server import DeployServer
+from repro.safety import SafetyConfig
 from repro.telemetry.export import timings_to_json
 
 N_CLIENTS = tuple(
@@ -49,14 +50,18 @@ ARTIFACT = os.environ.get(
 
 
 def _measure_cycle(
-    n_clients: int, poll_mode: str, straggler: bool
+    n_clients: int,
+    poll_mode: str,
+    straggler: bool,
+    manager_name: str = "slurm",
+    safety: SafetyConfig | None = None,
 ) -> dict:
     """Median control-cycle wall time of one loopback configuration."""
     spec = ClusterSpec(n_nodes=n_clients, sockets_per_node=1)
     cluster = Cluster(
         spec, RaplConfig(noise_std_w=0.0), np.random.default_rng(7)
     )
-    manager = create_manager("slurm")
+    manager = create_manager(manager_name)
     manager.bind(
         n_units=cluster.n_units,
         budget_w=cluster.budget_w,
@@ -67,7 +72,7 @@ def _measure_cycle(
     straggler_delay = 0.8 * TIMEOUT_S
     clients: list[DeployClient] = []
     with DeployServer(
-        manager, timeout_s=TIMEOUT_S, poll_mode=poll_mode
+        manager, timeout_s=TIMEOUT_S, poll_mode=poll_mode, safety=safety
     ) as server:
         for i, node in enumerate(cluster.nodes):
             delay = (
@@ -162,6 +167,64 @@ def test_cycle_latency_scaling(benchmark):
         assert speedups[(n_max, True)] >= 3.0, (
             f"straggler speedup at n={n_max}: {speedups[(n_max, True)]:.2f}"
         )
+
+
+def test_invariant_monitor_overhead(benchmark):
+    """Per-cycle cost of the budget-safety envelope's invariant monitors
+    in each mode: ``off`` (baseline), ``sampling`` (every 16th cycle in
+    deployment), ``strict`` (every cycle, the chaos/test posture).  The
+    numbers join the ``BENCH_cycle_latency.json`` artifact under
+    ``invariant_overhead`` without clobbering the scaling results."""
+    modes = ("off", "sampling", "strict")
+    results = benchmark.pedantic(
+        lambda: {
+            mode: _measure_cycle(
+                8,
+                "concurrent",
+                False,
+                manager_name="dps",
+                safety=SafetyConfig(guard=True, invariant_mode=mode),
+            )
+            for mode in modes
+        },
+        rounds=1, iterations=1,
+    )
+
+    base = results["off"]["cycle_s"]
+    print("\ninvariant monitor overhead (n=8, concurrent, median cycle):")
+    overhead = {}
+    for mode in modes:
+        cycle = results[mode]["cycle_s"]
+        overhead[mode] = {
+            "cycle_s": cycle,
+            "cycle_s_all": results[mode]["cycle_s_all"],
+            "overhead_s": cycle - base,
+        }
+        print(
+            f"  {mode:8s}: {cycle * 1e3:7.2f} ms/cycle "
+            f"(+{(cycle - base) * 1e3:6.2f} ms vs off)"
+        )
+
+    doc = {}
+    if os.path.exists(ARTIFACT):
+        with open(ARTIFACT) as fh:
+            doc = json.load(fh)
+    doc.setdefault("format", "repro-bench-cycle-latency-v1")
+    doc["invariant_overhead"] = {
+        "n_clients": 8,
+        "poll_mode": "concurrent",
+        "manager": "dps",
+        "modes": overhead,
+    }
+    with open(ARTIFACT, "w") as fh:
+        json.dump(doc, fh, indent=2)
+    print(f"updated {ARTIFACT}")
+
+    # The monitors must never come close to costing a control cycle:
+    # even strict mode stays well inside the collection deadline.
+    assert overhead["strict"]["overhead_s"] < TIMEOUT_S, (
+        f"strict sweep costs {overhead['strict']['overhead_s']:.3f}s/cycle"
+    )
 
 
 def test_straggler_does_not_stall_concurrent_cycle(benchmark):

@@ -37,6 +37,14 @@ from repro.core.dps import DPSManager
 from repro.core.managers import PowerManager
 from repro.powercap.actuator import CapActuator
 from repro.powercap.faults import FaultConfig, FaultyMeter
+from repro.safety import (
+    BudgetEnvelope,
+    BudgetGuard,
+    InvariantContext,
+    InvariantMonitor,
+    SafetyConfig,
+    last_readjust_grants,
+)
 from repro.telemetry.log import ResilienceEventLog, TelemetryLog
 from repro.workloads.runtime import WorkloadExecution
 from repro.workloads.spec import WorkloadSpec
@@ -95,6 +103,13 @@ class SimulationResult:
     actuation_retries: int = 0
     #: Cap writes whose read-back verification exhausted the retry budget.
     actuation_verify_failures: int = 0
+    #: Structured ``budget_*`` / ``invariant_violation`` events (None
+    #: unless the safety envelope was enabled).
+    safety_events: ResilienceEventLog | None = None
+    #: Cycles whose worst-case committed power exceeded the budget.
+    budget_excursions: int = 0
+    #: Degradation-ladder rungs the budget guard took, by event kind.
+    guard_rungs: dict[str, int] = field(default_factory=dict)
 
     def execution(self, name: str) -> WorkloadExecution:
         """The execution record of the named workload.
@@ -162,6 +177,16 @@ class Simulation:
             The physics restart cold — resume preserves the *controller*
             state (filters, priorities, RNG stream), which keeps the
             budget guarantee from cycle 0 and skips re-convergence.
+        safety: budget-safety envelope configuration.  When given, the
+            run tracks the commanded/dispatched/applied cap views, gates
+            every cap vector through the
+            :class:`~repro.safety.guard.BudgetGuard` (worst-case
+            committed power includes the actuator's in-flight pipeline
+            and the domains' read-back caps), and runs the runtime
+            invariant monitors.  Not supported together with
+            ``use_comm`` (the comm server steps the manager and applies
+            caps itself, bypassing the actuation boundary the guard
+            gates).
     """
 
     def __init__(
@@ -183,6 +208,7 @@ class Simulation:
         checkpoint_dir: str | Path | None = None,
         checkpoint_every: int = 10,
         resume: bool = False,
+        safety: SafetyConfig | None = None,
     ) -> None:
         if target_runs < 1:
             raise ValueError(f"target_runs must be >= 1, got {target_runs}")
@@ -202,6 +228,12 @@ class Simulation:
             raise ValueError(
                 "checkpointing is not supported on the comm path: the comm "
                 "server steps the manager directly, bypassing the journal"
+            )
+        if use_comm and safety is not None:
+            raise ValueError(
+                "the safety envelope is not supported on the comm path: "
+                "the comm server steps the manager and applies caps "
+                "itself, bypassing the actuation boundary the guard gates"
             )
         if resume and checkpoint_dir is None:
             raise ValueError("resume requires checkpoint_dir")
@@ -233,6 +265,7 @@ class Simulation:
         )
         self.checkpoint_every = checkpoint_every
         self.resume = resume
+        self.safety = safety
 
         # Validate the assignment slices partition-or-less the unit range.
         seen: set[int] = set()
@@ -322,6 +355,55 @@ class Simulation:
         )
         actuator.issue(np.asarray(self.manager.caps))
         actuator.flush()
+
+        envelope: BudgetEnvelope | None = None
+        guard: BudgetGuard | None = None
+        monitor: InvariantMonitor | None = None
+        safety_events: ResilienceEventLog | None = None
+        clock = [0.0]  # Mutable cycle clock the rescale hook reads.
+        if self.safety is not None:
+            safety_events = ResilienceEventLog()
+            envelope = BudgetEnvelope(
+                cluster.n_units, cluster.budget_w, self.cluster_spec.tdp_w
+            )
+            guard = BudgetGuard(
+                envelope,
+                min_cap_w=self.cluster_spec.min_cap_w,
+                events=safety_events,
+                dry_run=not self.safety.guard,
+            )
+            if self.safety.invariant_mode != "off":
+                monitor = InvariantMonitor(
+                    mode=self.safety.invariant_mode,
+                    sample_every=self.safety.sample_every,
+                    events=safety_events,
+                    raise_on_violation=self.safety.raise_on_violation,
+                )
+            # The simulator can read the hardware back directly, so the
+            # applied view starts from the domains' real caps instead of
+            # the pessimistic uncapped prior.
+            envelope.record_applied(slice(None), cluster.caps_w())
+            envelope.record_dispatched(
+                slice(None), np.asarray(self.manager.caps)
+            )
+
+            def emit_rescaled(name: str, over_w: float) -> None:
+                safety_events.emit(
+                    clock[0],
+                    "budget_rescaled",
+                    detail=f"manager={name} overshoot={over_w:.3f}W",
+                )
+
+            hook_seen: set[int] = set()
+            node: object | None = stepper
+            while node is not None and id(node) not in hook_seen:
+                hook_seen.add(id(node))
+                if getattr(node, "on_budget_rescaled", False) is None:
+                    node.on_budget_rescaled = emit_rescaled
+                node = (
+                    getattr(node, "manager", None)
+                    or getattr(node, "inner", None)
+                )
 
         server = None
         cycle_reports = []
@@ -458,8 +540,38 @@ class Simulation:
                     readings,
                     demand if self.manager.requires_demand else None,
                 )
+                if envelope is not None:
+                    assert guard is not None
+                    clock[0] = now
+                    # Refresh the applied view from the hardware before
+                    # judging the candidate: the domains' current caps
+                    # are what the coming interval is committed to until
+                    # the new dispatch lands.
+                    envelope.record_applied(slice(None), cluster.caps_w())
+                    envelope.record_commanded(new_caps)
+                    decision = guard.enforce(
+                        new_caps,
+                        now=now,
+                        pending=actuator.pending,
+                        grants_w=last_readjust_grants(stepper),
+                    )
+                    new_caps = decision.caps_w
                 actuator.issue(new_caps)
+                if envelope is not None:
+                    envelope.record_dispatched(slice(None), new_caps)
                 drain_actuator(now)
+                if monitor is not None:
+                    monitor.run(
+                        InvariantContext(
+                            budget_w=cluster.budget_w,
+                            min_cap_w=self.cluster_spec.min_cap_w,
+                            max_cap_w=self.cluster_spec.tdp_w,
+                            caps_w=new_caps,
+                            readings_w=readings,
+                            manager=stepper,
+                        ),
+                        now=now,
+                    )
 
             safe = bool(getattr(self.manager, "safe_mode", False))
             if safe != in_safe_mode:
@@ -498,6 +610,8 @@ class Simulation:
             telemetry.events.extend(mgr_events)
         if telemetry is not None and controller is not None:
             telemetry.events.extend(controller.events)
+        if telemetry is not None and safety_events is not None:
+            telemetry.events.extend(safety_events)
         comm_bytes = sum(r.bytes_up + r.bytes_down for r in cycle_reports)
         comm_turnaround = (
             float(np.mean([r.turnaround_s for r in cycle_reports]))
@@ -527,4 +641,7 @@ class Simulation:
             resumed_at_cycle=resumed_at,
             actuation_retries=actuator.retries,
             actuation_verify_failures=actuator.verify_failures,
+            safety_events=safety_events,
+            budget_excursions=guard.excursions if guard is not None else 0,
+            guard_rungs=dict(guard.rungs_taken) if guard is not None else {},
         )

@@ -15,6 +15,7 @@ are rejected rather than silently wrapped.
 
 from __future__ import annotations
 
+import math
 from typing import NamedTuple
 
 __all__ = [
@@ -24,6 +25,7 @@ __all__ = [
     "Message",
     "encode",
     "decode",
+    "quantize_w",
 ]
 
 #: Message type tags.
@@ -35,6 +37,21 @@ MESSAGE_SIZE_BYTES = 3
 
 _MAX_UNIT = (1 << 10) - 1
 _MAX_VALUE_W = ((1 << 12) - 1) / 10.0
+
+
+def quantize_w(value_w: float) -> float:
+    """The wire value (W) a power value serializes to: 0.1 W steps,
+    ties rounded half-up.
+
+    Python's built-in ``round`` uses banker's rounding, so a value whose
+    float product lands exactly on the 0.05 W boundary (e.g. 0.25 W ->
+    2.5 decis) would round to the *even* neighbour — 0.25 W and 0.35 W
+    would both decode as 0.2/0.4 W while 0.15 W decodes as 0.2 W.
+    Explicit half-up keeps quantization monotone and direction-stable at
+    every boundary; anything a peer decodes equals ``quantize_w`` of what
+    was sent.
+    """
+    return math.floor(value_w * 10.0 + 0.5) / 10.0
 
 
 class Message(NamedTuple):
@@ -71,7 +88,9 @@ def encode(kind: int, unit: int, value_w: float) -> bytes:
         raise ValueError(
             f"value_w must be in [0, {_MAX_VALUE_W}], got {value_w}"
         )
-    quantized = round(value_w * 10.0)
+    # Half-up, not round(): banker's rounding would turn exact 0.05 W
+    # boundaries into round-to-even (see quantize_w).
+    quantized = math.floor(value_w * 10.0 + 0.5)
     word = (kind << 22) | (unit << 12) | quantized
     return word.to_bytes(MESSAGE_SIZE_BYTES, "big")
 

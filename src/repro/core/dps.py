@@ -45,6 +45,9 @@ class DPSStepInfo(NamedTuple):
         high_freq: high-frequency flags after the priority module.
         restored: True if the restore pass reset all caps.
         caps_w: final caps sent to the units.
+        grants_w: per-unit watts the readjusting module granted on top of
+            the restore-pass caps this step (what the budget-safety
+            guard's first degradation rung may shave back).
     """
 
     estimate_w: np.ndarray
@@ -53,6 +56,7 @@ class DPSStepInfo(NamedTuple):
     high_freq: np.ndarray
     restored: bool
     caps_w: np.ndarray
+    grants_w: np.ndarray
 
 
 @register_manager
@@ -87,6 +91,14 @@ class DPSManager(PowerManager):
     def last_info(self) -> DPSStepInfo | None:
         """Full breakdown of the most recent decision, or None before any."""
         return self._last_info
+
+    @property
+    def last_grants_w(self) -> np.ndarray | None:
+        """Watts the readjusting module granted per unit on the most
+        recent step, or None before any step."""
+        if self._last_info is None:
+            return None
+        return self._last_info.grants_w
 
     @property
     def priority(self) -> np.ndarray:
@@ -171,5 +183,6 @@ class DPSManager(PowerManager):
             high_freq=self._priority_mod.high_freq.copy(),
             restored=restored_result.restored,
             caps_w=caps.copy(),
+            grants_w=np.maximum(caps - restored_result.caps, 0.0),
         )
         return caps

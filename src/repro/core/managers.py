@@ -16,7 +16,7 @@ perfect model; see §5.2).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Callable, ClassVar
+from typing import Callable, ClassVar, Optional
 
 import numpy as np
 
@@ -51,6 +51,14 @@ class PowerManager(ABC):
         self.dt_s = 1.0
         self._caps = np.empty(0, dtype=np.float64)
         self._rng: np.random.Generator = np.random.default_rng(0)
+        #: Times the over-allocation rescale fired (0 for correct logic).
+        self.budget_rescales = 0
+        #: Observer of the over-allocation rescale, called as
+        #: ``on_budget_rescaled(manager_name, overshoot_w)`` whenever the
+        #: budget invariant has to scale a subclass's caps down.  The
+        #: rescale used to be silent; hosts (deploy server, simulator)
+        #: hook this to emit a ``budget_rescaled`` telemetry event.
+        self.on_budget_rescaled: Optional[Callable[[str, float], None]] = None
 
     def bind(
         self,
@@ -100,6 +108,7 @@ class PowerManager(ABC):
             min(self.budget_w / n_units, self.max_cap_w),
             dtype=np.float64,
         )
+        self.budget_rescales = 0
         self._bound = True
         self._on_bind()
 
@@ -164,6 +173,9 @@ class PowerManager(ABC):
             total_slack = float(slack.sum())
             if total_slack > 0:
                 caps = caps - slack * min(1.0, over / total_slack)
+            self.budget_rescales += 1
+            if self.on_budget_rescaled is not None:
+                self.on_budget_rescaled(self.name, over)
         self._caps = caps
         return caps.copy()
 

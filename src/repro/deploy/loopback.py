@@ -44,6 +44,7 @@ from repro.recovery.supervisor import (
     Supervisor,
 )
 from repro.resilience.health import HealthState, ResilienceConfig
+from repro.safety import SafetyConfig
 from repro.telemetry.log import CycleTimingLog, ResilienceEventLog
 
 __all__ = [
@@ -251,6 +252,7 @@ def run_loopback(
     resilience: ResilienceConfig | None = None,
     recovery: RecoveryOptions | None = None,
     poll_mode: str = "concurrent",
+    safety: SafetyConfig | None = None,
 ) -> LoopbackResult:
     """Drive a full TCP control-plane session on localhost.
 
@@ -270,6 +272,12 @@ def run_loopback(
             fan-out/fan-in (default) or the ``"sequential"`` baseline.
             Sessions are reproducible cycle-for-cycle in either mode, and
             both modes produce the identical trace.
+        safety: budget-safety envelope configuration, passed through to
+            every :class:`~repro.deploy.server.DeployServer` the session
+            creates.  After a supervised restart the new server's
+            envelope starts from the pessimistic applied-view prior
+            (hardware assumed uncapped) — the conservative posture when
+            the controller's knowledge of the hardware was lost.
 
     Returns:
         A :class:`LoopbackResult`; the server and every client are shut
@@ -294,11 +302,11 @@ def run_loopback(
     if recovery is None:
         return _run_plain(
             cluster, manager, demand_fn, cycles, dt_s, chaos, resilience,
-            poll_mode,
+            poll_mode, safety,
         )
     return _run_supervised(
         cluster, manager, demand_fn, cycles, dt_s, chaos, resilience,
-        recovery, poll_mode,
+        recovery, poll_mode, safety,
     )
 
 
@@ -311,6 +319,7 @@ def _run_plain(
     chaos: ChaosSchedule,
     resilience: ResilienceConfig | None,
     poll_mode: str,
+    safety: SafetyConfig | None,
 ) -> LoopbackResult:
     """The unsupervised session: one attempt, no checkpoints."""
     caps_history = np.empty((cycles, cluster.n_units))
@@ -324,7 +333,7 @@ def _run_plain(
     nodes_by_id = {node.node_id: node for node in cluster.nodes}
     clients_by_id: dict[int, DeployClient] = {}
     with DeployServer(
-        manager, resilience=resilience, poll_mode=poll_mode
+        manager, resilience=resilience, poll_mode=poll_mode, safety=safety
     ) as server:
         try:
             for node in cluster.nodes:
@@ -390,6 +399,7 @@ def _run_supervised(
     resilience: ResilienceConfig | None,
     recovery: RecoveryOptions,
     poll_mode: str,
+    safety: SafetyConfig | None,
 ) -> LoopbackResult:
     """The supervised session: restartable attempts over one step counter."""
     ckpt_dir = Path(recovery.checkpoint_dir)
@@ -452,6 +462,7 @@ def _run_supervised(
             resilience=resilience,
             events=events,
             poll_mode=poll_mode,
+            safety=safety,
         ) as server:
             try:
                 for node in cluster.nodes:

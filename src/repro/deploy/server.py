@@ -50,10 +50,18 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.comm.protocol import MSG_CAP, MSG_READING, decode, encode
+from repro.comm.protocol import MSG_CAP, MSG_READING, decode, encode, quantize_w
 from repro.core.managers import PowerManager
 from repro.deploy import framing
 from repro.resilience.health import ClientHealth, HealthState, ResilienceConfig
+from repro.safety import (
+    BudgetEnvelope,
+    BudgetGuard,
+    InvariantContext,
+    InvariantMonitor,
+    SafetyConfig,
+    last_readjust_grants,
+)
 from repro.telemetry.log import (
     CyclePhaseTimings,
     CycleTimingLog,
@@ -105,6 +113,9 @@ class DeployCycleStats:
         rejoined: node ids re-integrated during this cycle.
         timings: wall-clock phase breakdown (rejoin / poll / collect /
             decide / dispatch) of this cycle.
+        guard_rung: degradation-ladder rung the budget guard took this
+            cycle (None when no enforcement was needed or the safety
+            envelope is disabled).
     """
 
     bytes_up: int
@@ -118,6 +129,7 @@ class DeployCycleStats:
     quarantined: tuple[int, ...] = ()
     rejoined: tuple[int, ...] = ()
     timings: CyclePhaseTimings = _ZERO_TIMINGS
+    guard_rung: str | None = None
 
 
 @dataclass(eq=False)  # Identity semantics: records key selector maps.
@@ -155,6 +167,13 @@ class DeployServer:
             collects readings under one deadline; ``"sequential"`` polls
             one client at a time over blocking sockets (the artifact's
             original chain, kept as a benchmark baseline).
+        safety: budget-safety envelope configuration.  When given, the
+            server tracks commanded/dispatched/applied cap views per
+            unit (:attr:`envelope`), enforces the budget on worst-case
+            committed power at the actuation boundary (:attr:`guard`),
+            and runs the runtime invariant monitors (:attr:`monitor`).
+            All ``budget_*`` / ``invariant_violation`` emissions land in
+            :attr:`events`.
     """
 
     def __init__(
@@ -166,6 +185,7 @@ class DeployServer:
         resilience: ResilienceConfig | None = None,
         events: ResilienceEventLog | None = None,
         poll_mode: str = "concurrent",
+        safety: SafetyConfig | None = None,
     ) -> None:
         if poll_mode not in ("concurrent", "sequential"):
             raise ValueError(
@@ -192,6 +212,54 @@ class DeployServer:
         self._last_good: np.ndarray | None = None
         #: Total cap messages clamped into the protocol range (all cycles).
         self.total_caps_clamped = 0
+
+        self.safety = safety
+        #: Cap-view ledger / budget guard / invariant monitor — None when
+        #: the safety envelope is disabled.
+        self.envelope: BudgetEnvelope | None = None
+        self.guard: BudgetGuard | None = None
+        self.monitor: InvariantMonitor | None = None
+        if safety is not None:
+            self.envelope = BudgetEnvelope(
+                manager.n_units, manager.budget_w, manager.max_cap_w
+            )
+            self.guard = BudgetGuard(
+                self.envelope,
+                min_cap_w=manager.min_cap_w,
+                events=self.events,
+                dry_run=not safety.guard,
+            )
+            if safety.invariant_mode != "off":
+                self.monitor = InvariantMonitor(
+                    mode=safety.invariant_mode,
+                    sample_every=safety.sample_every,
+                    events=self.events,
+                    raise_on_violation=safety.raise_on_violation,
+                )
+            self._hook_rescale_events()
+
+    def _hook_rescale_events(self) -> None:
+        """Surface manager-level budget rescales as structured events.
+
+        Walks the manager stack (recovery / resilience wrappers) and
+        attaches the ``on_budget_rescaled`` callback to every member that
+        exposes it and has no callback yet — only whoever actually
+        rescales ever fires.
+        """
+        seen: set[int] = set()
+        node: object | None = self.manager
+        while node is not None and id(node) not in seen:
+            seen.add(id(node))
+            if getattr(node, "on_budget_rescaled", False) is None:
+                node.on_budget_rescaled = self._emit_budget_rescaled
+            node = getattr(node, "manager", None) or getattr(node, "inner", None)
+
+    def _emit_budget_rescaled(self, name: str, over_w: float) -> None:
+        self.events.emit(
+            float(self._cycle),
+            "budget_rescaled",
+            detail=f"manager={name} overshoot={over_w:.3f}W",
+        )
 
     @property
     def address(self) -> tuple[str, int]:
@@ -438,6 +506,13 @@ class DeployServer:
                     record, raw[record.node_id], readings
                 )
                 record.health.record_success()
+                if self.envelope is not None:
+                    # The client programs a CAPS batch before answering
+                    # its next POLL, so a valid READINGS batch is the
+                    # acknowledgement that the previous dispatch landed.
+                    self.envelope.confirm_applied(
+                        slice(record.base, record.base + record.n_units)
+                    )
             except (RuntimeError, ValueError) as exc:
                 self._quarantine(record, f"readings: {exc}")
                 quarantined_now.append(record.node_id)
@@ -451,9 +526,42 @@ class DeployServer:
         t3 = time.perf_counter()
 
         caps = self.manager.step(readings)
+        guard_rung: str | None = None
+        if self.envelope is not None:
+            assert self.guard is not None
+            self.envelope.record_commanded(caps)
+            unreachable = np.zeros(self.manager.n_units, dtype=bool)
+            for record in self._clients:
+                if record.health.quarantined:
+                    lo, hi = record.base, record.base + record.n_units
+                    unreachable[lo:hi] = True
+            decision = self.guard.enforce(
+                caps,
+                now=float(self._cycle),
+                unreachable=unreachable,
+                assume_tdp=self.resilience.fallback == "assume-tdp",
+                grants_w=last_readjust_grants(self.manager),
+            )
+            caps = decision.caps_w
+            guard_rung = decision.rung
         t4 = time.perf_counter()
 
         bytes_down, caps_clamped = self._dispatch_caps(caps, quarantined_now)
+        if self.monitor is not None:
+            # After dispatch on purpose: a strict-mode raise still fails
+            # the run this very cycle, but the clients are not left
+            # half-polled awaiting a CAPS batch that never comes.
+            self.monitor.run(
+                InvariantContext(
+                    budget_w=self.manager.budget_w,
+                    min_cap_w=self.manager.min_cap_w,
+                    max_cap_w=self.manager.max_cap_w,
+                    caps_w=caps,
+                    readings_w=readings,
+                    manager=self.manager,
+                ),
+                now=float(self._cycle),
+            )
         t5 = time.perf_counter()
 
         timings = CyclePhaseTimings(
@@ -481,6 +589,7 @@ class DeployServer:
             quarantined=tuple(quarantined_now),
             rejoined=tuple(rejoined),
             timings=timings,
+            guard_rung=guard_rung,
         )
 
     def _broadcast_poll(
@@ -641,12 +750,13 @@ class DeployServer:
         Raises:
             RuntimeError: the manager emitted a NaN/inf cap.
         """
-        batches: list[tuple[_ClientRecord, list[bytes]]] = []
+        batches: list[tuple[_ClientRecord, list[bytes], np.ndarray]] = []
         caps_clamped = 0
         for record in self._clients:
             if record.health.quarantined:
                 continue
             batch = []
+            wire = np.empty(record.n_units, dtype=np.float64)
             for local in range(record.n_units):
                 unit = record.base + local
                 cap = float(caps[unit])
@@ -665,10 +775,11 @@ class DeployServer:
                         node_id=record.node_id,
                         detail=f"{cap:.1f}->{clamped:.1f}",
                     )
+                wire[local] = quantize_w(clamped)
                 batch.append(encode(MSG_CAP, local, clamped))
-            batches.append((record, batch))
+            batches.append((record, batch, wire))
         bytes_down = 0
-        for record, batch in batches:
+        for record, batch, wire in batches:
             try:
                 bytes_down += framing.send_batch(
                     record.conn, framing.FRAME_CAPS, batch
@@ -676,6 +787,14 @@ class DeployServer:
             except OSError as exc:
                 self._quarantine(record, f"caps: {exc}")
                 quarantined_now.append(record.node_id)
+            else:
+                if self.envelope is not None:
+                    # The dispatched view holds the exact wire value the
+                    # client will program: post-clamp, post-quantization.
+                    self.envelope.record_dispatched(
+                        slice(record.base, record.base + record.n_units),
+                        wire,
+                    )
         self.total_caps_clamped += caps_clamped
         return bytes_down, caps_clamped
 

@@ -187,6 +187,14 @@ class ResilientManager(PowerManager):
         return self._safe_mode
 
     @property
+    def last_grants_w(self) -> np.ndarray | None:
+        """The inner manager's most recent readjust grants, or None in
+        safe mode (constant-allocation caps carry no grants to shave)."""
+        if self._safe_mode:
+            return None
+        return getattr(self.inner, "last_grants_w", None)
+
+    @property
     def last_resilience(self) -> ResilienceStepInfo | None:
         """Breakdown of the most recent decision, or None before any."""
         return self._last_info

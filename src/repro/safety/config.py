@@ -1,0 +1,48 @@
+"""Configuration of the budget-safety envelope."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SafetyConfig", "INVARIANT_MODES"]
+
+#: Invariant-monitor cadences: ``"strict"`` checks every cycle and raises
+#: on violation (tests and chaos runs), ``"sampling"`` checks every
+#: ``sample_every``-th cycle and only emits events (deployment),
+#: ``"off"`` disables the monitors entirely.
+INVARIANT_MODES = ("strict", "sampling", "off")
+
+
+@dataclass(frozen=True)
+class SafetyConfig:
+    """Knobs of the budget-safety envelope.
+
+    Attributes:
+        guard: enforce the budget at the actuation boundary via the
+            graded degradation ladder (:class:`~repro.safety.guard.
+            BudgetGuard`).  When False the envelope still accounts and
+            reports (``budget_overshoot`` events) but never modifies
+            caps.
+        invariant_mode: one of :data:`INVARIANT_MODES`.
+        sample_every: cycles between invariant sweeps in sampling mode.
+        raise_on_violation: raise
+            :class:`~repro.safety.invariants.InvariantViolationError`
+            when a check fails; None defaults to True in strict mode and
+            False in sampling mode.
+    """
+
+    guard: bool = True
+    invariant_mode: str = "off"
+    sample_every: int = 16
+    raise_on_violation: bool | None = None
+
+    def __post_init__(self) -> None:
+        if self.invariant_mode not in INVARIANT_MODES:
+            raise ValueError(
+                f"invariant_mode must be one of {INVARIANT_MODES}, "
+                f"got {self.invariant_mode!r}"
+            )
+        if self.sample_every < 1:
+            raise ValueError(
+                f"sample_every must be >= 1, got {self.sample_every}"
+            )

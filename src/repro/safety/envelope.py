@@ -1,0 +1,226 @@
+"""Per-unit cap-view accounting: commanded, dispatched, applied.
+
+The control plane produces three per-unit cap values every cycle that can
+all legitimately differ:
+
+* **commanded** — what the manager's decision step returned;
+* **dispatched** — what actually went on the wire: clamped into the
+  protocol's value range and quantized to its 0.1 W grid;
+* **applied** — what the hardware is confirmed to hold: an actuator
+  read-back, or the implicit acknowledgement of a client that answered a
+  POLL *after* programming its previous CAPS batch.
+
+:class:`BudgetEnvelope` keeps all three and answers the question the
+budget guarantee actually depends on: *what is the worst-case power the
+cluster is committed to over the coming interval?*  A reachable unit may
+still be running under its previously applied cap until the new dispatch
+lands, so it counts at the max of old and new; an in-flight actuator
+command counts at the max of every queued value; a quarantined unit's
+hardware holds whatever it last received, so it counts at its hold-last
+value — or at TDP under the pessimistic ``assume-tdp`` accounting.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Sequence
+
+import numpy as np
+
+__all__ = ["BudgetEnvelope", "CommittedPower"]
+
+
+class CommittedPower(NamedTuple):
+    """Worst-case committed power of one cycle.
+
+    Attributes:
+        worst_case_w: per-unit worst case over the coming interval — the
+            max of every cap value that could still be in effect (old
+            applied, dispatched, in-flight, candidate; fallback value for
+            unreachable units).
+        steady_w: per-unit value once this cycle's dispatch has landed on
+            every reachable unit (candidate caps for reachable units,
+            fallback values for unreachable ones) — the quantity the
+            guard can actually enforce against the budget.
+    """
+
+    worst_case_w: np.ndarray
+    steady_w: np.ndarray
+
+    @property
+    def worst_case_total_w(self) -> float:
+        """Cluster-wide worst-case committed power (W)."""
+        return float(self.worst_case_w.sum())
+
+    @property
+    def steady_total_w(self) -> float:
+        """Cluster-wide steady-state committed power (W)."""
+        return float(self.steady_w.sum())
+
+
+class BudgetEnvelope:
+    """Tracks the three cap views and computes committed power.
+
+    Args:
+        n_units: number of power-capping units.
+        budget_w: cluster-wide power budget (W).
+        max_cap_w: per-unit maximum cap (TDP) — also the pessimistic
+            prior for a unit whose applied cap has never been observed
+            (hardware starts uncapped).
+    """
+
+    def __init__(self, n_units: int, budget_w: float, max_cap_w: float):
+        if n_units < 1:
+            raise ValueError(f"n_units must be >= 1, got {n_units}")
+        if budget_w <= 0:
+            raise ValueError(f"budget_w must be > 0, got {budget_w}")
+        if max_cap_w <= 0:
+            raise ValueError(f"max_cap_w must be > 0, got {max_cap_w}")
+        self.n_units = n_units
+        self.budget_w = float(budget_w)
+        self.max_cap_w = float(max_cap_w)
+        #: Manager output of the most recent cycle (NaN before any).
+        self.commanded_w = np.full(n_units, np.nan)
+        #: Most recent post-clamp wire value per unit (NaN before any).
+        self.dispatched_w = np.full(n_units, np.nan)
+        #: Last confirmed hardware cap per unit.  Pessimistic prior:
+        #: until a read-back or acknowledgement arrives, a unit's
+        #: hardware must be assumed uncapped (TDP).
+        self.applied_w = np.full(n_units, max_cap_w)
+
+    # ------------------------------------------------------------------
+    # View recording.
+    # ------------------------------------------------------------------
+
+    def record_commanded(self, caps_w: np.ndarray) -> None:
+        """Record the manager's decision for this cycle."""
+        self.commanded_w = self._validated(caps_w).copy()
+
+    def record_dispatched(
+        self, units: slice | np.ndarray, values_w: np.ndarray | float
+    ) -> None:
+        """Record post-clamp wire values for a subset of units."""
+        self.dispatched_w[units] = values_w
+
+    def record_applied(
+        self, units: slice | np.ndarray, values_w: np.ndarray | float
+    ) -> None:
+        """Record confirmed hardware caps (read-back) for a subset."""
+        self.applied_w[units] = values_w
+
+    def confirm_applied(self, units: slice | np.ndarray) -> None:
+        """Promote the dispatched view to applied for a subset of units.
+
+        The deploy client programs a CAPS batch before answering its next
+        POLL, so a successful poll acknowledges the previous dispatch.
+        Units never dispatched to keep their current applied value.
+        """
+        dispatched = self.dispatched_w[units]
+        known = np.isfinite(dispatched)
+        applied = self.applied_w[units]
+        self.applied_w[units] = np.where(known, dispatched, applied)
+
+    # ------------------------------------------------------------------
+    # Committed-power accounting.
+    # ------------------------------------------------------------------
+
+    def assess(
+        self,
+        candidate_w: np.ndarray | None = None,
+        unreachable: np.ndarray | None = None,
+        assume_tdp: bool = False,
+        pending: Sequence[np.ndarray] = (),
+    ) -> CommittedPower:
+        """Compute this cycle's committed power under a candidate dispatch.
+
+        Args:
+            candidate_w: caps about to be dispatched to reachable units
+                (the commanded view is used when omitted).
+            unreachable: boolean mask of units whose client is
+                quarantined — no dispatch can reach them this cycle.
+            assume_tdp: count unreachable units at TDP instead of their
+                hold-last value (pessimistic accounting for hardware
+                whose applied state may be stale).
+            pending: in-flight actuator command vectors (issued, not yet
+                applied); each unit counts at the max of all of them.
+
+        Returns:
+            The per-unit worst-case and steady-state breakdown.
+        """
+        if candidate_w is None:
+            candidate_w = self.commanded_w
+        candidate = self._validated(candidate_w)
+        if unreachable is None:
+            unreachable = np.zeros(self.n_units, dtype=bool)
+        else:
+            unreachable = np.asarray(unreachable, dtype=bool)
+            if unreachable.shape != (self.n_units,):
+                raise ValueError(
+                    f"unreachable shape {unreachable.shape} != "
+                    f"({self.n_units},)"
+                )
+
+        # Hold-last value: the best knowledge of what an out-of-reach
+        # unit's hardware holds — its confirmed cap, or the dispatch it
+        # may have programmed just before its daemon died.
+        held = np.where(
+            np.isfinite(self.dispatched_w),
+            np.maximum(self.applied_w, self.dispatched_w),
+            self.applied_w,
+        )
+        fallback = (
+            np.full(self.n_units, self.max_cap_w) if assume_tdp else held
+        )
+
+        worst = np.maximum(held, candidate)
+        for caps in pending:
+            queued = np.asarray(caps, dtype=np.float64)
+            if queued.shape != (self.n_units,):
+                raise ValueError(
+                    f"pending command shape {queued.shape} != "
+                    f"({self.n_units},)"
+                )
+            worst = np.maximum(worst, queued)
+        worst = np.where(unreachable, np.maximum(fallback, held), worst)
+
+        steady = np.where(unreachable, fallback, candidate)
+        return CommittedPower(worst_case_w=worst, steady_w=steady)
+
+    def _validated(self, caps_w: np.ndarray) -> np.ndarray:
+        caps = np.asarray(caps_w, dtype=np.float64)
+        if caps.shape != (self.n_units,):
+            raise ValueError(
+                f"caps shape {caps.shape} != ({self.n_units},)"
+            )
+        return caps
+
+    # ------------------------------------------------------------------
+    # Crash-recovery state protocol (the envelope rides in snapshots so a
+    # warm-restarted controller keeps its applied-view knowledge).
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-able document of the three view vectors."""
+        from repro.recovery.state import encode_array
+
+        return {
+            "commanded": encode_array(self.commanded_w),
+            "dispatched": encode_array(self.dispatched_w),
+            "applied": encode_array(self.applied_w),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Overwrite the view vectors with a snapshot's content."""
+        from repro.recovery.state import decode_array
+
+        for name, attr in (
+            ("commanded", "commanded_w"),
+            ("dispatched", "dispatched_w"),
+            ("applied", "applied_w"),
+        ):
+            arr = decode_array(state[name])
+            if arr.shape != (self.n_units,):
+                raise ValueError(
+                    f"snapshot {name} shape {arr.shape} != "
+                    f"({self.n_units},)"
+                )
+            setattr(self, attr, arr)

@@ -1,0 +1,379 @@
+"""Pluggable runtime invariant monitors.
+
+The repo's correctness rests on a handful of properties that were only
+ever *implicit* — enforced by tests at development time, assumed at run
+time.  This module turns them into explicit, observable runtime checks:
+
+* **budget-conservation** — the caps about to be actuated sum to at most
+  the cluster budget;
+* **cap-bounds** — every cap is finite and inside ``[min_cap, max_cap]``
+  (modulo the protocol's quantization grid);
+* **readjust-conservation** — the water-fill never hands out more watts
+  than the leftover budget and never shrinks a high-priority unit's cap;
+* **finite-kalman** — every Kalman filter in the manager stack holds
+  finite estimates and positive, finite variances;
+* **snapshot-idempotence** — ``restore(snapshot())`` into a fresh
+  instance reproduces the snapshot bit-for-bit (the crash-recovery
+  contract).
+
+Monitors run in one of three modes (:class:`~repro.safety.config.
+SafetyConfig`): ``strict`` checks every cycle and raises — the test /
+chaos-run posture, where a violated invariant must fail the run loudly;
+``sampling`` checks every N-th cycle and only emits
+``invariant_violation`` events — the deployment posture, where the
+control loop must keep running; ``off`` disables everything.
+
+The registry is pluggable: :func:`register_invariant` adds a custom
+:class:`Invariant`, and an :class:`InvariantMonitor` can be built from
+any subset of names.
+"""
+
+from __future__ import annotations
+
+import json
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.telemetry.log import ResilienceEventLog
+
+__all__ = [
+    "Invariant",
+    "InvariantContext",
+    "InvariantMonitor",
+    "InvariantViolation",
+    "InvariantViolationError",
+    "available_invariants",
+    "default_invariants",
+    "register_invariant",
+]
+
+#: Relative tolerance for budget comparisons (matches the manager's own
+#: invariant) plus an absolute quantization allowance per unit.
+_REL_TOL = 1e-9
+_QUANTUM_W = 0.05  # Half the protocol's 0.1 W wire grid.
+
+
+@dataclass(frozen=True)
+class InvariantContext:
+    """Everything one invariant sweep may inspect.
+
+    Attributes:
+        budget_w: cluster-wide power budget (W).
+        min_cap_w / max_cap_w: per-unit cap range.
+        caps_w: the cap vector at the actuation boundary (post-guard).
+        readings_w: the reading vector the manager consumed (optional).
+        manager: the manager stack that produced the caps (optional).
+        quantized: True when ``caps_w`` has passed the wire quantizer,
+            widening bound checks by the 0.1 W grid.
+    """
+
+    budget_w: float
+    min_cap_w: float
+    max_cap_w: float
+    caps_w: np.ndarray | None = None
+    readings_w: np.ndarray | None = None
+    manager: object | None = None
+    quantized: bool = False
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One failed check: the invariant's name and what it saw."""
+
+    name: str
+    detail: str
+
+
+class InvariantViolationError(AssertionError):
+    """Raised in strict mode when a runtime invariant fails."""
+
+    def __init__(self, violations: list[InvariantViolation]):
+        self.violations = violations
+        super().__init__(
+            "; ".join(f"{v.name}: {v.detail}" for v in violations)
+        )
+
+
+class Invariant(ABC):
+    """One runtime correctness property.
+
+    Attributes:
+        name: registry key.
+        expensive: True for checks whose cost is non-trivial per cycle
+            (they still run on every *sweep*; sampling mode spaces the
+            sweeps out).
+    """
+
+    name = ""
+    expensive = False
+
+    @abstractmethod
+    def check(self, ctx: InvariantContext) -> str | None:
+        """Return a violation detail string, or None when satisfied."""
+
+
+def _walk_manager_stack(manager: object | None):
+    """Yield each member of a (possibly wrapped) manager stack once."""
+    seen: set[int] = set()
+    node = manager
+    while node is not None and id(node) not in seen:
+        seen.add(id(node))
+        yield node
+        node = getattr(node, "manager", None) or getattr(node, "inner", None)
+
+
+class BudgetConservation(Invariant):
+    """Actuated caps sum to at most the cluster budget."""
+
+    name = "budget-conservation"
+
+    def check(self, ctx: InvariantContext) -> str | None:
+        if ctx.caps_w is None:
+            return None
+        total = float(np.sum(ctx.caps_w))
+        allowance = ctx.budget_w * _REL_TOL + (
+            _QUANTUM_W * len(ctx.caps_w) if ctx.quantized else 0.0
+        )
+        if total > ctx.budget_w + allowance:
+            return (
+                f"caps sum {total:.6f} W exceeds budget "
+                f"{ctx.budget_w:.6f} W"
+            )
+        return None
+
+
+class CapBounds(Invariant):
+    """Every cap is finite and inside the per-unit range."""
+
+    name = "cap-bounds"
+
+    def check(self, ctx: InvariantContext) -> str | None:
+        if ctx.caps_w is None:
+            return None
+        caps = np.asarray(ctx.caps_w, dtype=np.float64)
+        if not np.all(np.isfinite(caps)):
+            bad = np.flatnonzero(~np.isfinite(caps))
+            return f"non-finite caps at units {bad.tolist()}"
+        slack = _QUANTUM_W if ctx.quantized else ctx.max_cap_w * _REL_TOL
+        lo = np.flatnonzero(caps < ctx.min_cap_w - slack)
+        hi = np.flatnonzero(caps > ctx.max_cap_w + slack)
+        if lo.size:
+            return (
+                f"caps below floor {ctx.min_cap_w} W at units {lo.tolist()}"
+            )
+        if hi.size:
+            return (
+                f"caps above ceiling {ctx.max_cap_w} W at units {hi.tolist()}"
+            )
+        return None
+
+
+class ReadjustConservation(Invariant):
+    """The water-fill hands out at most the leftover and never shrinks a
+    high-priority unit (checked from the DPS step introspection)."""
+
+    name = "readjust-conservation"
+
+    def check(self, ctx: InvariantContext) -> str | None:
+        for node in _walk_manager_stack(ctx.manager):
+            info = getattr(node, "last_info", None)
+            if info is None or not hasattr(info, "grants_w"):
+                continue
+            if info.restored:
+                return None  # Restore pass: readjust was a no-op.
+            pre = np.asarray(info.stateless_caps_w, dtype=np.float64)
+            post = np.asarray(info.caps_w, dtype=np.float64)
+            budget = getattr(node, "budget_w", ctx.budget_w)
+            tol = budget * _REL_TOL + 1e-6
+            leftover = max(budget - float(pre.sum()), 0.0)
+            handed = float(post.sum()) - float(pre.sum())
+            if handed > leftover + tol:
+                return (
+                    f"readjust handed out {handed:.6f} W with only "
+                    f"{leftover:.6f} W leftover"
+                )
+            if leftover > tol:  # Water-fill branch: grants only add.
+                shrunk = np.flatnonzero(
+                    info.priority & (post < pre - 1e-6)
+                )
+                if shrunk.size:
+                    return (
+                        "water-fill shrank high-priority units "
+                        f"{shrunk.tolist()}"
+                    )
+            return None
+        return None
+
+
+class FiniteKalman(Invariant):
+    """Every Kalman bank in the stack holds finite state."""
+
+    name = "finite-kalman"
+
+    def check(self, ctx: InvariantContext) -> str | None:
+        for node in _walk_manager_stack(ctx.manager):
+            bank = getattr(node, "_kalman", None)
+            if bank is None:
+                continue
+            estimate = getattr(bank, "estimate", None)
+            variance = getattr(bank, "variance", None)
+            if estimate is not None and not np.all(np.isfinite(estimate)):
+                bad = np.flatnonzero(~np.isfinite(estimate))
+                return f"non-finite Kalman estimate at units {bad.tolist()}"
+            if variance is not None and (
+                not np.all(np.isfinite(variance)) or np.any(variance <= 0)
+            ):
+                bad = np.flatnonzero(
+                    ~np.isfinite(variance) | (variance <= 0)
+                )
+                return (
+                    f"invalid Kalman variance at units {bad.tolist()}"
+                )
+        return None
+
+
+class SnapshotIdempotence(Invariant):
+    """``restore(snapshot())`` into a fresh instance reproduces the
+    snapshot (the crash-recovery contract), checked live."""
+
+    name = "snapshot-idempotence"
+    expensive = True
+
+    def check(self, ctx: InvariantContext) -> str | None:
+        manager = None
+        for node in _walk_manager_stack(ctx.manager):
+            if hasattr(node, "snapshot") and hasattr(node, "_decide"):
+                manager = node
+                break
+        if manager is None:
+            return None
+        from repro.core.managers import create_manager
+
+        doc = manager.snapshot()
+        try:
+            fresh = create_manager(manager.name)
+            fresh.restore(doc)
+            redoc = fresh.snapshot()
+        except (KeyError, TypeError, ValueError):
+            # Non-default composition (e.g. a resilient wrapper around a
+            # non-DPS inner) cannot be rebuilt from the registry without
+            # its constructor arguments — not checkable here.
+            return None
+        a = json.dumps(doc, sort_keys=True)
+        b = json.dumps(redoc, sort_keys=True)
+        if a != b:
+            return (
+                f"manager {manager.name!r} snapshot is not reproduced by "
+                "restore into a fresh instance"
+            )
+        return None
+
+
+_REGISTRY: dict[str, Invariant] = {}
+
+
+def register_invariant(invariant: Invariant) -> Invariant:
+    """Add an invariant to the registry (name must be unique)."""
+    if not invariant.name:
+        raise ValueError(
+            f"{type(invariant).__name__} must define a non-empty name"
+        )
+    if invariant.name in _REGISTRY:
+        raise ValueError(f"duplicate invariant name {invariant.name!r}")
+    _REGISTRY[invariant.name] = invariant
+    return invariant
+
+
+for _inv in (
+    BudgetConservation(),
+    CapBounds(),
+    ReadjustConservation(),
+    FiniteKalman(),
+    SnapshotIdempotence(),
+):
+    register_invariant(_inv)
+
+
+def available_invariants() -> tuple[str, ...]:
+    """Names of all registered invariants, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def default_invariants() -> tuple[Invariant, ...]:
+    """All registered invariants, in registration order."""
+    return tuple(_REGISTRY.values())
+
+
+@dataclass
+class InvariantMonitor:
+    """Runs a set of invariants on a strict or sampling cadence.
+
+    Attributes:
+        mode: ``"strict"`` (every cycle, raises), ``"sampling"`` (every
+            ``sample_every``-th cycle, events only), or ``"off"``.
+        sample_every: sweep spacing in sampling mode.
+        invariants: the checks to run (the full registry by default).
+        events: sink for ``invariant_violation`` events.
+        raise_on_violation: overrides the mode's default raising
+            behaviour when not None.
+    """
+
+    mode: str = "strict"
+    sample_every: int = 16
+    invariants: tuple[Invariant, ...] | None = None
+    events: ResilienceEventLog | None = None
+    raise_on_violation: bool | None = None
+    cycles_seen: int = field(default=0, init=False)
+    sweeps_run: int = field(default=0, init=False)
+    violations: list[InvariantViolation] = field(
+        default_factory=list, init=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("strict", "sampling", "off"):
+            raise ValueError(f"unknown monitor mode {self.mode!r}")
+        if self.sample_every < 1:
+            raise ValueError(
+                f"sample_every must be >= 1, got {self.sample_every}"
+            )
+        if self.invariants is None:
+            self.invariants = default_invariants()
+        if self.events is None:
+            self.events = ResilienceEventLog()
+        if self.raise_on_violation is None:
+            self.raise_on_violation = self.mode == "strict"
+
+    def run(
+        self, ctx: InvariantContext, now: float
+    ) -> list[InvariantViolation]:
+        """Run one cycle's sweep (or skip it, per the cadence).
+
+        Raises:
+            InvariantViolationError: a check failed and this monitor
+                raises on violation.
+        """
+        if self.mode == "off":
+            return []
+        self.cycles_seen += 1
+        if self.mode == "sampling" and (
+            (self.cycles_seen - 1) % self.sample_every
+        ):
+            return []
+        self.sweeps_run += 1
+        found: list[InvariantViolation] = []
+        for invariant in self.invariants:
+            detail = invariant.check(ctx)
+            if detail is not None:
+                violation = InvariantViolation(invariant.name, detail)
+                found.append(violation)
+                self.violations.append(violation)
+                self.events.emit(
+                    now,
+                    "invariant_violation",
+                    detail=f"{invariant.name}: {detail}",
+                )
+        if found and self.raise_on_violation:
+            raise InvariantViolationError(found)
+        return found

@@ -21,6 +21,7 @@ __all__ = [
     "RecoveryEvent",
     "RESILIENCE_EVENT_KINDS",
     "RECOVERY_EVENT_KINDS",
+    "SAFETY_EVENT_KINDS",
     "CyclePhaseTimings",
     "CycleTimingLog",
     "CYCLE_PHASES",
@@ -58,7 +59,27 @@ RECOVERY_EVENT_KINDS = (
     "controller_restarted",
 )
 
-_ALL_EVENT_KINDS = RESILIENCE_EVENT_KINDS + RECOVERY_EVENT_KINDS
+#: Budget-safety envelope event kinds (see :mod:`repro.safety`).  They
+#: share the resilience event channel: ``budget_rescaled`` marks the
+#: manager-level over-allocation rescale firing, ``budget_overshoot``
+#: marks a cycle whose worst-case committed power exceeded the budget,
+#: the three ladder kinds name the degradation rung the guard took,
+#: ``budget_raise_deferred`` marks cap raises postponed a cycle so the
+#: old/new transient union stays under budget, and
+#: ``invariant_violation`` reports a failed runtime invariant check.
+SAFETY_EVENT_KINDS = (
+    "budget_rescaled",
+    "budget_overshoot",
+    "budget_shave_grants",
+    "budget_scale_down",
+    "budget_emergency_drop",
+    "budget_raise_deferred",
+    "invariant_violation",
+)
+
+_ALL_EVENT_KINDS = (
+    RESILIENCE_EVENT_KINDS + RECOVERY_EVENT_KINDS + SAFETY_EVENT_KINDS
+)
 
 
 @dataclass(frozen=True)

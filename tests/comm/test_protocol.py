@@ -10,6 +10,7 @@ from repro.comm.protocol import (
     MSG_READING,
     decode,
     encode,
+    quantize_w,
 )
 
 
@@ -45,6 +46,48 @@ class TestEncoding:
             encode(MSG_READING, 0, 410.0)
         with pytest.raises(ValueError, match="value_w"):
             encode(MSG_READING, 0, -0.1)
+
+
+class TestHalfUpBoundaries:
+    """Ties at the 0.05 W midpoint round *up*, never to-even.
+
+    Built-in ``round`` would send 0.25 W and 0.35 W to the same wire
+    value (0.2 and 0.4 — round-to-even) while 0.15 W goes up; explicit
+    half-up keeps every boundary direction-stable.
+    """
+
+    @pytest.mark.parametrize(
+        ("value", "expected"),
+        [
+            (0.05, 0.1),
+            (0.15, 0.2),
+            (0.25, 0.3),  # round() would give 0.2.
+            (0.35, 0.4),
+            (0.45, 0.5),  # round() would give 0.4.
+            (102.25, 102.3),
+            (409.45, 409.5),
+        ],
+    )
+    def test_midpoints_round_up(self, value, expected):
+        msg = decode(encode(MSG_CAP, 0, value))
+        assert msg.value_w == pytest.approx(expected)
+        assert quantize_w(value) == pytest.approx(expected)
+
+    def test_quantize_matches_wire(self):
+        for decis in range(0, 4096):
+            value = decis / 10.0 + 0.05
+            if value > 409.5:
+                break
+            assert decode(encode(MSG_CAP, 0, value)).value_w == pytest.approx(
+                quantize_w(value)
+            )
+
+    @given(st.floats(0.0, 409.4))
+    @settings(max_examples=200, deadline=None)
+    def test_quantization_is_monotone(self, value):
+        lo = decode(encode(MSG_READING, 0, value)).value_w
+        hi = decode(encode(MSG_READING, 0, value + 0.1)).value_w
+        assert hi >= lo
 
 
 class TestDecoding:

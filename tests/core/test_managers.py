@@ -119,6 +119,49 @@ class TestStepContract:
         assert caps.sum() == pytest.approx(440.0)
         assert np.all(caps >= 30.0)
 
+
+class TestBudgetRescaleObservability:
+    """The over-allocation rescale used to be silent; now every firing
+    bumps ``budget_rescales`` and calls the ``on_budget_rescaled`` hook
+    with the manager name and computed overshoot."""
+
+    class Greedy(PowerManager):
+        name = "greedy-rescale-test"
+
+        def _decide(self, power_w, demand_w):
+            return np.full(self.n_units, self.max_cap_w)
+
+    def test_rescale_fires_counter_and_callback(self):
+        mgr = bound(self.Greedy())
+        calls = []
+        mgr.on_budget_rescaled = lambda name, over: calls.append((name, over))
+        mgr.step(np.full(4, 100.0))
+        mgr.step(np.full(4, 100.0))
+        assert mgr.budget_rescales == 2
+        assert len(calls) == 2
+        name, over = calls[0]
+        assert name == "greedy-rescale-test"
+        # Greedy asks for 4 x 165 = 660 W against a 440 W budget.
+        assert over == pytest.approx(220.0)
+
+    def test_counter_resets_on_bind(self):
+        mgr = bound(self.Greedy())
+        mgr.step(np.full(4, 100.0))
+        assert mgr.budget_rescales == 1
+        bound(mgr)
+        assert mgr.budget_rescales == 0
+
+    @pytest.mark.parametrize("name", ["constant", "dps", "dps+", "slurm"])
+    def test_correct_managers_never_fire(self, name):
+        mgr = bound(create_manager(name))
+        fired = []
+        mgr.on_budget_rescaled = lambda n, o: fired.append((n, o))
+        rng = np.random.default_rng(7)
+        for _ in range(20):
+            mgr.step(np.full(4, 100.0) + rng.normal(0.0, 5.0, 4))
+        assert mgr.budget_rescales == 0
+        assert fired == []
+
     def test_caps_clipped_to_range(self):
         class Wild(PowerManager):
             name = "wild-test"

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.config import ReadjustConfig
 from repro.core.readjust import readjust, restore
@@ -167,6 +169,49 @@ class TestReadjustEqualize:
             config=CFG,
         )
         assert np.all(out <= 165.0)
+
+
+@st.composite
+def waterfill_cases(draw):
+    """Inputs that land in the water-fill branch: some high-priority
+    unit exists and the leftover budget exceeds the epsilon."""
+    n = draw(st.integers(2, 8))
+    caps = np.asarray(
+        draw(
+            st.lists(st.floats(1.0, 165.0), min_size=n, max_size=n)
+        ),
+        dtype=np.float64,
+    )
+    prio = np.asarray(
+        draw(st.lists(st.booleans(), min_size=n, max_size=n)), dtype=bool
+    )
+    if not prio.any():
+        prio[draw(st.integers(0, n - 1))] = True
+    leftover = draw(st.floats(1.5, 300.0))
+    return caps, prio, float(caps.sum()) + leftover
+
+
+class TestWaterfillProperties:
+    """Conservation invariants of the water-fill grant loop — the same
+    contract the runtime ``readjust-conservation`` monitor enforces."""
+
+    @given(waterfill_cases())
+    @settings(max_examples=200, deadline=None)
+    def test_never_hands_out_more_than_leftover(self, case):
+        caps, prio, budget = case
+        out = readjust(caps, prio, budget, 165.0, restored=False, config=CFG)
+        handed = float(out.sum()) - float(caps.sum())
+        assert handed >= -1e-9
+        assert handed <= budget - float(caps.sum()) + 1e-6
+
+    @given(waterfill_cases())
+    @settings(max_examples=200, deadline=None)
+    def test_never_shrinks_high_priority_and_never_touches_low(self, case):
+        caps, prio, budget = case
+        out = readjust(caps, prio, budget, 165.0, restored=False, config=CFG)
+        assert np.all(out[prio] >= caps[prio] - 1e-9)
+        np.testing.assert_array_equal(out[~prio], caps[~prio])
+        assert np.all(out <= 165.0 + 1e-9)
 
 
 class TestValidation:

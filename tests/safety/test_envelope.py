@@ -1,0 +1,115 @@
+"""BudgetEnvelope: the three cap views and committed-power accounting."""
+
+import numpy as np
+import pytest
+
+from repro.safety import BudgetEnvelope
+
+
+def make_envelope(n=4, budget=440.0, max_cap=165.0):
+    return BudgetEnvelope(n_units=n, budget_w=budget, max_cap_w=max_cap)
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_units"):
+            BudgetEnvelope(0, 100.0, 50.0)
+        with pytest.raises(ValueError, match="budget_w"):
+            BudgetEnvelope(2, 0.0, 50.0)
+        with pytest.raises(ValueError, match="max_cap_w"):
+            BudgetEnvelope(2, 100.0, -1.0)
+
+    def test_cold_start_is_pessimistic(self):
+        """Before any observation the hardware must be assumed uncapped."""
+        env = make_envelope()
+        assert np.all(env.applied_w == 165.0)
+        assert not np.any(np.isfinite(env.commanded_w))
+        assert not np.any(np.isfinite(env.dispatched_w))
+
+    def test_cold_start_worst_case_is_tdp(self):
+        env = make_envelope()
+        committed = env.assess(np.full(4, 100.0))
+        assert committed.worst_case_total_w == pytest.approx(4 * 165.0)
+        assert committed.steady_total_w == pytest.approx(400.0)
+
+
+class TestViews:
+    def test_confirm_applied_promotes_dispatched(self):
+        env = make_envelope()
+        env.record_dispatched(slice(0, 2), np.array([100.0, 101.0]))
+        env.confirm_applied(slice(0, 2))
+        assert env.applied_w[0] == 100.0
+        assert env.applied_w[1] == 101.0
+        # Units never dispatched to keep the pessimistic prior.
+        assert env.applied_w[2] == 165.0
+
+    def test_confirm_applied_without_dispatch_is_noop(self):
+        env = make_envelope()
+        env.confirm_applied(slice(None))
+        assert np.all(env.applied_w == 165.0)
+
+    def test_worst_case_is_max_of_old_and_new(self):
+        """Until the dispatch lands, a unit may still run at its old cap."""
+        env = make_envelope()
+        env.record_applied(slice(None), np.full(4, 110.0))
+        committed = env.assess(np.array([90.0, 130.0, 110.0, 110.0]))
+        assert committed.worst_case_w[0] == 110.0  # Old cap still possible.
+        assert committed.worst_case_w[1] == 130.0  # New cap is higher.
+        assert committed.steady_w[0] == 90.0
+
+    def test_pending_pipeline_counts_at_max(self):
+        env = make_envelope()
+        env.record_applied(slice(None), np.full(4, 100.0))
+        pending = [np.full(4, 120.0), np.full(4, 105.0)]
+        committed = env.assess(np.full(4, 95.0), pending=pending)
+        assert np.all(committed.worst_case_w == 120.0)
+
+    def test_unreachable_holds_last(self):
+        env = make_envelope()
+        env.record_applied(slice(None), np.full(4, 100.0))
+        env.record_dispatched(slice(None), np.full(4, 108.0))
+        unreachable = np.array([True, False, False, False])
+        committed = env.assess(np.full(4, 90.0), unreachable=unreachable)
+        # Hold-last is the max of applied and the possibly-programmed
+        # dispatch the dead daemon received just before it died.
+        assert committed.worst_case_w[0] == 108.0
+        assert committed.steady_w[0] == 108.0
+        assert committed.steady_w[1] == 90.0
+
+    def test_unreachable_assume_tdp(self):
+        env = make_envelope()
+        env.record_applied(slice(None), np.full(4, 100.0))
+        unreachable = np.array([True, False, False, False])
+        committed = env.assess(
+            np.full(4, 90.0), unreachable=unreachable, assume_tdp=True
+        )
+        assert committed.worst_case_w[0] == 165.0
+        assert committed.steady_w[0] == 165.0
+
+    def test_shape_validation(self):
+        env = make_envelope()
+        with pytest.raises(ValueError, match="caps shape"):
+            env.assess(np.zeros(3))
+        with pytest.raises(ValueError, match="unreachable shape"):
+            env.assess(np.zeros(4), unreachable=np.zeros(3, dtype=bool))
+        with pytest.raises(ValueError, match="pending"):
+            env.assess(np.zeros(4), pending=[np.zeros(5)])
+
+
+class TestSnapshot:
+    def test_round_trip_bit_exact(self):
+        env = make_envelope()
+        env.record_commanded(np.array([90.0, 91.5, 92.25, 93.0]))
+        env.record_dispatched(slice(None), np.array([90.0, 91.5, 92.2, 93.0]))
+        env.confirm_applied(slice(0, 2))
+        doc = env.snapshot()
+        fresh = make_envelope()
+        fresh.restore(doc)
+        np.testing.assert_array_equal(fresh.commanded_w, env.commanded_w)
+        np.testing.assert_array_equal(fresh.dispatched_w, env.dispatched_w)
+        np.testing.assert_array_equal(fresh.applied_w, env.applied_w)
+
+    def test_restore_rejects_wrong_shape(self):
+        doc = make_envelope(n=3).snapshot()
+        with pytest.raises(ValueError, match="shape"):
+            make_envelope(n=4).restore(doc)

@@ -1,0 +1,164 @@
+"""Invariant monitors: the built-in checks, the registry, the cadences."""
+
+import numpy as np
+import pytest
+
+from repro.core.managers import create_manager
+from repro.safety import (
+    Invariant,
+    InvariantContext,
+    InvariantMonitor,
+    InvariantViolationError,
+    available_invariants,
+    default_invariants,
+    register_invariant,
+)
+from repro.safety.invariants import _REGISTRY
+
+
+def ctx(caps=None, manager=None, **kwargs):
+    defaults = dict(budget_w=440.0, min_cap_w=30.0, max_cap_w=165.0)
+    defaults.update(kwargs)
+    return InvariantContext(caps_w=caps, manager=manager, **defaults)
+
+
+def check(name, context):
+    return _REGISTRY[name].check(context)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert available_invariants() == (
+            "budget-conservation",
+            "cap-bounds",
+            "finite-kalman",
+            "readjust-conservation",
+            "snapshot-idempotence",
+        )
+
+    def test_duplicate_name_rejected(self):
+        class Dup(Invariant):
+            name = "cap-bounds"
+
+            def check(self, ctx):
+                return None
+
+        with pytest.raises(ValueError, match="duplicate"):
+            register_invariant(Dup())
+
+    def test_empty_name_rejected(self):
+        class Anon(Invariant):
+            def check(self, ctx):
+                return None
+
+        with pytest.raises(ValueError, match="non-empty name"):
+            register_invariant(Anon())
+
+
+class TestBudgetConservation:
+    def test_within_budget_ok(self):
+        assert check("budget-conservation", ctx(np.full(4, 110.0))) is None
+
+    def test_overshoot_detected(self):
+        detail = check("budget-conservation", ctx(np.full(4, 120.0)))
+        assert detail is not None and "exceeds budget" in detail
+
+    def test_quantized_allowance(self):
+        # Half-up wire rounding can add up to 0.05 W per unit.
+        caps = np.full(4, 110.04)
+        assert (
+            check("budget-conservation", ctx(caps, quantized=True)) is None
+        )
+
+
+class TestCapBounds:
+    def test_in_range_ok(self):
+        assert check("cap-bounds", ctx(np.full(4, 110.0))) is None
+
+    def test_non_finite_detected(self):
+        detail = check("cap-bounds", ctx(np.array([110.0, np.nan, 1.0, 1.0])))
+        assert detail is not None and "non-finite" in detail
+
+    def test_below_floor_detected(self):
+        detail = check("cap-bounds", ctx(np.array([29.0, 110.0, 110.0, 110.0])))
+        assert detail is not None and "below floor" in detail
+
+    def test_above_ceiling_detected(self):
+        detail = check("cap-bounds", ctx(np.array([166.0, 110.0, 110.0, 110.0])))
+        assert detail is not None and "above ceiling" in detail
+
+
+class TestManagerChecks:
+    def stepped_dps(self, readings=150.0, steps=3):
+        mgr = create_manager("dps")
+        mgr.bind(4, 440.0, 165.0, 30.0, rng=np.random.default_rng(0))
+        for _ in range(steps):
+            caps = mgr.step(np.full(4, readings))
+        return mgr, caps
+
+    def test_readjust_conservation_holds_for_dps(self):
+        mgr, caps = self.stepped_dps()
+        assert check("readjust-conservation", ctx(caps, mgr)) is None
+
+    def test_readjust_conservation_skips_managerless(self):
+        assert check("readjust-conservation", ctx(np.full(4, 100.0))) is None
+
+    def test_finite_kalman_holds_for_dps(self):
+        mgr, caps = self.stepped_dps()
+        assert check("finite-kalman", ctx(caps, mgr)) is None
+
+    def test_finite_kalman_detects_poisoned_state(self):
+        mgr, caps = self.stepped_dps()
+        mgr._kalman._x[1] = np.nan
+        detail = check("finite-kalman", ctx(caps, mgr))
+        assert detail is not None and "Kalman estimate" in detail
+
+    def test_snapshot_idempotence_holds_for_dps(self):
+        mgr, caps = self.stepped_dps()
+        assert check("snapshot-idempotence", ctx(caps, mgr)) is None
+
+
+class TestMonitor:
+    def failing(self):
+        class AlwaysFails(Invariant):
+            name = "always-fails"
+
+            def check(self, ctx):
+                return "broken"
+
+        return AlwaysFails()
+
+    def test_strict_raises(self):
+        monitor = InvariantMonitor(mode="strict", invariants=(self.failing(),))
+        with pytest.raises(InvariantViolationError, match="always-fails"):
+            monitor.run(ctx(np.full(4, 110.0)), now=0.0)
+        assert len(monitor.events.of_kind("invariant_violation")) == 1
+
+    def test_sampling_emits_without_raising(self):
+        monitor = InvariantMonitor(
+            mode="sampling", sample_every=3, invariants=(self.failing(),)
+        )
+        for cycle in range(7):
+            monitor.run(ctx(np.full(4, 110.0)), now=float(cycle))
+        # Cycles 1, 4, and 7 are swept (1-based, every 3rd).
+        assert monitor.sweeps_run == 3
+        assert len(monitor.violations) == 3
+
+    def test_off_does_nothing(self):
+        monitor = InvariantMonitor(mode="off", invariants=(self.failing(),))
+        assert monitor.run(ctx(np.full(4, 110.0)), now=0.0) == []
+        assert monitor.sweeps_run == 0
+
+    def test_default_invariants_pass_on_healthy_state(self):
+        mgr = create_manager("dps")
+        mgr.bind(4, 440.0, 165.0, 30.0, rng=np.random.default_rng(0))
+        caps = mgr.step(np.full(4, 120.0))
+        monitor = InvariantMonitor(mode="strict")
+        assert monitor.invariants == default_invariants()
+        assert monitor.run(ctx(caps, mgr), now=0.0) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="mode"):
+            InvariantMonitor(mode="bogus")
+        with pytest.raises(ValueError, match="sample_every"):
+            InvariantMonitor(sample_every=0)
