@@ -10,6 +10,11 @@ and ``REPRO_BENCH_REPEATS=10`` for a paper-scale run.
 Every benchmark prints the reproduced rows/series (run pytest with ``-s``
 to see them) and asserts the qualitative claims the paper makes about its
 own numbers.
+
+Set ``REPRO_BENCH_CACHE_DIR`` to back every harness with the persistent
+result cache (:class:`repro.experiments.engine.ResultCache`): repeated
+bench runs then skip simulations whose config digest already has a
+verified on-disk result.
 """
 
 from __future__ import annotations
@@ -17,13 +22,21 @@ from __future__ import annotations
 import os
 
 from repro.core.config import SimulationConfig
+from repro.experiments.engine import ResultCache
 from repro.experiments.harness import ExperimentConfig, ExperimentHarness
 
-__all__ = ["bench_config", "bench_harness", "TIME_SCALE", "REPEATS"]
+__all__ = [
+    "bench_cache",
+    "bench_config",
+    "bench_harness",
+    "TIME_SCALE",
+    "REPEATS",
+]
 
 TIME_SCALE = float(os.environ.get("REPRO_BENCH_TIME_SCALE", "0.2"))
 REPEATS = int(os.environ.get("REPRO_BENCH_REPEATS", "2"))
 SEED = int(os.environ.get("REPRO_BENCH_SEED", "42"))
+CACHE_DIR = os.environ.get("REPRO_BENCH_CACHE_DIR", "")
 
 
 def bench_config() -> ExperimentConfig:
@@ -35,6 +48,17 @@ def bench_config() -> ExperimentConfig:
     )
 
 
+_CACHE: ResultCache | None = None
+
+
+def bench_cache() -> ResultCache | None:
+    """The shared persistent cache, or None when no dir is configured."""
+    global _CACHE
+    if _CACHE is None and CACHE_DIR:
+        _CACHE = ResultCache(CACHE_DIR)
+    return _CACHE
+
+
 _HARNESS: ExperimentHarness | None = None
 
 
@@ -42,5 +66,5 @@ def bench_harness() -> ExperimentHarness:
     """A module-spanning harness so baselines/references are shared."""
     global _HARNESS
     if _HARNESS is None:
-        _HARNESS = ExperimentHarness(bench_config())
+        _HARNESS = ExperimentHarness(bench_config(), cache=bench_cache())
     return _HARNESS

@@ -13,7 +13,7 @@ on the scenario that motivates it:
 
 import dataclasses
 
-from benchmarks._config import bench_config
+from benchmarks._config import bench_cache, bench_config
 from repro.core.config import (
     DPSConfig,
     KalmanConfig,
@@ -26,7 +26,9 @@ from repro.experiments.harness import ExperimentHarness
 
 def _harness(**overrides):
     cfg = dataclasses.replace(bench_config(), **overrides)
-    return ExperimentHarness(cfg)
+    # Each override changes the config digest, so the shared persistent
+    # cache keys every ablation's runs separately.
+    return ExperimentHarness(cfg, cache=bench_cache())
 
 
 def test_ablation_kalman_under_noise(benchmark):

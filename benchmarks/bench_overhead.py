@@ -7,7 +7,15 @@ the stateless SLURM plugin's (all modules beyond the stateless one scale
 by a constant).
 """
 
+import time
+import tracemalloc
+
+import numpy as np
+
 from benchmarks._config import bench_config
+from repro.core.config import PriorityConfig
+from repro.core.history import HistoryBuffer
+from repro.core.priority import PriorityModule
 from repro.experiments.reporting import render_overhead_rows
 from repro.experiments.tables import measure_decision_time, overhead_analysis
 
@@ -54,3 +62,53 @@ def test_decision_cost_dps_vs_slurm(benchmark):
     # absolute cost is negligible against the 1 s decision loop.
     assert times["dps"] < 5e-3
     assert times["slurm"] < times["dps"] < times["slurm"] * 100
+
+
+def test_history_priority_steady_state_allocations():
+    """The per-step control path reuses scratch instead of reallocating.
+
+    At 2048 units a fresh ring unroll alone is 20 x 2048 x 8 B = 320 KiB
+    per step and the derivative features another 16 KiB each; with the
+    preallocated scratch the transient footprint of a steady-state step
+    must stay well under one such allocation.  (`use_frequency=False`
+    sidesteps the peak counter, whose native-float walk is deliberately
+    list-based — see peaks.py.)
+    """
+    n_units, history_len = 2048, 20
+    buf = HistoryBuffer(history_len, n_units)
+    mod = PriorityModule(
+        n_units, PriorityConfig(), use_frequency=False
+    )
+    rng = np.random.default_rng(7)
+    sample = np.empty(n_units, dtype=np.float64)
+
+    def step() -> None:
+        rng.standard_normal(n_units, out=sample)
+        np.add(sample, 100.0, out=sample)
+        buf.push(sample)
+        mod.update(buf.chronological(), 1.0)
+
+    # Warm past the wrap point so chronological() takes the scratch path.
+    for _ in range(history_len + 3):
+        step()
+
+    # The wrapped chronological() view must be backed by the same buffer
+    # every step — pointer stability is the no-realloc guarantee.
+    ptr = buf.chronological().__array_interface__["data"][0]
+    step()
+    assert buf.chronological().__array_interface__["data"][0] == ptr
+
+    tracemalloc.start()
+    t0 = time.perf_counter()
+    for _ in range(50):
+        step()
+    wall_s = time.perf_counter() - t0
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    print(
+        f"\nsteady-state step at {n_units} units: "
+        f"{wall_s / 50 * 1e6:.0f}us, transient peak {peak / 1024:.1f}KiB"
+    )
+    # Headroom over numpy-scalar/bookkeeping noise, but far below a single
+    # fresh (history_len, n_units) unroll (320 KiB) or feature row (16 KiB).
+    assert peak < 8 * 1024

@@ -12,7 +12,7 @@ is pure downside; with a tight budget there is nothing to misallocate).
 
 import numpy as np
 
-from benchmarks._config import bench_config
+from benchmarks._config import bench_cache, bench_config
 from repro.experiments.sweeps import budget_sweep, noise_sweep
 
 
@@ -24,6 +24,7 @@ def test_budget_sweep(benchmark):
             pair=("kmeans", "gmm"),
             budget_fractions=fractions,
             managers=("slurm", "dps", "p2p"),
+            cache=bench_cache(),
         ),
         rounds=1, iterations=1,
     )
@@ -56,6 +57,7 @@ def test_noise_sweep(benchmark):
             pair=("kmeans", "gmm"),
             noise_stds_w=noise_levels,
             managers=("dps",),
+            cache=bench_cache(),
         ),
         rounds=1, iterations=1,
     )

@@ -113,6 +113,26 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument(
         "--out", default=None, help="write the campaign JSON to this path"
     )
+    camp.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes for the parallel engine (default 1 = inline; "
+            "records are bit-identical for any value)"
+        ),
+    )
+    camp.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help=(
+            "persistent result cache: finished simulations are stored "
+            "under PATH keyed by a config+job digest, so re-running the "
+            "campaign only simulates what changed"
+        ),
+    )
 
     sweep = sub.add_parser(
         "sweep", help="budget/noise sweeps the paper could not afford"
@@ -409,12 +429,23 @@ def _cmd_campaign(args: argparse.Namespace) -> str:
     groups = tuple(args.group) if args.group else (
         "low_utility", "high_utility", "spark_npb",
     )
+    if args.jobs < 1:
+        raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
+    cache = None
+    if args.cache_dir is not None:
+        from repro.experiments.engine import ResultCache
+
+        cache = ResultCache(args.cache_dir)
     campaign = Campaign(
         _config(args), groups=groups, limit_pairs=args.limit_pairs
     )
-    result = campaign.run(
-        progress=lambda g, p, m: print(f"  {g}: {p[0]}/{p[1]} under {m}")
-    )
+
+    def _job_progress(done, total, job, wall_s, cached, eta_s):
+        how = "cache" if cached else f"{wall_s:5.1f}s"
+        print(f"  [{done}/{total}] {job.key} ({how}, eta {eta_s:.0f}s)")
+
+    result = campaign.run(jobs=args.jobs, cache=cache,
+                          engine_progress=_job_progress)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write(result.to_json())
@@ -425,6 +456,13 @@ def _cmd_campaign(args: argparse.Namespace) -> str:
             f"  {group:13s} {manager:8s} hmean={stats.hmean:.3f} "
             f"min={stats.min:.3f} max={stats.max:.3f} n={stats.n} "
             f"fairness={fairness[(group, manager)]:.3f}"
+        )
+    eng = result.engine
+    if eng is not None:
+        lines.append(
+            f"engine: {eng.n_jobs} jobs on {eng.workers} worker(s) in "
+            f"{eng.total_wall_s:.1f}s; cache {eng.cache_hits} hits / "
+            f"{eng.cache_misses} misses / {eng.cache_invalid} invalid"
         )
     if args.out:
         lines.append(f"written to {args.out}")

@@ -34,6 +34,10 @@ class HistoryBuffer:
         self._data = np.zeros((history_len, n_units), dtype=np.float64)
         self._count = 0
         self._head = 0  # Index the next sample is written to.
+        # Scratch for the wrapped chronological() path: unrolling the ring
+        # happens once per control step, so a fresh (history_len, n_units)
+        # allocation there is per-step garbage at any cluster scale.
+        self._chron = np.empty_like(self._data)
 
     def __len__(self) -> int:
         """Number of samples currently stored (<= history_len)."""
@@ -92,8 +96,11 @@ class HistoryBuffer:
     def chronological(self) -> np.ndarray:
         """Stored samples in order, oldest first, shape ``(len, n_units)``.
 
-        Returns a copy when the ring has wrapped, otherwise a read-only view
-        of the underlying storage (no allocation on the warm-up path).
+        Returns a read-only view: of the underlying storage when the ring
+        has not wrapped, otherwise of a preallocated scratch buffer the
+        ring is unrolled into — no allocation per call either way.  The
+        view is only valid until the next :meth:`push` or
+        :meth:`chronological` call; copy it to retain.
         """
         if self._count < self.history_len:
             view = self._data[: self._count].view()
@@ -103,9 +110,12 @@ class HistoryBuffer:
             view = self._data.view()
             view.flags.writeable = False
             return view
-        return np.concatenate(
-            (self._data[self._head :], self._data[: self._head]), axis=0
-        )
+        tail = self.history_len - self._head
+        self._chron[:tail] = self._data[self._head :]
+        self._chron[tail:] = self._data[: self._head]
+        view = self._chron.view()
+        view.flags.writeable = False
+        return view
 
     def latest(self) -> np.ndarray:
         """The most recent sample, shape ``(n_units,)``.

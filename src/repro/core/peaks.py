@@ -133,7 +133,9 @@ def count_prominent_peaks(x: np.ndarray, min_prominence: float) -> int:
 
 
 def count_prominent_peaks_multi(
-    history: np.ndarray, min_prominence: float
+    history: np.ndarray,
+    min_prominence: float,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Prominent-peak counts for a bank of unit histories.
 
@@ -141,17 +143,24 @@ def count_prominent_peaks_multi(
         history: shape ``(history_len, n_units)``; column ``u`` is unit
             ``u``'s power history, oldest sample first.
         min_prominence: prominence threshold in watts.
+        out: optional preallocated integer array of shape ``(n_units,)``
+            the counts are written into (per-step scratch reuse on the
+            control path).
 
     Returns:
-        Integer array of shape ``(n_units,)``.
+        Integer array of shape ``(n_units,)`` (``out`` when provided).
     """
     if min_prominence <= 0:
         raise ValueError(f"min_prominence must be > 0, got {min_prominence}")
     history = np.asarray(history, dtype=np.float64)
     if history.ndim != 2:
         raise ValueError(f"expected 2-D history, got shape {history.shape}")
-    columns = history.T.tolist()
-    return np.asarray(
-        [_count_walk(col, float(min_prominence)) for col in columns],
-        dtype=np.intp,
-    )
+    n_units = history.shape[1]
+    if out is None:
+        out = np.empty(n_units, dtype=np.intp)
+    elif out.shape != (n_units,):
+        raise ValueError(f"out shape {out.shape} != ({n_units},)")
+    prominence = float(min_prominence)
+    for u, col in enumerate(history.T.tolist()):
+        out[u] = _count_walk(col, prominence)
+    return out

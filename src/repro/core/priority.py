@@ -52,6 +52,17 @@ class PriorityModule:
         self.use_frequency = use_frequency
         self._high_freq = np.zeros(n_units, dtype=bool)
         self._priority = np.zeros(n_units, dtype=bool)
+        # Per-step scratch: update() runs every control step on every unit,
+        # so the feature vectors are written into preallocated buffers via
+        # ufunc `out=` instead of being reallocated each call.
+        self._pp = np.empty(n_units, dtype=np.intp)
+        self._std = np.empty(n_units, dtype=np.float64)
+        self._deriv = np.empty(n_units, dtype=np.float64)
+        # Centered time basis for the least-squares slope; dt_s-independent
+        # (the dt factor divides out at use time), so it can be precomputed.
+        w = self.config.deriv_window
+        self._t_base = np.arange(w, dtype=np.float64) - (w - 1) / 2
+        self._t_sq = float((self._t_base * self._t_base).sum())
 
     @property
     def priority(self) -> np.ndarray:
@@ -122,25 +133,26 @@ class PriorityModule:
         if h < cfg.deriv_window:
             return self._priority.copy()
 
-        # Batch the numeric features once per step (the per-unit loop below
-        # is pure flag logic on native floats — see peaks.py on why).
+        # Batch the numeric features once per step into preallocated scratch
+        # (the per-unit loop below is pure flag logic).
         if self.use_frequency:
             pp_counts = count_prominent_peaks_multi(
-                history, cfg.peak_prominence
-            ).tolist()
-            stds = history.std(axis=0).tolist()
+                history, cfg.peak_prominence, out=self._pp
+            )
+            stds = np.std(history, axis=0, out=self._std)
+        derivs = self._deriv
         if cfg.deriv_method == "lsq":
             # Least-squares slope over the window: averages noise across
-            # every sample instead of the two endpoints.
+            # every sample instead of the two endpoints.  With the centered
+            # basis t = t_base * dt_s, slope = (t @ w) / sum(t^2)
+            #                                = (t_base @ w) / (sum(t_base^2) * dt_s).
             window = history[-cfg.deriv_window :]
-            t = (np.arange(cfg.deriv_window) - (cfg.deriv_window - 1) / 2) * dt_s
-            denom = float((t * t).sum())
-            derivs = ((t @ window) / denom).tolist()
+            np.matmul(self._t_base, window, out=derivs)
+            derivs /= self._t_sq * dt_s
         else:
             span_s = (cfg.deriv_window - 1) * dt_s
-            derivs = (
-                (history[-1] - history[-cfg.deriv_window]) / span_s
-            ).tolist()
+            np.subtract(history[-1], history[-cfg.deriv_window], out=derivs)
+            derivs /= span_s
 
         high_freq = self._high_freq
         priority = self._priority

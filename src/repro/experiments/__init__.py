@@ -13,6 +13,21 @@ from repro.experiments.campaign import (
     ExperimentRecord,
 )
 from repro.experiments.charts import bar_chart, line_chart, sparkline
+from repro.experiments.engine import (
+    EngineTelemetry,
+    ExperimentEngine,
+    JobTiming,
+    ResultCache,
+    job_digest,
+)
+from repro.experiments.jobs import (
+    JobGraph,
+    SimJob,
+    baseline_job,
+    evaluation_jobs,
+    pair_job,
+    reference_job,
+)
 from repro.experiments.figures import (
     Figure1Data,
     Figure7Data,
@@ -45,7 +60,18 @@ from repro.experiments.tables import (
 __all__ = [
     "Campaign",
     "CampaignResult",
+    "EngineTelemetry",
+    "ExperimentEngine",
     "ExperimentRecord",
+    "JobGraph",
+    "JobTiming",
+    "ResultCache",
+    "SimJob",
+    "baseline_job",
+    "evaluation_jobs",
+    "job_digest",
+    "pair_job",
+    "reference_job",
     "Figure1Data",
     "Figure7Data",
     "FigureBars",

@@ -6,6 +6,14 @@ managers, normalizes against the constant-allocation baseline, and collects
 one flat record per (group, pair, manager) — serializable to JSON so the
 figure generators and external analysis can consume a finished campaign
 without re-simulating.
+
+Execution goes through the parallel engine
+(:mod:`repro.experiments.engine`): the campaign is enumerated as a
+deduplicated :class:`~repro.experiments.jobs.SimJob` graph (shared
+references and baselines run once), fanned out over ``jobs`` worker
+processes wave by wave, and optionally backed by a persistent result
+cache.  Records are assembled in deterministic nested-loop order from the
+result map, so parallel and sequential runs are bit-identical.
 """
 
 from __future__ import annotations
@@ -16,7 +24,14 @@ from typing import Callable, Iterable
 
 import numpy as np
 
-from repro.experiments.harness import ExperimentConfig, ExperimentHarness
+from repro.experiments.harness import ExperimentConfig, evaluate_outcome
+from repro.experiments.jobs import (
+    SimJob,
+    baseline_job,
+    evaluation_jobs,
+    pair_job,
+    reference_job,
+)
 from repro.experiments.setups import (
     GROUP_MANAGERS,
     high_utility_pairs,
@@ -32,6 +47,11 @@ _GROUP_PAIRS: dict[str, Callable[[], list[tuple[str, str]]]] = {
     "high_utility": high_utility_pairs,
     "spark_npb": spark_npb_pairs,
 }
+
+#: Accepted campaign serialization format tags.  v1 predates the parallel
+#: engine (no telemetry block); v2 adds the optional ``engine`` document.
+_FORMAT_V1 = "repro-campaign-v1"
+_FORMAT_V2 = "repro-campaign-v2"
 
 
 @dataclass(frozen=True)
@@ -62,11 +82,15 @@ class CampaignResult:
         records: one per (group, pair, manager).
         seed: the campaign seed (for provenance).
         time_scale: the duration multiplier used.
+        engine: execution telemetry of the run that produced the records
+            (worker count, cache hit/miss traffic, per-job wall times);
+            None for campaigns loaded from v1 JSON.
     """
 
     records: list[ExperimentRecord] = field(default_factory=list)
     seed: int = 0
     time_scale: float = 1.0
+    engine: "object | None" = None
 
     def for_group(self, group: str) -> list[ExperimentRecord]:
         """Records of one group, in run order."""
@@ -76,63 +100,74 @@ class CampaignResult:
         """Records of one manager across groups."""
         return [r for r in self.records if r.manager == manager]
 
+    def _grouped(
+        self, value: Callable[[ExperimentRecord], float]
+    ) -> dict[tuple[str, str], list[float]]:
+        """Single-pass (group, manager) groupby of one record field.
+
+        One scan over the records instead of one filtered scan per key —
+        the summaries stay O(records) however many (group, manager) cells
+        a campaign has.  Keys come out sorted, so the result is
+        independent of record order.
+        """
+        groups: dict[tuple[str, str], list[float]] = {}
+        for r in self.records:
+            groups.setdefault((r.group, r.manager), []).append(value(r))
+        return dict(sorted(groups.items()))
+
     def summary(self) -> dict[tuple[str, str], GroupStats]:
         """Per-(group, manager) statistics over the paired hmean speedups."""
-        keys = sorted({(r.group, r.manager) for r in self.records})
         return {
-            key: summarize(
-                [
-                    r.hmean_speedup
-                    for r in self.records
-                    if (r.group, r.manager) == key
-                ]
-            )
-            for key in keys
+            key: summarize(vals)
+            for key, vals in self._grouped(
+                lambda r: r.hmean_speedup
+            ).items()
         }
 
     def mean_fairness(self) -> dict[tuple[str, str], float]:
         """Per-(group, manager) mean fairness (the §6.4 aggregates)."""
-        keys = sorted({(r.group, r.manager) for r in self.records})
         return {
-            key: float(
-                np.mean(
-                    [
-                        r.fairness
-                        for r in self.records
-                        if (r.group, r.manager) == key
-                    ]
-                )
-            )
-            for key in keys
+            key: float(np.mean(vals))
+            for key, vals in self._grouped(lambda r: r.fairness).items()
         }
 
     def to_json(self) -> str:
         """Serialize the campaign (format tag included)."""
-        return json.dumps(
-            {
-                "format": "repro-campaign-v1",
-                "seed": self.seed,
-                "time_scale": self.time_scale,
-                "records": [asdict(r) for r in self.records],
-            }
-        )
+        doc = {
+            "format": _FORMAT_V2,
+            "seed": self.seed,
+            "time_scale": self.time_scale,
+            "records": [asdict(r) for r in self.records],
+            "engine": (
+                self.engine.to_doc() if self.engine is not None else None
+            ),
+        }
+        return json.dumps(doc)
 
     @classmethod
     def from_json(cls, text: str) -> "CampaignResult":
         """Reconstruct a campaign from :meth:`to_json` output.
 
+        Accepts both the current v2 format and pre-engine v1 documents
+        (which simply lack telemetry).
+
         Raises:
             ValueError: unknown format tag.
         """
         doc = json.loads(text)
-        if doc.get("format") != "repro-campaign-v1":
-            raise ValueError(
-                f"unsupported campaign format {doc.get('format')!r}"
-            )
+        fmt = doc.get("format")
+        if fmt not in (_FORMAT_V1, _FORMAT_V2):
+            raise ValueError(f"unsupported campaign format {fmt!r}")
+        engine = None
+        if fmt == _FORMAT_V2 and doc.get("engine") is not None:
+            from repro.experiments.engine import EngineTelemetry
+
+            engine = EngineTelemetry.from_doc(doc["engine"])
         return cls(
             records=[ExperimentRecord(**r) for r in doc["records"]],
             seed=int(doc["seed"]),
             time_scale=float(doc["time_scale"]),
+            engine=engine,
         )
 
 
@@ -168,20 +203,9 @@ class Campaign:
         self.managers = managers
         self.limit_pairs = limit_pairs
 
-    def run(
-        self,
-        progress: Callable[[str, tuple[str, str], str], None] | None = None,
-    ) -> CampaignResult:
-        """Execute the campaign.
-
-        Args:
-            progress: optional callback invoked before each (group, pair,
-                manager) run — hook for logging long campaigns.
-        """
-        harness = ExperimentHarness(self.config)
-        result = CampaignResult(
-            seed=self.config.seed, time_scale=self.config.sim.time_scale
-        )
+    def plan(self) -> list[tuple[str, tuple[str, str], str]]:
+        """The (group, pair, manager) evaluations, deterministic order."""
+        out: list[tuple[str, tuple[str, str], str]] = []
         for group in self.groups:
             pairs = _GROUP_PAIRS[group]()
             if self.limit_pairs is not None:
@@ -189,21 +213,76 @@ class Campaign:
             managers = self.managers or GROUP_MANAGERS[group]
             for pair in pairs:
                 for manager in managers:
-                    if progress is not None:
-                        progress(group, pair, manager)
-                    ev = harness.evaluate_pair(pair[0], pair[1], manager)
-                    result.records.append(
-                        ExperimentRecord(
-                            group=group,
-                            workload_a=pair[0],
-                            workload_b=pair[1],
-                            manager=manager,
-                            speedup_a=ev.speedup_a,
-                            speedup_b=ev.speedup_b,
-                            hmean_speedup=ev.hmean_speedup,
-                            satisfaction_a=ev.satisfaction_a,
-                            satisfaction_b=ev.satisfaction_b,
-                            fairness=ev.fairness,
-                        )
-                    )
+                    out.append((group, pair, manager))
+        return out
+
+    def simulation_jobs(self) -> list[SimJob]:
+        """Every simulation the campaign needs (duplicates included; the
+        engine's job graph deduplicates)."""
+        jobs: list[SimJob] = []
+        for _, (a, b), manager in self.plan():
+            jobs.extend(evaluation_jobs(a, b, manager))
+        return jobs
+
+    def run(
+        self,
+        progress: Callable[[str, tuple[str, str], str], None] | None = None,
+        jobs: int = 1,
+        cache: "object | None" = None,
+        engine_progress: "Callable | None" = None,
+    ) -> CampaignResult:
+        """Execute the campaign through the parallel engine.
+
+        Args:
+            progress: optional callback invoked per (group, pair, manager)
+                evaluation as records are assembled — hook for logging
+                long campaigns (kept from the sequential API).
+            jobs: worker-process count; 1 runs inline.  Records are
+                bit-identical for any value.
+            cache: optional :class:`~repro.experiments.engine.ResultCache`;
+                hits skip simulation, fresh results are persisted.
+            engine_progress: optional per-*job* callback
+                ``(done, total, job, wall_s, cached, eta_s)``.
+        """
+        from repro.experiments.engine import ExperimentEngine
+
+        plan = self.plan()
+        engine = ExperimentEngine(self.config, jobs=jobs, cache=cache)
+        results = engine.run(self.simulation_jobs(), progress=engine_progress)
+
+        result = CampaignResult(
+            seed=self.config.seed,
+            time_scale=self.config.sim.time_scale,
+            engine=engine.last_telemetry,
+        )
+        for group, pair, manager in plan:
+            if progress is not None:
+                progress(group, pair, manager)
+            a, b = pair
+            baseline = results[baseline_job(a, b)]
+            outcome = (
+                baseline
+                if manager == "constant"
+                else results[pair_job(a, b, manager)]
+            )
+            ev = evaluate_outcome(
+                baseline,
+                outcome,
+                results[reference_job(a)],
+                results[reference_job(b)],
+            )
+            result.records.append(
+                ExperimentRecord(
+                    group=group,
+                    workload_a=a,
+                    workload_b=b,
+                    manager=manager,
+                    speedup_a=ev.speedup_a,
+                    speedup_b=ev.speedup_b,
+                    hmean_speedup=ev.hmean_speedup,
+                    satisfaction_a=ev.satisfaction_a,
+                    satisfaction_b=ev.satisfaction_b,
+                    fairness=ev.fairness,
+                )
+            )
         return result

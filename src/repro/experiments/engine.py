@@ -1,0 +1,448 @@
+"""Parallel experiment-execution engine with a persistent result cache.
+
+The paper's evaluation is >1,000 machine-hours of (group x pair x manager)
+runs; the reproduction's simulations are shared-nothing and deterministically
+seeded, which makes a campaign embarrassingly parallel.  This engine is the
+throughput layer every figure/table/campaign entry point sits on:
+
+* :func:`job_digest` — content address of one simulation: SHA-256 over the
+  frozen :class:`~repro.experiments.harness.ExperimentConfig`, the job's
+  identity tokens, and the repro version.  Any knob that could change the
+  simulation's output changes the digest.
+* :class:`ResultCache` — an on-disk store of finished job payloads, one
+  JSON record per digest, checksummed so corrupted or stale entries are
+  detected and re-simulated rather than trusted.
+* :class:`ExperimentEngine` — runs a :class:`~repro.experiments.jobs.JobGraph`
+  wave by wave over a ``ProcessPoolExecutor`` with chunked dispatch,
+  per-job wall timing, cache short-circuiting, and a progress/ETA callback.
+
+Results are bit-identical to the sequential in-process path: every job
+derives its own seed from the campaign seed (independent of scheduling),
+payloads survive the JSON round trip exactly (Python serializes floats
+shortest-round-trip), and consumers assemble records in deterministic
+order regardless of completion order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Union
+
+from repro.experiments.harness import (
+    ExperimentConfig,
+    ExperimentHarness,
+    PairOutcome,
+    ReferenceStats,
+)
+from repro.experiments.jobs import JobGraph, SimJob
+
+__all__ = [
+    "CACHE_FORMAT",
+    "EngineTelemetry",
+    "ExperimentEngine",
+    "JobResult",
+    "JobTiming",
+    "ProgressFn",
+    "ResultCache",
+    "job_digest",
+    "execute_job",
+]
+
+#: Format tag of one on-disk cache record.
+CACHE_FORMAT = "repro-simcache-v1"
+
+JobResult = Union[ReferenceStats, PairOutcome]
+
+#: ``progress(done, total, job, wall_s, cached, eta_s)`` — invoked after
+#: every finished job; ``eta_s`` extrapolates from mean wall time so far.
+ProgressFn = Callable[[int, int, SimJob, float, bool, float], None]
+
+
+# ---------------------------------------------------------------------------
+# Cache keys and payload codec
+# ---------------------------------------------------------------------------
+
+
+def _canonical(doc: object) -> str:
+    """Canonical JSON: sorted keys, no whitespace drift."""
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def job_digest(config: ExperimentConfig, job: SimJob) -> str:
+    """Content address of one simulation under one campaign configuration.
+
+    Covers the full frozen config (every cluster/sim/perf/rapl/manager
+    knob plus seed and repeats), the job's identity tokens, and the repro
+    package version — bumping the code that could change simulation output
+    invalidates the cache wholesale, changing any config knob invalidates
+    exactly the runs it affects.
+    """
+    from repro import __version__
+
+    doc = {
+        "repro": __version__,
+        "config": asdict(config),
+        "job": list(job.tokens),
+    }
+    return hashlib.sha256(_canonical(doc).encode()).hexdigest()
+
+
+def encode_result(result: JobResult) -> dict:
+    """JSON-able payload document of a job result."""
+    if isinstance(result, ReferenceStats):
+        return {"type": "reference", **asdict(result)}
+    if isinstance(result, PairOutcome):
+        doc = asdict(result)
+        doc["times_a_s"] = list(result.times_a_s)
+        doc["times_b_s"] = list(result.times_b_s)
+        return {"type": "outcome", **doc}
+    raise TypeError(f"unsupported result type {type(result).__name__}")
+
+
+def decode_result(doc: dict) -> JobResult:
+    """Inverse of :func:`encode_result` (bit-exact for floats)."""
+    kind = doc.get("type")
+    if kind == "reference":
+        return ReferenceStats(
+            mean_duration_s=float(doc["mean_duration_s"]),
+            mean_power_w=float(doc["mean_power_w"]),
+        )
+    if kind == "outcome":
+        return PairOutcome(
+            manager=doc["manager"],
+            workload_a=doc["workload_a"],
+            workload_b=doc["workload_b"],
+            times_a_s=tuple(float(t) for t in doc["times_a_s"]),
+            times_b_s=tuple(float(t) for t in doc["times_b_s"]),
+            power_a_w=float(doc["power_a_w"]),
+            power_b_w=float(doc["power_b_w"]),
+            max_caps_sum_w=float(doc["max_caps_sum_w"]),
+            sim_time_s=float(doc["sim_time_s"]),
+        )
+    raise ValueError(f"unknown payload type {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# Persistent result cache
+# ---------------------------------------------------------------------------
+
+
+class ResultCache:
+    """Directory of finished simulation results, keyed by job digest.
+
+    Layout: one ``<digest>.json`` per job holding ``{format, digest, key,
+    payload, payload_sha256}``.  ``key`` is the human-readable job key
+    (provenance only).  A record is trusted only when its format tag,
+    embedded digest, and payload checksum all verify; anything else counts
+    as *invalid* and reads as a miss, so a corrupted or hand-edited entry
+    is re-simulated, never silently served.
+
+    Counters (``hits``/``misses``/``invalid``) accumulate over the cache
+    object's lifetime; the engine folds them into its telemetry.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.invalid = 0
+
+    def path(self, digest: str) -> Path:
+        """On-disk location of one record."""
+        return self.root / f"{digest}.json"
+
+    def load(self, digest: str) -> dict | None:
+        """Verified payload for ``digest``, or None (miss / invalid)."""
+        path = self.path(digest)
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError):
+            self.invalid += 1
+            return None
+        payload = doc.get("payload")
+        if (
+            doc.get("format") != CACHE_FORMAT
+            or doc.get("digest") != digest
+            or not isinstance(payload, dict)
+            or doc.get("payload_sha256")
+            != hashlib.sha256(_canonical(payload).encode()).hexdigest()
+        ):
+            self.invalid += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def store(self, digest: str, key: str, payload: dict) -> None:
+        """Atomically persist one record (write-temp + rename)."""
+        doc = {
+            "format": CACHE_FORMAT,
+            "digest": digest,
+            "key": key,
+            "payload": payload,
+            "payload_sha256": hashlib.sha256(
+                _canonical(payload).encode()
+            ).hexdigest(),
+        }
+        path = self.path(digest)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(doc, indent=1), encoding="utf-8")
+        os.replace(tmp, path)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+
+# ---------------------------------------------------------------------------
+# Engine telemetry
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JobTiming:
+    """Wall time of one job (zero and ``cached=True`` for cache hits)."""
+
+    key: str
+    wall_s: float
+    cached: bool
+
+    def to_doc(self) -> dict:
+        return {"key": self.key, "wall_s": self.wall_s, "cached": self.cached}
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "JobTiming":
+        return cls(
+            key=doc["key"],
+            wall_s=float(doc["wall_s"]),
+            cached=bool(doc["cached"]),
+        )
+
+
+@dataclass(frozen=True)
+class EngineTelemetry:
+    """What one engine run did: worker count, cache traffic, per-job walls.
+
+    Attributes:
+        workers: process-pool size used (1 = inline, no pool).
+        n_jobs: total jobs in the deduplicated graph.
+        cache_hits / cache_misses / cache_invalid: persistent-cache traffic
+            of this run (all zero when no cache was attached).
+        total_wall_s: end-to-end wall time of the engine run.
+        job_timings: per-job wall time and cache provenance, graph order.
+    """
+
+    workers: int
+    n_jobs: int
+    cache_hits: int
+    cache_misses: int
+    cache_invalid: int
+    total_wall_s: float
+    job_timings: tuple[JobTiming, ...] = ()
+
+    def to_doc(self) -> dict:
+        doc = asdict(self)
+        doc["job_timings"] = [t.to_doc() for t in self.job_timings]
+        return doc
+
+    @classmethod
+    def from_doc(cls, doc: dict) -> "EngineTelemetry":
+        return cls(
+            workers=int(doc["workers"]),
+            n_jobs=int(doc["n_jobs"]),
+            cache_hits=int(doc["cache_hits"]),
+            cache_misses=int(doc["cache_misses"]),
+            cache_invalid=int(doc["cache_invalid"]),
+            total_wall_s=float(doc["total_wall_s"]),
+            job_timings=tuple(
+                JobTiming.from_doc(t) for t in doc.get("job_timings", ())
+            ),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Job execution (worker side)
+# ---------------------------------------------------------------------------
+
+
+def execute_job(config: ExperimentConfig, job: SimJob) -> JobResult:
+    """Run one job's simulation from scratch (no caches involved).
+
+    Seeds derive from the campaign seed and the job's workload/manager
+    names exactly as the sequential harness derives them, so the result is
+    bit-identical to an in-process run regardless of worker or ordering.
+    """
+    harness = ExperimentHarness(config)
+    if job.kind == "reference":
+        return harness.uncapped_reference(job.workload_a)
+    outcome = harness.run_pair(job.workload_a, job.workload_b, job.manager)
+    assert isinstance(outcome, PairOutcome)
+    return outcome
+
+
+_WORKER_CONFIG: ExperimentConfig | None = None
+
+
+def _pool_init(config: ExperimentConfig) -> None:
+    """Pool initializer: ship the campaign config once per worker."""
+    global _WORKER_CONFIG
+    _WORKER_CONFIG = config
+
+
+def _pool_run(job: SimJob) -> tuple[SimJob, dict, float]:
+    """Worker entry: execute one job, return its encoded payload + wall."""
+    assert _WORKER_CONFIG is not None, "pool initializer did not run"
+    t0 = time.perf_counter()
+    result = execute_job(_WORKER_CONFIG, job)
+    return job, encode_result(result), time.perf_counter() - t0
+
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+
+
+class ExperimentEngine:
+    """Fan a job graph out over worker processes, through the cache.
+
+    Args:
+        config: campaign configuration every job runs under.
+        jobs: worker-process count; 1 executes inline (no pool, no pickle
+            round trip) and is the bit-identity baseline the parallel path
+            is tested against.
+        cache: optional :class:`ResultCache`; hits skip simulation
+            entirely, fresh results are persisted as soon as they arrive.
+    """
+
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        jobs: int = 1,
+        cache: ResultCache | None = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.config = config
+        self.jobs = jobs
+        self.cache = cache
+        self.last_telemetry: EngineTelemetry | None = None
+        self._pool: ProcessPoolExecutor | None = None
+
+    def run(
+        self,
+        jobs: Iterable[SimJob],
+        progress: ProgressFn | None = None,
+    ) -> dict[SimJob, JobResult]:
+        """Execute a job set; returns every job's result, cache-merged.
+
+        Jobs are deduplicated, closed over prerequisites, topologically
+        layered into waves, and each wave is dispatched in chunks over the
+        pool.  Per-job wall times are measured inside the workers.
+        """
+        graph = JobGraph(jobs)
+        total = len(graph)
+        hits0, misses0, invalid0 = self._cache_counters()
+        results: dict[SimJob, JobResult] = {}
+        timings: dict[SimJob, JobTiming] = {}
+        done = 0
+        t_start = time.perf_counter()
+
+        def _finish(job: SimJob, wall_s: float, cached: bool) -> None:
+            nonlocal done
+            done += 1
+            timings[job] = JobTiming(job.key, wall_s, cached)
+            if progress is not None:
+                elapsed = time.perf_counter() - t_start
+                eta = elapsed / done * (total - done) if done else 0.0
+                progress(done, total, job, wall_s, cached, eta)
+
+        try:
+            for wave in graph.waves():
+                pending: list[tuple[SimJob, str]] = []
+                for job in wave:
+                    digest = (
+                        job_digest(self.config, job)
+                        if self.cache is not None
+                        else ""
+                    )
+                    payload = (
+                        self.cache.load(digest)
+                        if self.cache is not None
+                        else None
+                    )
+                    if payload is not None:
+                        try:
+                            results[job] = decode_result(payload)
+                        except (KeyError, ValueError, TypeError):
+                            # Structurally valid record of the wrong shape
+                            # (e.g. a hand-edited payload): re-simulate.
+                            self.cache.invalid += 1
+                            self.cache.hits -= 1
+                            pending.append((job, digest))
+                            continue
+                        _finish(job, 0.0, cached=True)
+                    else:
+                        pending.append((job, digest))
+                digests = dict(pending)
+                for job, payload, wall_s in self._execute(list(digests)):
+                    results[job] = decode_result(payload)
+                    if self.cache is not None:
+                        self.cache.store(digests[job], job.key, payload)
+                    _finish(job, wall_s, cached=False)
+        finally:
+            if self._pool is not None:
+                self._pool.shutdown()
+                self._pool = None
+
+        hits1, misses1, invalid1 = self._cache_counters()
+        self.last_telemetry = EngineTelemetry(
+            workers=self.jobs,
+            n_jobs=total,
+            cache_hits=hits1 - hits0,
+            cache_misses=misses1 - misses0,
+            cache_invalid=invalid1 - invalid0,
+            total_wall_s=time.perf_counter() - t_start,
+            job_timings=tuple(timings[j] for j in graph),
+        )
+        return results
+
+    # ------------------------------------------------------------------
+
+    def _cache_counters(self) -> tuple[int, int, int]:
+        if self.cache is None:
+            return (0, 0, 0)
+        return (self.cache.hits, self.cache.misses, self.cache.invalid)
+
+    def _execute(
+        self, jobs: list[SimJob]
+    ) -> Iterable[tuple[SimJob, dict, float]]:
+        """Run one wave's uncached jobs, yielding in submission order."""
+        if not jobs:
+            return
+        if self.jobs == 1 or (len(jobs) == 1 and self._pool is None):
+            for job in jobs:
+                t0 = time.perf_counter()
+                result = execute_job(self.config, job)
+                yield job, encode_result(result), time.perf_counter() - t0
+            return
+        # One pool serves every wave of the run (run() shuts it down):
+        # respawning workers per wave would pay the fork + import cost at
+        # each dependency barrier.
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_pool_init,
+                initargs=(self.config,),
+            )
+        # Chunked dispatch: a handful of chunks per worker amortizes the
+        # pickle/IPC round trip while keeping the tail balanced.
+        chunksize = max(1, len(jobs) // (self.jobs * 4))
+        yield from self._pool.map(_pool_run, jobs, chunksize=chunksize)

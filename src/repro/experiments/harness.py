@@ -43,6 +43,7 @@ __all__ = [
     "PairOutcome",
     "PairEvaluation",
     "ReferenceStats",
+    "evaluate_outcome",
 ]
 
 
@@ -146,17 +147,88 @@ class PairEvaluation:
     fairness: float
 
 
+def evaluate_outcome(
+    baseline: PairOutcome,
+    outcome: PairOutcome,
+    ref_a: ReferenceStats,
+    ref_b: ReferenceStats,
+) -> PairEvaluation:
+    """Normalize one raw outcome against its baseline and references.
+
+    This is the single normalization path: the in-process harness and the
+    parallel campaign engine both call it, so records are bit-identical
+    regardless of which executed the simulations.
+    """
+    speedup_a = hmean(baseline.times_a_s) / hmean(outcome.times_a_s)
+    speedup_b = hmean(baseline.times_b_s) / hmean(outcome.times_b_s)
+    sat_a = satisfaction_fn(outcome.power_a_w, ref_a.mean_power_w)
+    sat_b = satisfaction_fn(outcome.power_b_w, ref_b.mean_power_w)
+    return PairEvaluation(
+        outcome=outcome,
+        speedup_a=speedup_a,
+        speedup_b=speedup_b,
+        hmean_speedup=paired_hmean_speedup(speedup_a, speedup_b),
+        satisfaction_a=sat_a,
+        satisfaction_b=sat_b,
+        fairness=fairness_fn(sat_a, sat_b),
+    )
+
+
 class ExperimentHarness:
     """Caching front end over the simulator for all figures and tables.
 
     Args:
         config: campaign configuration.
+        cache: optional persistent result-cache backend (duck-typed to
+            :class:`repro.experiments.engine.ResultCache`).  When set, the
+            in-memory reference/baseline/pair caches are backed by it:
+            lookups consult memory, then disk, and only then simulate —
+            so figure scripts, sweeps, and CI re-runs only simulate what
+            changed since the cache was written.
     """
 
-    def __init__(self, config: ExperimentConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: ExperimentConfig | None = None,
+        cache: "object | None" = None,
+    ) -> None:
         self.config = config or ExperimentConfig()
+        self.cache = cache
         self._reference_cache: dict[str, ReferenceStats] = {}
         self._baseline_cache: dict[tuple[str, str], PairOutcome] = {}
+
+    # ------------------------------------------------------------------
+    # Persistent-cache plumbing
+    # ------------------------------------------------------------------
+
+    def _cache_load(self, job) -> "object | None":
+        """Decoded persistent-cache result for a job, or None."""
+        if self.cache is None:
+            return None
+        from repro.experiments.engine import (  # Local to avoid a cycle.
+            decode_result,
+            job_digest,
+        )
+
+        payload = self.cache.load(job_digest(self.config, job))
+        if payload is None:
+            return None
+        try:
+            return decode_result(payload)
+        except (KeyError, ValueError, TypeError):
+            return None
+
+    def _cache_store(self, job, result) -> None:
+        if self.cache is None:
+            return
+        from repro.experiments.engine import (  # Local to avoid a cycle.
+            encode_result,
+            job_digest,
+        )
+
+        self.cache.store(
+            job_digest(self.config, job), job.key, encode_result(result)
+        )
 
     # ------------------------------------------------------------------
     # Building blocks
@@ -216,6 +288,12 @@ class ExperimentHarness:
         """
         if workload in self._reference_cache:
             return self._reference_cache[workload]
+        from repro.experiments.jobs import reference_job  # Avoid a cycle.
+
+        cached = self._cache_load(reference_job(workload))
+        if isinstance(cached, ReferenceStats):
+            self._reference_cache[workload] = cached
+            return cached
         spec = get_workload(workload)
         uncapped_cluster = ClusterSpec(
             n_nodes=self.config.cluster.n_nodes,
@@ -243,6 +321,7 @@ class ExperimentHarness:
             mean_power_w=execution.mean_power_w(),
         )
         self._reference_cache[workload] = stats
+        self._cache_store(reference_job(workload), stats)
         return stats
 
     def constant_baseline(self, workload_a: str, workload_b: str) -> PairOutcome:
@@ -279,6 +358,13 @@ class ExperimentHarness:
             The :class:`PairOutcome`, or ``(outcome, result)`` when
             telemetry was requested.
         """
+        from repro.experiments.jobs import pair_job  # Avoid a cycle.
+
+        job = pair_job(workload_a, workload_b, manager_name)
+        if not record_telemetry:
+            cached = self._cache_load(job)
+            if isinstance(cached, PairOutcome):
+                return cached
         spec_a = get_workload(workload_a)
         spec_b = get_workload(workload_b)
         manager = self.config.make_manager(manager_name)
@@ -303,6 +389,7 @@ class ExperimentHarness:
         )
         if record_telemetry:
             return outcome, result
+        self._cache_store(job, outcome)
         return outcome
 
     def evaluate_pair(
@@ -320,21 +407,11 @@ class ExperimentHarness:
             maybe = self.run_pair(workload_a, workload_b, manager_name)
             assert isinstance(maybe, PairOutcome)
             outcome = maybe
-
-        speedup_a = hmean(baseline.times_a_s) / hmean(outcome.times_a_s)
-        speedup_b = hmean(baseline.times_b_s) / hmean(outcome.times_b_s)
-        ref_a = self.uncapped_reference(workload_a)
-        ref_b = self.uncapped_reference(workload_b)
-        sat_a = satisfaction_fn(outcome.power_a_w, ref_a.mean_power_w)
-        sat_b = satisfaction_fn(outcome.power_b_w, ref_b.mean_power_w)
-        return PairEvaluation(
-            outcome=outcome,
-            speedup_a=speedup_a,
-            speedup_b=speedup_b,
-            hmean_speedup=paired_hmean_speedup(speedup_a, speedup_b),
-            satisfaction_a=sat_a,
-            satisfaction_b=sat_b,
-            fairness=fairness_fn(sat_a, sat_b),
+        return evaluate_outcome(
+            baseline,
+            outcome,
+            self.uncapped_reference(workload_a),
+            self.uncapped_reference(workload_b),
         )
 
     def evaluate_managers(

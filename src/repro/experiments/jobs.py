@@ -1,0 +1,206 @@
+"""Simulation job specs and the campaign job graph.
+
+A campaign is >100 (group, pair, manager) evaluations, but the simulations
+behind them are heavily shared: every evaluation of a pair divides by the
+same constant-allocation baseline, and every satisfaction number divides by
+the per-*workload* uncapped reference.  This module turns a campaign into
+an explicit, deduplicated set of :class:`SimJob` descriptions — small,
+picklable, order-able value objects the parallel engine can fan out over a
+process pool — plus the dependency bookkeeping that orders them into
+waves (prerequisites before the evaluations that normalize against them).
+
+Job kinds
+---------
+
+``reference``
+    Uncapped solo run of one workload (caps at TDP) — the denominator of
+    satisfaction (Eq. 1).  Needed once per distinct workload.
+``baseline``
+    Constant-allocation run of a pair — the denominator of every speedup.
+    Needed once per distinct pair.
+``pair``
+    One pair under one non-constant manager — the actual evaluation run.
+
+Each job names exactly one :class:`~repro.cluster.simulator.Simulation`;
+its seed derives deterministically from the campaign seed and the job's
+workload/manager names (``ExperimentConfig.derive_seed``, exactly as the
+sequential harness derives them), so the same job always runs the same
+simulation regardless of which worker executes it or in which order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "SimJob",
+    "reference_job",
+    "baseline_job",
+    "pair_job",
+    "evaluation_jobs",
+    "JobGraph",
+]
+
+#: Job kinds with no prerequisites (wave 0).
+_PREREQ_KINDS = ("reference", "baseline")
+
+
+@dataclass(frozen=True, order=True)
+class SimJob:
+    """One simulation a campaign needs, as a picklable value object.
+
+    Attributes:
+        kind: ``"reference"``, ``"baseline"``, or ``"pair"``.
+        workload_a: first (or only, for references) workload name.
+        workload_b: second workload name (empty for references).
+        manager: manager registry name (``"constant"`` for references and
+            baselines).
+    """
+
+    kind: str
+    workload_a: str
+    workload_b: str = ""
+    manager: str = "constant"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("reference", "baseline", "pair"):
+            raise ValueError(f"unknown job kind {self.kind!r}")
+        if not self.workload_a:
+            raise ValueError("workload_a must be non-empty")
+        if self.kind == "reference" and self.workload_b:
+            raise ValueError("reference jobs take a single workload")
+        if self.kind in ("baseline", "pair") and not self.workload_b:
+            raise ValueError(f"{self.kind} jobs need a workload pair")
+        if self.kind in ("reference", "baseline") and self.manager != "constant":
+            raise ValueError(
+                f"{self.kind} jobs always run the constant manager, "
+                f"got {self.manager!r}"
+            )
+        if self.kind == "pair" and self.manager == "constant":
+            raise ValueError(
+                "a constant pair run IS the baseline; use baseline_job()"
+            )
+
+    @property
+    def key(self) -> str:
+        """Stable human-readable identity, e.g. ``pair:kmeans/gmm:dps``."""
+        if self.kind == "reference":
+            return f"reference:{self.workload_a}"
+        return f"{self.kind}:{self.workload_a}/{self.workload_b}:{self.manager}"
+
+    @property
+    def tokens(self) -> tuple[str, ...]:
+        """The digest/seed token tuple identifying this job's simulation."""
+        if self.kind == "reference":
+            return ("reference", self.workload_a)
+        return (self.kind, self.workload_a, self.workload_b, self.manager)
+
+    def prerequisites(self) -> tuple["SimJob", ...]:
+        """Jobs whose results this job's *evaluation* normalizes against.
+
+        The simulations themselves are shared-nothing; the dependency is in
+        the downstream math (speedups divide by the baseline, satisfactions
+        by the references), so evaluations are scheduled a wave after their
+        prerequisites and the normalization never waits mid-wave.
+        """
+        if self.kind in _PREREQ_KINDS:
+            return ()
+        return (
+            baseline_job(self.workload_a, self.workload_b),
+            reference_job(self.workload_a),
+            reference_job(self.workload_b),
+        )
+
+
+def reference_job(workload: str) -> SimJob:
+    """The uncapped solo reference run of one workload."""
+    return SimJob(kind="reference", workload_a=workload)
+
+
+def baseline_job(workload_a: str, workload_b: str) -> SimJob:
+    """The constant-allocation baseline run of one pair."""
+    return SimJob(kind="baseline", workload_a=workload_a, workload_b=workload_b)
+
+
+def pair_job(workload_a: str, workload_b: str, manager: str) -> SimJob:
+    """One pair under one non-constant manager.
+
+    A request for the ``constant`` manager resolves to the baseline job —
+    the evaluation reuses the baseline outcome rather than re-running it.
+    """
+    if manager == "constant":
+        return baseline_job(workload_a, workload_b)
+    return SimJob(
+        kind="pair",
+        workload_a=workload_a,
+        workload_b=workload_b,
+        manager=manager,
+    )
+
+
+def evaluation_jobs(
+    workload_a: str, workload_b: str, manager: str
+) -> tuple[SimJob, ...]:
+    """Every job one (pair, manager) evaluation needs, prerequisites first."""
+    run = pair_job(workload_a, workload_b, manager)
+    return (*run.prerequisites(), run) if run.kind == "pair" else (
+        run,
+        reference_job(workload_a),
+        reference_job(workload_b),
+    )
+
+
+class JobGraph:
+    """Deduplicated job set with dependency-aware wave ordering.
+
+    Args:
+        jobs: any iterable of :class:`SimJob` (duplicates collapse; first
+            occurrence wins the ordering within a wave).  Prerequisites of
+            listed jobs are added implicitly so the graph is always closed.
+    """
+
+    def __init__(self, jobs) -> None:
+        ordered: dict[SimJob, None] = {}
+        for job in jobs:
+            for dep in job.prerequisites():
+                ordered.setdefault(dep, None)
+            ordered.setdefault(job, None)
+        self._jobs = tuple(ordered)
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __iter__(self):
+        return iter(self._jobs)
+
+    @property
+    def jobs(self) -> tuple[SimJob, ...]:
+        """All jobs, deduplicated, prerequisites-closed."""
+        return self._jobs
+
+    def waves(self) -> tuple[tuple[SimJob, ...], ...]:
+        """Topological layering of the graph.
+
+        Kahn-style: wave ``k`` holds every job whose prerequisites all sit
+        in earlier waves.  With the current three job kinds this is exactly
+        two waves (references + baselines, then manager runs), but the
+        layering is computed, not assumed, so richer graphs keep working.
+        """
+        placed: dict[SimJob, int] = {}
+        remaining = list(self._jobs)
+        waves: list[tuple[SimJob, ...]] = []
+        while remaining:
+            ready = [
+                j
+                for j in remaining
+                if all(dep in placed for dep in j.prerequisites())
+            ]
+            if not ready:  # pragma: no cover - guarded by SimJob validation
+                raise ValueError(
+                    f"dependency cycle among {[j.key for j in remaining]}"
+                )
+            for j in ready:
+                placed[j] = len(waves)
+            waves.append(tuple(ready))
+            remaining = [j for j in remaining if j not in placed]
+        return tuple(waves)

@@ -46,6 +46,7 @@ def budget_sweep(
     pair: tuple[str, str] = ("kmeans", "gmm"),
     budget_fractions: tuple[float, ...] = (0.5, 0.6, 2 / 3, 0.8, 0.9),
     managers: tuple[str, ...] = ("slurm", "dps"),
+    cache: object | None = None,
 ) -> list[SweepPoint]:
     """Compare managers across cluster budget fractions.
 
@@ -58,6 +59,8 @@ def budget_sweep(
         pair: the workload pair swept.
         budget_fractions: cluster budget as fractions of aggregate TDP.
         managers: managers evaluated at each point.
+        cache: optional persistent result cache shared by every point
+            (each point's config replaces knobs, so digests stay distinct).
 
     Returns:
         One :class:`SweepPoint` per (fraction, manager), sweep order.
@@ -79,7 +82,7 @@ def budget_sweep(
             idle_power_w=config.cluster.idle_power_w,
         )
         harness = ExperimentHarness(
-            dataclasses.replace(config, cluster=cluster)
+            dataclasses.replace(config, cluster=cluster), cache=cache
         )
         for manager in managers:
             ev = harness.evaluate_pair(pair[0], pair[1], manager)
@@ -99,6 +102,7 @@ def noise_sweep(
     pair: tuple[str, str] = ("kmeans", "gmm"),
     noise_stds_w: tuple[float, ...] = (0.0, 1.5, 4.0, 8.0, 16.0),
     managers: tuple[str, ...] = ("slurm", "dps"),
+    cache: object | None = None,
 ) -> list[SweepPoint]:
     """Compare managers across RAPL measurement-noise levels.
 
@@ -107,6 +111,7 @@ def noise_sweep(
         pair: the workload pair swept.
         noise_stds_w: Gaussian measurement-noise standard deviations.
         managers: managers evaluated at each point.
+        cache: optional persistent result cache shared by every point.
 
     Returns:
         One :class:`SweepPoint` per (noise, manager), sweep order.
@@ -122,7 +127,9 @@ def noise_sweep(
             lag_tau_s=config.rapl.lag_tau_s,
             counter_wrap_uj=config.rapl.counter_wrap_uj,
         )
-        harness = ExperimentHarness(dataclasses.replace(config, rapl=rapl))
+        harness = ExperimentHarness(
+            dataclasses.replace(config, rapl=rapl), cache=cache
+        )
         for manager in managers:
             ev = harness.evaluate_pair(pair[0], pair[1], manager)
             points.append(

@@ -1,5 +1,7 @@
 """Campaign runner: execution, summaries, serialization."""
 
+import json
+
 import pytest
 
 from repro.experiments.campaign import (
@@ -71,6 +73,24 @@ class TestSummaries:
         for value in result.mean_fairness().values():
             assert 0 <= value <= 1
 
+    def test_summaries_independent_of_record_order(self, fast_config):
+        """The single-pass groupby must not depend on record adjacency."""
+        result = small_campaign(fast_config).run()
+        shuffled = CampaignResult(
+            records=list(reversed(result.records)),
+            seed=result.seed,
+            time_scale=result.time_scale,
+        )
+        interleaved = CampaignResult(
+            records=result.records[1::2] + result.records[0::2],
+            seed=result.seed,
+            time_scale=result.time_scale,
+        )
+        for variant in (shuffled, interleaved):
+            assert variant.summary() == result.summary()
+            assert variant.mean_fairness() == result.mean_fairness()
+            assert list(variant.summary()) == sorted(variant.summary())
+
 
 class TestSerialization:
     def test_json_round_trip(self, fast_config):
@@ -79,6 +99,22 @@ class TestSerialization:
         assert restored.seed == result.seed
         assert restored.time_scale == result.time_scale
         assert restored.records == result.records
+
+    def test_v2_round_trips_engine_telemetry(self, fast_config):
+        result = small_campaign(fast_config).run()
+        restored = CampaignResult.from_json(result.to_json())
+        assert restored.engine == result.engine
+        assert restored.engine.n_jobs > 0
+
+    def test_accepts_v1_documents(self, fast_config):
+        """Pre-engine campaign files (no telemetry block) still load."""
+        result = small_campaign(fast_config).run()
+        doc = json.loads(result.to_json())
+        doc["format"] = "repro-campaign-v1"
+        del doc["engine"]
+        restored = CampaignResult.from_json(json.dumps(doc))
+        assert restored.records == result.records
+        assert restored.engine is None
 
     def test_rejects_wrong_format(self):
         with pytest.raises(ValueError, match="unsupported"):
