@@ -1,0 +1,129 @@
+"""Distributed backend under chaos: loopback fleet, injected faults.
+
+A three-worker loopback fleet runs a smoke campaign while chaos injection
+exercises every robustness path the coordinator has: one worker crashes
+(RST, no farewell) after its first job, one goes silent mid-job for longer
+than the whole campaign, one is healthy.  The bar is the same as for the
+process pool — records bit-identical to the sequential engine — plus the
+requirement that every failure shows up as a structured worker-lifecycle
+event.
+
+Results are printed (run with ``-s``) and written to a
+``BENCH_distributed.json`` artifact (override via
+``REPRO_BENCH_DISTRIBUTED_ARTIFACT``) so CI accumulates the fault-drill
+history: wall times, the event-kind histogram, and per-worker job counts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import Counter
+
+from repro.core.config import ClusterSpec, SimulationConfig
+from repro.experiments.campaign import Campaign
+from repro.experiments.distributed import (
+    CoordinatorConfig,
+    DistributedBackend,
+    DistributedWorker,
+    WorkerChaos,
+)
+from repro.experiments.harness import ExperimentConfig
+
+PAIRS = int(os.environ.get("REPRO_BENCH_DISTRIBUTED_PAIRS", "4"))
+TIME_SCALE = float(
+    os.environ.get("REPRO_BENCH_DISTRIBUTED_TIME_SCALE", "0.1")
+)
+ARTIFACT = os.environ.get(
+    "REPRO_BENCH_DISTRIBUTED_ARTIFACT", "BENCH_distributed.json"
+)
+
+
+def _campaign() -> Campaign:
+    config = ExperimentConfig(
+        cluster=ClusterSpec(n_nodes=4, sockets_per_node=2),
+        sim=SimulationConfig(
+            time_scale=TIME_SCALE, max_steps=60_000, inter_run_gap_s=2.0
+        ),
+        repeats=1,
+        seed=7,
+    )
+    return Campaign(config, groups=("low_utility",), limit_pairs=PAIRS)
+
+
+def _update_artifact(section: str, doc: dict) -> None:
+    merged = {}
+    if os.path.exists(ARTIFACT):
+        with open(ARTIFACT) as fh:
+            merged = json.load(fh)
+    merged.setdefault("format", "repro-bench-distributed-v1")
+    merged[section] = doc
+    with open(ARTIFACT, "w") as fh:
+        json.dump(merged, fh, indent=2)
+    print(f"updated {ARTIFACT}")
+
+
+def test_distributed_chaos_campaign(benchmark):
+    fleet = [
+        DistributedWorker(chaos=WorkerChaos(kill_after_jobs=1)),
+        DistributedWorker(chaos=WorkerChaos(hang_before_job=2, hang_s=600.0)),
+        DistributedWorker(),
+    ]
+    for worker in fleet:
+        worker.serve_in_background()
+    backend = DistributedBackend(
+        [w.address for w in fleet],
+        CoordinatorConfig(
+            lease_timeout_s=2.0,
+            heartbeat_s=0.2,
+            connect_timeout_s=1.0,
+            retry_backoff_s=0.2,
+            jitter_s=0.05,
+            seed=7,
+        ),
+    )
+
+    def measure():
+        t0 = time.perf_counter()
+        sequential = _campaign().run(jobs=1)
+        seq_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        distributed = _campaign().run(backend=backend)
+        return seq_s, time.perf_counter() - t0, sequential, distributed
+
+    try:
+        seq_s, dist_s, sequential, distributed = benchmark.pedantic(
+            measure, rounds=1, iterations=1
+        )
+    finally:
+        for worker in fleet:
+            worker.stop()
+
+    events = Counter(e.kind for e in backend.events)
+    print(
+        f"\n{distributed.engine.n_jobs} jobs, 3 workers (1 crash, 1 hang): "
+        f"sequential {seq_s:.1f}s, distributed {dist_s:.1f}s; "
+        f"events {dict(events)}"
+    )
+
+    # Chaos must never change the answer, only the wall clock.
+    assert distributed.records == sequential.records
+    assert distributed.engine.backend == "distributed"
+    # The injected faults actually fired and were recovered from.
+    assert events["worker_quarantined"] >= 1
+    assert events["lease_expired"] >= 1
+    assert events["lease_redispatched"] >= 1
+
+    _update_artifact(
+        "chaos",
+        {
+            "n_jobs_graph": distributed.engine.n_jobs,
+            "pairs": PAIRS,
+            "workers": 3,
+            "sequential_s": seq_s,
+            "distributed_s": dist_s,
+            "events": dict(sorted(events.items())),
+            "jobs_done_per_worker": [w.jobs_done for w in fleet],
+        },
+    )

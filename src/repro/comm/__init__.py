@@ -10,10 +10,21 @@ from repro.comm.protocol import (
     encode,
 )
 from repro.comm.service import CycleReport, PowerClient, PowerServer
+from repro.comm.wire import (
+    MAX_FRAME_BYTES,
+    FrameAssembler,
+    FrameError,
+    encode_frame,
+    recv_doc,
+    send_doc,
+)
 
 __all__ = [
     "CycleReport",
+    "FrameAssembler",
+    "FrameError",
     "LinkStats",
+    "MAX_FRAME_BYTES",
     "MESSAGE_SIZE_BYTES",
     "MSG_CAP",
     "MSG_READING",
@@ -23,4 +34,7 @@ __all__ = [
     "PowerServer",
     "decode",
     "encode",
+    "encode_frame",
+    "recv_doc",
+    "send_doc",
 ]

@@ -1,0 +1,154 @@
+"""Length-prefixed JSON framing for the distributed experiment plane.
+
+The control plane's 3-byte messages (:mod:`repro.comm.protocol`) are sized
+for §6.5's per-cycle reading/cap traffic; the *experiment* plane moves
+whole job descriptions and result payloads between a campaign coordinator
+and its remote workers (:mod:`repro.experiments.distributed`).  This
+module frames arbitrary JSON documents over a TCP stream:
+
+``[4-byte big-endian length][UTF-8 JSON body]``
+
+Framing guarantees mirror :mod:`repro.deploy.framing`: a reader either
+gets a whole verified document or a hard error — no partial trust of a
+stream after a malformed frame.  :class:`FrameAssembler` provides the
+non-blocking incremental variant for selector-driven event loops, exactly
+as ``BatchAssembler`` does for the control plane.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "FrameAssembler",
+    "FrameError",
+    "encode_frame",
+    "recv_doc",
+    "send_doc",
+]
+
+#: Upper bound on one frame's body.  A result payload is a few KiB (two
+#: run-time tuples plus scalars); anything near this limit is a protocol
+#: violation, not a big job.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_LEN_BYTES = 4
+
+
+class FrameError(ValueError):
+    """A malformed frame — the stream cannot be trusted afterwards."""
+
+
+def encode_frame(doc: dict) -> bytes:
+    """Serialize one document to its on-wire frame.
+
+    Raises:
+        FrameError: the encoded body exceeds :data:`MAX_FRAME_BYTES`.
+    """
+    body = json.dumps(doc, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame body of {len(body)} bytes exceeds {MAX_FRAME_BYTES}"
+        )
+    return len(body).to_bytes(_LEN_BYTES, "big") + body
+
+
+def _decode_body(body: bytes) -> dict:
+    try:
+        doc = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise FrameError(f"frame body is not valid JSON: {exc}") from None
+    if not isinstance(doc, dict):
+        raise FrameError(
+            f"frame body must be a JSON object, got {type(doc).__name__}"
+        )
+    return doc
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    """Read exactly ``n`` bytes or raise ``ConnectionError`` on EOF."""
+    chunks = []
+    remaining = n
+    while remaining > 0:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ConnectionError(
+                f"peer closed with {remaining} of {n} bytes outstanding"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_doc(sock: socket.socket, doc: dict) -> None:
+    """Send one framed document (blocking)."""
+    sock.sendall(encode_frame(doc))
+
+
+def recv_doc(sock: socket.socket) -> dict | None:
+    """Receive one framed document (blocking).
+
+    Returns:
+        The decoded document, or None on a clean EOF *at a frame
+        boundary* (the peer closed between messages).
+
+    Raises:
+        ConnectionError: EOF in the middle of a frame.
+        FrameError: oversized length prefix or non-JSON body.
+    """
+    try:
+        header = _recv_exact(sock, _LEN_BYTES)
+    except ConnectionError:
+        return None
+    length = int.from_bytes(header, "big")
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"declared frame length {length} exceeds {MAX_FRAME_BYTES}"
+        )
+    return _decode_body(_recv_exact(sock, length))
+
+
+class FrameAssembler:
+    """Incremental reassembly of framed documents from stream fragments.
+
+    A selector-driven loop reads whatever bytes a socket has ready and
+    feeds them in; the assembler yields every document completed so far
+    without ever blocking.  Unlike the control plane's one-shot
+    ``BatchAssembler``, a frame stream is long-lived: the assembler keeps
+    consuming frames back to back.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered towards the next (incomplete) frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> list[dict]:
+        """Consume one fragment; returns all documents it completed.
+
+        Raises:
+            FrameError: oversized length prefix or malformed body — the
+                stream cannot be trusted afterwards.
+        """
+        self._buffer.extend(data)
+        docs: list[dict] = []
+        while True:
+            if len(self._buffer) < _LEN_BYTES:
+                return docs
+            length = int.from_bytes(self._buffer[:_LEN_BYTES], "big")
+            if length > MAX_FRAME_BYTES:
+                raise FrameError(
+                    f"declared frame length {length} exceeds "
+                    f"{MAX_FRAME_BYTES}"
+                )
+            end = _LEN_BYTES + length
+            if len(self._buffer) < end:
+                return docs
+            body = bytes(self._buffer[_LEN_BYTES:end])
+            del self._buffer[:end]
+            docs.append(_decode_body(body))

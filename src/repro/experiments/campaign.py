@@ -230,6 +230,7 @@ class Campaign:
         jobs: int = 1,
         cache: "object | None" = None,
         engine_progress: "Callable | None" = None,
+        backend: "object | None" = None,
     ) -> CampaignResult:
         """Execute the campaign through the parallel engine.
 
@@ -243,11 +244,19 @@ class Campaign:
                 hits skip simulation, fresh results are persisted.
             engine_progress: optional per-*job* callback
                 ``(done, total, job, wall_s, cached, eta_s)``.
+            backend: optional
+                :class:`~repro.experiments.engine.ExecutionBackend`
+                replacing the local pool (e.g. a
+                :class:`~repro.experiments.distributed.DistributedBackend`
+                leasing jobs to remote workers); records stay
+                bit-identical regardless of where jobs ran.
         """
         from repro.experiments.engine import ExperimentEngine
 
         plan = self.plan()
-        engine = ExperimentEngine(self.config, jobs=jobs, cache=cache)
+        engine = ExperimentEngine(
+            self.config, jobs=jobs, cache=cache, backend=backend
+        )
         results = engine.run(self.simulation_jobs(), progress=engine_progress)
 
         result = CampaignResult(

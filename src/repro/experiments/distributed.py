@@ -1,0 +1,1057 @@
+"""Distributed campaign execution: a fault-tolerant TCP work queue.
+
+The campaign engine's local backend tops out at one machine's cores; this
+module turns spare machines into campaign throughput without giving up
+the engine's bit-identity guarantee.  A coordinator
+(:class:`DistributedBackend`, an
+:class:`~repro.experiments.engine.ExecutionBackend`) leases digest-keyed
+jobs to remote workers (:class:`DistributedWorker`) over the
+length-prefixed JSON framing of :mod:`repro.comm.wire`, and every
+robustness mechanism the control plane grew for flaky clients reappears
+here for flaky workers:
+
+* **Leases, not fire-and-forget.**  Every dispatched job carries a
+  deadline the worker must keep renewing with heartbeats; a silent
+  worker forfeits the lease and the job is re-dispatched elsewhere with
+  exponential backoff and jitter.
+* **Quarantine and rejoin.**  Worker liveness reuses the deploy layer's
+  :class:`~repro.resilience.health.ClientHealth` three-state machine:
+  a failure quarantines the worker (its stream can no longer be
+  trusted), reconnect attempts back off exponentially, and
+  ``max_retries`` consecutive failures declare it lost for the run.
+  Workers are plain TCP servers, so a restarted worker is simply
+  reconnected to — rejoin needs no extra protocol.
+* **Speculative re-execution.**  A job that has been running far longer
+  than the median (a straggler that still heartbeats) is speculatively
+  duplicated onto an idle worker; the first valid result wins and the
+  loser's result is discarded by digest.  Duplicated execution is safe
+  because jobs are deterministic and idempotent.
+* **Graceful degradation.**  Workers unreachable at startup are skipped
+  with a warning; if *every* worker is lost mid-run the remaining jobs
+  execute locally, so a campaign never dies of its helpers' deaths.
+
+Results are bit-identical to a single-process run: the worker verifies
+each job's digest against its own config + code version before running
+it (config/version skew is refused, not silently computed), payloads are
+checksummed end to end, and the engine assembles records in
+deterministic graph order no matter which worker finished what when.
+Every failure and recovery action lands on the structured event channel
+(:data:`~repro.telemetry.log.WORKER_EVENT_KINDS`) — nothing is retried
+silently.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import random
+import select
+import socket
+import statistics
+import struct
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Iterator, Sequence
+
+from repro.comm.wire import FrameAssembler, FrameError, recv_doc, send_doc
+from repro.experiments.engine import (
+    ExecutionBackend,
+    ResultCache,
+    _canonical,
+    decode_result,
+    encode_result,
+    execute_job,
+    job_digest,
+)
+from repro.experiments.harness import ExperimentConfig
+from repro.experiments.jobs import SimJob
+from repro.resilience.health import ClientHealth, HealthState, ResilienceConfig
+from repro.telemetry.log import ResilienceEvent, ResilienceEventLog
+
+__all__ = [
+    "CoordinatorConfig",
+    "DistributedBackend",
+    "DistributedWorker",
+    "WorkerChaos",
+    "parse_workers",
+]
+
+#: Coordinator event-loop tick: upper bound on how stale lease deadlines,
+#: reconnect timers, and backoff gates may be checked.
+_POLL_S = 0.05
+
+#: Socket receive chunk for both ends' assembler-fed loops.
+_RECV_BYTES = 65536
+
+
+def parse_workers(spec: str) -> list[str]:
+    """Parse a ``host:port,host:port`` list into worker addresses.
+
+    Raises:
+        ValueError: empty list or a malformed address.
+    """
+    addresses: list[str] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        _split_address(part)
+        addresses.append(part)
+    if not addresses:
+        raise ValueError(f"no worker addresses in {spec!r}")
+    return addresses
+
+
+def _split_address(address: str) -> tuple[str, int]:
+    host, sep, port = address.rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"worker address must be host:port, got {address!r}"
+        )
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ValueError(
+            f"invalid port in worker address {address!r}"
+        ) from None
+
+
+def _payload_sha256(payload: dict) -> str:
+    return hashlib.sha256(_canonical(payload).encode()).hexdigest()
+
+
+def _abort_connection(conn: socket.socket) -> None:
+    """Close with an RST (no FIN handshake) — a crash, not a goodbye."""
+    try:
+        conn.setsockopt(
+            socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+        )
+    except OSError:
+        pass
+    conn.close()
+
+
+# ---------------------------------------------------------------------------
+# Worker
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkerChaos:
+    """Deterministic fault injection for chaos tests and drills.
+
+    Attributes:
+        kill_after_jobs: after completing this many jobs, abort the
+            connection (RST, no farewell) and stop serving — a worker
+            crash.  0 disables.
+        hang_before_job: 1-indexed ordinal of the accepted job to hang
+            on: the worker goes silent (no heartbeats) for ``hang_s``
+            before touching the job — a straggler / stuck worker.  0
+            disables.
+        hang_s: hang duration in wall seconds.
+    """
+
+    kill_after_jobs: int = 0
+    hang_before_job: int = 0
+    hang_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.kill_after_jobs < 0 or self.hang_before_job < 0:
+            raise ValueError("chaos job ordinals must be >= 0")
+        if self.hang_s < 0:
+            raise ValueError(f"hang_s must be >= 0, got {self.hang_s}")
+
+
+class DistributedWorker:
+    """One remote execution node: a TCP server that runs leased jobs.
+
+    The worker listens; the coordinator dials.  Per session the worker
+    announces ``ready`` (with its code version), receives the campaign
+    config, then serves ``job`` frames one at a time: the job runs in a
+    thread while the session loop emits heartbeats, so a long simulation
+    never looks like a dead worker.  Each job's digest is re-derived
+    locally and must match the coordinator's — a version- or
+    config-skewed worker refuses work instead of producing subtly
+    different bits.
+
+    A worker outlives its sessions: when the coordinator drops (or the
+    worker was quarantined and the coordinator reconnects), the accept
+    loop simply serves the next session — that is the entire rejoin
+    protocol.
+
+    Args:
+        host/port: bind address (port 0 picks a free port; see
+            :attr:`port`).
+        cache: optional :class:`~repro.experiments.engine.ResultCache`
+            consulted before executing and updated after — point several
+            workers at one shared directory and they deduplicate work
+            across campaigns.
+        chaos: optional :class:`WorkerChaos` fault injection.
+        max_jobs: stop serving after this many completed jobs (tests).
+        log: optional ``callable(str)`` receiving one line per lifecycle
+            step (session open/close, job done, chaos actions).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache: ResultCache | None = None,
+        chaos: WorkerChaos | None = None,
+        max_jobs: int | None = None,
+        log: Callable[[str], None] | None = None,
+    ) -> None:
+        self.cache = cache
+        self.chaos = chaos if chaos is not None else WorkerChaos()
+        self.max_jobs = max_jobs
+        self._log = log
+        self._listener = socket.create_server((host, port))
+        self._listener.settimeout(0.2)
+        self.host = host
+        self.port = int(self._listener.getsockname()[1])
+        self._stop = threading.Event()
+        self.jobs_done = 0
+        self._jobs_seen = 0
+
+    @property
+    def address(self) -> str:
+        """The dialable ``host:port`` of this worker."""
+        return f"{self.host}:{self.port}"
+
+    def _say(self, msg: str) -> None:
+        if self._log is not None:
+            self._log(f"worker {self.address}: {msg}")
+
+    def stop(self) -> None:
+        """Ask the serve loop (and any chaos hang) to exit promptly."""
+        self._stop.set()
+
+    def serve_in_background(self) -> threading.Thread:
+        """Run :meth:`serve_forever` on a daemon thread (tests, demos)."""
+        thread = threading.Thread(
+            target=self.serve_forever,
+            name=f"repro-worker-{self.port}",
+            daemon=True,
+        )
+        thread.start()
+        return thread
+
+    def serve_forever(self) -> None:
+        """Accept coordinator sessions until stopped (or chaos kills us)."""
+        self._say("serving")
+        try:
+            while not self._stop.is_set():
+                try:
+                    conn, peer = self._listener.accept()
+                except TimeoutError:
+                    continue
+                except OSError:
+                    break
+                with conn:
+                    self._say(f"session from {peer[0]}:{peer[1]}")
+                    alive = self._serve_session(conn)
+                if not alive:
+                    break
+        finally:
+            self._listener.close()
+            self._say(f"stopped after {self.jobs_done} job(s)")
+
+    # ------------------------------------------------------------------
+
+    def _next_doc(
+        self, conn: socket.socket, assembler: FrameAssembler, inbox: deque
+    ) -> dict | None:
+        """Next framed document, or None on EOF/stop (stop-responsive)."""
+        while not inbox:
+            if self._stop.is_set():
+                return None
+            try:
+                data = conn.recv(_RECV_BYTES)
+            except TimeoutError:
+                continue
+            except OSError:
+                return None
+            if not data:
+                return None
+            inbox.extend(assembler.feed(data))
+        return inbox.popleft()
+
+    def _serve_session(self, conn: socket.socket) -> bool:
+        """Serve one coordinator session; False means stop serving."""
+        from repro import __version__
+
+        conn.settimeout(0.2)
+        assembler = FrameAssembler()
+        inbox: deque[dict] = deque()
+        config: ExperimentConfig | None = None
+        heartbeat_s = 1.0
+        try:
+            send_doc(
+                conn,
+                {"type": "ready", "version": __version__, "pid": os.getpid()},
+            )
+            while not self._stop.is_set():
+                doc = self._next_doc(conn, assembler, inbox)
+                if doc is None or doc.get("type") == "quit":
+                    return True
+                kind = doc.get("type")
+                if kind == "hello":
+                    heartbeat_s = float(doc.get("heartbeat_s", heartbeat_s))
+                elif kind == "config":
+                    try:
+                        config = ExperimentConfig.from_doc(doc["config"])
+                    except (KeyError, TypeError, ValueError) as exc:
+                        send_doc(
+                            conn,
+                            {
+                                "type": "error",
+                                "digest": "",
+                                "error": f"bad config: {exc}",
+                            },
+                        )
+                        continue
+                    send_doc(conn, {"type": "config_ok"})
+                elif kind == "job":
+                    self._serve_job(conn, config, doc, heartbeat_s)
+                    if (
+                        self.chaos.kill_after_jobs
+                        and self.jobs_done >= self.chaos.kill_after_jobs
+                    ):
+                        self._say(
+                            f"chaos: crashing after {self.jobs_done} job(s)"
+                        )
+                        _abort_connection(conn)
+                        return False
+                    if (
+                        self.max_jobs is not None
+                        and self.jobs_done >= self.max_jobs
+                    ):
+                        return False
+                # Unknown frame types are ignored: forward compatibility.
+        except (OSError, FrameError) as exc:
+            self._say(f"session ended: {exc}")
+        return True
+
+    def _serve_job(
+        self,
+        conn: socket.socket,
+        config: ExperimentConfig | None,
+        doc: dict,
+        heartbeat_s: float,
+    ) -> None:
+        digest = str(doc.get("digest", ""))
+
+        def _refuse(error: str) -> None:
+            self._say(f"refusing job: {error}")
+            send_doc(conn, {"type": "error", "digest": digest, "error": error})
+
+        if config is None:
+            _refuse("job received before config")
+            return
+        try:
+            job = SimJob.from_tokens(doc.get("tokens", ()))
+        except (TypeError, ValueError) as exc:
+            _refuse(f"bad job tokens: {exc}")
+            return
+        if job_digest(config, job) != digest:
+            # The single check that keeps a mixed fleet honest: any
+            # config or code-version skew lands here, never in the data.
+            _refuse(f"digest mismatch for {job.key} (config/version skew)")
+            return
+
+        self._jobs_seen += 1
+        if (
+            self.chaos.hang_before_job
+            and self._jobs_seen == self.chaos.hang_before_job
+        ):
+            self._say(f"chaos: hanging {self.chaos.hang_s:.1f}s on {job.key}")
+            if self._stop.wait(self.chaos.hang_s):
+                return
+
+        payload = self.cache.load(digest) if self.cache is not None else None
+        wall = 0.0
+        if payload is None:
+            box: dict = {}
+
+            def _run() -> None:
+                t0 = time.perf_counter()
+                try:
+                    box["payload"] = encode_result(execute_job(config, job))
+                except Exception as exc:  # noqa: BLE001 - report, don't die
+                    box["error"] = f"{type(exc).__name__}: {exc}"
+                box["wall_s"] = time.perf_counter() - t0
+
+            thread = threading.Thread(target=_run, daemon=True)
+            thread.start()
+            while thread.is_alive():
+                thread.join(heartbeat_s)
+                if thread.is_alive():
+                    send_doc(conn, {"type": "heartbeat", "digest": digest})
+            if "error" in box:
+                _refuse(box["error"])
+                return
+            payload = box["payload"]
+            wall = float(box["wall_s"])
+            if self.cache is not None:
+                self.cache.store(digest, job.key, payload)
+        send_doc(
+            conn,
+            {
+                "type": "result",
+                "digest": digest,
+                "wall_s": wall,
+                "payload": payload,
+                "payload_sha256": _payload_sha256(payload),
+            },
+        )
+        self.jobs_done += 1
+        self._say(f"completed {job.key} in {wall:.2f}s")
+
+
+# ---------------------------------------------------------------------------
+# Coordinator
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CoordinatorConfig:
+    """Robustness knobs of the distributed coordinator.
+
+    Attributes:
+        lease_timeout_s: a lease expires this long after its last
+            heartbeat (or grant); the worker is then quarantined and the
+            job re-dispatched.
+        heartbeat_s: heartbeat interval workers are asked for; must be
+            comfortably below ``lease_timeout_s``.
+        connect_timeout_s: TCP connect + handshake budget per attempt.
+        max_retries: per-worker consecutive failures before it is lost
+            for the run, per-job worker-reported errors before the run
+            aborts, and per-job re-dispatches before the job falls back
+            to local execution.
+        retry_backoff_s: base delay before a reconnect / re-dispatch.
+        backoff_factor: multiplicative backoff growth per consecutive
+            failure.
+        jitter_s: uniform random extra delay (seeded, reproducible) so
+            simultaneous failures don't retry in lockstep.
+        speculation_factor: a job is speculatively duplicated once it
+            has run this multiple of the median completed wall time.
+        speculation_min_s: floor below which speculation never triggers.
+        local_fallback: execute jobs locally when all workers are lost
+            (or a job exhausted its re-dispatches) instead of raising.
+        seed: seed of the jitter RNG.
+    """
+
+    lease_timeout_s: float = 30.0
+    heartbeat_s: float = 0.5
+    connect_timeout_s: float = 5.0
+    max_retries: int = 3
+    retry_backoff_s: float = 0.25
+    backoff_factor: float = 2.0
+    jitter_s: float = 0.1
+    speculation_factor: float = 4.0
+    speculation_min_s: float = 10.0
+    local_fallback: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_s <= 0:
+            raise ValueError(f"heartbeat_s must be > 0, got {self.heartbeat_s}")
+        if self.lease_timeout_s < 2 * self.heartbeat_s:
+            raise ValueError(
+                "lease_timeout_s must be at least two heartbeats, got "
+                f"{self.lease_timeout_s} vs heartbeat_s={self.heartbeat_s}"
+            )
+        if self.connect_timeout_s <= 0:
+            raise ValueError("connect_timeout_s must be > 0")
+        if self.max_retries < 1:
+            raise ValueError(f"max_retries must be >= 1, got {self.max_retries}")
+        if self.retry_backoff_s < 0 or self.jitter_s < 0:
+            raise ValueError("backoff and jitter must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.speculation_factor < 1.0:
+            raise ValueError(
+                f"speculation_factor must be >= 1, got {self.speculation_factor}"
+            )
+        if self.speculation_min_s < 0:
+            raise ValueError("speculation_min_s must be >= 0")
+
+
+@dataclass
+class _Lease:
+    """One in-flight job grant on one worker."""
+
+    digest: str
+    granted_at: float
+    deadline: float
+    speculative: bool = False
+
+
+class _WorkerLink:
+    """Coordinator-side state of one configured worker address."""
+
+    def __init__(
+        self, index: int, host: str, port: int, health: ClientHealth
+    ) -> None:
+        self.index = index
+        self.host = host
+        self.port = port
+        self.health = health
+        self.sock: socket.socket | None = None
+        self.assembler = FrameAssembler()
+        self.lease: _Lease | None = None
+        #: Unreachable at start(); excluded for the whole run.
+        self.skipped = False
+        #: Declared DEAD mid-run; no further reconnects this run.
+        self.lost = False
+        #: Monotonic time of the next reconnect attempt, if scheduled.
+        self.retry_at: float | None = None
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    @property
+    def idle(self) -> bool:
+        return self.sock is not None and self.lease is None
+
+
+class _JobState:
+    """Coordinator-side state of one wave job."""
+
+    def __init__(self, job: SimJob, digest: str) -> None:
+        self.job = job
+        self.digest = digest
+        self.done = False
+        #: Lease grants so far (including speculative ones).
+        self.dispatches = 0
+        #: Worker-*reported* execution errors (the job itself failing).
+        self.failures = 0
+        #: Backoff gate: not dispatchable before this monotonic time.
+        self.not_before = 0.0
+        self.speculated = False
+        #: Live leases (2 while a speculative duplicate runs).
+        self.active = 0
+
+
+class DistributedBackend(ExecutionBackend):
+    """Lease digest-keyed jobs to remote workers; survive their deaths.
+
+    See the module docstring for the robustness model.  The backend is
+    restartable: :meth:`start` re-handshakes (reconnecting lost and
+    previously skipped workers) and :meth:`shutdown` sends each
+    connected worker a farewell ``quit`` — so one instance serves every
+    point of a sweep.
+
+    Args:
+        workers: worker addresses (``host:port`` strings); see
+            :func:`parse_workers` for the CLI comma form.
+        coordinator: robustness knobs (:class:`CoordinatorConfig`).
+        on_event: optional callable receiving every structured
+            worker-lifecycle :class:`~repro.telemetry.log.ResilienceEvent`
+            as it is emitted (the CLI prints these live); the same
+            events accumulate on :attr:`events` regardless.
+    """
+
+    label = "distributed"
+
+    def __init__(
+        self,
+        workers: Sequence[str],
+        coordinator: CoordinatorConfig | None = None,
+        on_event: Callable[[ResilienceEvent], None] | None = None,
+    ) -> None:
+        if not workers:
+            raise ValueError("at least one worker address is required")
+        self.coordinator = (
+            coordinator if coordinator is not None else CoordinatorConfig()
+        )
+        self.on_event = on_event
+        self.events = ResilienceEventLog()
+        self._t0 = time.monotonic()
+        self._rng = random.Random(self.coordinator.seed)
+        resilience = ResilienceConfig(
+            max_retries=self.coordinator.max_retries,
+            backoff_cycles=1,
+            backoff_factor=self.coordinator.backoff_factor,
+        )
+        self._links = [
+            _WorkerLink(i, *_split_address(addr), ClientHealth(resilience))
+            for i, addr in enumerate(workers)
+        ]
+        self._config: ExperimentConfig | None = None
+        self._config_doc: dict | None = None
+
+    @property
+    def workers(self) -> int:
+        return len(self._links)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self, config: ExperimentConfig) -> None:
+        changed = self._config is not None and config != self._config
+        self._config = config
+        self._config_doc = config.to_doc()
+        for link in self._links:
+            link.skipped = False
+            link.lost = False
+            link.retry_at = None
+            if link.sock is not None and changed:
+                # The live session holds the old config; re-handshake.
+                self._close_link(link, farewell=True)
+            if link.sock is not None:
+                continue
+            reason = self._connect(link)
+            if reason is None:
+                if link.health.quarantined:
+                    link.health.rejoin()
+                    self._emit(
+                        "worker_rejoined", node_id=link.index,
+                        detail=link.address,
+                    )
+                else:
+                    self._emit(
+                        "worker_joined", node_id=link.index,
+                        detail=link.address,
+                    )
+            else:
+                link.skipped = True
+                self._emit(
+                    "worker_skipped", node_id=link.index,
+                    detail=f"{link.address}: {reason}",
+                )
+
+    def shutdown(self) -> None:
+        for link in self._links:
+            self._close_link(link, farewell=True)
+
+    def _close_link(self, link: _WorkerLink, farewell: bool = False) -> None:
+        if link.sock is None:
+            return
+        if farewell:
+            try:
+                send_doc(link.sock, {"type": "quit"})
+            except OSError:
+                pass
+        try:
+            link.sock.close()
+        except OSError:
+            pass
+        link.sock = None
+        link.lease = None
+
+    def _connect(self, link: _WorkerLink) -> str | None:
+        """Dial + handshake one worker; returns a failure reason or None."""
+        from repro import __version__
+
+        assert self._config_doc is not None, "start() was not called"
+        try:
+            sock = socket.create_connection(
+                (link.host, link.port),
+                timeout=self.coordinator.connect_timeout_s,
+            )
+        except OSError as exc:
+            return f"connect failed: {exc}"
+        try:
+            ready = recv_doc(sock)
+            if not isinstance(ready, dict) or ready.get("type") != "ready":
+                sock.close()
+                return "no ready announcement"
+            if ready.get("version") != __version__:
+                sock.close()
+                return (
+                    f"version skew (worker {ready.get('version')!r}, "
+                    f"coordinator {__version__!r})"
+                )
+            send_doc(
+                sock,
+                {
+                    "type": "hello",
+                    "version": __version__,
+                    "heartbeat_s": self.coordinator.heartbeat_s,
+                },
+            )
+            send_doc(sock, {"type": "config", "config": self._config_doc})
+            ack = recv_doc(sock)
+            if not isinstance(ack, dict) or ack.get("type") != "config_ok":
+                sock.close()
+                detail = (ack or {}).get("error", "no config_ok")
+                return f"config rejected: {detail}"
+        except (OSError, FrameError) as exc:
+            sock.close()
+            return f"handshake failed: {exc}"
+        sock.settimeout(self.coordinator.connect_timeout_s)
+        link.sock = sock
+        link.assembler = FrameAssembler()
+        link.lease = None
+        return None
+
+    # ------------------------------------------------------------------
+    # Event + failure plumbing
+    # ------------------------------------------------------------------
+
+    def _emit(
+        self, kind: str, node_id: int | None = None, detail: str = ""
+    ) -> ResilienceEvent:
+        event = self.events.emit(
+            time.monotonic() - self._t0, kind, node_id=node_id, detail=detail
+        )
+        if self.on_event is not None:
+            self.on_event(event)
+        return event
+
+    def _worker_failure(self, link: _WorkerLink, reason: str) -> None:
+        """Quarantine (or lose) a worker; schedules its reconnect."""
+        self._close_link(link)
+        coord = self.coordinator
+        if link.health.record_failure() is HealthState.DEAD:
+            link.retry_at = None
+            link.lost = True
+            self._emit(
+                "worker_lost", node_id=link.index,
+                detail=(
+                    f"{link.address}: {reason} (failure "
+                    f"{link.health.consecutive_failures}, giving up)"
+                ),
+            )
+            return
+        k = link.health.consecutive_failures
+        delay = coord.retry_backoff_s * coord.backoff_factor ** (
+            k - 1
+        ) + self._rng.uniform(0.0, coord.jitter_s)
+        link.retry_at = time.monotonic() + delay
+        self._emit(
+            "worker_quarantined", node_id=link.index,
+            detail=f"{link.address}: {reason}; reconnect in {delay:.2f}s",
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def execute(
+        self, items: Sequence[tuple[SimJob, str]]
+    ) -> Iterator[tuple[SimJob, dict, float]]:
+        if not items:
+            return
+        assert self._config is not None, "start() was not called"
+        coord = self.coordinator
+        config = self._config
+        states = {digest: _JobState(job, digest) for job, digest in items}
+        pending: list[_JobState] = list(states.values())
+        walls: list[float] = []
+        completed: list[tuple[SimJob, dict, float]] = []
+
+        def _run_local(state: _JobState, why: str) -> None:
+            self._emit(
+                "backend_degraded",
+                detail=f"{state.job.key} running locally ({why})",
+            )
+            t0 = time.perf_counter()
+            result = execute_job(config, state.job)
+            state.done = True
+            completed.append(
+                (state.job, encode_result(result), time.perf_counter() - t0)
+            )
+
+        def _requeue(state: _JobState, why: str) -> None:
+            k = max(1, state.dispatches)
+            delay = coord.retry_backoff_s * coord.backoff_factor ** (
+                k - 1
+            ) + self._rng.uniform(0.0, coord.jitter_s)
+            state.not_before = time.monotonic() + delay
+            pending.append(state)
+            self._emit(
+                "lease_redispatched",
+                detail=(
+                    f"{state.job.key}: {why}; eligible again in {delay:.2f}s"
+                ),
+            )
+
+        def _fail_link(link: _WorkerLink, reason: str) -> None:
+            lease = link.lease
+            self._worker_failure(link, reason)
+            if lease is None:
+                return
+            state = states.get(lease.digest)
+            if state is None:
+                return
+            state.active -= 1
+            if not state.done and state.active == 0:
+                _requeue(state, f"worker failure: {reason}")
+
+        def _grant(
+            link: _WorkerLink, state: _JobState, speculative: bool = False
+        ) -> bool:
+            assert link.sock is not None
+            try:
+                send_doc(
+                    link.sock,
+                    {
+                        "type": "job",
+                        "digest": state.digest,
+                        "tokens": list(state.job.tokens),
+                        "key": state.job.key,
+                    },
+                )
+            except OSError as exc:
+                _fail_link(link, f"dispatch failed: {exc}")
+                return False
+            now = time.monotonic()
+            link.lease = _Lease(
+                state.digest, now, now + coord.lease_timeout_s, speculative
+            )
+            state.active += 1
+            state.dispatches += 1
+            tag = " (speculative)" if speculative else ""
+            self._emit(
+                "lease_granted", node_id=link.index,
+                detail=f"{state.job.key} -> {link.address}{tag}",
+            )
+            return True
+
+        def _speculate(idle: list[_WorkerLink], now: float) -> None:
+            threshold = coord.speculation_min_s
+            if walls:
+                threshold = max(
+                    threshold,
+                    coord.speculation_factor * statistics.median(walls),
+                )
+            for link in self._links:
+                if not idle:
+                    return
+                lease = link.lease
+                if lease is None or lease.speculative:
+                    continue
+                state = states.get(lease.digest)
+                if state is None or state.done or state.speculated:
+                    continue
+                if now - lease.granted_at < threshold:
+                    continue
+                backup = idle.pop(0)
+                state.speculated = True
+                self._emit(
+                    "job_speculated", node_id=backup.index,
+                    detail=(
+                        f"{state.job.key}: no result after "
+                        f"{now - lease.granted_at:.1f}s on {link.address}; "
+                        f"backup on {backup.address}"
+                    ),
+                )
+                _grant(backup, state, speculative=True)
+
+        def _dispatch() -> None:
+            while True:
+                now = time.monotonic()
+                idle = [link for link in self._links if link.idle]
+                if not idle:
+                    return
+                pending[:] = [s for s in pending if not s.done]
+                eligible = [
+                    i for i, s in enumerate(pending) if s.not_before <= now
+                ]
+                if not eligible:
+                    _speculate(idle, now)
+                    return
+                state = pending.pop(eligible[0])
+                if state.dispatches > coord.max_retries:
+                    if not coord.local_fallback:
+                        raise RuntimeError(
+                            f"job {state.job.key} exhausted "
+                            f"{state.dispatches} leases and local fallback "
+                            "is disabled"
+                        )
+                    _run_local(
+                        state, f"after {state.dispatches} forfeited leases"
+                    )
+                    continue
+                if not any(_grant(link, state) for link in idle):
+                    pending.append(state)
+
+        def _handle(link: _WorkerLink, doc: dict) -> None:
+            kind = doc.get("type")
+            digest = str(doc.get("digest", ""))
+            if kind == "heartbeat":
+                lease = link.lease
+                if lease is not None and lease.digest == digest:
+                    lease.deadline = time.monotonic() + coord.lease_timeout_s
+                return
+            if kind == "error":
+                if link.lease is not None and link.lease.digest == digest:
+                    link.lease = None
+                state = states.get(digest)
+                if state is None or state.done:
+                    return
+                state.active -= 1
+                state.failures += 1
+                msg = str(doc.get("error", ""))
+                self._emit(
+                    "worker_result_invalid", node_id=link.index,
+                    detail=f"{state.job.key}: worker error: {msg}",
+                )
+                if state.failures >= coord.max_retries:
+                    raise RuntimeError(
+                        f"job {state.job.key} failed on remote workers "
+                        f"{state.failures} times; last error: {msg}"
+                    )
+                if state.active == 0:
+                    _requeue(state, f"worker error: {msg}")
+                return
+            if kind != "result":
+                return
+            if link.lease is not None and link.lease.digest == digest:
+                link.lease = None
+            state = states.get(digest)
+            if state is None:
+                self._emit(
+                    "worker_result_invalid", node_id=link.index,
+                    detail=f"result for unknown digest {digest[:12]}",
+                )
+                return
+            if state.done:
+                state.active -= 1
+                self._emit(
+                    "duplicate_discarded", node_id=link.index,
+                    detail=f"{state.job.key} from {link.address}",
+                )
+                return
+            payload = doc.get("payload")
+            valid = (
+                isinstance(payload, dict)
+                and doc.get("payload_sha256") == _payload_sha256(payload)
+            )
+            if valid:
+                try:
+                    decode_result(payload)
+                except (KeyError, TypeError, ValueError):
+                    valid = False
+            if not valid:
+                state.active -= 1
+                self._emit(
+                    "worker_result_invalid", node_id=link.index,
+                    detail=f"{state.job.key}: corrupt result payload",
+                )
+                _fail_link(link, "sent a corrupt result")
+                if not state.done and state.active == 0:
+                    _requeue(state, "corrupt result")
+                return
+            state.active -= 1
+            state.done = True
+            link.health.record_success()
+            wall = float(doc.get("wall_s", 0.0))
+            walls.append(wall)
+            completed.append((state.job, payload, wall))
+
+        def _check_leases() -> None:
+            now = time.monotonic()
+            for link in self._links:
+                lease = link.lease
+                if lease is None or link.sock is None:
+                    continue
+                if now < lease.deadline:
+                    continue
+                state = states.get(lease.digest)
+                key = state.job.key if state is not None else lease.digest[:12]
+                self._emit(
+                    "lease_expired", node_id=link.index,
+                    detail=(
+                        f"{key} on {link.address}: no heartbeat within "
+                        f"{coord.lease_timeout_s:.1f}s"
+                    ),
+                )
+                _fail_link(link, "lease expired")
+
+        def _reconnects() -> None:
+            now = time.monotonic()
+            for link in self._links:
+                if (
+                    link.sock is not None
+                    or link.retry_at is None
+                    or now < link.retry_at
+                ):
+                    continue
+                link.retry_at = None
+                reason = self._connect(link)
+                if reason is None:
+                    link.health.rejoin()
+                    self._emit(
+                        "worker_rejoined", node_id=link.index,
+                        detail=link.address,
+                    )
+                else:
+                    self._worker_failure(link, reason)
+
+        def _pump(timeout: float) -> None:
+            socks = {
+                link.sock: link
+                for link in self._links
+                if link.sock is not None
+            }
+            if not socks:
+                time.sleep(timeout)
+                return
+            ready, _, _ = select.select(list(socks), [], [], timeout)
+            for sock in ready:
+                link = socks[sock]
+                if link.sock is not sock:
+                    continue  # Closed while handling an earlier sock.
+                try:
+                    data = sock.recv(_RECV_BYTES)
+                except OSError as exc:
+                    _fail_link(link, f"recv failed: {exc}")
+                    continue
+                if not data:
+                    _fail_link(link, "connection closed by worker")
+                    continue
+                try:
+                    docs = link.assembler.feed(data)
+                except FrameError as exc:
+                    _fail_link(link, f"protocol error: {exc}")
+                    continue
+                for doc in docs:
+                    _handle(link, doc)
+                    if link.sock is None:
+                        break
+
+        while True:
+            while completed:
+                yield completed.pop(0)
+            if all(state.done for state in states.values()):
+                return
+            if not any(
+                link.sock is not None or link.retry_at is not None
+                for link in self._links
+            ):
+                todo = [s for s in states.values() if not s.done]
+                if not coord.local_fallback:
+                    raise RuntimeError(
+                        f"all remote workers lost with {len(todo)} job(s) "
+                        "outstanding and local fallback disabled"
+                    )
+                self._emit(
+                    "backend_degraded",
+                    detail=(
+                        f"all workers lost; running {len(todo)} remaining "
+                        "job(s) locally"
+                    ),
+                )
+                for state in todo:
+                    t0 = time.perf_counter()
+                    result = execute_job(config, state.job)
+                    state.done = True
+                    yield (
+                        state.job,
+                        encode_result(result),
+                        time.perf_counter() - t0,
+                    )
+                return
+            _reconnects()
+            _dispatch()
+            _check_leases()
+            _pump(_POLL_S)

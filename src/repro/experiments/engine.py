@@ -12,9 +12,15 @@ throughput layer every figure/table/campaign entry point sits on:
 * :class:`ResultCache` — an on-disk store of finished job payloads, one
   JSON record per digest, checksummed so corrupted or stale entries are
   detected and re-simulated rather than trusted.
+* :class:`ExecutionBackend` — the pluggable execution strategy one wave of
+  uncached jobs runs on.  :class:`LocalPoolBackend` is the in-machine
+  implementation (a ``ProcessPoolExecutor`` with chunked dispatch that
+  survives a worker segfault by rebuilding the pool once);
+  :class:`~repro.experiments.distributed.DistributedBackend` leases jobs
+  to remote workers over TCP.
 * :class:`ExperimentEngine` — runs a :class:`~repro.experiments.jobs.JobGraph`
-  wave by wave over a ``ProcessPoolExecutor`` with chunked dispatch,
-  per-job wall timing, cache short-circuiting, and a progress/ETA callback.
+  wave by wave over a backend with per-job wall timing, cache
+  short-circuiting, and a progress/ETA callback.
 
 Results are bit-identical to the sequential in-process path: every job
 derives its own seed from the campaign seed (independent of scheduling),
@@ -26,13 +32,15 @@ order regardless of completion order.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Callable, Iterable, Union
+from typing import Callable, Iterable, Iterator, Sequence, Union
 
 from repro.experiments.harness import (
     ExperimentConfig,
@@ -41,13 +49,16 @@ from repro.experiments.harness import (
     ReferenceStats,
 )
 from repro.experiments.jobs import JobGraph, SimJob
+from repro.telemetry.log import ResilienceEventLog
 
 __all__ = [
     "CACHE_FORMAT",
     "EngineTelemetry",
+    "ExecutionBackend",
     "ExperimentEngine",
     "JobResult",
     "JobTiming",
+    "LocalPoolBackend",
     "ProgressFn",
     "ResultCache",
     "job_digest",
@@ -147,6 +158,11 @@ class ResultCache:
     object's lifetime; the engine folds them into its telemetry.
     """
 
+    #: Distinguishes concurrent writers' temp files within one process;
+    #: combined with the pid it makes every ``store()`` call's temp file
+    #: unique, so same-digest racers never clobber each other's staging.
+    _tmp_counter = itertools.count()
+
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
@@ -157,6 +173,22 @@ class ResultCache:
     def path(self, digest: str) -> Path:
         """On-disk location of one record."""
         return self.root / f"{digest}.json"
+
+    @staticmethod
+    def _verified_payload(digest: str, doc: object) -> dict | None:
+        """The payload of a record document iff it fully verifies."""
+        if not isinstance(doc, dict):
+            return None
+        payload = doc.get("payload")
+        if (
+            doc.get("format") != CACHE_FORMAT
+            or doc.get("digest") != digest
+            or not isinstance(payload, dict)
+            or doc.get("payload_sha256")
+            != hashlib.sha256(_canonical(payload).encode()).hexdigest()
+        ):
+            return None
+        return payload
 
     def load(self, digest: str) -> dict | None:
         """Verified payload for ``digest``, or None (miss / invalid)."""
@@ -169,21 +201,24 @@ class ResultCache:
         except (OSError, ValueError):
             self.invalid += 1
             return None
-        payload = doc.get("payload")
-        if (
-            doc.get("format") != CACHE_FORMAT
-            or doc.get("digest") != digest
-            or not isinstance(payload, dict)
-            or doc.get("payload_sha256")
-            != hashlib.sha256(_canonical(payload).encode()).hexdigest()
-        ):
+        payload = self._verified_payload(digest, doc)
+        if payload is None:
             self.invalid += 1
             return None
         self.hits += 1
         return payload
 
     def store(self, digest: str, key: str, payload: dict) -> None:
-        """Atomically persist one record (write-temp + rename)."""
+        """Atomically persist one record (write-temp + rename).
+
+        Safe under concurrent same-digest writers (two workers finishing
+        the same job): each call stages to its own unique temp file, and
+        a failed final rename (Windows can refuse to replace a file
+        another process holds open) is tolerated when a verified record
+        for the digest survived — jobs are idempotent, so any writer's
+        record is equivalent.  The temp file is removed on every path,
+        including interrupts, so a killed run leaves no staging debris.
+        """
         doc = {
             "format": CACHE_FORMAT,
             "digest": digest,
@@ -194,9 +229,21 @@ class ResultCache:
             ).hexdigest(),
         }
         path = self.path(digest)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(doc, indent=1), encoding="utf-8")
-        os.replace(tmp, path)
+        tmp = self.root / (
+            f"{digest}.{os.getpid()}.{next(self._tmp_counter)}.tmp"
+        )
+        try:
+            tmp.write_text(json.dumps(doc, indent=1), encoding="utf-8")
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                existing = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                existing = None
+            if self._verified_payload(digest, existing) is None:
+                raise
+        finally:
+            tmp.unlink(missing_ok=True)
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*.json"))
@@ -232,12 +279,16 @@ class EngineTelemetry:
     """What one engine run did: worker count, cache traffic, per-job walls.
 
     Attributes:
-        workers: process-pool size used (1 = inline, no pool).
+        workers: execution parallelism — process-pool size for the local
+            backend (1 = inline, no pool), configured worker count for
+            the distributed backend.
         n_jobs: total jobs in the deduplicated graph.
         cache_hits / cache_misses / cache_invalid: persistent-cache traffic
             of this run (all zero when no cache was attached).
         total_wall_s: end-to-end wall time of the engine run.
         job_timings: per-job wall time and cache provenance, graph order.
+        backend: label of the execution backend that ran the jobs
+            (``"local"`` or ``"distributed"``).
     """
 
     workers: int
@@ -247,6 +298,7 @@ class EngineTelemetry:
     cache_invalid: int
     total_wall_s: float
     job_timings: tuple[JobTiming, ...] = ()
+    backend: str = "local"
 
     def to_doc(self) -> dict:
         doc = asdict(self)
@@ -265,6 +317,7 @@ class EngineTelemetry:
             job_timings=tuple(
                 JobTiming.from_doc(t) for t in doc.get("job_timings", ())
             ),
+            backend=str(doc.get("backend", "local")),
         )
 
 
@@ -306,20 +359,180 @@ def _pool_run(job: SimJob) -> tuple[SimJob, dict, float]:
 
 
 # ---------------------------------------------------------------------------
+# Execution backends
+# ---------------------------------------------------------------------------
+
+
+class ExecutionBackend:
+    """Strategy interface: how one wave of uncached jobs gets executed.
+
+    The engine owns *what* runs (graph, cache, telemetry assembly); a
+    backend owns *where* it runs.  Contract:
+
+    * :meth:`start` is called once per engine run, before the first wave,
+      with the campaign configuration; backends must be restartable
+      (``start`` after ``shutdown`` revives the backend), so one backend
+      instance can serve several engine runs — e.g. every point of a
+      sweep.
+    * :meth:`execute` receives one wave's ``(job, digest)`` pairs and
+      yields ``(job, encoded payload, wall seconds)`` in any order;
+      results must be bit-identical to :func:`execute_job` run inline.
+    * :meth:`shutdown` releases execution resources (idempotent); the
+      engine calls it in a ``finally``, so an interrupted campaign never
+      leaks worker processes.
+    * ``events`` collects structured worker-lifecycle telemetry
+      (:data:`~repro.telemetry.log.WORKER_EVENT_KINDS`) — no retry,
+      re-dispatch, or degradation happens silently.
+    """
+
+    #: Telemetry label of this execution strategy.
+    label = "?"
+
+    events: ResilienceEventLog
+
+    @property
+    def workers(self) -> int:
+        """Degree of parallelism, for telemetry."""
+        raise NotImplementedError
+
+    def start(self, config: ExperimentConfig) -> None:
+        """Bind the backend to one campaign configuration."""
+        raise NotImplementedError
+
+    def execute(
+        self, items: Sequence[tuple[SimJob, str]]
+    ) -> Iterator[tuple[SimJob, dict, float]]:
+        """Run one wave's uncached jobs; yield results as they finish."""
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Release execution resources (idempotent, revivable)."""
+        raise NotImplementedError
+
+
+class LocalPoolBackend(ExecutionBackend):
+    """In-machine execution over a reused ``ProcessPoolExecutor``.
+
+    Args:
+        jobs: worker-process count; 1 executes inline (no pool, no pickle
+            round trip) and is the bit-identity baseline every other
+            execution path is tested against.
+
+    A worker process dying mid-wave (segfault, OOM kill) breaks the whole
+    executor — ``BrokenProcessPool`` — and used to abort the campaign.
+    The backend absorbs one such failure per wave: it reaps the broken
+    pool, builds a fresh one, emits a ``pool_rebuilt`` event, and re-runs
+    the wave's not-yet-delivered jobs (idempotent, so a re-run is safe).
+    A second break in the same wave propagates — that is a systematically
+    crashing job, not a flaky worker.
+    """
+
+    label = "local"
+
+    def __init__(self, jobs: int = 1) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.events = ResilienceEventLog()
+        self._config: ExperimentConfig | None = None
+        self._pool: ProcessPoolExecutor | None = None
+        self._t0 = time.monotonic()
+
+    @property
+    def workers(self) -> int:
+        return self.jobs
+
+    def start(self, config: ExperimentConfig) -> None:
+        if self._config is not None and config != self._config:
+            # The pool's initializer shipped the old config; a live pool
+            # would run new jobs under it.
+            self.shutdown()
+        self._config = config
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        # One pool serves every wave of a run (the engine shuts it down):
+        # respawning workers per wave would pay the fork + import cost at
+        # each dependency barrier.
+        if self._pool is None:
+            assert self._config is not None, "start() was not called"
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_pool_init,
+                initargs=(self._config,),
+            )
+        return self._pool
+
+    def execute(
+        self, items: Sequence[tuple[SimJob, str]]
+    ) -> Iterator[tuple[SimJob, dict, float]]:
+        jobs = [job for job, _ in items]
+        if not jobs:
+            return
+        assert self._config is not None, "start() was not called"
+        if self.jobs == 1 or (len(jobs) == 1 and self._pool is None):
+            for job in jobs:
+                t0 = time.perf_counter()
+                result = execute_job(self._config, job)
+                yield job, encode_result(result), time.perf_counter() - t0
+            return
+        remaining = jobs
+        for attempt in (1, 2):
+            pool = self._ensure_pool()
+            # Chunked dispatch: a handful of chunks per worker amortizes
+            # the pickle/IPC round trip while keeping the tail balanced.
+            chunksize = max(1, len(remaining) // (self.jobs * 4))
+            delivered = 0
+            try:
+                for out in pool.map(
+                    _pool_run, remaining, chunksize=chunksize
+                ):
+                    delivered += 1
+                    yield out
+                return
+            except BrokenProcessPool:
+                self._pool = None
+                pool.shutdown(wait=True, cancel_futures=True)
+                remaining = remaining[delivered:]
+                if attempt == 2:
+                    raise
+                self.events.emit(
+                    time.monotonic() - self._t0,
+                    "pool_rebuilt",
+                    detail=(
+                        f"worker process died; re-running "
+                        f"{len(remaining)} undelivered job(s) on a "
+                        "fresh pool"
+                    ),
+                )
+
+
+# ---------------------------------------------------------------------------
 # The engine
 # ---------------------------------------------------------------------------
 
 
 class ExperimentEngine:
-    """Fan a job graph out over worker processes, through the cache.
+    """Fan a job graph out over an execution backend, through the cache.
 
     Args:
         config: campaign configuration every job runs under.
-        jobs: worker-process count; 1 executes inline (no pool, no pickle
-            round trip) and is the bit-identity baseline the parallel path
-            is tested against.
-        cache: optional :class:`ResultCache`; hits skip simulation
+        jobs: worker-process count for the default local backend; 1
+            executes inline (no pool, no pickle round trip) and is the
+            bit-identity baseline the parallel paths are tested against.
+            Ignored when ``backend`` is given.
+        cache: optional :class:`ResultCache`; hits skip execution
             entirely, fresh results are persisted as soon as they arrive.
+        backend: optional :class:`ExecutionBackend` replacing the local
+            pool (e.g. a
+            :class:`~repro.experiments.distributed.DistributedBackend`).
+            The engine starts it per run and shuts it down afterwards;
+            backends are restartable, so the same instance may serve
+            several runs.
     """
 
     def __init__(
@@ -327,14 +540,22 @@ class ExperimentEngine:
         config: ExperimentConfig,
         jobs: int = 1,
         cache: ResultCache | None = None,
+        backend: ExecutionBackend | None = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.config = config
         self.jobs = jobs
         self.cache = cache
+        self.backend = backend if backend is not None else LocalPoolBackend(
+            jobs
+        )
         self.last_telemetry: EngineTelemetry | None = None
-        self._pool: ProcessPoolExecutor | None = None
+
+    @property
+    def events(self) -> ResilienceEventLog:
+        """The backend's structured worker-lifecycle event log."""
+        return self.backend.events
 
     def run(
         self,
@@ -344,8 +565,9 @@ class ExperimentEngine:
         """Execute a job set; returns every job's result, cache-merged.
 
         Jobs are deduplicated, closed over prerequisites, topologically
-        layered into waves, and each wave is dispatched in chunks over the
-        pool.  Per-job wall times are measured inside the workers.
+        layered into waves, and each wave's uncached jobs are handed to
+        the execution backend.  Per-job wall times are measured where the
+        job ran.
         """
         graph = JobGraph(jobs)
         total = len(graph)
@@ -364,15 +586,12 @@ class ExperimentEngine:
                 eta = elapsed / done * (total - done) if done else 0.0
                 progress(done, total, job, wall_s, cached, eta)
 
+        self.backend.start(self.config)
         try:
             for wave in graph.waves():
                 pending: list[tuple[SimJob, str]] = []
                 for job in wave:
-                    digest = (
-                        job_digest(self.config, job)
-                        if self.cache is not None
-                        else ""
-                    )
+                    digest = job_digest(self.config, job)
                     payload = (
                         self.cache.load(digest)
                         if self.cache is not None
@@ -392,25 +611,24 @@ class ExperimentEngine:
                     else:
                         pending.append((job, digest))
                 digests = dict(pending)
-                for job, payload, wall_s in self._execute(list(digests)):
+                for job, payload, wall_s in self.backend.execute(pending):
                     results[job] = decode_result(payload)
                     if self.cache is not None:
                         self.cache.store(digests[job], job.key, payload)
                     _finish(job, wall_s, cached=False)
         finally:
-            if self._pool is not None:
-                self._pool.shutdown()
-                self._pool = None
+            self.backend.shutdown()
 
         hits1, misses1, invalid1 = self._cache_counters()
         self.last_telemetry = EngineTelemetry(
-            workers=self.jobs,
+            workers=self.backend.workers,
             n_jobs=total,
             cache_hits=hits1 - hits0,
             cache_misses=misses1 - misses0,
             cache_invalid=invalid1 - invalid0,
             total_wall_s=time.perf_counter() - t_start,
             job_timings=tuple(timings[j] for j in graph),
+            backend=self.backend.label,
         )
         return results
 
@@ -420,29 +638,3 @@ class ExperimentEngine:
         if self.cache is None:
             return (0, 0, 0)
         return (self.cache.hits, self.cache.misses, self.cache.invalid)
-
-    def _execute(
-        self, jobs: list[SimJob]
-    ) -> Iterable[tuple[SimJob, dict, float]]:
-        """Run one wave's uncached jobs, yielding in submission order."""
-        if not jobs:
-            return
-        if self.jobs == 1 or (len(jobs) == 1 and self._pool is None):
-            for job in jobs:
-                t0 = time.perf_counter()
-                result = execute_job(self.config, job)
-                yield job, encode_result(result), time.perf_counter() - t0
-            return
-        # One pool serves every wave of the run (run() shuts it down):
-        # respawning workers per wave would pay the fork + import cost at
-        # each dependency barrier.
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.jobs,
-                initializer=_pool_init,
-                initargs=(self.config,),
-            )
-        # Chunked dispatch: a handful of chunks per worker amortizes the
-        # pickle/IPC round trip while keeping the tail balanced.
-        chunksize = max(1, len(jobs) // (self.jobs * 4))
-        yield from self._pool.map(_pool_run, jobs, chunksize=chunksize)

@@ -95,6 +95,26 @@ class SimJob:
             return ("reference", self.workload_a)
         return (self.kind, self.workload_a, self.workload_b, self.manager)
 
+    @classmethod
+    def from_tokens(cls, tokens: "tuple[str, ...] | list[str]") -> "SimJob":
+        """Reconstruct a job from its :attr:`tokens` (the wire form).
+
+        Raises:
+            ValueError: token tuple of the wrong arity or content
+                (validation runs in ``__post_init__``).
+        """
+        tokens = tuple(str(t) for t in tokens)
+        if len(tokens) == 2 and tokens[0] == "reference":
+            return cls(kind="reference", workload_a=tokens[1])
+        if len(tokens) == 4:
+            return cls(
+                kind=tokens[0],
+                workload_a=tokens[1],
+                workload_b=tokens[2],
+                manager=tokens[3],
+            )
+        raise ValueError(f"malformed job tokens {tokens!r}")
+
     def prerequisites(self) -> tuple["SimJob", ...]:
         """Jobs whose results this job's *evaluation* normalizes against.
 

@@ -23,6 +23,62 @@ from repro.experiments.harness import ExperimentConfig, ExperimentHarness
 __all__ = ["SweepPoint", "budget_sweep", "noise_sweep"]
 
 
+def _point_evaluations(
+    point_config: ExperimentConfig,
+    pair: tuple[str, str],
+    managers: tuple[str, ...],
+    cache: object | None,
+    jobs: int,
+    backend: object | None,
+) -> dict:
+    """Evaluate one sweep point's managers, sequentially or engine-fanned.
+
+    The engine path (``jobs != 1`` or an explicit backend) runs every
+    manager's simulations through one
+    :class:`~repro.experiments.engine.ExperimentEngine` run — references
+    and the baseline are shared across managers — and is bit-identical
+    to the sequential harness path.
+    """
+    from repro.experiments.harness import evaluate_outcome
+
+    if jobs == 1 and backend is None:
+        harness = ExperimentHarness(point_config, cache=cache)
+        return {
+            manager: harness.evaluate_pair(pair[0], pair[1], manager)
+            for manager in managers
+        }
+    from repro.experiments.engine import ExperimentEngine
+    from repro.experiments.jobs import (
+        baseline_job,
+        evaluation_jobs,
+        pair_job,
+        reference_job,
+    )
+
+    engine = ExperimentEngine(
+        point_config, jobs=jobs, cache=cache, backend=backend
+    )
+    sim_jobs = []
+    for manager in managers:
+        sim_jobs.extend(evaluation_jobs(pair[0], pair[1], manager))
+    results = engine.run(sim_jobs)
+    a, b = pair
+    baseline = results[baseline_job(a, b)]
+    ref_a = results[reference_job(a)]
+    ref_b = results[reference_job(b)]
+    return {
+        manager: evaluate_outcome(
+            baseline,
+            baseline
+            if manager == "constant"
+            else results[pair_job(a, b, manager)],
+            ref_a,
+            ref_b,
+        )
+        for manager in managers
+    }
+
+
 @dataclass(frozen=True)
 class SweepPoint:
     """One (parameter value, manager) measurement of a sweep.
@@ -47,6 +103,8 @@ def budget_sweep(
     budget_fractions: tuple[float, ...] = (0.5, 0.6, 2 / 3, 0.8, 0.9),
     managers: tuple[str, ...] = ("slurm", "dps"),
     cache: object | None = None,
+    jobs: int = 1,
+    backend: object | None = None,
 ) -> list[SweepPoint]:
     """Compare managers across cluster budget fractions.
 
@@ -61,6 +119,11 @@ def budget_sweep(
         managers: managers evaluated at each point.
         cache: optional persistent result cache shared by every point
             (each point's config replaces knobs, so digests stay distinct).
+        jobs: engine worker-process count per point; 1 runs the
+            sequential harness path (bit-identical either way).
+        backend: optional
+            :class:`~repro.experiments.engine.ExecutionBackend` shared
+            by every point (the engine restarts it per point).
 
     Returns:
         One :class:`SweepPoint` per (fraction, manager), sweep order.
@@ -81,11 +144,16 @@ def budget_sweep(
             budget_fraction=fraction,
             idle_power_w=config.cluster.idle_power_w,
         )
-        harness = ExperimentHarness(
-            dataclasses.replace(config, cluster=cluster), cache=cache
+        evals = _point_evaluations(
+            dataclasses.replace(config, cluster=cluster),
+            pair,
+            managers,
+            cache,
+            jobs,
+            backend,
         )
         for manager in managers:
-            ev = harness.evaluate_pair(pair[0], pair[1], manager)
+            ev = evals[manager]
             points.append(
                 SweepPoint(
                     parameter=fraction,
@@ -103,6 +171,8 @@ def noise_sweep(
     noise_stds_w: tuple[float, ...] = (0.0, 1.5, 4.0, 8.0, 16.0),
     managers: tuple[str, ...] = ("slurm", "dps"),
     cache: object | None = None,
+    jobs: int = 1,
+    backend: object | None = None,
 ) -> list[SweepPoint]:
     """Compare managers across RAPL measurement-noise levels.
 
@@ -112,6 +182,11 @@ def noise_sweep(
         noise_stds_w: Gaussian measurement-noise standard deviations.
         managers: managers evaluated at each point.
         cache: optional persistent result cache shared by every point.
+        jobs: engine worker-process count per point; 1 runs the
+            sequential harness path (bit-identical either way).
+        backend: optional
+            :class:`~repro.experiments.engine.ExecutionBackend` shared
+            by every point (the engine restarts it per point).
 
     Returns:
         One :class:`SweepPoint` per (noise, manager), sweep order.
@@ -127,11 +202,16 @@ def noise_sweep(
             lag_tau_s=config.rapl.lag_tau_s,
             counter_wrap_uj=config.rapl.counter_wrap_uj,
         )
-        harness = ExperimentHarness(
-            dataclasses.replace(config, rapl=rapl), cache=cache
+        evals = _point_evaluations(
+            dataclasses.replace(config, rapl=rapl),
+            pair,
+            managers,
+            cache,
+            jobs,
+            backend,
         )
         for manager in managers:
-            ev = harness.evaluate_pair(pair[0], pair[1], manager)
+            ev = evals[manager]
             points.append(
                 SweepPoint(
                     parameter=noise,

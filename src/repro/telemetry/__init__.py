@@ -18,6 +18,7 @@ from repro.telemetry.export import (
 from repro.telemetry.log import (
     CYCLE_PHASES,
     RESILIENCE_EVENT_KINDS,
+    WORKER_EVENT_KINDS,
     CyclePhaseTimings,
     CycleTimingLog,
     ResilienceEvent,
@@ -31,6 +32,7 @@ __all__ = [
     "CycleTimingLog",
     "PhaseSegment",
     "RESILIENCE_EVENT_KINDS",
+    "WORKER_EVENT_KINDS",
     "ResilienceEvent",
     "ResilienceEventLog",
     "TelemetryLog",

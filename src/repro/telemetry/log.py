@@ -22,6 +22,7 @@ __all__ = [
     "RESILIENCE_EVENT_KINDS",
     "RECOVERY_EVENT_KINDS",
     "SAFETY_EVENT_KINDS",
+    "WORKER_EVENT_KINDS",
     "CyclePhaseTimings",
     "CycleTimingLog",
     "CYCLE_PHASES",
@@ -77,8 +78,39 @@ SAFETY_EVENT_KINDS = (
     "invariant_violation",
 )
 
+#: Experiment-plane worker-lifecycle event kinds (see
+#: :mod:`repro.experiments.distributed` and the campaign engine's
+#: execution backends).  They share the structured event channel so one
+#: stream covers everything that went wrong during a campaign and what
+#: the coordinator did about it: worker membership transitions mirror
+#: the control plane's quarantine/rejoin machinery (``node_id`` carries
+#: the worker index), the ``lease_*`` kinds trace the job-lease
+#: lifecycle, and ``backend_degraded`` marks a fall back to local
+#: execution.  ``pool_rebuilt`` is the local backend's recovery from a
+#: dead worker process.  No retry, re-dispatch, speculation, or
+#: degradation happens without one of these events — there are no
+#: silent retries.
+WORKER_EVENT_KINDS = (
+    "worker_joined",
+    "worker_rejoined",
+    "worker_quarantined",
+    "worker_lost",
+    "worker_skipped",
+    "lease_granted",
+    "lease_expired",
+    "lease_redispatched",
+    "job_speculated",
+    "duplicate_discarded",
+    "worker_result_invalid",
+    "backend_degraded",
+    "pool_rebuilt",
+)
+
 _ALL_EVENT_KINDS = (
-    RESILIENCE_EVENT_KINDS + RECOVERY_EVENT_KINDS + SAFETY_EVENT_KINDS
+    RESILIENCE_EVENT_KINDS
+    + RECOVERY_EVENT_KINDS
+    + SAFETY_EVENT_KINDS
+    + WORKER_EVENT_KINDS
 )
 
 

@@ -1,0 +1,104 @@
+"""Length-prefixed JSON framing for the distributed experiment plane."""
+
+import socket
+
+import pytest
+
+from repro.comm.wire import (
+    MAX_FRAME_BYTES,
+    FrameAssembler,
+    FrameError,
+    encode_frame,
+    recv_doc,
+    send_doc,
+)
+
+
+class TestFrameCodec:
+    def test_socket_round_trip(self):
+        a, b = socket.socketpair()
+        with a, b:
+            send_doc(a, {"type": "job", "tokens": ["reference", "kmeans"]})
+            assert recv_doc(b) == {
+                "type": "job",
+                "tokens": ["reference", "kmeans"],
+            }
+
+    def test_clean_eof_at_boundary_is_none(self):
+        a, b = socket.socketpair()
+        with b:
+            a.close()
+            assert recv_doc(b) is None
+
+    def test_eof_mid_frame_raises(self):
+        a, b = socket.socketpair()
+        with b:
+            frame = encode_frame({"k": "v" * 100})
+            a.sendall(frame[: len(frame) // 2])
+            a.close()
+            with pytest.raises(ConnectionError, match="outstanding"):
+                recv_doc(b)
+
+    def test_oversized_declared_length_rejected(self):
+        a, b = socket.socketpair()
+        with a, b:
+            a.sendall((MAX_FRAME_BYTES + 1).to_bytes(4, "big"))
+            with pytest.raises(FrameError, match="exceeds"):
+                recv_doc(b)
+
+    def test_oversized_body_rejected_at_encode(self):
+        with pytest.raises(FrameError, match="exceeds"):
+            encode_frame({"blob": "x" * (MAX_FRAME_BYTES + 1)})
+
+    def test_non_object_body_rejected(self):
+        a, b = socket.socketpair()
+        with a, b:
+            body = b"[1, 2, 3]"
+            a.sendall(len(body).to_bytes(4, "big") + body)
+            with pytest.raises(FrameError, match="JSON object"):
+                recv_doc(b)
+
+    def test_non_json_body_rejected(self):
+        a, b = socket.socketpair()
+        with a, b:
+            body = b"\xff\xfe not json"
+            a.sendall(len(body).to_bytes(4, "big") + body)
+            with pytest.raises(FrameError, match="not valid JSON"):
+                recv_doc(b)
+
+
+class TestFrameAssembler:
+    def test_byte_by_byte_reassembly(self):
+        frame = encode_frame({"type": "heartbeat", "digest": "d" * 64})
+        assembler = FrameAssembler()
+        docs = []
+        for i in range(len(frame)):
+            docs.extend(assembler.feed(frame[i : i + 1]))
+        assert docs == [{"type": "heartbeat", "digest": "d" * 64}]
+        assert assembler.pending_bytes == 0
+
+    def test_multiple_frames_in_one_fragment(self):
+        blob = encode_frame({"n": 1}) + encode_frame({"n": 2}) + encode_frame(
+            {"n": 3}
+        )
+        assert FrameAssembler().feed(blob) == [{"n": 1}, {"n": 2}, {"n": 3}]
+
+    def test_partial_frame_is_buffered(self):
+        frame = encode_frame({"k": "v"})
+        assembler = FrameAssembler()
+        assert assembler.feed(frame[:-1]) == []
+        assert assembler.pending_bytes == len(frame) - 1
+        assert assembler.feed(frame[-1:]) == [{"k": "v"}]
+
+    def test_frames_straddling_fragments(self):
+        blob = encode_frame({"n": 1}) + encode_frame({"n": 2})
+        assembler = FrameAssembler()
+        cut = len(encode_frame({"n": 1})) + 2
+        docs = assembler.feed(blob[:cut])
+        docs.extend(assembler.feed(blob[cut:]))
+        assert docs == [{"n": 1}, {"n": 2}]
+
+    def test_oversized_length_prefix_rejected(self):
+        assembler = FrameAssembler()
+        with pytest.raises(FrameError, match="exceeds"):
+            assembler.feed((MAX_FRAME_BYTES + 1).to_bytes(4, "big"))

@@ -1,0 +1,437 @@
+"""Distributed campaign backend: leases, chaos, bit-identity, degradation.
+
+The acceptance bar for the distributed path is the same as the local
+pool's: records bit-identical to a single-process run, under injected
+worker crashes and straggler hangs, with every failure surfaced as a
+structured worker-lifecycle event.  All timing knobs here are loopback
+scale (leases of a second, backoff of tenths) — the defaults are for
+real networks.
+"""
+
+import socket
+import time
+
+import pytest
+
+from repro.comm.wire import recv_doc, send_doc
+from repro.experiments.campaign import Campaign
+from repro.experiments.distributed import (
+    CoordinatorConfig,
+    DistributedBackend,
+    DistributedWorker,
+    WorkerChaos,
+    _payload_sha256,
+    parse_workers,
+)
+from repro.experiments.engine import (
+    ExperimentEngine,
+    ResultCache,
+    encode_result,
+    execute_job,
+    job_digest,
+)
+from repro.experiments.jobs import SimJob, evaluation_jobs, reference_job
+from repro.telemetry.log import WORKER_EVENT_KINDS
+
+
+def small_campaign(fast_config, **kwargs):
+    defaults = dict(
+        config=fast_config,
+        groups=("low_utility",),
+        managers=("constant", "slurm", "dps"),
+        limit_pairs=1,
+    )
+    defaults.update(kwargs)
+    return Campaign(**defaults)
+
+
+def fast_coordinator(**overrides) -> CoordinatorConfig:
+    defaults = dict(
+        lease_timeout_s=1.0,
+        heartbeat_s=0.1,
+        connect_timeout_s=0.5,
+        max_retries=3,
+        retry_backoff_s=0.1,
+        backoff_factor=2.0,
+        jitter_s=0.02,
+        speculation_min_s=30.0,
+        seed=7,
+    )
+    defaults.update(overrides)
+    return CoordinatorConfig(**defaults)
+
+
+def _dead_address() -> str:
+    """An address nothing listens on (bound once, then released)."""
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return f"127.0.0.1:{port}"
+
+
+@pytest.fixture
+def make_worker():
+    """Factory for background loopback workers, stopped on teardown."""
+    workers = []
+
+    def _make(cls=DistributedWorker, **kwargs):
+        worker = cls(**kwargs)
+        workers.append(worker)
+        worker.serve_in_background()
+        return worker
+
+    yield _make
+    for worker in workers:
+        worker.stop()
+
+
+def kinds(backend: DistributedBackend) -> list[str]:
+    return [e.kind for e in backend.events]
+
+
+class TestParseWorkers:
+    def test_comma_list(self):
+        assert parse_workers("a:1, b:2,") == ["a:1", "b:2"]
+
+    def test_rejects_portless(self):
+        with pytest.raises(ValueError, match="host:port"):
+            parse_workers("justahost")
+
+    def test_rejects_bad_port(self):
+        with pytest.raises(ValueError, match="invalid port"):
+            parse_workers("host:http")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="no worker addresses"):
+            parse_workers(" , ")
+
+
+class TestConfigValidation:
+    def test_lease_must_cover_heartbeats(self):
+        with pytest.raises(ValueError, match="two heartbeats"):
+            CoordinatorConfig(lease_timeout_s=0.1, heartbeat_s=0.1)
+
+    def test_max_retries_positive(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            CoordinatorConfig(max_retries=0)
+
+    def test_chaos_rejects_negative(self):
+        with pytest.raises(ValueError, match="ordinals"):
+            WorkerChaos(kill_after_jobs=-1)
+
+    def test_backend_needs_workers(self):
+        with pytest.raises(ValueError, match="at least one"):
+            DistributedBackend([])
+
+
+class TestHappyPath:
+    def test_three_workers_bit_identical(self, fast_config, make_worker):
+        fleet = [make_worker() for _ in range(3)]
+        backend = DistributedBackend(
+            [w.address for w in fleet],
+            fast_coordinator(lease_timeout_s=20.0),
+        )
+        sequential = small_campaign(fast_config).run(jobs=1)
+        distributed = small_campaign(fast_config).run(backend=backend)
+        assert distributed.records == sequential.records
+        assert distributed.engine.backend == "distributed"
+        assert distributed.engine.workers == 3
+        assert kinds(backend).count("worker_joined") == 3
+        # Workers bump jobs_done just *after* sending a result, so give
+        # the last bump a moment; a loaded box may also expire a lease
+        # and run a job twice (the duplicate is discarded by digest),
+        # hence >= rather than ==.
+        deadline = time.monotonic() + 2.0
+        while (
+            sum(w.jobs_done for w in fleet) < distributed.engine.n_jobs
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.01)
+        assert sum(w.jobs_done for w in fleet) >= distributed.engine.n_jobs
+
+    def test_events_surface_through_engine(self, fast_config, make_worker):
+        worker = make_worker()
+        backend = DistributedBackend([worker.address], fast_coordinator())
+        engine = ExperimentEngine(fast_config, backend=backend)
+        engine.run([reference_job("kmeans")])
+        assert engine.events is backend.events
+        assert "worker_joined" in kinds(backend)
+
+    def test_on_event_callback_sees_every_event(
+        self, fast_config, make_worker
+    ):
+        seen = []
+        worker = make_worker()
+        backend = DistributedBackend(
+            [worker.address], fast_coordinator(), on_event=seen.append
+        )
+        ExperimentEngine(fast_config, backend=backend).run(
+            [reference_job("kmeans")]
+        )
+        assert [e.kind for e in seen] == kinds(backend)
+
+
+class TestChaos:
+    def test_kill_and_hang_bit_identity(self, fast_config, make_worker):
+        """The acceptance drill: 3 workers, one crashes after its first
+        job, one goes silent on its first job; records must be
+        bit-identical to ``jobs=1`` and every failure must land on the
+        event channel."""
+        fleet = [
+            make_worker(chaos=WorkerChaos(kill_after_jobs=1)),
+            make_worker(chaos=WorkerChaos(hang_before_job=1, hang_s=30.0)),
+            make_worker(),
+        ]
+        backend = DistributedBackend(
+            [w.address for w in fleet], fast_coordinator()
+        )
+        sequential = small_campaign(fast_config).run(jobs=1)
+        distributed = small_campaign(fast_config).run(backend=backend)
+
+        assert distributed.records == sequential.records
+        seen = kinds(backend)
+        assert set(seen) <= set(WORKER_EVENT_KINDS)
+        # The hang: its lease expired and the job went elsewhere.
+        assert "lease_expired" in seen
+        assert "lease_redispatched" in seen
+        # The crash (and the hang) quarantined their workers.
+        assert seen.count("worker_quarantined") >= 2
+        # The crashed worker's reconnects ran out.
+        assert "worker_lost" in seen
+
+    def test_unreachable_workers_warn_and_degrade(self, fast_config):
+        backend = DistributedBackend(
+            [_dead_address(), _dead_address()], fast_coordinator()
+        )
+        jobs = evaluation_jobs("kmeans", "gmm", "dps")
+        results = ExperimentEngine(fast_config, backend=backend).run(jobs)
+        inline = ExperimentEngine(fast_config).run(jobs)
+        assert results == inline
+        seen = kinds(backend)
+        assert seen.count("worker_skipped") == 2
+        assert "backend_degraded" in seen
+
+    def test_local_fallback_disabled_raises(self, fast_config):
+        backend = DistributedBackend(
+            [_dead_address()], fast_coordinator(local_fallback=False)
+        )
+        engine = ExperimentEngine(fast_config, backend=backend)
+        with pytest.raises(RuntimeError, match="all remote workers lost"):
+            engine.run([reference_job("kmeans")])
+
+
+class TestSpeculation:
+    def test_first_valid_result_wins(self, fast_config, make_worker):
+        straggler = make_worker(
+            chaos=WorkerChaos(hang_before_job=1, hang_s=30.0)
+        )
+        good = make_worker()
+        backend = DistributedBackend(
+            [straggler.address, good.address],
+            fast_coordinator(
+                lease_timeout_s=30.0,
+                heartbeat_s=0.1,
+                speculation_min_s=0.3,
+                speculation_factor=1.0,
+            ),
+        )
+        jobs = evaluation_jobs("kmeans", "gmm", "dps")
+        results = ExperimentEngine(fast_config, backend=backend).run(jobs)
+        inline = ExperimentEngine(fast_config).run(jobs)
+        assert results == inline
+        seen = kinds(backend)
+        assert "job_speculated" in seen
+        # The straggler never forfeited its lease — speculation, not
+        # expiry, recovered the wave.
+        assert "lease_expired" not in seen
+
+
+class _DoubleSender(DistributedWorker):
+    """Sends every result twice — a worker that retries over-eagerly."""
+
+    def _serve_job(self, conn, config, doc, heartbeat_s):
+        digest = doc["digest"]
+        job = SimJob.from_tokens(doc["tokens"])
+        payload = encode_result(execute_job(config, job))
+        frame = {
+            "type": "result",
+            "digest": digest,
+            "wall_s": 0.01,
+            "payload": payload,
+            "payload_sha256": _payload_sha256(payload),
+        }
+        send_doc(conn, frame)
+        send_doc(conn, frame)
+        self.jobs_done += 1
+
+
+class _CorruptSender(DistributedWorker):
+    """Sends results whose checksum never verifies — bad RAM, bad NIC."""
+
+    def _serve_job(self, conn, config, doc, heartbeat_s):
+        digest = doc["digest"]
+        job = SimJob.from_tokens(doc["tokens"])
+        payload = encode_result(execute_job(config, job))
+        send_doc(
+            conn,
+            {
+                "type": "result",
+                "digest": digest,
+                "wall_s": 0.01,
+                "payload": payload,
+                "payload_sha256": "0" * 64,
+            },
+        )
+        self.jobs_done += 1
+
+
+class TestResultIntegrity:
+    def test_duplicate_results_discarded_by_digest(
+        self, fast_config, make_worker
+    ):
+        worker = make_worker(cls=_DoubleSender)
+        backend = DistributedBackend([worker.address], fast_coordinator())
+        jobs = evaluation_jobs("kmeans", "gmm", "dps")
+        results = ExperimentEngine(fast_config, backend=backend).run(jobs)
+        inline = ExperimentEngine(fast_config).run(jobs)
+        assert results == inline
+        assert kinds(backend).count("duplicate_discarded") >= 1
+
+    def test_corrupt_results_rejected_then_degrade(
+        self, fast_config, make_worker
+    ):
+        worker = make_worker(cls=_CorruptSender)
+        backend = DistributedBackend([worker.address], fast_coordinator())
+        jobs = [reference_job("kmeans")]
+        results = ExperimentEngine(fast_config, backend=backend).run(jobs)
+        assert results == ExperimentEngine(fast_config).run(jobs)
+        seen = kinds(backend)
+        assert "worker_result_invalid" in seen
+        # Three corrupt results in a row cost the worker its membership;
+        # the job finished locally.
+        assert "worker_lost" in seen
+        assert "backend_degraded" in seen
+
+    def test_corrupt_worker_outvoted_by_healthy_one(
+        self, fast_config, make_worker
+    ):
+        corrupt = make_worker(cls=_CorruptSender)
+        good = make_worker()
+        backend = DistributedBackend(
+            [corrupt.address, good.address], fast_coordinator()
+        )
+        jobs = evaluation_jobs("kmeans", "gmm", "dps")
+        results = ExperimentEngine(fast_config, backend=backend).run(jobs)
+        assert results == ExperimentEngine(fast_config).run(jobs)
+        assert "worker_result_invalid" in kinds(backend)
+
+
+class TestWorkerProtocol:
+    def test_refuses_digest_mismatch(self, fast_config, make_worker):
+        worker = make_worker()
+        with socket.create_connection(
+            ("127.0.0.1", worker.port), timeout=5
+        ) as sock:
+            assert recv_doc(sock)["type"] == "ready"
+            send_doc(sock, {"type": "hello", "heartbeat_s": 0.2})
+            send_doc(sock, {"type": "config", "config": fast_config.to_doc()})
+            assert recv_doc(sock)["type"] == "config_ok"
+            job = reference_job("kmeans")
+            send_doc(
+                sock,
+                {
+                    "type": "job",
+                    "digest": "f" * 64,
+                    "tokens": list(job.tokens),
+                    "key": job.key,
+                },
+            )
+            reply = recv_doc(sock)
+        assert reply["type"] == "error"
+        assert "digest mismatch" in reply["error"]
+
+    def test_refuses_job_before_config(self, fast_config, make_worker):
+        worker = make_worker()
+        job = reference_job("kmeans")
+        with socket.create_connection(
+            ("127.0.0.1", worker.port), timeout=5
+        ) as sock:
+            assert recv_doc(sock)["type"] == "ready"
+            send_doc(
+                sock,
+                {
+                    "type": "job",
+                    "digest": job_digest(fast_config, job),
+                    "tokens": list(job.tokens),
+                    "key": job.key,
+                },
+            )
+            reply = recv_doc(sock)
+        assert reply["type"] == "error"
+        assert "before config" in reply["error"]
+
+    def test_worker_side_cache_serves_repeat_campaigns(
+        self, fast_config, tmp_path, make_worker
+    ):
+        worker = make_worker(cache=ResultCache(tmp_path))
+        backend = DistributedBackend([worker.address], fast_coordinator())
+        jobs = evaluation_jobs("kmeans", "gmm", "dps")
+        first = ExperimentEngine(fast_config, backend=backend).run(jobs)
+        second = ExperimentEngine(fast_config, backend=backend).run(jobs)
+        assert second == first
+        # The second run was served from the worker's own disk cache.
+        assert worker.cache.hits >= len(jobs)
+
+
+class _FlakyFirstSender(DistributedWorker):
+    """Corrupts its first result, then behaves — a transient fault."""
+
+    def _serve_job(self, conn, config, doc, heartbeat_s):
+        if not getattr(self, "_flaked", False):
+            self._flaked = True
+            digest = doc["digest"]
+            job = SimJob.from_tokens(doc["tokens"])
+            payload = encode_result(execute_job(config, job))
+            send_doc(
+                conn,
+                {
+                    "type": "result",
+                    "digest": digest,
+                    "wall_s": 0.01,
+                    "payload": payload,
+                    "payload_sha256": "0" * 64,
+                },
+            )
+            return
+        super()._serve_job(conn, config, doc, heartbeat_s)
+
+
+class TestRejoin:
+    def test_transient_fault_quarantines_then_rejoins(
+        self, fast_config, make_worker
+    ):
+        worker = make_worker(cls=_FlakyFirstSender)
+        backend = DistributedBackend([worker.address], fast_coordinator())
+        jobs = [reference_job("kmeans")]
+        results = ExperimentEngine(fast_config, backend=backend).run(jobs)
+        assert results == ExperimentEngine(fast_config).run(jobs)
+        seen = kinds(backend)
+        # One bad checksum: quarantined, reconnected, served the retry.
+        assert "worker_result_invalid" in seen
+        assert "worker_quarantined" in seen
+        assert "worker_rejoined" in seen
+        assert "worker_lost" not in seen
+
+    def test_backend_reusable_across_engine_runs(
+        self, fast_config, make_worker
+    ):
+        worker = make_worker()
+        backend = DistributedBackend([worker.address], fast_coordinator())
+        engine = ExperimentEngine(fast_config, backend=backend)
+        jobs = [reference_job("kmeans"), reference_job("gmm")]
+        baseline = ExperimentEngine(fast_config).run(jobs)
+        assert engine.run(jobs) == baseline
+        # shutdown() said goodbye after run one; run two redials cleanly.
+        assert engine.run(jobs) == baseline
+        assert kinds(backend).count("worker_joined") == 2

@@ -1,6 +1,10 @@
 """Parallel engine: job graph, digests, persistent cache, determinism."""
 
 import json
+import multiprocessing
+import os
+import sys
+from concurrent.futures.process import BrokenProcessPool
 
 import pytest
 
@@ -316,3 +320,179 @@ class TestEngineTelemetry:
     def test_rejects_bad_jobs(self, fast_config):
         with pytest.raises(ValueError, match="jobs"):
             ExperimentEngine(fast_config, jobs=0)
+
+
+# --------------------------------------------------------------------------
+# Pool-crash recovery, cancellation, and cache write races.
+#
+# The helpers below are module-level because pool workers pickle callables
+# by qualified name: a closure or a monkeypatched lambda cannot cross the
+# process boundary, but ``tests.experiments.test_engine._killer_pool_run``
+# can (the ``tests`` tree is a package).
+# --------------------------------------------------------------------------
+
+from repro.experiments import engine as engine_module  # noqa: E402
+
+_REAL_POOL_RUN = engine_module._pool_run
+
+#: Path of the crash flag file, set per-test; forked pool workers inherit
+#: it.  Flag contents "once" → the first worker to see it deletes it and
+#: dies; "forever" → every worker dies.
+_KILL_FLAG: str | None = None
+
+
+def _killer_pool_run(job):
+    flag = _KILL_FLAG
+    if flag is not None and os.path.exists(flag):
+        with open(flag, encoding="utf-8") as fh:
+            mode = fh.read().strip()
+        if mode == "once":
+            os.unlink(flag)
+        os._exit(1)
+    return _REAL_POOL_RUN(job)
+
+
+def _hammer_store(root, digest, n):
+    cache = ResultCache(root)
+    payload = {"type": "reference", "mean_duration_s": 1.25,
+               "mean_power_w": 94.0}
+    for _ in range(n):
+        cache.store(digest, "reference:race", payload)
+
+
+needs_fork = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="crash injection relies on fork inheriting the flag path",
+)
+
+
+@needs_fork
+class TestBrokenPoolRecovery:
+    def _arm(self, monkeypatch, tmp_path, mode):
+        flag = tmp_path / "kill.flag"
+        flag.write_text(mode, encoding="utf-8")
+        monkeypatch.setattr(sys.modules[__name__], "_KILL_FLAG", str(flag))
+        monkeypatch.setattr(engine_module, "_pool_run", _killer_pool_run)
+
+    def test_one_worker_death_is_absorbed(
+        self, fast_config, monkeypatch, tmp_path
+    ):
+        self._arm(monkeypatch, tmp_path, "once")
+        jobs = evaluation_jobs("kmeans", "gmm", "slurm")
+        engine = ExperimentEngine(fast_config, jobs=2)
+        results = engine.run(jobs)
+        assert results == ExperimentEngine(fast_config).run(jobs)
+        assert [e.kind for e in engine.events] == ["pool_rebuilt"]
+
+    def test_second_death_in_a_wave_propagates(
+        self, fast_config, monkeypatch, tmp_path
+    ):
+        self._arm(monkeypatch, tmp_path, "forever")
+        engine = ExperimentEngine(fast_config, jobs=2)
+        with pytest.raises(BrokenProcessPool):
+            engine.run(evaluation_jobs("kmeans", "gmm", "slurm"))
+        # The second break aborted the run, but the engine's finally
+        # still reaped the pool.
+        assert engine.backend._pool is None
+
+
+class TestCancellation:
+    def test_ctrl_c_mid_wave_leaves_nothing_torn(
+        self, fast_config, tmp_path
+    ):
+        cache = ResultCache(tmp_path)
+        engine = ExperimentEngine(fast_config, jobs=2, cache=cache)
+        pool_procs = []
+
+        def boom(done, total, job, wall_s, cached, eta):
+            pool = engine.backend._pool
+            if pool is not None:
+                pool_procs.extend(pool._processes.values())
+            raise KeyboardInterrupt
+
+        jobs = evaluation_jobs("kmeans", "gmm", "slurm")
+        with pytest.raises(KeyboardInterrupt):
+            engine.run(jobs, progress=boom)
+
+        # No orphaned worker processes: shutdown(wait=True) ran.
+        assert engine.backend._pool is None
+        assert pool_procs
+        for proc in pool_procs:
+            proc.join(timeout=10)
+            assert not proc.is_alive()
+        # No torn cache entries: no staging debris, every persisted
+        # record fully verifies.
+        assert list(tmp_path.glob("*.tmp")) == []
+        for record in tmp_path.glob("*.json"):
+            assert cache.load(record.stem) is not None
+        # The interrupted campaign resumes cleanly from the same cache.
+        resumed = ExperimentEngine(fast_config, cache=cache).run(jobs)
+        assert resumed == ExperimentEngine(fast_config).run(jobs)
+
+    def test_ctrl_c_inline_backend_is_clean(self, fast_config, tmp_path):
+        cache = ResultCache(tmp_path)
+        engine = ExperimentEngine(fast_config, cache=cache)
+
+        def boom(done, total, job, wall_s, cached, eta):
+            raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            engine.run(
+                evaluation_jobs("kmeans", "gmm", "slurm"), progress=boom
+            )
+        assert list(tmp_path.glob("*.tmp")) == []
+        for record in tmp_path.glob("*.json"):
+            assert cache.load(record.stem) is not None
+
+
+class TestCacheWriteRaces:
+    def test_concurrent_same_digest_writers(self, tmp_path):
+        digest = "ab" * 32
+        procs = [
+            multiprocessing.Process(
+                target=_hammer_store, args=(str(tmp_path), digest, 50)
+            )
+            for _ in range(4)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=60)
+            assert p.exitcode == 0
+        assert list(tmp_path.glob("*.tmp")) == []
+        cache = ResultCache(tmp_path)
+        assert cache.load(digest) is not None
+        assert len(cache) == 1
+
+    def test_lost_replace_tolerated_when_survivor_verifies(
+        self, tmp_path, monkeypatch
+    ):
+        cache = ResultCache(tmp_path)
+        digest = "d" * 64
+        payload = {"type": "reference", "mean_duration_s": 1.0,
+                   "mean_power_w": 2.0}
+        cache.store(digest, "k", payload)
+
+        def deny(src, dst):
+            raise PermissionError("file is locked by another writer")
+
+        monkeypatch.setattr(os, "replace", deny)
+        cache.store(digest, "k", payload)
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert cache.load(digest) == payload
+
+    def test_lost_replace_raises_without_survivor(
+        self, tmp_path, monkeypatch
+    ):
+        cache = ResultCache(tmp_path)
+
+        def deny(src, dst):
+            raise PermissionError("file is locked by another writer")
+
+        monkeypatch.setattr(os, "replace", deny)
+        with pytest.raises(PermissionError):
+            cache.store("e" * 64, "k", {"type": "reference",
+                                        "mean_duration_s": 1.0,
+                                        "mean_power_w": 2.0})
+        # Even the failing path cleans up its staging file.
+        assert list(tmp_path.glob("*.tmp")) == []
