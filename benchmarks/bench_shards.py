@@ -1,0 +1,145 @@
+"""Sharded control plane — cycle-time scaling with unit count.
+
+The point of sharding the control plane is that the global cycle cost
+grows with the number of units per shard, not with the whole cluster:
+adding a shard adds its own controller, deploy server, and TCP clients,
+while the arbiter's per-cycle work is O(n_shards) tiny summaries.  So
+per-cycle wall time should scale *near-linearly* in total units when
+every shard carries the same load — doubling the cluster by doubling the
+shards roughly doubles the aggregate control work, with no superlinear
+coordination blow-up at the arbiter.
+
+This benchmark runs the real loopback harness (real ``DeployServer`` per
+shard, real TCP clients, real arbiter over wire-framed links) at each
+shard count in ``REPRO_BENCH_SHARD_COUNTS`` (default "1,2,4,8") with
+``REPRO_BENCH_SHARD_UNITS`` units per shard (default 6400 — so the top
+configuration is 51,200 units across 8 shards).  Units are packed as
+many sockets per node so the TCP fan-out stays modest while the cap
+vectors carry full width.
+
+Results are printed (run with ``-s``) and written to a
+``BENCH_shards.json`` artifact (override via
+``REPRO_BENCH_SHARDS_ARTIFACT``) so CI accumulates the perf history.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.core.config import ClusterSpec, RaplConfig
+from repro.core.managers import create_manager
+from repro.deploy.loopback import RecoveryOptions
+from repro.shard import ArbiterConfig, run_sharded
+
+SHARD_COUNTS = tuple(
+    int(x)
+    for x in os.environ.get("REPRO_BENCH_SHARD_COUNTS", "1,2,4,8").split(",")
+)
+#: Units each shard carries (held fixed while the shard count scales).
+UNITS_PER_SHARD = int(os.environ.get("REPRO_BENCH_SHARD_UNITS", "6400"))
+#: Nodes (TCP clients) per shard; sockets-per-node makes up the width
+#: (a client frame addresses at most 255 units, so the default packs
+#: 6400/32 = 200 sockets per node).
+NODES_PER_SHARD = int(os.environ.get("REPRO_BENCH_SHARD_NODES", "32"))
+CYCLES = int(os.environ.get("REPRO_BENCH_SHARD_CYCLES", "6"))
+ARTIFACT = os.environ.get("REPRO_BENCH_SHARDS_ARTIFACT", "BENCH_shards.json")
+
+
+def _measure(n_shards: int) -> dict:
+    """One sharded session; median steady-state cycle wall time."""
+    if UNITS_PER_SHARD % NODES_PER_SHARD:
+        raise ValueError(
+            f"UNITS_PER_SHARD={UNITS_PER_SHARD} must divide by "
+            f"NODES_PER_SHARD={NODES_PER_SHARD}"
+        )
+    spec = ClusterSpec(
+        n_nodes=n_shards * NODES_PER_SHARD,
+        sockets_per_node=UNITS_PER_SHARD // NODES_PER_SHARD,
+    )
+    cluster = Cluster(
+        spec, RaplConfig(noise_std_w=0.0), np.random.default_rng(7)
+    )
+    demand = np.full(cluster.n_units, 0.6)
+    with tempfile.TemporaryDirectory(prefix="bench-shards-") as ckpt:
+        result = run_sharded(
+            cluster,
+            n_shards=n_shards,
+            manager_factory=lambda i: create_manager("constant"),
+            demand_fn=lambda step: demand,
+            cycles=CYCLES,
+            checkpoint_dir=ckpt,
+            config=ArbiterConfig(period_cycles=2),
+            recovery=RecoveryOptions(
+                checkpoint_dir=ckpt, checkpoint_every=max(2, CYCLES // 2)
+            ),
+            rng=np.random.default_rng(7),
+        )
+    assert result.invariant_violations == 0
+    assert result.worst_case_w is not None
+    assert result.worst_case_w <= result.budget_w * (1 + 1e-6)
+    # Cycle 0 pays connection warm-up and first-dispatch costs; the
+    # steady-state cycles are the scaling signal.
+    steady = result.cycle_wall_s[1:]
+    return {
+        "n_shards": n_shards,
+        "n_units": cluster.n_units,
+        "cycle_s": float(np.median(steady)),
+        "cycle_s_all": [float(w) for w in result.cycle_wall_s],
+        "arbiter_cycles": result.arbiter_cycles,
+        "invariant_sweeps": result.invariant_sweeps,
+        "bytes_links": result.bytes_links,
+        "worst_case_w": result.worst_case_w,
+        "budget_w": result.budget_w,
+    }
+
+
+def test_shard_cycle_scaling(benchmark):
+    results = benchmark.pedantic(
+        lambda: [_measure(n) for n in SHARD_COUNTS], rounds=1, iterations=1
+    )
+
+    print(
+        f"\nsharded cycle time ({UNITS_PER_SHARD} units/shard, median of "
+        f"{CYCLES - 1} steady cycles):"
+    )
+    per_unit = {}
+    for r in results:
+        per_unit[r["n_shards"]] = r["cycle_s"] / r["n_units"]
+        print(
+            f"  shards={r['n_shards']:2d} units={r['n_units']:6d}: "
+            f"{r['cycle_s'] * 1e3:8.1f} ms/cycle "
+            f"({r['cycle_s'] / r['n_units'] * 1e6:6.2f} us/unit)"
+        )
+
+    doc = {
+        "format": "repro-bench-shards-v1",
+        "units_per_shard": UNITS_PER_SHARD,
+        "nodes_per_shard": NODES_PER_SHARD,
+        "cycles": CYCLES,
+        "results": results,
+        "per_unit_cycle_s": {str(n): t for n, t in per_unit.items()},
+    }
+    with open(ARTIFACT, "w") as fh:
+        json.dump(doc, fh, indent=2)
+    print(f"wrote {ARTIFACT}")
+
+    n_max = max(SHARD_COUNTS)
+    biggest = next(r for r in results if r["n_shards"] == n_max)
+    if n_max >= 8 and UNITS_PER_SHARD >= 6400:
+        # The acceptance bar: 8 shards carrying 50k+ units end to end.
+        assert biggest["n_units"] >= 50_000, biggest["n_units"]
+    # Near-linear scaling: normalized per-unit cycle time must not blow
+    # up as shards are added — the arbiter and the thread fan-out may
+    # cost something, but nothing superlinear.
+    if len(per_unit) >= 2:
+        ratio = max(per_unit.values()) / min(per_unit.values())
+        print(f"per-unit cycle-time spread: {ratio:.2f}x")
+        assert ratio < 2.5, (
+            f"per-unit cycle time varies {ratio:.2f}x across "
+            f"{sorted(per_unit)} shards — scaling is not near-linear"
+        )

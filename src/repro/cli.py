@@ -188,6 +188,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit after completing N jobs (tests/demos)",
     )
     worker.add_argument(
+        "--concurrency",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "jobs to run at once (thread-per-job with shared heartbeats; "
+            "the coordinator fills up to N leases on this worker)"
+        ),
+    )
+    worker.add_argument(
         "--chaos-kill-after",
         type=int,
         default=0,
@@ -207,6 +217,74 @@ def build_parser() -> argparse.ArgumentParser:
         default=30.0,
         metavar="SECONDS",
         help="duration of the injected hang (default 30)",
+    )
+
+    shards = sub.add_parser(
+        "shards",
+        help="run the sharded control plane over loopback TCP",
+        description=(
+            "Run N shard servers (each a crash-recoverable deploy "
+            "server owning a slice of a simulated cluster) under one "
+            "budget arbiter, with optional shard-level chaos.  Every "
+            "failure and recovery step is reported from the structured "
+            "event log."
+        ),
+    )
+    shards.add_argument(
+        "--shards", type=int, default=4, metavar="N", help="shard servers"
+    )
+    shards.add_argument(
+        "--nodes", type=int, default=16, metavar="N", help="cluster nodes"
+    )
+    shards.add_argument(
+        "--cycles", type=int, default=24, metavar="N", help="control cycles"
+    )
+    shards.add_argument(
+        "--manager",
+        default="constant",
+        help="power manager every shard runs (default constant)",
+    )
+    shards.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="PATH",
+        help=(
+            "shard + arbiter checkpoint root (default: a temporary "
+            "directory discarded after the run)"
+        ),
+    )
+    shards.add_argument(
+        "--kill",
+        action="append",
+        default=None,
+        metavar="SHARD@CYCLE",
+        help="crash a shard's controller at a cycle (repeatable)",
+    )
+    shards.add_argument(
+        "--hang",
+        action="append",
+        default=None,
+        metavar="SHARD@CYCLE",
+        help="hang a shard's controller at a cycle (repeatable)",
+    )
+    shards.add_argument(
+        "--partition",
+        action="append",
+        default=None,
+        metavar="SHARD@START-END",
+        help="sever a shard's arbiter link over a cycle range (repeatable)",
+    )
+    shards.add_argument(
+        "--arbiter-outage",
+        default=None,
+        metavar="START-END",
+        help="kill the arbiter at START and restart it from checkpoint at END",
+    )
+    shards.add_argument(
+        "--lease-timeline",
+        default=None,
+        metavar="PATH",
+        help="write the per-shard lease timeline (.json or .csv by suffix)",
     )
 
     report = sub.add_parser(
@@ -323,12 +401,15 @@ def _cmd_worker(args: argparse.Namespace) -> str:
     def _log(line: str) -> None:
         print(line, flush=True)
 
+    if args.concurrency < 1:
+        raise SystemExit(f"--concurrency must be >= 1, got {args.concurrency}")
     worker = DistributedWorker(
         host,
         port,
         cache=cache,
         chaos=chaos,
         max_jobs=args.max_jobs,
+        concurrency=args.concurrency,
         log=_log,
     )
     try:
@@ -689,6 +770,187 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _parse_at(spec: str, label: str) -> tuple[int, int]:
+    """Parse a ``SHARD@CYCLE`` chaos token."""
+    shard, sep, cycle = spec.partition("@")
+    if not sep:
+        raise SystemExit(f"--{label} must be SHARD@CYCLE, got {spec!r}")
+    try:
+        return int(shard), int(cycle)
+    except ValueError:
+        raise SystemExit(
+            f"--{label} must be SHARD@CYCLE, got {spec!r}"
+        ) from None
+
+
+def _parse_range(spec: str, label: str) -> tuple[int, int]:
+    """Parse a ``START-END`` cycle range."""
+    start, sep, end = spec.partition("-")
+    if not sep:
+        raise SystemExit(f"--{label} must be START-END, got {spec!r}")
+    try:
+        lo, hi = int(start), int(end)
+    except ValueError:
+        raise SystemExit(f"--{label} must be START-END, got {spec!r}") from None
+    if hi <= lo:
+        raise SystemExit(f"--{label} needs END > START, got {spec!r}")
+    return lo, hi
+
+
+def _cmd_shards(args: argparse.Namespace) -> str:
+    import tempfile
+    from pathlib import Path
+
+    import numpy as np
+
+    from repro.cluster.cluster import Cluster
+    from repro.core.config import ClusterSpec
+    from repro.core.managers import available_managers, create_manager
+    from repro.deploy.loopback import RecoveryOptions
+    from repro.experiments import reporting
+    from repro.shard import ShardChaosSchedule, run_sharded
+    from repro.telemetry.export import leases_to_csv, leases_to_json
+
+    if args.manager not in available_managers():
+        raise SystemExit(
+            f"unknown manager {args.manager!r}; one of "
+            f"{', '.join(available_managers())}"
+        )
+    try:
+        probe = create_manager(args.manager)
+    except TypeError as exc:
+        raise SystemExit(
+            f"manager {args.manager!r} needs constructor arguments "
+            f"({exc}); pick a standalone manager"
+        ) from None
+    if probe.requires_demand:
+        raise SystemExit(
+            f"manager {args.manager!r} needs demand estimates, which the "
+            "shard harness does not feed; pick a power-only manager"
+        )
+    if args.cycles < 1:
+        raise SystemExit(f"--cycles must be >= 1, got {args.cycles}")
+
+    kill = dict(_parse_at(s, "kill") for s in (args.kill or ()))
+    hang = dict(_parse_at(s, "hang") for s in (args.hang or ()))
+    partition: dict[int, int] = {}
+    heal: dict[int, int] = {}
+    for spec in args.partition or ():
+        shard, sep, rng = spec.partition("@")
+        if not sep:
+            raise SystemExit(
+                f"--partition must be SHARD@START-END, got {spec!r}"
+            )
+        try:
+            shard_id = int(shard)
+        except ValueError:
+            raise SystemExit(
+                f"--partition must be SHARD@START-END, got {spec!r}"
+            ) from None
+        lo, hi = _parse_range(rng, "partition")
+        partition[shard_id] = lo
+        heal[shard_id] = hi
+    arbiter_kill = arbiter_restart = None
+    if args.arbiter_outage is not None:
+        arbiter_kill, arbiter_restart = _parse_range(
+            args.arbiter_outage, "arbiter-outage"
+        )
+    try:
+        chaos = ShardChaosSchedule(
+            shard_kill_at=kill,
+            shard_hang_at=hang,
+            partition_at=partition,
+            heal_at=heal,
+            arbiter_kill_at=arbiter_kill,
+            arbiter_restart_at=arbiter_restart,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+
+    cluster = Cluster(
+        ClusterSpec(n_nodes=args.nodes), rng=np.random.default_rng(args.seed)
+    )
+    rng = np.random.default_rng(args.seed)
+    tmp = None
+    if args.checkpoint_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="dps-shards-")
+        root = Path(tmp.name)
+    else:
+        root = Path(args.checkpoint_dir)
+    try:
+        result = run_sharded(
+            cluster,
+            n_shards=args.shards,
+            manager_factory=lambda i: create_manager(args.manager),
+            demand_fn=lambda step: np.full(cluster.n_units, 0.6),
+            cycles=args.cycles,
+            checkpoint_dir=root,
+            chaos=chaos,
+            recovery=RecoveryOptions(checkpoint_dir=root, hang_timeout_s=1.0),
+            rng=rng,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+
+    lines = [
+        f"sharded control plane: {result.n_shards} shards, "
+        f"{cluster.n_units} units, budget {result.budget_w:.0f} W, "
+        f"{result.cycles} cycles"
+    ]
+    rows = []
+    for i in range(result.n_shards):
+        series = result.timeline.for_shard(i)
+        last = series[-1] if series else None
+        rows.append(
+            [
+                str(i),
+                f"{result.leases_w[i]:.1f}",
+                "-" if last is None else f"{last.committed_w:.1f}",
+                str(result.shard_restarts[i]),
+                "yes" if i in result.failed_shards else "no",
+            ]
+        )
+    lines.append(
+        reporting.render_table(
+            ["shard", "lease W", "committed W", "restarts", "failed"], rows
+        )
+    )
+    lines.append(
+        f"arbiter: {result.arbiter_cycles} cycles, "
+        f"{result.arbiter_restarts} restart(s), "
+        f"{result.invariant_sweeps} invariant sweeps, "
+        f"{result.invariant_violations} violation(s)"
+    )
+    if result.worst_case_w is not None:
+        ok = result.worst_case_w <= result.budget_w * (1 + 1e-6)
+        lines.append(
+            f"committed power: worst-case {result.worst_case_w:.1f} W, "
+            f"steady {result.steady_w:.1f} W, budget "
+            f"{'respected' if ok else 'EXCEEDED'}"
+        )
+    counts: dict[str, int] = {}
+    for event in result.events:
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+    interesting = [
+        f"{kind}x{n}"
+        for kind, n in sorted(counts.items())
+        if kind.startswith(("shard_", "arbiter_"))
+    ]
+    if interesting:
+        lines.append("events: " + ", ".join(interesting))
+    if args.lease_timeline is not None:
+        out = Path(args.lease_timeline)
+        if out.suffix == ".csv":
+            out.write_text(leases_to_csv(result.timeline), encoding="utf-8")
+        else:
+            out.write_text(leases_to_json(result.timeline), encoding="utf-8")
+        lines.append(f"lease timeline written to {out}")
+    return "\n".join(lines)
+
+
 def _cmd_report(args: argparse.Namespace) -> str:
     from repro.experiments.campaign import CampaignResult
     from repro.experiments.report import campaign_report
@@ -726,6 +988,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "report": _cmd_report,
         "resume": _cmd_resume,
         "worker": _cmd_worker,
+        "shards": _cmd_shards,
     }
     try:
         print(handlers[args.command](args))

@@ -1,5 +1,6 @@
 """Simulated server/client control plane and its 3-byte wire protocol."""
 
+from repro.comm.net import bind_listener
 from repro.comm.network import LinkStats, NetworkModel
 from repro.comm.protocol import (
     MESSAGE_SIZE_BYTES,
@@ -32,6 +33,7 @@ __all__ = [
     "NetworkModel",
     "PowerClient",
     "PowerServer",
+    "bind_listener",
     "decode",
     "encode",
     "encode_frame",

@@ -1,0 +1,80 @@
+"""Listener-socket helpers shared by every TCP-serving component.
+
+Both control planes — the deploy server's 3-byte protocol and the
+experiment plane's framed-document workers — open listener sockets the
+same way, and both used to do it inline.  This module centralizes the
+one operation that has bitten multi-server tests: *binding*.
+
+Two rules make multi-server harnesses collision-proof:
+
+1. **Bind port 0 unless a caller explicitly pins a port.**  The kernel
+   picks a free ephemeral port and the chosen address is plumbed through
+   (``sock.getsockname()``), so two servers in one process can never
+   race for the same port.
+2. **Bounded retry on transient ``EADDRINUSE``.**  Even a pinned port
+   can transiently collide (a just-closed listener lingering before
+   ``SO_REUSEADDR`` takes effect, a parallel test worker releasing the
+   port a beat late).  :func:`bind_listener` retries a bounded number of
+   times with a short delay before giving up loudly.
+"""
+
+from __future__ import annotations
+
+import errno
+import socket
+import time
+
+__all__ = ["bind_listener"]
+
+#: Bounded retry policy for transient EADDRINUSE on pinned ports.
+_BIND_RETRIES = 5
+_BIND_DELAY_S = 0.05
+
+
+def bind_listener(
+    host: str,
+    port: int,
+    backlog: int = 128,
+    timeout_s: float | None = None,
+    retries: int = _BIND_RETRIES,
+    delay_s: float = _BIND_DELAY_S,
+) -> socket.socket:
+    """Create, bind, and listen a TCP server socket.
+
+    Args:
+        host: interface to bind.
+        port: port to bind; 0 (the recommended default for harnesses and
+            tests) lets the kernel pick a free port — read it back from
+            ``sock.getsockname()``.
+        backlog: listen queue depth.
+        timeout_s: optional socket timeout applied after listen.
+        retries: additional bind attempts on transient ``EADDRINUSE``.
+        delay_s: sleep between attempts.
+
+    Returns:
+        The listening socket.
+
+    Raises:
+        OSError: the bind failed for any non-transient reason, or the
+            port stayed busy through every retry.
+    """
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    attempt = 0
+    while True:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            sock.bind((host, port))
+            sock.listen(backlog)
+        except OSError as exc:
+            sock.close()
+            transient = exc.errno == errno.EADDRINUSE and port != 0
+            if transient and attempt < retries:
+                attempt += 1
+                time.sleep(delay_s)
+                continue
+            raise
+        if timeout_s is not None:
+            sock.settimeout(timeout_s)
+        return sock

@@ -115,6 +115,32 @@ class PowerManager(ABC):
     def _on_bind(self) -> None:
         """Hook for subclasses to (re)allocate per-unit state after binding."""
 
+    def set_budget_w(self, budget_w: float) -> None:
+        """Re-lease the cluster budget without resetting controller state.
+
+        The sharded control plane renews a shard's budget lease every
+        arbiter cycle; tearing the manager down with :meth:`bind` would
+        discard filters and phase state, so this narrow mutation changes
+        *only* the budget.  The base :meth:`step` budget invariant picks
+        up the new value on the next cycle (any caps now over budget are
+        rescaled down), and :attr:`initial_cap_w` is derived so it tracks
+        automatically.
+
+        Raises:
+            ValueError: non-finite / non-positive budget, or one that
+                cannot cover every unit at the minimum cap.
+        """
+        self._check_bound()
+        budget = float(budget_w)
+        if not np.isfinite(budget) or budget <= 0:
+            raise ValueError(f"budget_w must be finite and > 0, got {budget}")
+        if self.n_units * self.min_cap_w > budget:
+            raise ValueError(
+                f"budget {budget} W cannot cover {self.n_units} units at "
+                f"the minimum cap {self.min_cap_w} W"
+            )
+        self.budget_w = budget
+
     @property
     def initial_cap_w(self) -> float:
         """The constant cap (budget evenly divided, clipped at TDP)."""

@@ -50,6 +50,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.comm.net import bind_listener
 from repro.comm.protocol import MSG_CAP, MSG_READING, decode, encode, quantize_w
 from repro.core.managers import PowerManager
 from repro.deploy import framing
@@ -199,13 +200,13 @@ class DeployServer:
         self.events = events if events is not None else ResilienceEventLog()
         #: Per-cycle phase timings (the §6.5 overhead instrumentation).
         self.timings = CycleTimingLog()
-        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        self._listener.bind((host, port))
         # A whole cluster's daemons may connect before accept_clients
         # drains them; a short backlog would time their connects out.
-        self._listener.listen(128)
-        self._listener.settimeout(timeout_s)
+        # bind_listener also retries a pinned port through a transient
+        # EADDRINUSE, so multi-server harnesses can't flake on binds.
+        self._listener = bind_listener(
+            host, port, backlog=128, timeout_s=timeout_s
+        )
         self._clients: list[_ClientRecord] = []
         self._closed = False
         self._cycle = 0

@@ -55,6 +55,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Iterator, Sequence
 
+from repro.comm.net import bind_listener
 from repro.comm.wire import FrameAssembler, FrameError, recv_doc, send_doc
 from repro.experiments.engine import (
     ExecutionBackend,
@@ -84,6 +85,9 @@ _POLL_S = 0.05
 
 #: Socket receive chunk for both ends' assembler-fed loops.
 _RECV_BYTES = 65536
+
+#: Sentinel for a closed connection (distinct from a timeout's None).
+_EOF = object()
 
 
 def parse_workers(spec: str) -> list[str]:
@@ -164,17 +168,32 @@ class WorkerChaos:
             raise ValueError(f"hang_s must be >= 0, got {self.hang_s}")
 
 
+@dataclass
+class _ActiveJob:
+    """One job in flight on a worker session."""
+
+    digest: str
+    key: str
+    box: dict
+    thread: threading.Thread | None
+
+    @property
+    def finished(self) -> bool:
+        return self.thread is None or not self.thread.is_alive()
+
+
 class DistributedWorker:
     """One remote execution node: a TCP server that runs leased jobs.
 
     The worker listens; the coordinator dials.  Per session the worker
-    announces ``ready`` (with its code version), receives the campaign
-    config, then serves ``job`` frames one at a time: the job runs in a
-    thread while the session loop emits heartbeats, so a long simulation
-    never looks like a dead worker.  Each job's digest is re-derived
-    locally and must match the coordinator's — a version- or
-    config-skewed worker refuses work instead of producing subtly
-    different bits.
+    announces ``ready`` (with its code version and its ``slots`` — the
+    job concurrency it offers), receives the campaign config, then
+    serves ``job`` frames: each job runs on its own thread while the
+    session loop keeps emitting one shared heartbeat per in-flight
+    digest, so a long simulation never looks like a dead worker.  Each
+    job's digest is re-derived locally and must match the coordinator's
+    — a version- or config-skewed worker refuses work instead of
+    producing subtly different bits.
 
     A worker outlives its sessions: when the coordinator drops (or the
     worker was quarantined and the coordinator reconnects), the accept
@@ -182,14 +201,18 @@ class DistributedWorker:
     protocol.
 
     Args:
-        host/port: bind address (port 0 picks a free port; see
-            :attr:`port`).
+        host/port: bind address (always bound through
+            :func:`~repro.comm.net.bind_listener` — port 0 picks a free
+            port, read back on :attr:`port`, and pinned ports survive
+            transient ``EADDRINUSE``).
         cache: optional :class:`~repro.experiments.engine.ResultCache`
             consulted before executing and updated after — point several
             workers at one shared directory and they deduplicate work
             across campaigns.
         chaos: optional :class:`WorkerChaos` fault injection.
         max_jobs: stop serving after this many completed jobs (tests).
+        concurrency: jobs this worker runs at once (thread-per-job; the
+            coordinator fills up to this many leases on one session).
         log: optional ``callable(str)`` receiving one line per lifecycle
             step (session open/close, job done, chaos actions).
     """
@@ -201,14 +224,17 @@ class DistributedWorker:
         cache: ResultCache | None = None,
         chaos: WorkerChaos | None = None,
         max_jobs: int | None = None,
+        concurrency: int = 1,
         log: Callable[[str], None] | None = None,
     ) -> None:
+        if concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1, got {concurrency}")
         self.cache = cache
         self.chaos = chaos if chaos is not None else WorkerChaos()
         self.max_jobs = max_jobs
+        self.concurrency = concurrency
         self._log = log
-        self._listener = socket.create_server((host, port))
-        self._listener.settimeout(0.2)
+        self._listener = bind_listener(host, port, timeout_s=0.2)
         self.host = host
         self.port = int(self._listener.getsockname()[1])
         self._stop = threading.Event()
@@ -260,26 +286,31 @@ class DistributedWorker:
 
     # ------------------------------------------------------------------
 
-    def _next_doc(
+    def _poll_doc(
         self, conn: socket.socket, assembler: FrameAssembler, inbox: deque
-    ) -> dict | None:
-        """Next framed document, or None on EOF/stop (stop-responsive)."""
-        while not inbox:
-            if self._stop.is_set():
-                return None
-            try:
-                data = conn.recv(_RECV_BYTES)
-            except TimeoutError:
-                continue
-            except OSError:
-                return None
-            if not data:
-                return None
-            inbox.extend(assembler.feed(data))
-        return inbox.popleft()
+    ) -> "dict | None | object":
+        """One receive attempt: a document, None on timeout, _EOF on close."""
+        if inbox:
+            return inbox.popleft()
+        try:
+            data = conn.recv(_RECV_BYTES)
+        except TimeoutError:
+            return None
+        except OSError:
+            return _EOF
+        if not data:
+            return _EOF
+        inbox.extend(assembler.feed(data))
+        return inbox.popleft() if inbox else None
 
     def _serve_session(self, conn: socket.socket) -> bool:
-        """Serve one coordinator session; False means stop serving."""
+        """Serve one coordinator session; False means stop serving.
+
+        Up to :attr:`concurrency` jobs run at once, each on its own
+        thread; the session loop is shared — it reaps finished jobs,
+        emits one heartbeat per in-flight digest on the coordinator's
+        cadence, and admits new frames, all on one socket.
+        """
         from repro import __version__
 
         conn.settimeout(0.2)
@@ -287,14 +318,34 @@ class DistributedWorker:
         inbox: deque[dict] = deque()
         config: ExperimentConfig | None = None
         heartbeat_s = 1.0
+        active: list[_ActiveJob] = []
+        last_beat = time.monotonic()
         try:
             send_doc(
                 conn,
-                {"type": "ready", "version": __version__, "pid": os.getpid()},
+                {
+                    "type": "ready",
+                    "version": __version__,
+                    "pid": os.getpid(),
+                    "slots": self.concurrency,
+                },
             )
             while not self._stop.is_set():
-                doc = self._next_doc(conn, assembler, inbox)
-                if doc is None or doc.get("type") == "quit":
+                for entry in [e for e in active if e.finished]:
+                    active.remove(entry)
+                    if not self._finish_job(conn, entry):
+                        return False
+                if active and time.monotonic() - last_beat >= heartbeat_s:
+                    for entry in active:
+                        send_doc(
+                            conn,
+                            {"type": "heartbeat", "digest": entry.digest},
+                        )
+                    last_beat = time.monotonic()
+                doc = self._poll_doc(conn, assembler, inbox)
+                if doc is None:
+                    continue
+                if doc is _EOF or doc.get("type") == "quit":
                     return True
                 kind = doc.get("type")
                 if kind == "hello":
@@ -314,33 +365,21 @@ class DistributedWorker:
                         continue
                     send_doc(conn, {"type": "config_ok"})
                 elif kind == "job":
-                    self._serve_job(conn, config, doc, heartbeat_s)
-                    if (
-                        self.chaos.kill_after_jobs
-                        and self.jobs_done >= self.chaos.kill_after_jobs
-                    ):
-                        self._say(
-                            f"chaos: crashing after {self.jobs_done} job(s)"
-                        )
-                        _abort_connection(conn)
-                        return False
-                    if (
-                        self.max_jobs is not None
-                        and self.jobs_done >= self.max_jobs
-                    ):
-                        return False
+                    entry = self._admit_job(conn, config, doc)
+                    if entry is not None:
+                        active.append(entry)
                 # Unknown frame types are ignored: forward compatibility.
         except (OSError, FrameError) as exc:
             self._say(f"session ended: {exc}")
         return True
 
-    def _serve_job(
+    def _admit_job(
         self,
         conn: socket.socket,
         config: ExperimentConfig | None,
         doc: dict,
-        heartbeat_s: float,
-    ) -> None:
+    ) -> _ActiveJob | None:
+        """Validate one job frame and start it (or refuse it inline)."""
         digest = str(doc.get("digest", ""))
 
         def _refuse(error: str) -> None:
@@ -349,65 +388,90 @@ class DistributedWorker:
 
         if config is None:
             _refuse("job received before config")
-            return
+            return None
         try:
             job = SimJob.from_tokens(doc.get("tokens", ()))
         except (TypeError, ValueError) as exc:
             _refuse(f"bad job tokens: {exc}")
-            return
+            return None
         if job_digest(config, job) != digest:
             # The single check that keeps a mixed fleet honest: any
             # config or code-version skew lands here, never in the data.
             _refuse(f"digest mismatch for {job.key} (config/version skew)")
-            return
+            return None
 
         self._jobs_seen += 1
         if (
             self.chaos.hang_before_job
             and self._jobs_seen == self.chaos.hang_before_job
         ):
+            # The whole worker goes silent: every in-flight digest stops
+            # heartbeating, which is exactly what a stuck process does.
             self._say(f"chaos: hanging {self.chaos.hang_s:.1f}s on {job.key}")
             if self._stop.wait(self.chaos.hang_s):
-                return
+                return None
 
         payload = self.cache.load(digest) if self.cache is not None else None
-        wall = 0.0
-        if payload is None:
-            box: dict = {}
+        if payload is not None:
+            return _ActiveJob(
+                digest, job.key, {"payload": payload, "wall_s": 0.0}, None
+            )
+        box: dict = {}
+        cache = self.cache
 
-            def _run() -> None:
-                t0 = time.perf_counter()
-                try:
-                    box["payload"] = encode_result(execute_job(config, job))
-                except Exception as exc:  # noqa: BLE001 - report, don't die
-                    box["error"] = f"{type(exc).__name__}: {exc}"
-                box["wall_s"] = time.perf_counter() - t0
+        def _run() -> None:
+            t0 = time.perf_counter()
+            try:
+                box["payload"] = encode_result(execute_job(config, job))
+            except Exception as exc:  # noqa: BLE001 - report, don't die
+                box["error"] = f"{type(exc).__name__}: {exc}"
+            box["wall_s"] = time.perf_counter() - t0
+            if cache is not None and "payload" in box:
+                cache.store(digest, job.key, box["payload"])
 
-            thread = threading.Thread(target=_run, daemon=True)
-            thread.start()
-            while thread.is_alive():
-                thread.join(heartbeat_s)
-                if thread.is_alive():
-                    send_doc(conn, {"type": "heartbeat", "digest": digest})
-            if "error" in box:
-                _refuse(box["error"])
-                return
-            payload = box["payload"]
-            wall = float(box["wall_s"])
-            if self.cache is not None:
-                self.cache.store(digest, job.key, payload)
+        thread = threading.Thread(
+            target=_run, name=f"repro-job-{digest[:8]}", daemon=True
+        )
+        thread.start()
+        return _ActiveJob(digest, job.key, box, thread)
+
+    def _finish_job(self, conn: socket.socket, entry: _ActiveJob) -> bool:
+        """Send one finished job's outcome; False means stop serving."""
+        if "error" in entry.box:
+            self._say(f"refusing job: {entry.box['error']}")
+            send_doc(
+                conn,
+                {
+                    "type": "error",
+                    "digest": entry.digest,
+                    "error": entry.box["error"],
+                },
+            )
+            return True
+        payload = entry.box["payload"]
+        wall = float(entry.box.get("wall_s", 0.0))
         send_doc(
             conn,
             {
                 "type": "result",
-                "digest": digest,
+                "digest": entry.digest,
                 "wall_s": wall,
                 "payload": payload,
                 "payload_sha256": _payload_sha256(payload),
             },
         )
         self.jobs_done += 1
-        self._say(f"completed {job.key} in {wall:.2f}s")
+        self._say(f"completed {entry.key} in {wall:.2f}s")
+        if (
+            self.chaos.kill_after_jobs
+            and self.jobs_done >= self.chaos.kill_after_jobs
+        ):
+            self._say(f"chaos: crashing after {self.jobs_done} job(s)")
+            _abort_connection(conn)
+            return False
+        if self.max_jobs is not None and self.jobs_done >= self.max_jobs:
+            return False
+        return True
 
 
 # ---------------------------------------------------------------------------
@@ -503,7 +567,11 @@ class _WorkerLink:
         self.health = health
         self.sock: socket.socket | None = None
         self.assembler = FrameAssembler()
-        self.lease: _Lease | None = None
+        #: Job slots the worker announced in its ready frame.
+        self.slots = 1
+        #: In-flight leases on this worker, keyed by job digest (up to
+        #: :attr:`slots` at once on a concurrent worker).
+        self.leases: dict[str, _Lease] = {}
         #: Unreachable at start(); excluded for the whole run.
         self.skipped = False
         #: Declared DEAD mid-run; no further reconnects this run.
@@ -517,7 +585,8 @@ class _WorkerLink:
 
     @property
     def idle(self) -> bool:
-        return self.sock is not None and self.lease is None
+        """True while the worker has at least one free job slot."""
+        return self.sock is not None and len(self.leases) < self.slots
 
 
 class _JobState:
@@ -644,7 +713,7 @@ class DistributedBackend(ExecutionBackend):
         except OSError:
             pass
         link.sock = None
-        link.lease = None
+        link.leases = {}
 
     def _connect(self, link: _WorkerLink) -> str | None:
         """Dial + handshake one worker; returns a failure reason or None."""
@@ -689,7 +758,8 @@ class DistributedBackend(ExecutionBackend):
         sock.settimeout(self.coordinator.connect_timeout_s)
         link.sock = sock
         link.assembler = FrameAssembler()
-        link.lease = None
+        link.slots = max(1, int(ready.get("slots", 1)))
+        link.leases = {}
         return None
 
     # ------------------------------------------------------------------
@@ -775,16 +845,15 @@ class DistributedBackend(ExecutionBackend):
             )
 
         def _fail_link(link: _WorkerLink, reason: str) -> None:
-            lease = link.lease
+            leases = list(link.leases.values())
             self._worker_failure(link, reason)
-            if lease is None:
-                return
-            state = states.get(lease.digest)
-            if state is None:
-                return
-            state.active -= 1
-            if not state.done and state.active == 0:
-                _requeue(state, f"worker failure: {reason}")
+            for lease in leases:
+                state = states.get(lease.digest)
+                if state is None:
+                    continue
+                state.active -= 1
+                if not state.done and state.active == 0:
+                    _requeue(state, f"worker failure: {reason}")
 
         def _grant(
             link: _WorkerLink, state: _JobState, speculative: bool = False
@@ -804,7 +873,7 @@ class DistributedBackend(ExecutionBackend):
                 _fail_link(link, f"dispatch failed: {exc}")
                 return False
             now = time.monotonic()
-            link.lease = _Lease(
+            link.leases[state.digest] = _Lease(
                 state.digest, now, now + coord.lease_timeout_s, speculative
             )
             state.active += 1
@@ -824,27 +893,33 @@ class DistributedBackend(ExecutionBackend):
                     coord.speculation_factor * statistics.median(walls),
                 )
             for link in self._links:
-                if not idle:
-                    return
-                lease = link.lease
-                if lease is None or lease.speculative:
-                    continue
-                state = states.get(lease.digest)
-                if state is None or state.done or state.speculated:
-                    continue
-                if now - lease.granted_at < threshold:
-                    continue
-                backup = idle.pop(0)
-                state.speculated = True
-                self._emit(
-                    "job_speculated", node_id=backup.index,
-                    detail=(
-                        f"{state.job.key}: no result after "
-                        f"{now - lease.granted_at:.1f}s on {link.address}; "
-                        f"backup on {backup.address}"
-                    ),
-                )
-                _grant(backup, state, speculative=True)
+                for lease in list(link.leases.values()):
+                    if not idle:
+                        return
+                    if lease.speculative:
+                        continue
+                    state = states.get(lease.digest)
+                    if state is None or state.done or state.speculated:
+                        continue
+                    if now - lease.granted_at < threshold:
+                        continue
+                    # A backup on the same (possibly stuck) worker would
+                    # share its fate; pick a different one.
+                    candidates = [b for b in idle if b is not link]
+                    if not candidates:
+                        continue
+                    backup = candidates[0]
+                    idle.remove(backup)
+                    state.speculated = True
+                    self._emit(
+                        "job_speculated", node_id=backup.index,
+                        detail=(
+                            f"{state.job.key}: no result after "
+                            f"{now - lease.granted_at:.1f}s on "
+                            f"{link.address}; backup on {backup.address}"
+                        ),
+                    )
+                    _grant(backup, state, speculative=True)
 
         def _dispatch() -> None:
             while True:
@@ -878,13 +953,12 @@ class DistributedBackend(ExecutionBackend):
             kind = doc.get("type")
             digest = str(doc.get("digest", ""))
             if kind == "heartbeat":
-                lease = link.lease
-                if lease is not None and lease.digest == digest:
+                lease = link.leases.get(digest)
+                if lease is not None:
                     lease.deadline = time.monotonic() + coord.lease_timeout_s
                 return
             if kind == "error":
-                if link.lease is not None and link.lease.digest == digest:
-                    link.lease = None
+                link.leases.pop(digest, None)
                 state = states.get(digest)
                 if state is None or state.done:
                     return
@@ -905,8 +979,7 @@ class DistributedBackend(ExecutionBackend):
                 return
             if kind != "result":
                 return
-            if link.lease is not None and link.lease.digest == digest:
-                link.lease = None
+            link.leases.pop(digest, None)
             state = states.get(digest)
             if state is None:
                 self._emit(
@@ -951,13 +1024,18 @@ class DistributedBackend(ExecutionBackend):
         def _check_leases() -> None:
             now = time.monotonic()
             for link in self._links:
-                lease = link.lease
-                if lease is None or link.sock is None:
+                if link.sock is None:
                     continue
-                if now < lease.deadline:
+                expired = next(
+                    (l for l in link.leases.values() if now >= l.deadline),
+                    None,
+                )
+                if expired is None:
                     continue
-                state = states.get(lease.digest)
-                key = state.job.key if state is not None else lease.digest[:12]
+                state = states.get(expired.digest)
+                key = (
+                    state.job.key if state is not None else expired.digest[:12]
+                )
                 self._emit(
                     "lease_expired", node_id=link.index,
                     detail=(
@@ -965,6 +1043,8 @@ class DistributedBackend(ExecutionBackend):
                         f"{coord.lease_timeout_s:.1f}s"
                     ),
                 )
+                # One silent lease condemns the worker: every lease it
+                # held is requeued by the link failure.
                 _fail_link(link, "lease expired")
 
         def _reconnects() -> None:

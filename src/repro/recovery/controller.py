@@ -104,12 +104,25 @@ class RecoverableController:
     def caps(self) -> np.ndarray:
         return self.manager.caps
 
+    def set_budget_w(self, budget_w: float) -> None:
+        """Apply a budget re-lease to the wrapped manager.
+
+        The new budget is *not* journaled here: it rides the next cycle's
+        journal record, so replay re-applies it at exactly the step where
+        it first took effect.
+        """
+        self.manager.set_budget_w(budget_w)
+
     def step(
         self, power_w: np.ndarray, demand_w: np.ndarray | None = None
     ) -> np.ndarray:
         """Journal the inputs, step the manager, maybe checkpoint."""
         record: dict = {
-            "power": encode_array(np.asarray(power_w, dtype=np.float64))
+            "power": encode_array(np.asarray(power_w, dtype=np.float64)),
+            # The budget in force for this step.  Checkpoints capture it
+            # via the manager binding; journaling it per record lets
+            # replay re-apply mid-tail budget re-leases bit-exactly.
+            "budget": float(self.manager.budget_w),
         }
         if demand_w is not None:
             record["demand"] = encode_array(
@@ -169,6 +182,11 @@ class RecoverableController:
                 if "demand" in rec.data
                 else None
             )
+            # Records written before budget journaling carry no "budget"
+            # key; the checkpoint binding's budget then stays in force.
+            budget = rec.data.get("budget")
+            if budget is not None and float(budget) != self.manager.budget_w:
+                self.manager.set_budget_w(float(budget))
             self.manager.step(power, demand)
             self.cycle = rec.cycle
         self.replayed = len(tail)

@@ -181,6 +181,13 @@ class ResilientManager(PowerManager):
         # above spawned for it, repositioning its stream exactly.
         self.inner.restore(state["inner"])
 
+    def set_budget_w(self, budget_w: float) -> None:
+        """Re-lease the budget on the wrapper *and* the shadowed inner
+        manager, so safe-mode constant allocation and the inner policy
+        agree on the envelope."""
+        super().set_budget_w(budget_w)
+        self.inner.set_budget_w(budget_w)
+
     @property
     def safe_mode(self) -> bool:
         """True while caps come from the constant-allocation fallback."""

@@ -271,6 +271,36 @@ class SnapshotIdempotence(Invariant):
         return None
 
 
+class ShardLeaseConservation(Invariant):
+    """The arbiter's worst-case committed power — live shards at their
+    leases plus dark shards at their last confirmed commitments — never
+    exceeds the global budget (checked from the arbiter's introspection
+    surface; a plain manager stack has none and passes vacuously)."""
+
+    name = "shard-lease-conservation"
+
+    def check(self, ctx: InvariantContext) -> str | None:
+        for node in _walk_manager_stack(ctx.manager):
+            worst = getattr(node, "shard_worst_case_w", None)
+            if worst is None:
+                continue
+            budget = float(getattr(node, "budget_w", ctx.budget_w))
+            tol = budget * _REL_TOL + 1e-6
+            if float(worst) > budget + tol:
+                return (
+                    f"shard worst-case committed {float(worst):.6f} W "
+                    f"exceeds global budget {budget:.6f} W"
+                )
+            steady = getattr(node, "shard_steady_committed_w", None)
+            if steady is not None and float(steady) > budget + tol:
+                return (
+                    f"shard steady committed {float(steady):.6f} W "
+                    f"exceeds global budget {budget:.6f} W"
+                )
+            return None
+        return None
+
+
 _REGISTRY: dict[str, Invariant] = {}
 
 
@@ -292,6 +322,7 @@ for _inv in (
     ReadjustConservation(),
     FiniteKalman(),
     SnapshotIdempotence(),
+    ShardLeaseConservation(),
 ):
     register_invariant(_inv)
 

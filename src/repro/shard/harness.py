@@ -1,0 +1,605 @@
+"""Loopback multi-shard harness with shard-level chaos.
+
+:func:`run_sharded` is the sharded analog of
+:func:`repro.deploy.loopback.run_loopback`: one process, N real
+:class:`~repro.deploy.server.DeployServer` instances (one per shard,
+each on its own kernel-chosen ephemeral port, each with its own
+:class:`~repro.deploy.client.DeployClient` threads over localhost TCP)
+under one :class:`~repro.shard.arbiter.BudgetArbiter`.
+
+Each shard runs on a worker thread under a *real*
+:class:`~repro.recovery.supervisor.Supervisor`; the harness thread is
+the lock-step clock: per control cycle it fires the chaos schedule,
+advances the cluster physics exactly once, broadcasts the cycle command
+to every shard, waits for every shard's acknowledgement, and then (on
+the arbiter period) runs the arbiter cycle.  Physics are frozen while
+control runs, so a session is reproducible cycle-for-cycle despite the
+thread-per-shard concurrency — shards own disjoint nodes, sockets, and
+checkpoint directories, and never touch shared state mid-cycle.
+
+Shard-level chaos covers the full failure matrix: shard *kill* (the
+controller process dies and is warm-restarted from its checkpoint),
+shard *hang* (detected by the supervisor's watchdog, then restarted),
+link *partition* (frames dropped both directions; the arbiter
+quarantines the shard, the shard freezes on its lease term), and
+arbiter *kill/restart* (shards run autonomously on their last leases
+and freeze when the terms expire; the restarted arbiter resumes from
+its checkpoint).  Every transition lands in the merged event log as a
+structured ``SHARD_EVENT_KINDS`` event — there is no silent failover.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.core.managers import PowerManager
+from repro.deploy.client import DeployClient
+from repro.deploy.loopback import RecoveryOptions, _await_cap_application
+from repro.recovery.checkpoint import CheckpointStore, CycleJournal
+from repro.recovery.controller import RecoverableController
+from repro.recovery.supervisor import (
+    ControllerCrash,
+    ControllerHang,
+    Heartbeat,
+    Supervisor,
+)
+from repro.resilience.health import ResilienceConfig
+from repro.safety import SafetyConfig
+from repro.shard.arbiter import ArbiterShard, BudgetArbiter
+from repro.shard.lease import ArbiterConfig, ShardLink
+from repro.shard.server import ShardServer
+from repro.telemetry.log import LeaseTimeline, ResilienceEventLog
+
+__all__ = ["ShardChaosSchedule", "ShardedResult", "run_sharded"]
+
+#: Seconds the harness waits for one shard acknowledgement before the
+#: session is declared wedged (a watchdog on the watchdogs).
+_ACK_TIMEOUT_S = 60.0
+
+
+@dataclass(frozen=True)
+class ShardChaosSchedule:
+    """Failure plan of a sharded session (cycle indices, each fires once).
+
+    Attributes:
+        shard_kill_at: shard id → cycle at which that shard's controller
+            crashes (supervised warm restart from its checkpoint).
+        shard_hang_at: shard id → cycle at which that shard's controller
+            stops making progress until its watchdog aborts it.
+        partition_at: shard id → cycle at which the shard↔arbiter link
+            is severed (both directions).
+        heal_at: shard id → cycle at which the link is restored.
+        arbiter_kill_at: cycle at which the arbiter crashes (None = never).
+        arbiter_restart_at: cycle at which a fresh arbiter resumes from
+            the checkpoint store (required when ``arbiter_kill_at`` is
+            set and the session continues past it).
+    """
+
+    shard_kill_at: Mapping[int, int] = field(default_factory=dict)
+    shard_hang_at: Mapping[int, int] = field(default_factory=dict)
+    partition_at: Mapping[int, int] = field(default_factory=dict)
+    heal_at: Mapping[int, int] = field(default_factory=dict)
+    arbiter_kill_at: int | None = None
+    arbiter_restart_at: int | None = None
+
+    def __post_init__(self) -> None:
+        for shard_id, cycle in self.heal_at.items():
+            if (
+                shard_id in self.partition_at
+                and cycle <= self.partition_at[shard_id]
+            ):
+                raise ValueError(
+                    f"shard {shard_id} heals at cycle {cycle}, before its "
+                    f"partition at cycle {self.partition_at[shard_id]}"
+                )
+        overlap = set(self.shard_kill_at) & set(self.shard_hang_at)
+        for shard_id in overlap:
+            if self.shard_kill_at[shard_id] == self.shard_hang_at[shard_id]:
+                raise ValueError(
+                    f"shard {shard_id} is killed and hung at the same cycle"
+                )
+        if (
+            self.arbiter_restart_at is not None
+            and self.arbiter_kill_at is not None
+            and self.arbiter_restart_at <= self.arbiter_kill_at
+        ):
+            raise ValueError(
+                f"arbiter restarts at cycle {self.arbiter_restart_at}, "
+                f"before its kill at cycle {self.arbiter_kill_at}"
+            )
+
+
+@dataclass
+class ShardedResult:
+    """Outcome of a sharded session.
+
+    Attributes:
+        cycles: control cycles executed.
+        n_shards: shard servers in the session.
+        budget_w: the global budget that was arbitrated.
+        events: merged structured events of the whole session — harness,
+            arbiter, and every shard's deploy/recovery stack.
+        timeline: per-shard lease timeline across every arbiter cycle
+            (survives arbiter restarts).
+        leases_w: final per-shard leases.
+        power_history: true per-unit power per cycle, ``(cycles, units)``.
+        caps_history: hardware-side per-unit caps per cycle.
+        shard_restarts: supervised restarts per shard.
+        failed_shards: shards whose restart budget was exhausted.
+        arbiter_restarts: arbiter kill→restart transitions performed.
+        arbiter_cycles: arbiter cycles executed (all instances).
+        invariant_sweeps: arbiter invariant sweeps run (all instances).
+        invariant_violations: violations found (0 for a correct run).
+        worst_case_w: global worst-case committed power at the last
+            arbiter cycle (None if the arbiter never ran).
+        steady_w: global steady committed power at the last arbiter cycle.
+        bytes_links: frame bytes over every shard link.
+        checkpoint_dir: where shard and arbiter checkpoints live.
+        cycle_wall_s: wall seconds of each lock-step control cycle
+            (physics + every shard's cycle + any arbiter cycle).
+    """
+
+    cycles: int
+    n_shards: int
+    budget_w: float
+    events: ResilienceEventLog
+    timeline: LeaseTimeline
+    leases_w: np.ndarray
+    power_history: np.ndarray
+    caps_history: np.ndarray
+    shard_restarts: list[int] = field(default_factory=list)
+    failed_shards: tuple[int, ...] = ()
+    arbiter_restarts: int = 0
+    arbiter_cycles: int = 0
+    invariant_sweeps: int = 0
+    invariant_violations: int = 0
+    worst_case_w: float | None = None
+    steady_w: float | None = None
+    bytes_links: int = 0
+    checkpoint_dir: Path | None = None
+    cycle_wall_s: np.ndarray = field(
+        default_factory=lambda: np.zeros(0, dtype=np.float64)
+    )
+
+
+class _ShardWorker:
+    """One shard's thread: a supervised control loop in lock step."""
+
+    def __init__(
+        self,
+        shard: ShardServer,
+        nodes: list,
+        recovery: RecoveryOptions,
+        dt_s: float,
+        period_cycles: int,
+        timeout_s: float,
+    ) -> None:
+        self.shard = shard
+        self.nodes = nodes
+        self.recovery = recovery
+        self.dt_s = dt_s
+        self.period_cycles = period_cycles
+        self.timeout_s = timeout_s
+        self.commands: queue.Queue = queue.Queue()
+        self.supervisor = Supervisor(
+            max_restarts=recovery.max_restarts,
+            hang_timeout_s=recovery.hang_timeout_s,
+            events=ResilienceEventLog(),  # controller_* detail log
+        )
+        self.failed = False
+        #: Unexpected (non-chaos) exception that took the worker down.
+        self.error: Exception | None = None
+        self.thread = threading.Thread(
+            target=self._run, name=f"shard-{shard.shard_id}", daemon=True
+        )
+
+    def start(self, acks: queue.Queue) -> None:
+        self._acks = acks
+        self.thread.start()
+
+    def _ack(self, step: int, status: str) -> None:
+        self._acks.put((self.shard.shard_id, step, status))
+
+    def _run(self) -> None:
+        try:
+            self.supervisor.run(self._attempt)
+            return
+        except (ControllerCrash, ControllerHang):
+            pass  # Restart budget exhausted.
+        except Exception as exc:  # noqa: BLE001 - keep the clock answered
+            self.error = exc
+        self.failed = True
+        # Keep answering the clock so the session completes; the shard's
+        # hardware holds its last caps.
+        while True:
+            cmd = self.commands.get()
+            if cmd[0] == "stop":
+                return
+            self._ack(cmd[1], "failed")
+
+    def _attempt(self, index: int, heartbeat: Heartbeat) -> str:
+        shard = self.shard
+        if index > 0:
+            consumed = 0
+            while consumed < self.recovery.restart_delay_cycles:
+                cmd = self.commands.get()
+                if cmd[0] == "stop":
+                    return "stopped"
+                self._ack(cmd[1], "outage")
+                consumed += 1
+            if shard.controller.resume():
+                shard.resume_lease_state()
+            # Only this shard's meters re-anchor — the rest of the
+            # cluster never went down.
+            for node in self.nodes:
+                for sock in node.sockets:
+                    sock.meter.rebaseline()
+            shard.events.emit(
+                float(shard.controller.cycle),
+                "shard_restarted",
+                node_id=shard.shard_id,
+                detail=f"attempt {index} of {self.recovery.max_restarts + 1}",
+            )
+
+        server = shard.start(timeout_s=self.timeout_s)
+        clients: list[DeployClient] = []
+        clients_by_id: dict[int, DeployClient] = {}
+        try:
+            for node in self.nodes:
+                client = DeployClient(node, server.address, dt_s=self.dt_s)
+                client.start()
+                clients.append(client)
+                clients_by_id[node.node_id] = client
+            server.accept_clients(len(clients))
+
+            while True:
+                cmd = self.commands.get()
+                if cmd[0] == "stop":
+                    return "stopped"
+                _, step, directive = cmd
+                if directive == "kill":
+                    self._ack(step, "crashed")
+                    raise ControllerCrash(f"injected kill at cycle {step}")
+                if directive == "hang":
+                    self._ack(step, "hung")
+                    while not heartbeat.aborted:
+                        time.sleep(0.002)
+                    raise ControllerHang(f"hang detected at cycle {step}")
+                served_before = {
+                    nid: c.cycles_served for nid, c in clients_by_id.items()
+                }
+                shard.run_cycle(now=float(step))
+                _await_cap_application(server, clients_by_id, served_before)
+                heartbeat.beat()
+                if (step + 1) % self.period_cycles == 0:
+                    shard.summarize(cycle=step)
+                self._ack(step, "ok")
+        finally:
+            shard.stop()
+            for client in clients:
+                try:
+                    client.join()
+                except RuntimeError:
+                    pass  # A crashed attempt's client dies on its socket.
+
+
+def run_sharded(
+    cluster: Cluster,
+    n_shards: int,
+    manager_factory: Callable[[int], PowerManager],
+    demand_fn: Callable[[int], np.ndarray],
+    cycles: int,
+    checkpoint_dir: str | Path,
+    dt_s: float = 1.0,
+    config: ArbiterConfig | None = None,
+    chaos: ShardChaosSchedule | None = None,
+    recovery: RecoveryOptions | None = None,
+    resilience: ResilienceConfig | None = None,
+    safety: SafetyConfig | None = None,
+    invariant_mode: str = "strict",
+    timeout_s: float = 5.0,
+    rng: np.random.Generator | None = None,
+) -> ShardedResult:
+    """Run a sharded control-plane session over localhost TCP.
+
+    Args:
+        cluster: the simulated hardware; its nodes are partitioned into
+            ``n_shards`` contiguous groups.
+        n_shards: shard servers to run (1 ≤ n_shards ≤ n_nodes).
+        manager_factory: shard id → a fresh (unbound) power manager for
+            that shard; bound here to the shard's slice topology with
+            the shard's initial lease as its budget.
+        demand_fn: step index → per-unit demand for the *whole* cluster.
+        cycles: control cycles to run.
+        checkpoint_dir: root for per-shard and arbiter checkpoints.
+        dt_s: control period.
+        config: arbiter/lease knobs.
+        chaos: optional shard-level failure plan.
+        recovery: checkpoint/supervisor knobs shared by every shard
+            (``checkpoint_dir`` inside it is ignored — shards get
+            subdirectories of this function's ``checkpoint_dir``).
+        resilience: client quarantine knobs for every shard server.
+        safety: deploy-layer safety config for every shard server.
+        invariant_mode: the arbiter's invariant-monitor cadence
+            (``"strict"`` raises — the chaos-test posture).
+        timeout_s: per-shard deploy-server socket deadline.
+        rng: manager randomness; child streams are spawned per shard.
+
+    Returns:
+        A :class:`ShardedResult`; every thread and socket is shut down
+        before returning, succeed or fail.
+    """
+    if cycles < 1:
+        raise ValueError(f"cycles must be >= 1, got {cycles}")
+    if not 1 <= n_shards <= cluster.spec.n_nodes:
+        raise ValueError(
+            f"n_shards must be in [1, {cluster.spec.n_nodes}], got {n_shards}"
+        )
+    cfg = config or ArbiterConfig()
+    chaos = chaos or ShardChaosSchedule()
+    recovery = recovery or RecoveryOptions(checkpoint_dir=checkpoint_dir)
+    rng = rng if rng is not None else np.random.default_rng(0)
+    root = Path(checkpoint_dir)
+    _validate_chaos(chaos, n_shards)
+
+    # Partition the nodes (and therefore the unit range) contiguously.
+    n_nodes = cluster.spec.n_nodes
+    bounds = [round(i * n_nodes / n_shards) for i in range(n_shards + 1)]
+    groups = [
+        list(cluster.nodes[bounds[i] : bounds[i + 1]]) for i in range(n_shards)
+    ]
+    if any(not g for g in groups):
+        raise ValueError(
+            f"{n_shards} shards leave some shard empty over {n_nodes} nodes"
+        )
+    slices: list[slice] = []
+    cursor = 0
+    for group in groups:
+        width = sum(len(node.sockets) for node in group)
+        slices.append(slice(cursor, cursor + width))
+        cursor += width
+
+    units = np.asarray(
+        [s.stop - s.start for s in slices], dtype=np.float64
+    )
+    floor = units * cluster.spec.min_cap_w
+    ceiling = units * cluster.spec.tdp_w
+    initial = np.clip(
+        cluster.budget_w * units / float(units.sum()), floor, ceiling
+    )
+
+    harness_events = ResilienceEventLog()
+    timeline = LeaseTimeline()
+    shard_rngs = rng.spawn(n_shards)
+    shards: list[ShardServer] = []
+    links: list[ShardLink] = []
+    workers: list[_ShardWorker] = []
+    for i in range(n_shards):
+        manager = manager_factory(i)
+        manager.bind(
+            n_units=int(units[i]),
+            budget_w=float(initial[i]),
+            max_cap_w=cluster.spec.tdp_w,
+            min_cap_w=cluster.spec.min_cap_w,
+            dt_s=dt_s,
+            rng=shard_rngs[i],
+        )
+        shard_dir = root / f"shard-{i}"
+        controller = RecoverableController(
+            manager,
+            store=CheckpointStore(shard_dir, keep=recovery.keep_generations),
+            journal=CycleJournal(shard_dir / "journal.log"),
+            checkpoint_every=recovery.checkpoint_every,
+        )
+        link = ShardLink()
+        shard = ShardServer(
+            shard_id=i,
+            controller=controller,
+            link=link,
+            config=cfg,
+            events=ResilienceEventLog(),  # per-thread; merged at the end
+            resilience=resilience,
+            safety=safety,
+        )
+        shards.append(shard)
+        links.append(link)
+        workers.append(
+            _ShardWorker(
+                shard, groups[i], recovery, dt_s, cfg.period_cycles, timeout_s
+            )
+        )
+
+    specs = [
+        ArbiterShard(
+            shard_id=i,
+            link=links[i],
+            n_units=int(units[i]),
+            min_cap_w=cluster.spec.min_cap_w,
+            max_cap_w=cluster.spec.tdp_w,
+        )
+        for i in range(n_shards)
+    ]
+    arbiter_store = CheckpointStore(
+        root / "arbiter", keep=recovery.keep_generations
+    )
+
+    def make_arbiter() -> BudgetArbiter:
+        return BudgetArbiter(
+            budget_w=cluster.budget_w,
+            shards=specs,
+            initial_leases_w=initial,
+            config=cfg,
+            events=harness_events,
+            timeline=timeline,
+            store=arbiter_store,
+            invariant_mode=invariant_mode,
+        )
+
+    arbiter: BudgetArbiter | None = make_arbiter()
+    power_history = np.full((cycles, cluster.n_units), np.nan)
+    caps_history = np.full((cycles, cluster.n_units), np.nan)
+    counters = {
+        "arbiter_restarts": 0,
+        "arbiter_cycles": 0,
+        "sweeps": 0,
+        "violations": 0,
+    }
+    last_stats = None
+
+    cycle_wall = np.zeros(cycles, dtype=np.float64)
+    acks: queue.Queue = queue.Queue()
+    for worker in workers:
+        worker.start(acks)
+    try:
+        for step in range(cycles):
+            wall_t0 = time.perf_counter()
+            now = float(step)
+            for shard_id, at in chaos.partition_at.items():
+                if at == step:
+                    links[shard_id].partition()
+                    harness_events.emit(
+                        now,
+                        "shard_partitioned",
+                        node_id=shard_id,
+                        detail="link severed both directions",
+                    )
+            for shard_id, at in chaos.heal_at.items():
+                if at == step:
+                    links[shard_id].heal()
+                    harness_events.emit(
+                        now, "shard_partition_healed", node_id=shard_id
+                    )
+            if chaos.arbiter_kill_at == step and arbiter is not None:
+                counters["arbiter_cycles"] += arbiter.cycle
+                counters["sweeps"] += arbiter.monitor.sweeps_run
+                counters["violations"] += len(arbiter.monitor.violations)
+                arbiter = None
+                harness_events.emit(
+                    now, "arbiter_killed", detail="injected kill"
+                )
+            if chaos.arbiter_restart_at == step and arbiter is None:
+                arbiter = make_arbiter()
+                resumed = arbiter.resume()
+                counters["arbiter_restarts"] += 1
+                counters["arbiter_cycles"] -= arbiter.cycle
+                harness_events.emit(
+                    now,
+                    "arbiter_restarted",
+                    detail=f"resumed_from_checkpoint={resumed}",
+                )
+
+            cluster.step_physics(demand_fn(step), dt_s)
+            for worker in workers:
+                directive = None
+                if chaos.shard_kill_at.get(worker.shard.shard_id) == step:
+                    directive = "kill"
+                elif chaos.shard_hang_at.get(worker.shard.shard_id) == step:
+                    directive = "hang"
+                worker.commands.put(("cycle", step, directive))
+            statuses: dict[int, str] = {}
+            while len(statuses) < n_shards:
+                shard_id, ack_step, status = acks.get(timeout=_ACK_TIMEOUT_S)
+                if ack_step != step:
+                    raise RuntimeError(
+                        f"shard {shard_id} acked cycle {ack_step} during "
+                        f"cycle {step}"
+                    )
+                statuses[shard_id] = status
+            for shard_id, status in sorted(statuses.items()):
+                if status == "crashed":
+                    harness_events.emit(
+                        now,
+                        "shard_killed",
+                        node_id=shard_id,
+                        detail="controller crash injected",
+                    )
+                elif status == "hung":
+                    harness_events.emit(
+                        now,
+                        "shard_hung",
+                        node_id=shard_id,
+                        detail="watchdog abort pending",
+                    )
+
+            power_history[step] = cluster.true_power_w()
+            caps_history[step] = cluster.caps_w()
+
+            if arbiter is not None and (step + 1) % cfg.period_cycles == 0:
+                last_stats = arbiter.cycle_once(now=now)
+            cycle_wall[step] = time.perf_counter() - wall_t0
+    finally:
+        for worker in workers:
+            worker.commands.put(("stop",))
+        for worker in workers:
+            worker.thread.join(timeout=30.0)
+
+    if arbiter is not None:
+        counters["arbiter_cycles"] += arbiter.cycle
+        counters["sweeps"] += arbiter.monitor.sweeps_run
+        counters["violations"] += len(arbiter.monitor.violations)
+
+    for worker in workers:
+        if worker.error is not None:
+            harness_events.emit(
+                float(cycles),
+                "shard_dead",
+                node_id=worker.shard.shard_id,
+                detail=f"worker error: {worker.error}",
+            )
+
+    events = ResilienceEventLog()
+    events.extend(harness_events)
+    for shard in shards:
+        events.extend(shard.events)
+    for worker in workers:
+        events.extend(worker.supervisor.events)
+
+    return ShardedResult(
+        cycles=cycles,
+        n_shards=n_shards,
+        budget_w=cluster.budget_w,
+        events=events,
+        timeline=timeline,
+        leases_w=(
+            arbiter.leases_w
+            if arbiter is not None
+            else np.asarray([s.lease_w for s in shards])
+        ),
+        power_history=power_history,
+        caps_history=caps_history,
+        shard_restarts=[w.supervisor.restarts for w in workers],
+        failed_shards=tuple(
+            w.shard.shard_id for w in workers if w.failed
+        ),
+        arbiter_restarts=counters["arbiter_restarts"],
+        arbiter_cycles=counters["arbiter_cycles"],
+        invariant_sweeps=counters["sweeps"],
+        invariant_violations=counters["violations"],
+        worst_case_w=last_stats.worst_case_w if last_stats else None,
+        steady_w=last_stats.steady_w if last_stats else None,
+        bytes_links=sum(link.bytes_total for link in links),
+        checkpoint_dir=root,
+        cycle_wall_s=cycle_wall,
+    )
+
+
+def _validate_chaos(chaos: ShardChaosSchedule, n_shards: int) -> None:
+    for label, schedule in (
+        ("shard_kill_at", chaos.shard_kill_at),
+        ("shard_hang_at", chaos.shard_hang_at),
+        ("partition_at", chaos.partition_at),
+        ("heal_at", chaos.heal_at),
+    ):
+        for shard_id in schedule:
+            if not 0 <= shard_id < n_shards:
+                raise ValueError(
+                    f"chaos {label} names unknown shard {shard_id}"
+                )

@@ -14,9 +14,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.telemetry.log import TelemetryLog
+from repro.telemetry.log import LeaseTimeline, TelemetryLog
 
-__all__ = ["PhaseSegment", "avg_power", "fraction_above", "extract_phases"]
+__all__ = [
+    "PhaseSegment",
+    "avg_power",
+    "fraction_above",
+    "extract_phases",
+    "lease_utilization",
+    "lease_series",
+]
 
 
 @dataclass(frozen=True)
@@ -142,3 +149,43 @@ def extract_phases(
         )
         for a, b in merged
     ]
+
+
+def lease_utilization(timeline: LeaseTimeline, shard_id: int) -> float:
+    """Mean committed-power fraction of one shard's lease over a session.
+
+    The ratio ``committed_w / lease_w`` averaged over the arbiter cycles
+    in which the shard had reported at least one summary (cycles with no
+    summary yet carry NaN committed power and are skipped).  A shard that
+    never reported returns NaN.
+    """
+    samples = timeline.for_shard(shard_id)
+    ratios = [
+        s.committed_w / s.lease_w
+        for s in samples
+        if np.isfinite(s.committed_w) and s.lease_w > 0
+    ]
+    if not ratios:
+        return float("nan")
+    return float(np.mean(ratios))
+
+
+def lease_series(
+    timeline: LeaseTimeline, shard_id: int
+) -> dict[str, np.ndarray]:
+    """One shard's lease trajectory as aligned arrays.
+
+    Returns:
+        Dict with ``cycle`` (int64), ``lease_w`` / ``committed_w`` /
+        ``headroom_w`` (float64), and ``dark`` / ``frozen`` (bool) —
+        the inputs Figure-style lease-timeline plots consume.
+    """
+    samples = timeline.for_shard(shard_id)
+    return {
+        "cycle": np.asarray([s.cycle for s in samples], dtype=np.int64),
+        "lease_w": np.asarray([s.lease_w for s in samples]),
+        "committed_w": np.asarray([s.committed_w for s in samples]),
+        "headroom_w": np.asarray([s.headroom_w for s in samples]),
+        "dark": np.asarray([s.dark for s in samples], dtype=bool),
+        "frozen": np.asarray([s.frozen for s in samples], dtype=bool),
+    }

@@ -24,9 +24,12 @@ import numpy as np
 
 from repro.telemetry.log import (
     CYCLE_PHASES,
+    LEASE_TIMELINE_FIELDS,
     CyclePhaseTimings,
     CycleTimingLog,
+    LeaseTimeline,
     ResilienceEventLog,
+    ShardLeaseSample,
     TelemetryLog,
 )
 
@@ -39,6 +42,9 @@ __all__ = [
     "timings_to_csv",
     "timings_to_json",
     "timings_from_json",
+    "leases_to_csv",
+    "leases_to_json",
+    "leases_from_json",
 ]
 
 _CSV_HEADER = "time_s,unit,power_w,reading_w,cap_w,priority"
@@ -190,6 +196,61 @@ def timings_from_json(text: str) -> CycleTimingLog:
             )
         )
     return log
+
+
+def leases_to_csv(timeline: LeaseTimeline) -> str:
+    """Render a lease timeline as long-format CSV (one row per sample)."""
+    buf = io.StringIO()
+    buf.write(",".join(LEASE_TIMELINE_FIELDS) + "\n")
+    for s in timeline:
+        buf.write(
+            f"{s.cycle},{s.shard_id},{s.lease_w:.6f},{s.committed_w:.6f},"
+            f"{s.headroom_w:.6f},{s.seq},{int(s.dark)},{int(s.frozen)}\n"
+        )
+    return buf.getvalue()
+
+
+def leases_to_json(timeline: LeaseTimeline) -> str:
+    """Serialize a lease timeline as a column-oriented JSON document."""
+    doc: dict = {"format": "repro-lease-timeline-v1"}
+    for name, col in timeline.as_columns().items():
+        doc[name] = col.tolist()
+    return json.dumps(doc)
+
+
+def leases_from_json(text: str) -> LeaseTimeline:
+    """Reconstruct a lease timeline from :func:`leases_to_json` output.
+
+    Raises:
+        ValueError: wrong format tag or ragged columns.
+    """
+    doc = json.loads(text)
+    if doc.get("format") != "repro-lease-timeline-v1":
+        raise ValueError(
+            f"unsupported lease-timeline format {doc.get('format')!r}"
+        )
+    cycles = doc["cycle"]
+    for name in LEASE_TIMELINE_FIELDS:
+        if len(doc[name]) != len(cycles):
+            raise ValueError(
+                f"{name} holds {len(doc[name])} entries for "
+                f"{len(cycles)} samples"
+            )
+    timeline = LeaseTimeline()
+    for i in range(len(cycles)):
+        timeline.record(
+            ShardLeaseSample(
+                cycle=int(doc["cycle"][i]),
+                shard_id=int(doc["shard_id"][i]),
+                lease_w=float(doc["lease_w"][i]),
+                committed_w=float(doc["committed_w"][i]),
+                headroom_w=float(doc["headroom_w"][i]),
+                seq=int(doc["seq"][i]),
+                dark=bool(doc["dark"][i]),
+                frozen=bool(doc["frozen"][i]),
+            )
+        )
+    return timeline
 
 
 def from_json(text: str) -> TelemetryLog:

@@ -23,9 +23,13 @@ __all__ = [
     "RECOVERY_EVENT_KINDS",
     "SAFETY_EVENT_KINDS",
     "WORKER_EVENT_KINDS",
+    "SHARD_EVENT_KINDS",
     "CyclePhaseTimings",
     "CycleTimingLog",
     "CYCLE_PHASES",
+    "ShardLeaseSample",
+    "LeaseTimeline",
+    "LEASE_TIMELINE_FIELDS",
 ]
 
 #: Recognized structured resilience event kinds (control-plane failures,
@@ -106,11 +110,44 @@ WORKER_EVENT_KINDS = (
     "pool_rebuilt",
 )
 
+#: Sharded-control-plane event kinds (see :mod:`repro.shard`).  They
+#: share the structured event channel: ``node_id`` carries the *shard*
+#: index, mirroring how the worker-lifecycle kinds carry the worker
+#: index.  Shard membership transitions ride the same quarantine/rejoin
+#: semantics as clients and workers; the ``shard_lease_*`` kinds trace
+#: the budget-lease lifecycle (granted by the arbiter, applied by the
+#: shard, expired without renewal); ``shard_frozen`` / ``shard_unfrozen``
+#: mark a shard degrading to lease-expiry safe mode and recovering from
+#: it; ``arbiter_killed`` / ``arbiter_restarted`` bracket an arbiter
+#: outage (during which every shard runs autonomously on its last
+#: lease).  Every shard-level failover step emits one of these — there
+#: is no silent failover.
+SHARD_EVENT_KINDS = (
+    "shard_registered",
+    "shard_lease_granted",
+    "shard_lease_applied",
+    "shard_lease_expired",
+    "shard_frozen",
+    "shard_unfrozen",
+    "shard_quarantined",
+    "shard_rejoined",
+    "shard_dead",
+    "shard_killed",
+    "shard_hung",
+    "shard_restarted",
+    "shard_partitioned",
+    "shard_partition_healed",
+    "shard_headroom_reclaimed",
+    "arbiter_killed",
+    "arbiter_restarted",
+)
+
 _ALL_EVENT_KINDS = (
     RESILIENCE_EVENT_KINDS
     + RECOVERY_EVENT_KINDS
     + SAFETY_EVENT_KINDS
     + WORKER_EVENT_KINDS
+    + SHARD_EVENT_KINDS
 )
 
 
@@ -276,6 +313,89 @@ class CycleTimingLog:
         cols["total_s"] = np.asarray(
             [t.total_s for t in self._timings], dtype=np.float64
         )
+        return cols
+
+
+#: Columns of one lease-timeline sample, in export order.
+LEASE_TIMELINE_FIELDS = (
+    "cycle",
+    "shard_id",
+    "lease_w",
+    "committed_w",
+    "headroom_w",
+    "seq",
+    "dark",
+    "frozen",
+)
+
+
+@dataclass(frozen=True)
+class ShardLeaseSample:
+    """One shard's lease decision at one arbiter cycle.
+
+    Attributes:
+        cycle: the arbiter cycle index (control-cycle clock).
+        shard_id: which shard the lease belongs to.
+        lease_w: the budget lease (W) the arbiter holds for this shard
+            after the cycle's redistribution.
+        committed_w: the shard's last reported steady committed power
+            (W); NaN before the first summary arrives.
+        headroom_w: ``lease_w - committed_w`` (NaN with no summary) —
+            the watts the arbiter could provably reclaim.
+        seq: the lease sequence number last acknowledged by the shard.
+        dark: True when the shard was unreachable this cycle (crashed,
+            hung, or partitioned) and its lease is held conservatively.
+        frozen: True when the shard reported lease-expiry safe mode.
+    """
+
+    cycle: int
+    shard_id: int
+    lease_w: float
+    committed_w: float
+    headroom_w: float
+    seq: int
+    dark: bool
+    frozen: bool
+
+
+class LeaseTimeline:
+    """Append-only per-arbiter-cycle record of every shard's lease."""
+
+    def __init__(self) -> None:
+        self._samples: list[ShardLeaseSample] = []
+
+    def record(self, sample: ShardLeaseSample) -> None:
+        """Append one shard's sample."""
+        self._samples.append(sample)
+
+    def extend(self, other: "LeaseTimeline") -> None:
+        """Append another timeline's samples (e.g. a restarted arbiter)."""
+        self._samples.extend(other._samples)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __iter__(self) -> Iterator[ShardLeaseSample]:
+        return iter(self._samples)
+
+    def __getitem__(self, index: int) -> ShardLeaseSample:
+        return self._samples[index]
+
+    def for_shard(self, shard_id: int) -> list[ShardLeaseSample]:
+        """All samples of one shard, in cycle order."""
+        return [s for s in self._samples if s.shard_id == shard_id]
+
+    def as_columns(self) -> dict[str, np.ndarray]:
+        """Column-oriented view keyed by :data:`LEASE_TIMELINE_FIELDS`."""
+        cols: dict[str, np.ndarray] = {}
+        for name in LEASE_TIMELINE_FIELDS:
+            values = [getattr(s, name) for s in self._samples]
+            if name in ("cycle", "shard_id", "seq"):
+                cols[name] = np.asarray(values, dtype=np.int64)
+            elif name in ("dark", "frozen"):
+                cols[name] = np.asarray(values, dtype=bool)
+            else:
+                cols[name] = np.asarray(values, dtype=np.float64)
         return cols
 
 

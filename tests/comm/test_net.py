@@ -1,0 +1,77 @@
+"""bind_listener: ephemeral ports, plumbed addresses, bounded retry."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.comm.net import bind_listener
+
+
+class TestEphemeralPorts:
+    def test_port_zero_picks_free_port(self):
+        sock = bind_listener("127.0.0.1", 0)
+        try:
+            host, port = sock.getsockname()
+            assert host == "127.0.0.1"
+            assert port != 0
+        finally:
+            sock.close()
+
+    def test_two_listeners_never_collide(self):
+        a = bind_listener("127.0.0.1", 0)
+        b = bind_listener("127.0.0.1", 0)
+        try:
+            assert a.getsockname()[1] != b.getsockname()[1]
+        finally:
+            a.close()
+            b.close()
+
+    def test_timeout_applied_after_listen(self):
+        sock = bind_listener("127.0.0.1", 0, timeout_s=0.25)
+        try:
+            assert sock.gettimeout() == 0.25
+        finally:
+            sock.close()
+
+    def test_listener_accepts_connections(self):
+        sock = bind_listener("127.0.0.1", 0, timeout_s=1.0)
+        try:
+            port = sock.getsockname()[1]
+            with socket.create_connection(("127.0.0.1", port), timeout=1.0):
+                conn, _ = sock.accept()
+                conn.close()
+        finally:
+            sock.close()
+
+
+class TestBoundedRetry:
+    def test_rejects_negative_retries(self):
+        with pytest.raises(ValueError, match="retries"):
+            bind_listener("127.0.0.1", 0, retries=-1)
+
+    def test_busy_pinned_port_exhausts_retries(self):
+        holder = bind_listener("127.0.0.1", 0)
+        try:
+            port = holder.getsockname()[1]
+            with pytest.raises(OSError):
+                bind_listener(
+                    "127.0.0.1", port, retries=2, delay_s=0.01
+                )
+        finally:
+            holder.close()
+
+    def test_retry_succeeds_once_port_frees(self):
+        holder = bind_listener("127.0.0.1", 0)
+        port = holder.getsockname()[1]
+        timer = threading.Timer(0.15, holder.close)
+        timer.start()
+        try:
+            sock = bind_listener(
+                "127.0.0.1", port, retries=20, delay_s=0.05
+            )
+            assert sock.getsockname()[1] == port
+            sock.close()
+        finally:
+            timer.cancel()
+            holder.close()

@@ -26,11 +26,9 @@ from repro.experiments.distributed import (
 from repro.experiments.engine import (
     ExperimentEngine,
     ResultCache,
-    encode_result,
-    execute_job,
     job_digest,
 )
-from repro.experiments.jobs import SimJob, evaluation_jobs, reference_job
+from repro.experiments.jobs import evaluation_jobs, reference_job
 from repro.telemetry.log import WORKER_EVENT_KINDS
 
 
@@ -250,13 +248,11 @@ class TestSpeculation:
 class _DoubleSender(DistributedWorker):
     """Sends every result twice — a worker that retries over-eagerly."""
 
-    def _serve_job(self, conn, config, doc, heartbeat_s):
-        digest = doc["digest"]
-        job = SimJob.from_tokens(doc["tokens"])
-        payload = encode_result(execute_job(config, job))
+    def _finish_job(self, conn, entry):
+        payload = entry.box["payload"]
         frame = {
             "type": "result",
-            "digest": digest,
+            "digest": entry.digest,
             "wall_s": 0.01,
             "payload": payload,
             "payload_sha256": _payload_sha256(payload),
@@ -264,26 +260,25 @@ class _DoubleSender(DistributedWorker):
         send_doc(conn, frame)
         send_doc(conn, frame)
         self.jobs_done += 1
+        return True
 
 
 class _CorruptSender(DistributedWorker):
     """Sends results whose checksum never verifies — bad RAM, bad NIC."""
 
-    def _serve_job(self, conn, config, doc, heartbeat_s):
-        digest = doc["digest"]
-        job = SimJob.from_tokens(doc["tokens"])
-        payload = encode_result(execute_job(config, job))
+    def _finish_job(self, conn, entry):
         send_doc(
             conn,
             {
                 "type": "result",
-                "digest": digest,
+                "digest": entry.digest,
                 "wall_s": 0.01,
-                "payload": payload,
+                "payload": entry.box["payload"],
                 "payload_sha256": "0" * 64,
             },
         )
         self.jobs_done += 1
+        return True
 
 
 class TestResultIntegrity:
@@ -387,24 +382,81 @@ class TestWorkerProtocol:
 class _FlakyFirstSender(DistributedWorker):
     """Corrupts its first result, then behaves — a transient fault."""
 
-    def _serve_job(self, conn, config, doc, heartbeat_s):
+    def _finish_job(self, conn, entry):
         if not getattr(self, "_flaked", False):
             self._flaked = True
-            digest = doc["digest"]
-            job = SimJob.from_tokens(doc["tokens"])
-            payload = encode_result(execute_job(config, job))
             send_doc(
                 conn,
                 {
                     "type": "result",
-                    "digest": digest,
+                    "digest": entry.digest,
                     "wall_s": 0.01,
-                    "payload": payload,
+                    "payload": entry.box["payload"],
                     "payload_sha256": "0" * 64,
                 },
             )
-            return
-        super()._serve_job(conn, config, doc, heartbeat_s)
+            return True
+        return super()._finish_job(conn, entry)
+
+
+class TestConcurrency:
+    def test_rejects_nonpositive_concurrency(self):
+        with pytest.raises(ValueError, match="concurrency"):
+            DistributedWorker(concurrency=0)
+
+    def test_slots_announced_in_ready(self, make_worker):
+        worker = make_worker(concurrency=3)
+        with socket.create_connection(
+            ("127.0.0.1", worker.port), timeout=5
+        ) as sock:
+            ready = recv_doc(sock)
+        assert ready["type"] == "ready"
+        assert ready["slots"] == 3
+
+    def test_one_worker_many_slots_bit_identical(
+        self, fast_config, make_worker
+    ):
+        worker = make_worker(concurrency=4)
+        backend = DistributedBackend([worker.address], fast_coordinator())
+        jobs = evaluation_jobs("kmeans", "gmm", "dps")
+        results = ExperimentEngine(fast_config, backend=backend).run(jobs)
+        assert results == ExperimentEngine(fast_config).run(jobs)
+        # Every job ran on the one multi-slot worker, none fell back.
+        assert worker.jobs_done == len(jobs)
+        assert "backend_degraded" not in kinds(backend)
+
+    def test_interleaved_jobs_on_one_session(self, fast_config, make_worker):
+        """Two jobs admitted on one socket before either result returns."""
+        worker = make_worker(concurrency=2)
+        jobs = evaluation_jobs("kmeans", "gmm", "dps")[:2]
+        with socket.create_connection(
+            ("127.0.0.1", worker.port), timeout=5
+        ) as sock:
+            assert recv_doc(sock)["type"] == "ready"
+            send_doc(sock, {"type": "hello", "heartbeat_s": 0.2})
+            send_doc(sock, {"type": "config", "config": fast_config.to_doc()})
+            assert recv_doc(sock)["type"] == "config_ok"
+            for job in jobs:
+                send_doc(
+                    sock,
+                    {
+                        "type": "job",
+                        "digest": job_digest(fast_config, job),
+                        "tokens": list(job.tokens),
+                        "key": job.key,
+                    },
+                )
+            outcomes = {}
+            while len(outcomes) < len(jobs):
+                doc = recv_doc(sock)
+                if doc["type"] == "result":
+                    outcomes[doc["digest"]] = doc
+                else:
+                    assert doc["type"] == "heartbeat"
+        expected = {job_digest(fast_config, job) for job in jobs}
+        assert set(outcomes) == expected
+        for doc in outcomes.values():
+            assert doc["payload_sha256"] == _payload_sha256(doc["payload"])
 
 
 class TestRejoin:

@@ -33,6 +33,7 @@ class TestRegistry:
             "cap-bounds",
             "finite-kalman",
             "readjust-conservation",
+            "shard-lease-conservation",
             "snapshot-idempotence",
         )
 

@@ -1,0 +1,127 @@
+"""Lease documents, arbiter config validation, and the ShardLink."""
+
+import pytest
+
+from repro.shard.lease import ArbiterConfig, BudgetLease, ShardLink, ShardSummary
+
+
+class TestArbiterConfig:
+    def test_defaults_valid(self):
+        cfg = ArbiterConfig()
+        assert cfg.lease_term_cycles >= cfg.period_cycles
+
+    def test_period_positive(self):
+        with pytest.raises(ValueError, match="period_cycles"):
+            ArbiterConfig(period_cycles=0)
+
+    def test_term_covers_period(self):
+        with pytest.raises(ValueError, match="lease_term_cycles"):
+            ArbiterConfig(period_cycles=3, lease_term_cycles=2)
+
+    def test_restore_threshold_bounds(self):
+        with pytest.raises(ValueError, match="restore_threshold"):
+            ArbiterConfig(restore_threshold=0.0)
+        with pytest.raises(ValueError, match="restore_threshold"):
+            ArbiterConfig(restore_threshold=1.5)
+
+    def test_headroom_nonnegative(self):
+        with pytest.raises(ValueError, match="headroom_fraction"):
+            ArbiterConfig(headroom_fraction=-0.1)
+
+    def test_epsilon_positive(self):
+        with pytest.raises(ValueError, match="budget_epsilon"):
+            ArbiterConfig(budget_epsilon=0.0)
+
+
+class TestDocuments:
+    def test_lease_round_trip(self):
+        lease = BudgetLease(shard_id=3, seq=7, budget_w=412.5, term_cycles=6)
+        assert BudgetLease.from_doc(lease.to_doc()) == lease
+
+    def test_lease_rejects_wrong_type(self):
+        with pytest.raises(ValueError, match="grant"):
+            BudgetLease.from_doc({"type": "summary"})
+
+    def test_summary_round_trip(self):
+        summary = ShardSummary(
+            shard_id=1,
+            cycle=9,
+            seq=4,
+            lease_w=220.0,
+            committed_w=180.5,
+            worst_w=200.0,
+            headroom_w=39.5,
+            high_priority=True,
+            n_units=2,
+            frozen=False,
+        )
+        assert ShardSummary.from_doc(summary.to_doc()) == summary
+
+    def test_summary_rejects_wrong_type(self):
+        with pytest.raises(ValueError, match="summary"):
+            ShardSummary.from_doc({"type": "grant"})
+
+
+def grant_doc(seq=1, budget_w=100.0):
+    return BudgetLease(
+        shard_id=0, seq=seq, budget_w=budget_w, term_cycles=6
+    ).to_doc()
+
+
+def summary_doc(cycle=0):
+    return ShardSummary(
+        shard_id=0,
+        cycle=cycle,
+        seq=0,
+        lease_w=100.0,
+        committed_w=80.0,
+        worst_w=90.0,
+        headroom_w=20.0,
+        high_priority=False,
+        n_units=2,
+        frozen=False,
+    ).to_doc()
+
+
+class TestShardLink:
+    def test_duplex_delivery(self):
+        link = ShardLink()
+        assert link.send_grant(grant_doc(seq=1))
+        assert link.send_grant(grant_doc(seq=2))
+        assert link.send_summary(summary_doc(cycle=5))
+        grants = link.take_grants()
+        assert [g["seq"] for g in grants] == [1, 2]
+        summaries = link.take_summaries()
+        assert [s["cycle"] for s in summaries] == [5]
+        # Queues drained.
+        assert link.take_grants() == []
+        assert link.take_summaries() == []
+
+    def test_wire_faithful_round_trip(self):
+        link = ShardLink()
+        doc = grant_doc(seq=3, budget_w=123.456)
+        link.send_grant(doc)
+        assert link.take_grants() == [doc]
+
+    def test_partition_drops_both_directions(self):
+        link = ShardLink()
+        link.partition()
+        assert link.partitioned
+        assert not link.send_grant(grant_doc())
+        assert not link.send_summary(summary_doc())
+        link.heal()
+        assert not link.partitioned
+        # Dropped frames stay dropped; new frames flow.
+        assert link.take_grants() == []
+        assert link.take_summaries() == []
+        assert link.send_grant(grant_doc(seq=9))
+        assert [g["seq"] for g in link.take_grants()] == [9]
+
+    def test_bytes_counted_only_for_accepted_frames(self):
+        link = ShardLink()
+        link.send_grant(grant_doc())
+        accepted = link.bytes_total
+        assert accepted > 0
+        link.partition()
+        link.send_grant(grant_doc())
+        assert link.bytes_total == accepted

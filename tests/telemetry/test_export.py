@@ -148,3 +148,93 @@ class TestJsonRoundTrip:
         assert energy_j(restored, units, 0.0, end) == pytest.approx(
             energy_j(log, units, 0.0, end)
         )
+
+
+def make_timeline(cycles=3, shards=2):
+    from repro.telemetry.log import LeaseTimeline, ShardLeaseSample
+
+    timeline = LeaseTimeline()
+    for cycle in range(1, cycles + 1):
+        for shard in range(shards):
+            committed = float("nan") if cycle == 1 and shard == 1 else 80.0
+            timeline.record(
+                ShardLeaseSample(
+                    cycle=cycle,
+                    shard_id=shard,
+                    lease_w=110.0 + shard,
+                    committed_w=committed,
+                    headroom_w=110.0 + shard - committed,
+                    seq=cycle,
+                    dark=(cycle == 2 and shard == 0),
+                    frozen=(cycle == 3 and shard == 1),
+                )
+            )
+    return timeline
+
+
+class TestLeaseTimeline:
+    def test_csv_header_and_rows(self):
+        from repro.telemetry.export import leases_to_csv
+        from repro.telemetry.log import LEASE_TIMELINE_FIELDS
+
+        timeline = make_timeline(cycles=3, shards=2)
+        lines = leases_to_csv(timeline).strip().splitlines()
+        assert lines[0] == ",".join(LEASE_TIMELINE_FIELDS)
+        assert len(lines) == 1 + 3 * 2
+
+    def test_json_round_trip(self):
+        from repro.telemetry.export import leases_from_json, leases_to_json
+
+        timeline = make_timeline()
+        restored = leases_from_json(leases_to_json(timeline))
+        assert len(restored) == len(timeline)
+        for a, b in zip(restored, timeline):
+            assert a.cycle == b.cycle
+            assert a.shard_id == b.shard_id
+            assert a.lease_w == b.lease_w
+            assert a.seq == b.seq
+            assert a.dark == b.dark
+            assert a.frozen == b.frozen
+            assert (a.committed_w == b.committed_w) or (
+                np.isnan(a.committed_w) and np.isnan(b.committed_w)
+            )
+
+    def test_csv_json_parity(self):
+        """Both exports carry the same samples in the same order."""
+        from repro.telemetry.export import (
+            leases_from_json,
+            leases_to_csv,
+            leases_to_json,
+        )
+        from repro.telemetry.log import LEASE_TIMELINE_FIELDS
+
+        timeline = make_timeline()
+        restored = leases_from_json(leases_to_json(timeline))
+        rows = leases_to_csv(timeline).strip().splitlines()[1:]
+        assert len(rows) == len(restored)
+        for row, sample in zip(rows, restored):
+            parts = dict(zip(LEASE_TIMELINE_FIELDS, row.split(",")))
+            assert int(parts["cycle"]) == sample.cycle
+            assert int(parts["shard_id"]) == sample.shard_id
+            assert float(parts["lease_w"]) == pytest.approx(
+                sample.lease_w, abs=5e-7
+            )
+            assert int(parts["seq"]) == sample.seq
+            assert bool(int(parts["dark"])) == sample.dark
+            assert bool(int(parts["frozen"])) == sample.frozen
+
+    def test_from_json_rejects_wrong_format(self):
+        from repro.telemetry.export import leases_from_json
+
+        with pytest.raises(ValueError, match="format"):
+            leases_from_json('{"format": "something-else"}')
+
+    def test_from_json_rejects_ragged_columns(self):
+        import json as json_mod
+
+        from repro.telemetry.export import leases_from_json, leases_to_json
+
+        doc = json_mod.loads(leases_to_json(make_timeline()))
+        doc["seq"] = doc["seq"][:-1]
+        with pytest.raises(ValueError, match="seq"):
+            leases_from_json(json_mod.dumps(doc))

@@ -197,3 +197,68 @@ class TestDistributedCli:
         captured = capsys.readouterr()
         assert "worker_skipped" in captured.err
         assert "campaign summary" in captured.out
+
+    def test_worker_concurrency_parsed(self):
+        args = build_parser().parse_args(
+            ["worker", "127.0.0.1:7801", "--concurrency", "4"]
+        )
+        assert args.concurrency == 4
+
+    def test_worker_rejects_bad_concurrency(self):
+        with pytest.raises(SystemExit, match="concurrency"):
+            main(["worker", "127.0.0.1:7801", "--concurrency", "0"])
+
+
+class TestShardsCli:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["shards"])
+        assert args.command == "shards"
+        assert args.shards == 4
+        assert args.nodes == 16
+        assert args.kill is None
+
+    def test_rejects_malformed_chaos_tokens(self):
+        with pytest.raises(SystemExit, match="SHARD@CYCLE"):
+            main(["shards", "--kill", "nonsense"])
+        with pytest.raises(SystemExit, match="START-END"):
+            main(["shards", "--partition", "1@bad"])
+        with pytest.raises(SystemExit, match="SHARD@START-END"):
+            main(["shards", "--partition", "4-9"])
+        with pytest.raises(SystemExit, match="END > START"):
+            main(["shards", "--arbiter-outage", "9-3"])
+
+    def test_rejects_unknown_manager(self):
+        with pytest.raises(SystemExit, match="unknown manager"):
+            main(["shards", "--manager", "nope"])
+
+    def test_rejects_demand_manager(self):
+        with pytest.raises(SystemExit, match="demand"):
+            main(["shards", "--manager", "oracle"])
+
+    def test_clean_run_renders_summary(self, capsys):
+        code = main(
+            ["shards", "--shards", "2", "--nodes", "4", "--cycles", "6"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sharded control plane: 2 shards" in out
+        assert "budget respected" in out
+        assert "0 violation(s)" in out
+
+    def test_chaos_run_writes_lease_timeline(self, capsys, tmp_path):
+        timeline = tmp_path / "leases.json"
+        code = main(
+            ["shards", "--shards", "2", "--nodes", "4", "--cycles", "10",
+             "--kill", "1@3", "--arbiter-outage", "4-7",
+             "--checkpoint-dir", str(tmp_path / "ckpt"),
+             "--lease-timeline", str(timeline)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shard_killed" in out
+        assert "arbiter_restarted" in out
+        from repro.telemetry.export import leases_from_json
+
+        restored = leases_from_json(timeline.read_text())
+        assert len(restored) > 0
+        assert (tmp_path / "ckpt" / "arbiter").exists()
