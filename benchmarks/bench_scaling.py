@@ -1,43 +1,159 @@
 """Controller scaling — §6.5's "tens of thousands of nodes" claim.
 
-Measures the bare decision-loop cost of each manager as the unit count
-grows and checks the paper's scaling arguments: per-decision time grows
-(sub-)linearly in units, stays far under the 1 s decision loop at 2,000
-units (1,000 dual-socket nodes), and DPS's state (the 20-step history)
-stays cache-resident at any realistic scale.
+Measures the bare decision-loop cost of the managers as the unit count
+grows, in both decision cores:
+
+* ``test_decision_core_speedup`` runs the loop oracle against the
+  vectorized core at 20/200/2,000 units and asserts the array-native
+  path is >= 20x faster per decision at 2,000 units (1,000 dual-socket
+  nodes), where the per-unit Python walks start to dominate.
+* ``test_large_cluster_decision_time`` pushes the vectorized core to
+  20k and 100k units and asserts one full DPS decision stays under
+  50 ms at 100k — well inside the 1 s decision loop with room for
+  messaging (the loop core is not run at this scale; it needs seconds).
+* ``test_history_memory_footprint`` checks the 20-step history stays
+  cache-sized at any realistic scale.
+
+The canonical workload is the *mixed* overprovisioned-cluster profile
+(most units idle or steady, a bursty minority — the population the paper
+overprovisions against); the i.i.d.-uniform stress profile, with every
+unit maximally chaotic every step, is also recorded at 100k units for
+reference but not gated (it has no realistic counterpart at that scale).
+
+Results are written to a ``BENCH_scaling.json`` artifact (override via
+``REPRO_BENCH_SCALING_ARTIFACT``) so CI accumulates the scaling history.
 """
 
-import numpy as np
+import json
+import os
 
 from repro.experiments.tables import measure_decision_time
 
+ARTIFACT = os.environ.get("REPRO_BENCH_SCALING_ARTIFACT", "BENCH_scaling.json")
+#: Timed decision steps per (manager, size) cell; override to trade noise
+#: robustness against bench wall time.
+STEPS = int(os.environ.get("REPRO_BENCH_SCALING_STEPS", "30"))
+#: Untimed steps first, so medians measure the steady state (history full,
+#: priority flags settled) and not the cheaper warm-up transient.
+WARMUP = int(os.environ.get("REPRO_BENCH_SCALING_WARMUP", "25"))
 
-def test_controller_scaling(benchmark):
-    unit_counts = (20, 200, 2000)
+CORE_COMPARE_UNITS = (20, 200, 2000)
+LARGE_UNITS = (20_000, 100_000)
 
+
+def _update_artifact(section: str, doc: dict) -> None:
+    merged = {}
+    if os.path.exists(ARTIFACT):
+        with open(ARTIFACT) as fh:
+            merged = json.load(fh)
+    merged.setdefault("format", "repro-bench-scaling-v1")
+    merged[section] = doc
+    with open(ARTIFACT, "w") as fh:
+        json.dump(merged, fh, indent=2)
+    print(f"updated {ARTIFACT}")
+
+
+def test_decision_core_speedup(benchmark):
     def run():
         out = {}
-        for n in unit_counts:
-            out[n] = {
-                name: measure_decision_time(name, n_units=n, steps=30)
-                for name in ("slurm", "dps")
-            }
+        for n in CORE_COMPARE_UNITS:
+            row = {}
+            for name in ("slurm", "dps"):
+                for core in ("loop", "vectorized"):
+                    row[f"{name}_{core}"] = measure_decision_time(
+                        name,
+                        n_units=n,
+                        steps=STEPS,
+                        decision_core=core,
+                        workload="mixed",
+                        warmup=WARMUP,
+                    )
+            out[n] = row
         return out
 
     times = benchmark.pedantic(run, rounds=1, iterations=1)
-    print("\nper-decision wall time by cluster size:")
+    print("\nper-decision wall time by cluster size and decision core:")
     for n, row in times.items():
         print(
             f"  {n:5d} units: "
-            + ", ".join(f"{k}={v * 1e3:.2f}ms" for k, v in row.items())
+            + ", ".join(f"{k}={v * 1e3:.3f}ms" for k, v in row.items())
         )
+    speedups = {
+        n: row["dps_loop"] / row["dps_vectorized"] for n, row in times.items()
+    }
+    print(
+        "dps speedup (loop/vectorized): "
+        + ", ".join(f"{n}={s:.1f}x" for n, s in speedups.items())
+    )
+    _update_artifact(
+        "decision_core_speedup",
+        {
+            "workload": "mixed",
+            "steps": STEPS,
+            "warmup": WARMUP,
+            "per_decision_s": {str(n): row for n, row in times.items()},
+            "dps_speedup": {str(n): s for n, s in speedups.items()},
+        },
+    )
 
-    # Far below the 1 s decision loop at 1,000 dual-socket nodes.
-    assert times[2000]["dps"] < 0.25
-    # Growth is at most ~linear-with-overhead: 100x units costs well under
-    # 300x time for DPS.
-    ratio = times[2000]["dps"] / times[20]["dps"]
-    assert ratio < 300, f"superlinear controller scaling: {ratio:.0f}x"
+    # The tentpole target: the array-native core wins >= 20x where the
+    # loop core's per-unit Python walks dominate.
+    assert speedups[2000] >= 20.0, (
+        f"vectorized core only {speedups[2000]:.1f}x faster at 2000 units"
+    )
+    # And the loop core itself stays usable at small scale (the oracle
+    # runs in every equivalence test).
+    assert times[20]["dps_loop"] < 0.05
+
+
+def test_large_cluster_decision_time(benchmark):
+    def run():
+        out = {
+            str(n): measure_decision_time(
+                "dps",
+                n_units=n,
+                steps=STEPS,
+                decision_core="vectorized",
+                workload="mixed",
+                warmup=WARMUP,
+            )
+            for n in LARGE_UNITS
+        }
+        # Stress reference: every unit i.i.d.-chaotic every second.  Not
+        # gated — no overprovisioned cluster looks like this — but kept in
+        # the artifact so regressions on pathological inputs stay visible.
+        out["100000_uniform_stress"] = measure_decision_time(
+            "dps",
+            n_units=100_000,
+            steps=max(STEPS // 2, 10),
+            decision_core="vectorized",
+            workload="uniform",
+            warmup=WARMUP,
+        )
+        return out
+
+    times = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nvectorized DPS per-decision wall time at scale:")
+    for key, v in times.items():
+        print(f"  {key}: {v * 1e3:.2f}ms")
+    _update_artifact(
+        "large_cluster",
+        {
+            "workload": "mixed",
+            "steps": STEPS,
+            "warmup": WARMUP,
+            "per_decision_s": times,
+        },
+    )
+
+    # One decision across a 100k-unit cluster fits in 50 ms — 5% of the
+    # 1 s decision loop, leaving the budget to messaging and actuation.
+    assert times["100000"] < 0.05, (
+        f"100k-unit decision took {times['100000'] * 1e3:.1f}ms"
+    )
+    # Growth 20k -> 100k stays at most ~linear.
+    ratio = times["100000"] / times["20000"]
+    assert ratio < 15, f"superlinear controller scaling: {ratio:.1f}x for 5x units"
 
 
 def test_history_memory_footprint(benchmark):

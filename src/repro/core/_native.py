@@ -1,0 +1,191 @@
+"""On-demand compiled kernel behind the vectorized decision core.
+
+The batched prominent-peak counter is the one part of the DPS decision
+whose work per unit is a data-dependent scalar walk — the shape NumPy is
+worst at.  This module compiles ``_peaks_kernel.c`` (a literal C
+transcription of the Python walk, bit-exact by construction) with the
+system C compiler the first time the kernel is requested, caches the
+shared object under a content hash, and exposes it through ctypes.
+
+Everything degrades gracefully: no compiler, a failed build, or the
+``REPRO_NO_NATIVE`` environment variable all make :func:`peak_features`
+return ``None``, and callers fall back to the pure-NumPy batch path.
+
+Environment:
+    ``REPRO_NO_NATIVE``: set to any non-empty value to disable the kernel
+        (forces the NumPy fallback; used to test both paths).
+    ``REPRO_NATIVE_CACHE``: directory the compiled ``.so`` is cached in
+        (default: ``<tempdir>/repro-native``).
+    ``CC``: C compiler to use (default: first of ``cc``/``gcc``/``clang``
+        on PATH).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["MAX_HISTORY", "peak_features"]
+
+#: Longest history the kernel's stack buffer accepts; longer histories
+#: fall back to the NumPy path (must match REPRO_MAX_H in the C source).
+MAX_HISTORY = 64
+
+_SOURCE = Path(__file__).with_name("_peaks_kernel.c")
+_C_DOUBLE_P = ctypes.POINTER(ctypes.c_double)
+_C_LONG_P = ctypes.POINTER(ctypes.c_long)
+
+_lock = threading.Lock()
+_cache: dict = {"resolved": False, "fn": None}
+
+
+def _find_compiler() -> str | None:
+    cc = os.environ.get("CC")
+    if cc:
+        return shutil.which(cc)
+    for name in ("cc", "gcc", "clang"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def _build_library() -> Path | None:
+    """Compile the kernel into the cache directory, or return None."""
+    cc = _find_compiler()
+    if cc is None:
+        return None
+    try:
+        source = _SOURCE.read_bytes()
+    except OSError:
+        return None
+    tag = hashlib.sha256(source).hexdigest()[:16]
+    cache_root = Path(
+        os.environ.get("REPRO_NATIVE_CACHE")
+        or os.path.join(tempfile.gettempdir(), "repro-native")
+    )
+    lib_path = cache_root / f"peaks-{tag}.so"
+    if lib_path.exists():
+        return lib_path
+    tmp_name = None
+    try:
+        cache_root.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=cache_root, suffix=".so")
+        os.close(fd)
+        # -ffp-contract=off: no FMA contraction, so the kernel's arithmetic
+        # is the same plain IEEE double sequence as the Python oracle.
+        # -march=native is attempted first: the .so cache is per host, so
+        # host-specific codegen is safe, and cmov emission for the walks
+        # is worth ~4x here; some compilers reject the flag, hence the
+        # plain retry.
+        base = [cc, "-O3", "-fPIC", "-shared", "-ffp-contract=off"]
+        tail = [str(_SOURCE), "-o", tmp_name, "-lm"]
+        try:
+            subprocess.run(
+                base + ["-march=native"] + tail,
+                check=True,
+                capture_output=True,
+                timeout=120,
+            )
+        except subprocess.SubprocessError:
+            subprocess.run(
+                base + tail,
+                check=True,
+                capture_output=True,
+                timeout=120,
+            )
+        os.replace(tmp_name, lib_path)  # atomic publish for parallel runs
+        tmp_name = None
+        return lib_path
+    except (OSError, subprocess.SubprocessError):
+        return None
+    finally:
+        if tmp_name is not None:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+
+
+def _load() -> Callable | None:
+    if os.environ.get("REPRO_NO_NATIVE"):
+        return None
+    # The kernel writes peak counts through C long; bail out on platforms
+    # where that is not np.intp (e.g. LLP64) rather than corrupt memory.
+    if ctypes.sizeof(ctypes.c_long) != np.dtype(np.intp).itemsize:
+        return None
+    lib_path = _build_library()
+    if lib_path is None:
+        return None
+    try:
+        lib = ctypes.CDLL(str(lib_path))
+        raw = lib.repro_peak_features
+    except (OSError, AttributeError):
+        return None
+    raw.restype = None
+    raw.argtypes = [
+        _C_DOUBLE_P,
+        ctypes.c_long,
+        ctypes.c_long,
+        ctypes.c_double,
+        _C_LONG_P,
+        _C_DOUBLE_P,
+    ]
+
+    def call(
+        history: np.ndarray,
+        min_prominence: float,
+        pp_out: np.ndarray | None,
+        std_out: np.ndarray | None,
+    ) -> None:
+        """Fill ``pp_out`` (np.intp) / ``std_out`` (float64) per column.
+
+        Either output may be None to skip that feature.  ``history`` must
+        be a C-contiguous float64 (h, n) array with h <= MAX_HISTORY.
+        """
+        h, n = history.shape
+        if h > MAX_HISTORY:
+            raise ValueError(f"history_len {h} exceeds kernel max {MAX_HISTORY}")
+        if not (history.flags.c_contiguous and history.dtype == np.float64):
+            history = np.ascontiguousarray(history, dtype=np.float64)
+        pp_ptr = None
+        if pp_out is not None:
+            assert pp_out.dtype == np.intp and pp_out.flags.c_contiguous
+            pp_ptr = pp_out.ctypes.data_as(_C_LONG_P)
+        std_ptr = None
+        if std_out is not None:
+            assert (
+                std_out.dtype == np.float64 and std_out.flags.c_contiguous
+            )
+            std_ptr = std_out.ctypes.data_as(_C_DOUBLE_P)
+        raw(
+            history.ctypes.data_as(_C_DOUBLE_P),
+            h,
+            n,
+            float(min_prominence),
+            pp_ptr,
+            std_ptr,
+        )
+
+    return call
+
+
+def peak_features() -> Callable | None:
+    """The compiled feature kernel, or None when unavailable.
+
+    Thread-safe and memoized: the build runs at most once per process.
+    """
+    with _lock:
+        if not _cache["resolved"]:
+            _cache["fn"] = _load()
+            _cache["resolved"] = True
+        return _cache["fn"]

@@ -77,12 +77,16 @@ class DPSManager(PowerManager):
         self._priority_mod: PriorityModule | None = None
         self._history: HistoryBuffer | None = None
         self._last_info: DPSStepInfo | None = None
+        self._mimd_scratch: dict = {}
 
     def _on_bind(self) -> None:
         cfg = self.config
         self._kalman = KalmanBank(self.n_units, cfg.kalman)
         self._priority_mod = PriorityModule(
-            self.n_units, cfg.priority, use_frequency=cfg.use_frequency
+            self.n_units,
+            cfg.priority,
+            use_frequency=cfg.use_frequency,
+            core=cfg.decision_core,
         )
         self._history = HistoryBuffer(cfg.priority.history_len, self.n_units)
         self._last_info = None
@@ -140,8 +144,10 @@ class DPSManager(PowerManager):
         )
         cfg = self.config
 
-        # 1. Filter the noisy reading and extend the power history.
-        estimate = self._kalman.update(power_w)
+        # 1. Filter the noisy reading and extend the power history.  The
+        # base-class step() already validated shape and finiteness, so the
+        # bank skips its own re-scan of the same vector.
+        estimate = self._kalman.update(power_w, validate=False)
         signal = estimate if cfg.use_kalman else np.asarray(
             power_w, dtype=np.float64
         )
@@ -156,6 +162,8 @@ class DPSManager(PowerManager):
             self.min_cap_w,
             cfg.stateless,
             self._rng,
+            core=cfg.decision_core,
+            scratch=self._mimd_scratch,
         )
 
         # 3. Priorities from the power dynamics.

@@ -97,7 +97,8 @@ class DPSPlusManager(PowerManager):
         assert self._kalman is not None and self._estimator is not None
 
         filtered = (
-            self._kalman.update(power_w)
+            # step() validated the reading already; skip the bank's re-scan.
+            self._kalman.update(power_w, validate=False)
             if self.config.use_kalman
             else np.asarray(power_w, dtype=np.float64)
         )

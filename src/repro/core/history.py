@@ -31,13 +31,15 @@ class HistoryBuffer:
             raise ValueError(f"n_units must be >= 1, got {n_units}")
         self.history_len = history_len
         self.n_units = n_units
-        self._data = np.zeros((history_len, n_units), dtype=np.float64)
+        # Double-write ring: every sample is stored at ring slot `head` AND
+        # at `head + history_len`, so the chronological window is always the
+        # contiguous row range [head, head + count) — chronological() hands
+        # out zero-copy views even after the ring wraps, at the cost of one
+        # extra row write per push (a row is tiny next to unrolling the
+        # whole (history_len, n_units) ring every control step).
+        self._data = np.zeros((2 * history_len, n_units), dtype=np.float64)
         self._count = 0
         self._head = 0  # Index the next sample is written to.
-        # Scratch for the wrapped chronological() path: unrolling the ring
-        # happens once per control step, so a fresh (history_len, n_units)
-        # allocation there is per-step garbage at any cluster scale.
-        self._chron = np.empty_like(self._data)
 
     def __len__(self) -> int:
         """Number of samples currently stored (<= history_len)."""
@@ -55,9 +57,13 @@ class HistoryBuffer:
         self._head = 0
 
     def snapshot(self) -> dict:
-        """JSON-able document of the ring contents and cursor."""
+        """JSON-able document of the ring contents and cursor.
+
+        Only the logical ring (the first ``history_len`` rows) is encoded;
+        the doubled rows are derived storage and are rebuilt on restore.
+        """
         return {
-            "data": encode_array(self._data),
+            "data": encode_array(self._data[: self.history_len]),
             "count": self._count,
             "head": self._head,
         }
@@ -65,9 +71,10 @@ class HistoryBuffer:
     def restore(self, state: dict) -> None:
         """Overwrite the ring with a snapshot's content."""
         data = decode_array(state["data"])
-        if data.shape != self._data.shape:
+        if data.shape != (self.history_len, self.n_units):
             raise ValueError(
-                f"snapshot shape {data.shape} != {self._data.shape}"
+                f"snapshot shape {data.shape} != "
+                f"{(self.history_len, self.n_units)}"
             )
         count = int(state["count"])
         head = int(state["head"])
@@ -75,7 +82,8 @@ class HistoryBuffer:
             raise ValueError(
                 f"snapshot cursor count={count} head={head} out of range"
             )
-        self._data[:] = data
+        self._data[: self.history_len] = data
+        self._data[self.history_len :] = data
         self._count = count
         self._head = head
 
@@ -89,6 +97,7 @@ class HistoryBuffer:
         if s.shape != (self.n_units,):
             raise ValueError(f"sample shape {s.shape} != ({self.n_units},)")
         self._data[self._head] = s
+        self._data[self._head + self.history_len] = s
         self._head = (self._head + 1) % self.history_len
         if self._count < self.history_len:
             self._count += 1
@@ -96,24 +105,15 @@ class HistoryBuffer:
     def chronological(self) -> np.ndarray:
         """Stored samples in order, oldest first, shape ``(len, n_units)``.
 
-        Returns a read-only view: of the underlying storage when the ring
-        has not wrapped, otherwise of a preallocated scratch buffer the
-        ring is unrolled into — no allocation per call either way.  The
-        view is only valid until the next :meth:`push` or
-        :meth:`chronological` call; copy it to retain.
+        Always a zero-copy read-only view of the double-write storage:
+        during warm-up the first ``count`` rows, afterwards the contiguous
+        window starting at the ring head.  The view is only valid until
+        the next :meth:`push` call; copy it to retain.
         """
         if self._count < self.history_len:
             view = self._data[: self._count].view()
-            view.flags.writeable = False
-            return view
-        if self._head == 0:
-            view = self._data.view()
-            view.flags.writeable = False
-            return view
-        tail = self.history_len - self._head
-        self._chron[:tail] = self._data[self._head :]
-        self._chron[tail:] = self._data[: self._head]
-        view = self._chron.view()
+        else:
+            view = self._data[self._head : self._head + self.history_len]
         view.flags.writeable = False
         return view
 

@@ -81,7 +81,9 @@ class KalmanBank:
         self._p[:] = p
         self._initialized = bool(state["initialized"])
 
-    def update(self, measurement: np.ndarray) -> np.ndarray:
+    def update(
+        self, measurement: np.ndarray, *, validate: bool = True
+    ) -> np.ndarray:
         """Advance every filter one step with the given measurements.
 
         The first update initializes each estimate directly from the
@@ -91,18 +93,25 @@ class KalmanBank:
 
         Args:
             measurement: observed powers (W), shape ``(n_units,)``.
+            validate: check shape and finiteness of the measurement.  On
+                by default for standalone use; callers that already
+                validated at their own boundary (``PowerManager.step``
+                scans every reading before ``_decide`` runs) pass False so
+                the hot path does not re-scan the same vector twice per
+                decision.
 
         Returns:
             Updated estimates (W), shape ``(n_units,)`` — a copy, safe to
             store in a history buffer.
         """
         z = np.asarray(measurement, dtype=np.float64)
-        if z.shape != (self.n_units,):
-            raise ValueError(
-                f"measurement shape {z.shape} != ({self.n_units},)"
-            )
-        if not np.all(np.isfinite(z)):
-            raise ValueError("measurement contains non-finite values")
+        if validate:
+            if z.shape != (self.n_units,):
+                raise ValueError(
+                    f"measurement shape {z.shape} != ({self.n_units},)"
+                )
+            if not np.all(np.isfinite(z)):
+                raise ValueError("measurement contains non-finite values")
 
         if not self._initialized:
             self._x[:] = z

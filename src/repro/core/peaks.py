@@ -7,20 +7,33 @@ variant from scratch (no SciPy dependency in the hot path): a local maximum's
 prominence is its height above the higher of the two valley floors separating
 it from the nearest higher samples on each side.
 
-This runs once per unit per control step.  Histories are short (20 steps by
-default), and at that size NumPy's per-call overhead dwarfs the work, so the
-hot counting path converts each history to native floats once and walks it
-in plain Python — measured ~12x faster than slice-based NumPy on 20-sample
-histories (see DESIGN.md §6; "profile before optimizing").  The full
-prominence computation keeps a NumPy implementation as the readable
-reference, cross-checked against the fast walk by the test suite.
+This runs once per unit per control step.  For a *single* short history
+(20 steps by default) NumPy's per-call overhead dwarfs the work, so the
+1-D entry point converts the history to native floats once and walks it in
+plain Python — measured ~12x faster than slice-based NumPy on 20-sample
+histories (see DESIGN.md §8).  That argument is per-call only: batched
+across a cluster, the unit axis is the long one, so the multi-unit entry
+point defaults to a column-parallel core (``core="vectorized"``) that walks
+the short history axis in Python but does every comparison and
+valley-floor minimum as one vector operation across all units — no
+``.tolist()`` boxing of the ``(h, n_units)`` history.  The per-column walk
+is kept as the ``core="loop"`` oracle, and the full prominence computation
+keeps a NumPy implementation as the readable reference; the test suite
+cross-checks all three.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["peak_prominences", "count_prominent_peaks", "count_prominent_peaks_multi"]
+from repro.core import _native
+
+__all__ = [
+    "peak_prominences",
+    "count_prominent_peaks",
+    "count_prominent_peaks_multi",
+    "history_std",
+]
 
 
 def _candidate_maxima(x: np.ndarray) -> np.ndarray:
@@ -132,10 +145,94 @@ def count_prominent_peaks(x: np.ndarray, min_prominence: float) -> int:
     return _count_walk(x.tolist(), float(min_prominence))
 
 
+def _count_batch(
+    x: np.ndarray,
+    min_prominence: float,
+    out: np.ndarray,
+    scratch: dict | None = None,
+) -> np.ndarray:
+    """Column-parallel prominent-peak counts (the multi-unit hot path).
+
+    Semantics are identical to running :func:`_count_walk` on every column.
+    The walks of *all* candidate rows advance together, one valley-floor
+    step per iteration of the walked distance ``k``: comparing every row
+    ``i`` against row ``i - k`` is one shifted whole-array operation, so
+    the pass costs O(history_len) vector operations per side instead of a
+    Python walk per (candidate, unit) pair.  The count condition
+    ``height - max(left_base, right_base) >= T`` is evaluated as
+    ``(height - left_base >= T) & (height - right_base >= T)`` — identical
+    to the last bit, since float subtraction is monotone in the subtrahend.
+
+    Args:
+        scratch: optional dict the (history_len, n_units) work arrays are
+            cached in across calls (per-step scratch reuse on the control
+            path); pass the same dict every call.
+    """
+    h, n = x.shape
+    out[:] = 0
+    if h < 3:
+        return out
+    if scratch is None:
+        scratch = {}
+    if scratch.get("shape") != (h, n):
+        scratch["shape"] = (h, n)
+        scratch["ok"] = np.empty((h, n), dtype=bool)
+        scratch["alive"] = np.empty((h, n), dtype=bool)
+        scratch["take"] = np.empty((h, n), dtype=bool)
+        scratch["base"] = np.empty((h, n), dtype=np.float64)
+        scratch["diff"] = np.empty((h, n), dtype=np.float64)
+    ok = scratch["ok"]
+    alive = scratch["alive"]
+    take = scratch["take"]
+    base = scratch["base"]
+    diff = scratch["diff"]
+
+    # Candidate maxima: strictly above the left neighbour, not below the
+    # right one (rows 0 and h-1 can never be candidates).
+    ok[0] = False
+    ok[-1] = False
+    np.greater(x[1:-1], x[:-2], out=ok[1:-1])
+    np.greater_equal(x[1:-1], x[2:], out=take[1:-1])
+    ok[1:-1] &= take[1:-1]
+    if not ok.any():
+        return out
+
+    for left in (True, False):
+        # Valley-floor walk away from every candidate row at once.  A row's
+        # lane stays alive while the walked sample is <= its height; the
+        # first strictly higher sample kills the lane, exactly like the
+        # scalar walk.  Lanes that already failed the other side start dead
+        # (their base cannot change the AND-ed count condition).
+        np.copyto(base, x)
+        np.copyto(alive, ok)
+        for k in range(1, h):
+            if left:
+                rows, walked = slice(k, None), x[:-k]
+            else:
+                rows, walked = slice(None, -k), x[k:]
+            t = take[rows]
+            np.less_equal(walked, x[rows], out=t)
+            t &= alive[rows]
+            if not t.any():
+                break
+            np.minimum(base[rows], walked, out=base[rows], where=t)
+            np.copyto(alive[rows], t)
+        np.subtract(x, base, out=diff)
+        np.greater_equal(diff, min_prominence, out=take)
+        ok &= take
+        if not ok.any():
+            return out
+
+    np.sum(ok, axis=0, dtype=np.intp, out=out)
+    return out
+
+
 def count_prominent_peaks_multi(
     history: np.ndarray,
     min_prominence: float,
     out: np.ndarray | None = None,
+    core: str = "vectorized",
+    scratch: dict | None = None,
 ) -> np.ndarray:
     """Prominent-peak counts for a bank of unit histories.
 
@@ -146,12 +243,21 @@ def count_prominent_peaks_multi(
         out: optional preallocated integer array of shape ``(n_units,)``
             the counts are written into (per-step scratch reuse on the
             control path).
+        core: ``"vectorized"`` counts column-parallel across units;
+            ``"loop"`` runs the per-column native-float walk (the oracle).
+            Both return identical counts.
+        scratch: optional dict the vectorized core caches its work arrays
+            in across calls; pass the same dict every call.
 
     Returns:
         Integer array of shape ``(n_units,)`` (``out`` when provided).
     """
     if min_prominence <= 0:
         raise ValueError(f"min_prominence must be > 0, got {min_prominence}")
+    if core not in ("loop", "vectorized"):
+        raise ValueError(
+            f"core must be 'loop' or 'vectorized', got {core!r}"
+        )
     history = np.asarray(history, dtype=np.float64)
     if history.ndim != 2:
         raise ValueError(f"expected 2-D history, got shape {history.shape}")
@@ -161,6 +267,43 @@ def count_prominent_peaks_multi(
     elif out.shape != (n_units,):
         raise ValueError(f"out shape {out.shape} != ({n_units},)")
     prominence = float(min_prominence)
+    if core == "vectorized":
+        kernel = _native.peak_features()
+        if kernel is not None and history.shape[0] <= _native.MAX_HISTORY:
+            kernel(history, prominence, out, None)
+            return out
+        return _count_batch(history, prominence, out, scratch)
     for u, col in enumerate(history.T.tolist()):
         out[u] = _count_walk(col, prominence)
+    return out
+
+
+def history_std(history: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """Per-column population standard deviation of a history bank.
+
+    This is the priority module's second frequency feature, computed once
+    per control step and shared by *both* decision cores (it is a numeric
+    feature, not part of the per-unit flag logic the cores reimplement),
+    so loop/vectorized equivalence holds whichever implementation runs.
+
+    Uses the native kernel when available — one cache-blocked pass fused
+    with the peak counter's transpose — otherwise ``np.std``.  The two
+    differ in summation order (sequential vs. pairwise), so stds can
+    differ in the last few ulps between hosts with and without a C
+    compiler; set ``REPRO_NO_NATIVE=1`` for cross-host bit-reproducibility
+    of full simulations.
+    """
+    history = np.asarray(history, dtype=np.float64)
+    if history.ndim != 2:
+        raise ValueError(f"expected 2-D history, got shape {history.shape}")
+    n_units = history.shape[1]
+    if out is None:
+        out = np.empty(n_units, dtype=np.float64)
+    elif out.shape != (n_units,):
+        raise ValueError(f"out shape {out.shape} != ({n_units},)")
+    kernel = _native.peak_features()
+    if kernel is not None and history.shape[0] <= _native.MAX_HISTORY:
+        kernel(history, 1.0, None, out)
+        return out
+    np.std(history, axis=0, out=out)
     return out

@@ -16,14 +16,21 @@ Classifies every power-capping unit as high or low priority from the two
   now or soon); below the negative threshold marks falling power (low
   priority).  In between, the previous priority is *kept*: a unit that rose
   stays high priority until its power actually falls again.
+
+The flag logic exists in two bit-exact implementations selected by
+``core``: the original per-unit walk (``"loop"``, the equivalence-test
+oracle) and a boolean-mask pass (``"vectorized"``) expressing the same
+set/clear/hysteresis transitions as a handful of whole-array operations —
+the §6.5 "handful of vector operations regardless of cluster size" claim.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.config import PriorityConfig
-from repro.core.peaks import count_prominent_peaks_multi
+from repro.core import _native
+from repro.core.config import PriorityConfig, _decision_core
+from repro.core.peaks import count_prominent_peaks_multi, history_std
 from repro.recovery.state import decode_array, encode_array
 
 __all__ = ["PriorityModule"]
@@ -37,6 +44,8 @@ class PriorityModule:
         config: thresholds and window lengths.
         use_frequency: when False, skip high-frequency detection entirely
             (derivative-only classification; ablation 2 in DESIGN.md §5).
+        core: ``"vectorized"`` (default) classifies with boolean masks;
+            ``"loop"`` runs the per-unit oracle.  Bit-exact equivalents.
     """
 
     def __init__(
@@ -44,12 +53,15 @@ class PriorityModule:
         n_units: int,
         config: PriorityConfig | None = None,
         use_frequency: bool = True,
+        core: str = "vectorized",
     ) -> None:
         if n_units < 1:
             raise ValueError(f"n_units must be >= 1, got {n_units}")
+        _decision_core("core", core)
         self.n_units = n_units
         self.config = config or PriorityConfig()
         self.use_frequency = use_frequency
+        self.core = core
         self._high_freq = np.zeros(n_units, dtype=bool)
         self._priority = np.zeros(n_units, dtype=bool)
         # Per-step scratch: update() runs every control step on every unit,
@@ -58,6 +70,14 @@ class PriorityModule:
         self._pp = np.empty(n_units, dtype=np.intp)
         self._std = np.empty(n_units, dtype=np.float64)
         self._deriv = np.empty(n_units, dtype=np.float64)
+        # Boolean-mask scratch for the vectorized classifier.
+        self._mask_a = np.empty(n_units, dtype=bool)
+        self._mask_b = np.empty(n_units, dtype=bool)
+        self._mask_c = np.empty(n_units, dtype=bool)
+        self._low = np.empty(n_units, dtype=bool)
+        # (history_len, n_units) work arrays of the batched peak counter,
+        # cached across steps once the history buffer reaches full length.
+        self._peaks_scratch: dict = {}
         # Centered time basis for the least-squares slope; dt_s-independent
         # (the dt factor divides out at use time), so it can be precomputed.
         w = self.config.deriv_window
@@ -134,12 +154,26 @@ class PriorityModule:
             return self._priority.copy()
 
         # Batch the numeric features once per step into preallocated scratch
-        # (the per-unit loop below is pure flag logic).
+        # (the classifier pass below is pure flag logic).  The std is a
+        # shared feature — same source for both cores (see history_std).
         if self.use_frequency:
-            pp_counts = count_prominent_peaks_multi(
-                history, cfg.peak_prominence, out=self._pp
-            )
-            stds = np.std(history, axis=0, out=self._std)
+            kernel = _native.peak_features()
+            if (
+                kernel is not None
+                and self.core == "vectorized"
+                and h <= _native.MAX_HISTORY
+            ):
+                # One fused cache-blocked pass for both features.
+                kernel(history, cfg.peak_prominence, self._pp, self._std)
+            else:
+                count_prominent_peaks_multi(
+                    history,
+                    cfg.peak_prominence,
+                    out=self._pp,
+                    core=self.core,
+                    scratch=self._peaks_scratch,
+                )
+                history_std(history, out=self._std)
         derivs = self._deriv
         if cfg.deriv_method == "lsq":
             # Least-squares slope over the window: averages noise across
@@ -154,6 +188,17 @@ class PriorityModule:
             np.subtract(history[-1], history[-cfg.deriv_window], out=derivs)
             derivs /= span_s
 
+        if self.core == "loop":
+            self._classify_loop(derivs)
+        else:
+            self._classify_vectorized(derivs)
+        return self._priority.copy()
+
+    def _classify_loop(self, derivs: np.ndarray) -> None:
+        """Per-unit flag walk (the equivalence-test oracle)."""
+        cfg = self.config
+        pp_counts = self._pp
+        stds = self._std
         high_freq = self._high_freq
         priority = self._priority
         for u in range(self.n_units):
@@ -182,4 +227,56 @@ class PriorityModule:
                 priority[u] = False
             # Otherwise: keep the previous priority (hysteresis).
 
-        return self._priority.copy()
+    def _classify_vectorized(self, derivs: np.ndarray) -> None:
+        """Boolean-mask transcription of :meth:`_classify_loop`.
+
+        All transitions are computed from the flags as they stood at entry
+        (``elig`` is built before any mask is applied), so the pass is
+        order-independent and bit-exact against the per-unit walk.
+        """
+        cfg = self.config
+        high_freq = self._high_freq
+        priority = self._priority
+        elig = self._low  # Units that take the derivative branch.
+        if self.use_frequency:
+            set_m = self._mask_a
+            clear_m = self._mask_b
+            tmp = self._mask_c
+            # Set: an unflagged unit whose prominent-peak count crosses the
+            # threshold becomes high-frequency and is pinned high priority.
+            np.greater(self._pp, cfg.pp_threshold, out=set_m)
+            np.logical_not(high_freq, out=elig)
+            set_m &= elig
+            # Clear: a flagged unit drops the flag only when the peak count
+            # and the history std are both under their thresholds.
+            np.less(self._pp, cfg.pp_threshold, out=clear_m)
+            np.less(self._std, cfg.std_threshold, out=tmp)
+            clear_m &= tmp
+            clear_m &= high_freq
+            # Derivative branch: only units that entered the step unflagged
+            # and stayed unflagged (Algorithm 2 lines 10-15 — a (former)
+            # high-frequency unit skips the derivative check this step).
+            np.logical_not(set_m, out=tmp)
+            elig &= tmp
+            high_freq |= set_m
+            priority |= set_m
+            np.logical_not(clear_m, out=tmp)
+            high_freq &= tmp
+            priority &= tmp
+        else:
+            elig.fill(True)
+
+        # Derivative classification with hysteresis: rising units go high,
+        # falling units go low, in-between keeps the previous priority.
+        # The masks are disjoint (PriorityConfig validates inc_threshold > 0
+        # > dec_threshold), so applying them in either order matches the
+        # loop's if/elif.
+        rise = self._mask_a
+        np.greater(derivs, cfg.deriv_inc_threshold, out=rise)
+        rise &= elig
+        priority |= rise
+        fall = self._mask_b
+        np.less(derivs, cfg.deriv_dec_threshold, out=fall)
+        fall &= elig
+        np.logical_not(fall, out=self._mask_c)
+        priority &= self._mask_c

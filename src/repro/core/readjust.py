@@ -36,6 +36,13 @@ from repro.core.config import ReadjustConfig
 
 __all__ = ["RestoreResult", "restore", "readjust"]
 
+#: Caps within this many watts of the per-unit maximum count as saturated
+#: for the water-fill: any grant they could still absorb is numerical
+#: noise, so they are excluded from the active set up front (the same
+#: tolerance the in-loop refilter applies — a unit 1e-13 below TDP must
+#: not cost a full pass for a ~0 W grant).
+SATURATION_EPS_W = 1e-12
+
 
 class RestoreResult(NamedTuple):
     """Outcome of the restore pass.
@@ -123,17 +130,31 @@ def readjust(
     if avail > config.budget_epsilon:
         # Distribute the leftover to high-priority units, inverse-cap
         # weighted; recycle anything clipped at the per-unit maximum.
-        active = high[caps[high] < max_cap_w]
+        # The water-fill iterates on a compact copy of the active caps —
+        # one gather up front, one scatter per retired unit batch — instead
+        # of re-gathering ``caps[active]`` several times per pass; the
+        # element order and arithmetic are unchanged, so the grants are
+        # identical to filling in place.
+        gathered = caps[high]
+        keep = gathered < max_cap_w - SATURATION_EPS_W
+        active = high[keep]
+        c = gathered[keep]
         remaining = avail
         # Each pass either exhausts the budget or saturates at least one
         # unit, so this terminates in at most len(active) passes.
         while remaining > config.budget_epsilon and active.size > 0:
-            weights = 1.0 / np.maximum(caps[active], 1e-9)
+            weights = 1.0 / np.maximum(c, 1e-9)
             weights /= weights.sum()
-            grant = np.minimum(remaining * weights, max_cap_w - caps[active])
-            caps[active] += grant
+            grant = np.minimum(remaining * weights, max_cap_w - c)
+            c += grant
             remaining -= float(grant.sum())
-            active = active[caps[active] < max_cap_w - 1e-12]
+            keep = c < max_cap_w - SATURATION_EPS_W
+            if not keep.all():
+                done = ~keep
+                caps[active[done]] = c[done]
+                active = active[keep]
+                c = c[keep]
+        caps[active] = c
     else:
         # Budget exhausted: equalize the caps of all high-priority units.
         equal_cap = min(float(caps[high].mean()), max_cap_w)

@@ -17,6 +17,14 @@ Faithfulness notes (documented deviations from the paper's pseudocode):
   per-unit maximum).
 * Caps are additionally clamped to ``[min_cap_w, max_cap_w]`` — the RAPL
   constraint range — which the pseudocode leaves implicit.
+
+The random-order increase loop exists in two bit-exact implementations
+selected by ``core``: the original per-unit Python walk (``"loop"``, the
+test oracle) and an array-native pass (``"vectorized"``) that replays the
+sequential budget admission with one ``np.subtract.accumulate`` — the
+running-remainder chain rounds identically to the loop's ``avail -= grow``,
+so full grants, the single partial grant at the budget boundary, and the
+returned leftover all match the oracle to the last bit.
 """
 
 from __future__ import annotations
@@ -25,7 +33,7 @@ from typing import NamedTuple
 
 import numpy as np
 
-from repro.core.config import StatelessConfig
+from repro.core.config import StatelessConfig, _decision_core
 
 __all__ = ["MimdResult", "mimd_step"]
 
@@ -45,6 +53,108 @@ class MimdResult(NamedTuple):
     avail_budget_w: float
 
 
+def _mimd_scratch(scratch: dict, n: int) -> dict:
+    """(Re)size the preallocated work arrays of the vectorized pass.
+
+    ``mimd_step`` runs every control step; at cluster scale its float64
+    temporaries are megabytes of fresh mmap traffic per call, so managers
+    pass a persistent dict the work arrays are cached in across steps.
+    """
+    if scratch.get("n") != n:
+        scratch["n"] = n
+        for key in ("f1", "f2", "g1", "g2"):
+            scratch[key] = np.empty(n, dtype=np.float64)
+        for key in ("b1", "b2", "b3"):
+            scratch[key] = np.empty(n, dtype=bool)
+        scratch["chain"] = np.empty(n + 1, dtype=np.float64)
+    return scratch
+
+
+def _increase_loop(
+    caps: np.ndarray,
+    want: np.ndarray,
+    order: np.ndarray,
+    avail: float,
+    max_cap_w: float,
+    inc_factor: float,
+    changed: np.ndarray,
+    scratch: dict,
+) -> float:
+    """Per-unit increase walk (the test oracle); mutates caps/changed."""
+    del scratch
+    for u in order:
+        if not want[u] or avail <= 0.0:
+            continue
+        target = min(caps[u] * inc_factor, max_cap_w)
+        grow = min(target - caps[u], avail)
+        if grow <= 0.0:
+            continue
+        caps[u] += grow
+        avail -= grow
+        changed[u] = True
+    return avail
+
+
+def _increase_vectorized(
+    caps: np.ndarray,
+    want: np.ndarray,
+    order: np.ndarray,
+    avail: float,
+    max_cap_w: float,
+    inc_factor: float,
+    changed: np.ndarray,
+    scratch: dict,
+) -> float:
+    """Array-native replay of :func:`_increase_loop`; mutates caps/changed.
+
+    The sequential loop grants each wanting unit its full desired growth
+    until the remaining budget no longer covers one, which then receives
+    the remainder and exhausts the budget.  ``np.subtract.accumulate``
+    reproduces the loop's running remainder with the same left-to-right
+    rounding (units the loop skips subtract exactly 0.0), so the admission
+    set, the one partial grant, and the leftover are all bit-exact.
+    """
+    desired = np.multiply(caps, inc_factor, out=scratch["f1"])
+    np.minimum(desired, max_cap_w, out=desired)
+    desired -= caps
+    np.maximum(desired, 0.0, out=desired)
+    desired *= want  # d * 0.0 == 0.0, d * 1.0 == d: exact mask-out.
+
+    d = np.take(desired, order, out=scratch["g1"])
+    chain = scratch["chain"]
+    chain[0] = avail
+    chain[1:] = d
+    np.subtract.accumulate(chain, out=chain)
+    # chain[k] is now the budget remaining before the k-th unit in `order`
+    # (under full grants); once it crosses zero it only decreases, so there
+    # is exactly one boundary unit.  A unit with budget left gets
+    # min(demand, remaining) — its full demand or the boundary partial
+    # grant — and a closed unit gets exactly 0.0 via the bool multiply
+    # (min(d, before) can be negative past the boundary; x * 0.0 is at
+    # worst -0.0, which is > 0-false and addition-neutral).
+    before = chain[:-1]
+    open_ = np.greater(before, 0.0, out=scratch["b1"])
+    grant = np.minimum(d, before, out=scratch["g2"])
+    grant *= open_
+
+    granted = np.greater(grant, 0.0, out=scratch["b2"])
+    caps[order] += grant
+    # Scatter-store through the permutation, then one whole-array OR —
+    # same result as `changed[order] |= granted` without its extra gather.
+    scattered = scratch["b3"]
+    scattered[order] = granted
+    np.logical_or(changed, scattered, out=changed)
+    # After a partial grant the loop's remainder is exactly 0.0 while the
+    # chain keeps subtracting skipped demands; both clamp to 0 at return.
+    return float(chain[-1])
+
+
+_INCREASE_CORES = {
+    "loop": _increase_loop,
+    "vectorized": _increase_vectorized,
+}
+
+
 def mimd_step(
     power_w: np.ndarray,
     caps_w: np.ndarray,
@@ -53,6 +163,8 @@ def mimd_step(
     min_cap_w: float,
     config: StatelessConfig,
     rng: np.random.Generator,
+    core: str = "vectorized",
+    scratch: dict | None = None,
 ) -> MimdResult:
     """Run one multiplicative-increase / multiplicative-decrease pass.
 
@@ -70,11 +182,18 @@ def mimd_step(
         max_cap_w: per-unit maximum cap (TDP).
         min_cap_w: per-unit minimum cap.
         config: MIMD thresholds and factors.
-        rng: randomness source for the increase-loop ordering.
+        rng: randomness source for the increase-loop ordering.  Both cores
+            draw one permutation from it (only when there is leftover
+            budget), so the stream position advances identically.
+        core: ``"vectorized"`` or ``"loop"`` — bit-exact equivalents.
+        scratch: optional dict the vectorized pass caches its work arrays
+            in across calls (per-step scratch reuse on the control path);
+            pass the same dict every call.
 
     Returns:
         :class:`MimdResult` with the new caps (a fresh array).
     """
+    _decision_core("core", core)
     power = np.asarray(power_w, dtype=np.float64)
     caps = np.asarray(caps_w, dtype=np.float64).copy()
     if power.shape != caps.shape or power.ndim != 1:
@@ -83,29 +202,38 @@ def mimd_step(
             "equal 1-D shapes"
         )
     n = caps.shape[0]
+    scratch = _mimd_scratch(scratch if scratch is not None else {}, n)
     changed = np.zeros(n, dtype=bool)
 
     # --- First loop: decrease caps of under-consuming units (vectorized).
-    dec_mask = power < caps * config.dec_threshold
+    # Whole-array compute plus a masked copyto: elementwise identical to
+    # fancy-indexed updates, without the gather/scatter cost of boolean
+    # indexing on the unit axis.
+    dec_mask = np.multiply(caps, config.dec_threshold, out=scratch["f1"])
+    dec_mask = np.less(power, dec_mask, out=scratch["b1"])
     if np.any(dec_mask):
-        lowered = np.maximum(power[dec_mask], caps[dec_mask] * config.dec_factor)
-        lowered = np.clip(lowered, min_cap_w, max_cap_w)
-        changed[dec_mask] = lowered != caps[dec_mask]
-        caps[dec_mask] = lowered
+        lowered = np.multiply(caps, config.dec_factor, out=scratch["f2"])
+        np.maximum(power, lowered, out=lowered)
+        np.clip(lowered, min_cap_w, max_cap_w, out=lowered)
+        np.not_equal(lowered, caps, out=scratch["b2"])
+        np.logical_and(dec_mask, scratch["b2"], out=changed)
+        np.copyto(caps, lowered, where=dec_mask)
 
     # --- Second loop: increase caps of capped-out units in random order.
     avail = budget_w - float(caps.sum())
     if avail > 0.0:
-        want = power > caps * config.inc_threshold
-        for u in rng.permutation(n):
-            if not want[u] or avail <= 0.0:
-                continue
-            target = min(caps[u] * config.inc_factor, max_cap_w)
-            grow = min(target - caps[u], avail)
-            if grow <= 0.0:
-                continue
-            caps[u] += grow
-            avail -= grow
-            changed[u] = True
+        want = np.multiply(caps, config.inc_threshold, out=scratch["f2"])
+        want = np.greater(power, want, out=scratch["b1"])
+        order = rng.permutation(n)
+        avail = _INCREASE_CORES[core](
+            caps,
+            want,
+            order,
+            avail,
+            max_cap_w,
+            config.inc_factor,
+            changed,
+            scratch,
+        )
 
     return MimdResult(caps=caps, changed=changed, avail_budget_w=max(avail, 0.0))

@@ -221,7 +221,9 @@ class ResilientManager(PowerManager):
         )
         result = self._validator.validate(power_w, self._caps, estimate)
         sanitized = np.where(result.suspect, estimate, power_w)
-        self._kalman.update(sanitized)
+        # Both branches of `sanitized` are already validated: the reading
+        # at the step() boundary, the estimate by filter induction.
+        self._kalman.update(sanitized, validate=False)
 
         newly_suspect = result.suspect & ~self._prev_suspect
         for unit in np.flatnonzero(newly_suspect):

@@ -1,0 +1,339 @@
+"""Loop-oracle equivalence of the array-native decision core.
+
+The vectorized decision path (batched peak counter, boolean-mask priority
+classifier, accumulate-chain MIMD increase pass) must be *bit-exact*
+against the original per-unit implementations, which are kept as the
+``decision_core="loop"`` oracle.  Any divergence is a latent bug in one of
+the two — never something to paper over with a tolerance — so every
+assertion here is exact equality.
+
+The suite drives randomized histories, configurations, budgets, and
+priorities through both cores at three levels: the stateless kernels
+(peak counts, MIMD), the stateful priority classifier, and full
+DPS/SLURM manager runs including snapshot/restore across cores.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import _native
+from repro.core.config import (
+    DPSConfig,
+    PriorityConfig,
+    StatelessConfig,
+)
+from repro.core.dps import DPSManager
+from repro.core.peaks import (
+    _count_batch,
+    _count_walk,
+    count_prominent_peaks_multi,
+)
+from repro.core.priority import PriorityModule
+from repro.core.slurm import SlurmManager
+from repro.core.stateless import mimd_step
+
+# Power-like values on a coarse grid so ties, plateaus, and exact
+# threshold hits are common — the cases where a vectorization shortcut
+# would first diverge from the sequential walk.
+_grid_power = st.integers(min_value=0, max_value=660).map(lambda v: v / 4.0)
+_smooth_power = st.floats(
+    min_value=0.0, max_value=165.0, allow_nan=False, allow_infinity=False
+)
+_power_value = st.one_of(_grid_power, _smooth_power)
+
+
+@st.composite
+def histories(draw, min_len=1, max_len=24, max_units=24):
+    h = draw(st.integers(min_value=min_len, max_value=max_len))
+    n = draw(st.integers(min_value=1, max_value=max_units))
+    flat = draw(
+        st.lists(_power_value, min_size=h * n, max_size=h * n)
+    )
+    return np.array(flat, dtype=np.float64).reshape(h, n)
+
+
+class TestPeakCountEquivalence:
+    @given(
+        history=histories(),
+        prominence=st.one_of(
+            st.floats(min_value=0.25, max_value=40.0, allow_nan=False),
+            st.sampled_from([0.25, 1.0, 5.0, 20.0]),
+        ),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_all_three_implementations_agree(self, history, prominence):
+        """Native kernel, NumPy batch fallback, and per-column walk all
+        return identical counts — not close, identical."""
+        oracle = count_prominent_peaks_multi(
+            history, prominence, core="loop"
+        )
+        vectorized = count_prominent_peaks_multi(
+            history, prominence, core="vectorized"
+        )
+        np.testing.assert_array_equal(vectorized, oracle)
+        # The NumPy fallback must agree even on hosts where the native
+        # kernel is available, so exercise it explicitly.
+        batch = np.empty(history.shape[1], dtype=np.intp)
+        _count_batch(history, float(prominence), batch)
+        np.testing.assert_array_equal(batch, oracle)
+
+    @given(history=histories(min_len=3))
+    @settings(max_examples=60, deadline=None)
+    def test_kernel_std_matches_sequential_sum(self, history):
+        """The fused kernel's std uses sequential per-column summation;
+        it must equal the plain-Python sequential definition bit for bit
+        (both cores consume the same provider, so this pins the shared
+        feature itself)."""
+        kernel = _native.peak_features()
+        if kernel is None:
+            pytest.skip("no native kernel on this host")
+        h, n = history.shape
+        out = np.empty(n)
+        kernel(np.ascontiguousarray(history), 1.0, None, out)
+        for c in range(n):
+            col = history[:, c].tolist()
+            mean = sum(col) / h
+            var = 0.0
+            for v in col:
+                d = v - mean
+                var += d * d
+            assert out[c] == np.sqrt(np.float64(var / h))
+
+
+class TestMimdEquivalence:
+    @given(
+        n=st.integers(min_value=1, max_value=60),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        budget_scale=st.floats(min_value=0.1, max_value=1.5),
+        inc_threshold=st.floats(min_value=0.5, max_value=0.99),
+        inc_factor=st.floats(min_value=1.01, max_value=1.5),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_caps_changed_and_leftover_bit_exact(
+        self, n, seed, budget_scale, inc_threshold, inc_factor
+    ):
+        rng = np.random.default_rng(seed)
+        caps = rng.uniform(30.0, 165.0, n)
+        power = rng.uniform(0.0, 170.0, n)
+        # Exact threshold hits: the admission test is power > cap * thr,
+        # so equality must fall on the same side in both cores.
+        if n >= 2:
+            power[0] = caps[0] * inc_threshold
+        config = StatelessConfig(
+            inc_threshold=inc_threshold,
+            dec_threshold=min(0.85, inc_threshold - 0.01),
+            inc_factor=inc_factor,
+        )
+        budget = float(budget_scale * caps.sum())
+        results = {
+            core: mimd_step(
+                power, caps, budget, 165.0, 30.0, config,
+                np.random.default_rng(seed), core=core,
+            )
+            for core in ("loop", "vectorized")
+        }
+        np.testing.assert_array_equal(
+            results["vectorized"].caps, results["loop"].caps
+        )
+        np.testing.assert_array_equal(
+            results["vectorized"].changed, results["loop"].changed
+        )
+        assert (
+            results["vectorized"].avail_budget_w
+            == results["loop"].avail_budget_w
+        )
+
+    def test_partial_grant_at_budget_boundary(self):
+        """Pinned: the one unit straddling the budget boundary receives
+        exactly the loop's remainder, and the rng stream advances the
+        same way in both cores."""
+        caps = np.full(8, 100.0)
+        power = np.full(8, 100.0)  # all want increase
+        config = StatelessConfig()
+        budget = float(caps.sum()) + 13.7  # covers one full grant + change
+        out = {
+            core: mimd_step(
+                power, caps, budget, 165.0, 30.0, config,
+                np.random.default_rng(5), core=core,
+            )
+            for core in ("loop", "vectorized")
+        }
+        np.testing.assert_array_equal(
+            out["vectorized"].caps, out["loop"].caps
+        )
+        assert out["vectorized"].avail_budget_w == out["loop"].avail_budget_w
+
+
+def _pair(n, priority_config=None, use_frequency=True):
+    return {
+        core: PriorityModule(
+            n,
+            priority_config or PriorityConfig(),
+            use_frequency=use_frequency,
+            core=core,
+        )
+        for core in ("loop", "vectorized")
+    }
+
+
+class TestPriorityEquivalence:
+    @given(
+        n=st.integers(min_value=1, max_value=20),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        steps=st.integers(min_value=1, max_value=8),
+        use_frequency=st.booleans(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_flags_bit_exact_over_random_runs(
+        self, n, seed, steps, use_frequency
+    ):
+        rng = np.random.default_rng(seed)
+        mods = _pair(n, use_frequency=use_frequency)
+        for _ in range(steps):
+            h = int(rng.integers(1, 24))
+            scale = float(rng.uniform(0.5, 30.0))
+            hist = np.cumsum(rng.normal(0.0, scale, (h, n)), axis=0) + 100.0
+            if rng.random() < 0.3:
+                hist = np.round(hist * 4.0) / 4.0  # force ties/plateaus
+            outs = {
+                core: mod.update(hist, 1.0) for core, mod in mods.items()
+            }
+            np.testing.assert_array_equal(
+                outs["vectorized"], outs["loop"]
+            )
+            np.testing.assert_array_equal(
+                mods["vectorized"].high_freq, mods["loop"].high_freq
+            )
+
+    def test_warmup_history_keeps_priorities_in_both_cores(self):
+        """Shorter history than the derivative window: no classification,
+        both cores return the prior flags untouched."""
+        mods = _pair(4)
+        short = np.full((1, 4), 100.0)  # < deriv_window
+        for core, mod in mods.items():
+            out = mod.update(short, 1.0)
+            np.testing.assert_array_equal(out, np.zeros(4, dtype=bool))
+
+    def test_all_high_frequency_population(self):
+        """Every unit oscillating hard: all go (and stay) high-frequency
+        in both cores, including the clear-check path the step after."""
+        n = 6
+        mods = _pair(n)
+        t = np.arange(20)[:, None]
+        hist = 100.0 + 40.0 * np.where(t % 2 == 0, 1.0, -1.0) * np.ones(
+            (20, n)
+        )
+        for _ in range(3):
+            outs = {
+                core: mod.update(hist, 1.0) for core, mod in mods.items()
+            }
+            np.testing.assert_array_equal(outs["vectorized"], outs["loop"])
+            assert mods["loop"].high_freq.all()
+            assert mods["vectorized"].high_freq.all()
+            assert outs["loop"].all()
+
+
+def _run_manager(factory, powers, snapshot_at=None, restore_into=None):
+    """Drive a manager over a power sequence, returning per-step caps.
+
+    When ``snapshot_at``/``restore_into`` are given, state is snapshotted
+    at that step and restored into a *fresh* manager built by
+    ``restore_into`` (possibly with the other decision core), which then
+    finishes the run — exercising cross-core snapshot parity.
+    """
+    manager = factory()
+    caps = []
+    for i, p in enumerate(powers):
+        if snapshot_at is not None and i == snapshot_at:
+            state = manager.snapshot()
+            manager = restore_into()
+            manager.restore(state)
+        caps.append(manager.step(p, p).copy())
+    return caps
+
+
+def _bind(manager, n, seed):
+    manager.bind(
+        n_units=n,
+        budget_w=110.0 * n,
+        max_cap_w=165.0,
+        min_cap_w=30.0,
+        dt_s=1.0,
+        rng=np.random.default_rng(seed),
+    )
+    return manager
+
+
+class TestManagerParity:
+    @given(
+        n=st.integers(min_value=1, max_value=16),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        steps=st.integers(min_value=1, max_value=30),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_dps_run_bit_exact(self, n, seed, steps):
+        rng = np.random.default_rng(seed)
+        powers = [rng.uniform(20.0, 165.0, n) for _ in range(steps)]
+
+        def factory(core):
+            return lambda: _bind(
+                DPSManager(DPSConfig(decision_core=core)), n, seed
+            )
+
+        loop_caps = _run_manager(factory("loop"), powers)
+        vec_caps = _run_manager(factory("vectorized"), powers)
+        for lc, vc in zip(loop_caps, vec_caps):
+            np.testing.assert_array_equal(vc, lc)
+
+    @given(
+        n=st.integers(min_value=1, max_value=16),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_slurm_run_bit_exact(self, n, seed):
+        rng = np.random.default_rng(seed)
+        powers = [rng.uniform(20.0, 165.0, n) for _ in range(12)]
+
+        def factory(core):
+            return lambda: _bind(
+                SlurmManager(decision_core=core), n, seed
+            )
+
+        loop_caps = _run_manager(factory("loop"), powers)
+        vec_caps = _run_manager(factory("vectorized"), powers)
+        for lc, vc in zip(loop_caps, vec_caps):
+            np.testing.assert_array_equal(vc, lc)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        snapshot_at=st.integers(min_value=1, max_value=24),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_snapshot_restore_swaps_cores_mid_run(self, seed, snapshot_at):
+        """A loop-core run snapshotted mid-flight and restored into a
+        vectorized-core manager (and vice versa) finishes with caps
+        bit-identical to never switching at all."""
+        n = 7
+        rng = np.random.default_rng(seed)
+        powers = [rng.uniform(20.0, 165.0, n) for _ in range(25)]
+
+        def factory(core):
+            return lambda: _bind(
+                DPSManager(DPSConfig(decision_core=core)), n, seed
+            )
+
+        reference = _run_manager(factory("loop"), powers)
+        for first, second in (
+            ("loop", "vectorized"),
+            ("vectorized", "loop"),
+        ):
+            switched = _run_manager(
+                factory(first),
+                powers,
+                snapshot_at=snapshot_at,
+                restore_into=factory(second),
+            )
+            for rc, sc in zip(reference, switched):
+                np.testing.assert_array_equal(sc, rc)

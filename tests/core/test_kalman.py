@@ -103,3 +103,38 @@ class TestReset:
         est = bank.update(np.array([100.0]))
         est[0] = -1.0
         assert bank.estimate[0] == pytest.approx(100.0)
+
+
+class TestValidationOptOut:
+    """``validate=False`` skips the boundary re-scan, nothing else: the
+    manager validates every reading once in ``PowerManager.step`` and the
+    bank must not silently diverge when it trusts that check."""
+
+    def test_validate_false_is_bit_identical_on_valid_input(self):
+        rng = np.random.default_rng(3)
+        a = KalmanBank(5, KalmanConfig())
+        b = KalmanBank(5, KalmanConfig())
+        for _ in range(25):
+            z = rng.uniform(30.0, 160.0, size=5)
+            np.testing.assert_array_equal(
+                a.update(z), b.update(z, validate=False)
+            )
+
+    def test_invalid_input_raises_at_both_entry_points(self):
+        # Entry point 1: the bank's own boundary.
+        bank = KalmanBank(3, KalmanConfig())
+        with pytest.raises(ValueError, match="non-finite"):
+            bank.update(np.array([1.0, np.nan, 3.0]))
+        with pytest.raises(ValueError, match="shape"):
+            bank.update(np.array([1.0, 2.0]))
+        # Entry point 2: the manager boundary that the hot path's
+        # validate=False relies on.
+        from repro.core.dps import DPSManager
+
+        manager = DPSManager()
+        manager.bind(n_units=3, budget_w=330.0, max_cap_w=165.0,
+                     min_cap_w=30.0, dt_s=1.0, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError, match="non-finite"):
+            manager.step(np.array([1.0, np.nan, 3.0]))
+        with pytest.raises(ValueError, match="shape"):
+            manager.step(np.array([1.0, 2.0]))

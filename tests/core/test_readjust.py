@@ -221,3 +221,31 @@ class TestValidation:
                 np.array([1.0, 2.0]), np.array([True]), 100.0, 165.0,
                 False, CFG,
             )
+
+
+class TestSaturationTolerance:
+    """The water-fill's pre-filter and in-loop refilter use the same
+    saturation tolerance (``SATURATION_EPS_W``): a unit within it of the
+    per-unit maximum is excluded up front, so a cap a hair below TDP never
+    costs a full grant pass for a ~0 W grant."""
+
+    def test_unit_just_below_tdp_gets_no_noise_grant(self):
+        # Unit 0 sits 1e-13 W below TDP — any grant it could absorb is
+        # numerical noise.  The mismatched-tolerance bug let it through the
+        # first filter, spending a pass on it before the refilter caught it.
+        caps = np.array([165.0 - 1e-13, 100.0, 80.0])
+        prio = np.array([True, True, False])
+        out = readjust(caps, prio, budget_w=400.0, max_cap_w=165.0,
+                       restored=False, config=CFG)
+        # The near-saturated cap is untouched to the last bit; the leftover
+        # goes to the other high-priority unit.
+        assert out[0] == caps[0]
+        assert out[1] > caps[1]
+        assert out[2] == caps[2]
+
+    def test_all_high_priority_saturated_terminates_unchanged(self):
+        caps = np.array([165.0 - 1e-13, 165.0, 40.0])
+        prio = np.array([True, True, False])
+        out = readjust(caps, prio, budget_w=500.0, max_cap_w=165.0,
+                       restored=False, config=CFG)
+        np.testing.assert_array_equal(out, caps)
