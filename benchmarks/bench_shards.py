@@ -49,17 +49,30 @@ NODES_PER_SHARD = int(os.environ.get("REPRO_BENCH_SHARD_NODES", "32"))
 CYCLES = int(os.environ.get("REPRO_BENCH_SHARD_CYCLES", "6"))
 ARTIFACT = os.environ.get("REPRO_BENCH_SHARDS_ARTIFACT", "BENCH_shards.json")
 
+#: Scale of the thread-vs-process comparison row.  Process mode pays an
+#: interpreter spawn and a private sub-cluster per shard, so it is
+#: measured at a CI-friendly width (overhead is per-cycle protocol cost,
+#: not width-dependent compute).
+PROCESS_SHARDS = int(os.environ.get("REPRO_BENCH_SHARD_PROCESS_SHARDS", "8"))
+PROCESS_UNITS = int(os.environ.get("REPRO_BENCH_SHARD_PROCESS_UNITS", "128"))
+PROCESS_NODES = int(os.environ.get("REPRO_BENCH_SHARD_PROCESS_NODES", "4"))
 
-def _measure(n_shards: int) -> dict:
+
+def _measure(
+    n_shards: int,
+    units_per_shard: int = UNITS_PER_SHARD,
+    nodes_per_shard: int = NODES_PER_SHARD,
+    mode: str = "thread",
+) -> dict:
     """One sharded session; median steady-state cycle wall time."""
-    if UNITS_PER_SHARD % NODES_PER_SHARD:
+    if units_per_shard % nodes_per_shard:
         raise ValueError(
-            f"UNITS_PER_SHARD={UNITS_PER_SHARD} must divide by "
-            f"NODES_PER_SHARD={NODES_PER_SHARD}"
+            f"units_per_shard={units_per_shard} must divide by "
+            f"nodes_per_shard={nodes_per_shard}"
         )
     spec = ClusterSpec(
-        n_nodes=n_shards * NODES_PER_SHARD,
-        sockets_per_node=UNITS_PER_SHARD // NODES_PER_SHARD,
+        n_nodes=n_shards * nodes_per_shard,
+        sockets_per_node=units_per_shard // nodes_per_shard,
     )
     cluster = Cluster(
         spec, RaplConfig(noise_std_w=0.0), np.random.default_rng(7)
@@ -78,6 +91,8 @@ def _measure(n_shards: int) -> dict:
                 checkpoint_dir=ckpt, checkpoint_every=max(2, CYCLES // 2)
             ),
             rng=np.random.default_rng(7),
+            mode=mode,
+            manager_name="constant" if mode == "process" else None,
         )
     assert result.invariant_violations == 0
     assert result.worst_case_w is not None
@@ -86,6 +101,7 @@ def _measure(n_shards: int) -> dict:
     # steady-state cycles are the scaling signal.
     steady = result.cycle_wall_s[1:]
     return {
+        "mode": mode,
         "n_shards": n_shards,
         "n_units": cluster.n_units,
         "cycle_s": float(np.median(steady)),
@@ -143,3 +159,49 @@ def test_shard_cycle_scaling(benchmark):
             f"per-unit cycle time varies {ratio:.2f}x across "
             f"{sorted(per_unit)} shards — scaling is not near-linear"
         )
+
+
+def test_process_mode_overhead(benchmark):
+    """Thread vs process mode at the same topology: the isolation tax.
+
+    Process mode swaps loopback links for real TCP and threads for
+    shard-server subprocesses; the steady-state per-cycle cost it adds
+    is wire framing plus a select round trip per shard.  The row lands
+    next to the scaling rows in ``BENCH_shards.json`` so the history
+    tracks both.
+    """
+    rows = benchmark.pedantic(
+        lambda: [
+            _measure(PROCESS_SHARDS, PROCESS_UNITS, PROCESS_NODES, mode)
+            for mode in ("thread", "process")
+        ],
+        rounds=1,
+        iterations=1,
+    )
+
+    by_mode = {r["mode"]: r for r in rows}
+    print(
+        f"\nthread vs process ({PROCESS_SHARDS} shards x "
+        f"{PROCESS_UNITS} units):"
+    )
+    for mode, r in by_mode.items():
+        print(f"  {mode:8s}: {r['cycle_s'] * 1e3:8.1f} ms/cycle")
+    overhead = by_mode["process"]["cycle_s"] / by_mode["thread"]["cycle_s"]
+    print(f"process-mode overhead: {overhead:.2f}x")
+
+    try:
+        with open(ARTIFACT) as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError):
+        doc = {"format": "repro-bench-shards-v1"}
+    doc["process_mode"] = {
+        "n_shards": PROCESS_SHARDS,
+        "units_per_shard": PROCESS_UNITS,
+        "nodes_per_shard": PROCESS_NODES,
+        "cycles": CYCLES,
+        "results": rows,
+        "overhead_x": overhead,
+    }
+    with open(ARTIFACT, "w") as fh:
+        json.dump(doc, fh, indent=2)
+    print(f"wrote {ARTIFACT}")

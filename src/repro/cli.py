@@ -286,6 +286,46 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the per-shard lease timeline (.json or .csv by suffix)",
     )
+    shards.add_argument(
+        "--mode",
+        choices=("thread", "process"),
+        default="thread",
+        help=(
+            "thread: in-process shards over loopback links; process: "
+            "each shard a real `shard-server` subprocess behind TCP"
+        ),
+    )
+    shards.add_argument(
+        "--admit-at",
+        type=int,
+        default=None,
+        metavar="CYCLE",
+        help="admit one extra shard live at CYCLE (process mode)",
+    )
+    shards.add_argument(
+        "--drain",
+        action="append",
+        default=None,
+        metavar="SHARD@CYCLE",
+        help="drain a shard gracefully (SIGTERM) at a cycle (process mode)",
+    )
+
+    shard_server = sub.add_parser(
+        "shard-server",
+        help="host one shard of the control plane behind a TCP listener",
+        description=(
+            "Run a single shard server as its own OS process: a private "
+            "sub-cluster, a crash-recoverable controller, and one TCP "
+            "listener serving the supervisor's clock and the arbiter's "
+            "shard link.  SIGTERM triggers a graceful drain (checkpoint, "
+            "freeze at the last confirmed committed power, final "
+            "summary, exit 0).  Normally spawned by `shards "
+            "--mode process`, not by hand."
+        ),
+    )
+    from repro.shard.process import add_shard_server_args
+
+    add_shard_server_args(shard_server)
 
     report = sub.add_parser(
         "report", help="render a saved campaign JSON as markdown"
@@ -412,6 +452,18 @@ def _cmd_worker(args: argparse.Namespace) -> str:
         concurrency=args.concurrency,
         log=_log,
     )
+
+    # SIGTERM/SIGINT request a graceful drain: in-flight jobs finish and
+    # report, new leases are declined (the coordinator requeues them
+    # instantly), then the worker exits 0.  A second SIGINT still kills
+    # via KeyboardInterrupt if the drain wedges.
+    def _on_signal(signum: int, frame: object) -> None:
+        worker.drain()
+
+    import signal
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
     try:
         worker.serve_forever()
     except KeyboardInterrupt:
@@ -855,6 +907,7 @@ def _cmd_shards(args: argparse.Namespace) -> str:
         arbiter_kill, arbiter_restart = _parse_range(
             args.arbiter_outage, "arbiter-outage"
         )
+    drain = dict(_parse_at(s, "drain") for s in (args.drain or ()))
     try:
         chaos = ShardChaosSchedule(
             shard_kill_at=kill,
@@ -863,6 +916,8 @@ def _cmd_shards(args: argparse.Namespace) -> str:
             heal_at=heal,
             arbiter_kill_at=arbiter_kill,
             arbiter_restart_at=arbiter_restart,
+            admit_at=args.admit_at,
+            drain_at=drain,
         )
     except ValueError as exc:
         raise SystemExit(str(exc)) from None
@@ -886,30 +941,56 @@ def _cmd_shards(args: argparse.Namespace) -> str:
             cycles=args.cycles,
             checkpoint_dir=root,
             chaos=chaos,
-            recovery=RecoveryOptions(checkpoint_dir=root, hang_timeout_s=1.0),
+            recovery=RecoveryOptions(
+                checkpoint_dir=root,
+                hang_timeout_s=1.0 if args.mode == "thread" else 5.0,
+            ),
             rng=rng,
+            mode=args.mode,
+            manager_name=args.manager,
         )
-    except ValueError as exc:
+    except (ValueError, RuntimeError) as exc:
         raise SystemExit(str(exc)) from None
     finally:
         if tmp is not None:
             tmp.cleanup()
 
     lines = [
-        f"sharded control plane: {result.n_shards} shards, "
-        f"{cluster.n_units} units, budget {result.budget_w:.0f} W, "
+        f"sharded control plane ({result.mode} mode): {result.n_shards} "
+        f"shards, {cluster.n_units} units, budget {result.budget_w:.0f} W, "
         f"{result.cycles} cycles"
     ]
+    if result.admitted:
+        lines.append(
+            "admitted live: shard "
+            + ", ".join(str(i) for i in result.admitted)
+        )
+    if result.drained:
+        lines.append(
+            "drained: "
+            + ", ".join(
+                f"shard {i} (rc={result.drained_rcs.get(i)})"
+                for i in result.drained
+            )
+        )
     rows = []
-    for i in range(result.n_shards):
+    # Leases come from the timeline, keyed by shard id: with live
+    # membership the arbiter's lease array covers current members only,
+    # whose count can differ from the starting fleet's.
+    for i in sorted(set(range(result.n_shards)) | set(result.admitted)):
         series = result.timeline.for_shard(i)
         last = series[-1] if series else None
+        restarts = (
+            result.shard_restarts[i]
+            if i < len(result.shard_restarts)
+            else 0
+        )
         rows.append(
             [
                 str(i),
-                f"{result.leases_w[i]:.1f}",
+                "-" if last is None else f"{last.lease_w:.1f}",
                 "-" if last is None else f"{last.committed_w:.1f}",
-                str(result.shard_restarts[i]),
+                str(restarts),
                 "yes" if i in result.failed_shards else "no",
             ]
         )
@@ -951,6 +1032,15 @@ def _cmd_shards(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _cmd_shard_server(args: argparse.Namespace) -> str:
+    from repro.shard.process import run_shard_server
+
+    rc = run_shard_server(args)
+    if rc != 0:
+        raise SystemExit(rc)
+    return f"shard {args.shard_id} exited cleanly"
+
+
 def _cmd_report(args: argparse.Namespace) -> str:
     from repro.experiments.campaign import CampaignResult
     from repro.experiments.report import campaign_report
@@ -989,6 +1079,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "resume": _cmd_resume,
         "worker": _cmd_worker,
         "shards": _cmd_shards,
+        "shard-server": _cmd_shard_server,
     }
     try:
         print(handlers[args.command](args))

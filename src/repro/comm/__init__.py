@@ -11,6 +11,7 @@ from repro.comm.protocol import (
     encode,
 )
 from repro.comm.service import CycleReport, PowerClient, PowerServer
+from repro.comm.shardlink import TcpShardLink
 from repro.comm.wire import (
     MAX_FRAME_BYTES,
     FrameAssembler,
@@ -33,6 +34,7 @@ __all__ = [
     "NetworkModel",
     "PowerClient",
     "PowerServer",
+    "TcpShardLink",
     "bind_listener",
     "decode",
     "encode",

@@ -128,6 +128,16 @@ class FrameAssembler:
         """Bytes buffered towards the next (incomplete) frame."""
         return len(self._buffer)
 
+    def reset(self) -> None:
+        """Discard any partially assembled frame.
+
+        Call on reconnect: a frame torn by a dead connection must not
+        prefix (and thereby corrupt) the first frame of the next
+        session, which arrives on a fresh stream with no relation to the
+        old one's framing.
+        """
+        self._buffer.clear()
+
     def feed(self, data: bytes) -> list[dict]:
         """Consume one fragment; returns all documents it completed.
 

@@ -238,6 +238,7 @@ class DistributedWorker:
         self.host = host
         self.port = int(self._listener.getsockname()[1])
         self._stop = threading.Event()
+        self._draining = threading.Event()
         self.jobs_done = 0
         self._jobs_seen = 0
 
@@ -254,6 +255,23 @@ class DistributedWorker:
         """Ask the serve loop (and any chaos hang) to exit promptly."""
         self._stop.set()
 
+    def drain(self) -> None:
+        """Graceful shutdown: finish in-flight jobs, decline new leases.
+
+        The SIGTERM/SIGINT half of worker lifecycle management: every
+        job frame that arrives after this point is refused with an
+        ``error`` document (the coordinator reclaims the lease and
+        requeues the job immediately — no lease has to expire), jobs
+        already running finish and report their results, and the serve
+        loop then exits cleanly so the process can exit 0.
+
+        Idempotent; safe to call from a signal handler (it only sets an
+        event).
+        """
+        if not self._draining.is_set():
+            self._draining.set()
+            self._say("draining: finishing in-flight jobs, declining new")
+
     def serve_in_background(self) -> threading.Thread:
         """Run :meth:`serve_forever` on a daemon thread (tests, demos)."""
         thread = threading.Thread(
@@ -269,6 +287,8 @@ class DistributedWorker:
         self._say("serving")
         try:
             while not self._stop.is_set():
+                if self._draining.is_set():
+                    break  # Between sessions with nothing in flight.
                 try:
                     conn, peer = self._listener.accept()
                 except TimeoutError:
@@ -335,6 +355,10 @@ class DistributedWorker:
                     active.remove(entry)
                     if not self._finish_job(conn, entry):
                         return False
+                if self._draining.is_set() and not active:
+                    # Drained dry: every in-flight job has reported, new
+                    # work is being declined — exit the process cleanly.
+                    return False
                 if active and time.monotonic() - last_beat >= heartbeat_s:
                     for entry in active:
                         send_doc(
@@ -386,6 +410,12 @@ class DistributedWorker:
             self._say(f"refusing job: {error}")
             send_doc(conn, {"type": "error", "digest": digest, "error": error})
 
+        if self._draining.is_set():
+            # The coordinator reclaims the lease on the error frame and
+            # requeues instantly — a draining worker never strands a job
+            # behind a lease timeout.
+            _refuse("worker draining")
+            return None
         if config is None:
             _refuse("job received before config")
             return None

@@ -120,6 +120,55 @@ class BudgetEnvelope:
         self.applied_w[units] = np.where(known, dispatched, applied)
 
     # ------------------------------------------------------------------
+    # Live membership (arbiter-level envelopes where one unit is one
+    # shard and the fleet can grow or shrink while running).
+    # ------------------------------------------------------------------
+
+    def append_unit(
+        self,
+        applied_w: float | None = None,
+        dispatched_w: float | None = None,
+        commanded_w: float | None = None,
+    ) -> int:
+        """Grow the ledger by one unit; returns the new unit's index.
+
+        Views default to the cold-start prior (``applied = max_cap_w``,
+        the others NaN).  An admission that *knows* the joining unit's
+        hardware state (the HELLO/ADMIT contract pins a joining shard at
+        its floor before it is counted) should pass that value so the
+        new unit is not booked at TDP.
+        """
+        self.n_units += 1
+        self.commanded_w = np.append(
+            self.commanded_w,
+            np.nan if commanded_w is None else float(commanded_w),
+        )
+        self.dispatched_w = np.append(
+            self.dispatched_w,
+            np.nan if dispatched_w is None else float(dispatched_w),
+        )
+        self.applied_w = np.append(
+            self.applied_w,
+            self.max_cap_w if applied_w is None else float(applied_w),
+        )
+        return self.n_units - 1
+
+    def remove_unit(self, index: int) -> None:
+        """Drop one unit from the ledger (a drained shard's budget is
+        reclaimed only after its final frozen summary — by then the unit
+        holds no power the envelope needs to account for)."""
+        if self.n_units <= 1:
+            raise ValueError("cannot remove the last unit")
+        if not 0 <= index < self.n_units:
+            raise ValueError(
+                f"unit index {index} out of range [0, {self.n_units})"
+            )
+        self.n_units -= 1
+        self.commanded_w = np.delete(self.commanded_w, index)
+        self.dispatched_w = np.delete(self.dispatched_w, index)
+        self.applied_w = np.delete(self.applied_w, index)
+
+    # ------------------------------------------------------------------
     # Committed-power accounting.
     # ------------------------------------------------------------------
 

@@ -29,17 +29,25 @@ from repro.shard.lease import (
 )
 from repro.shard.policy import Redistribution, redistribute
 from repro.shard.server import ShardServer
+from repro.shard.supervisor import (
+    ProcessShardSpec,
+    ShardProcess,
+    ShardSupervisor,
+)
 
 __all__ = [
     "ArbiterConfig",
     "ArbiterShard",
     "BudgetArbiter",
     "BudgetLease",
+    "ProcessShardSpec",
     "Redistribution",
     "ShardChaosSchedule",
     "ShardLink",
+    "ShardProcess",
     "ShardServer",
     "ShardSummary",
+    "ShardSupervisor",
     "ShardedResult",
     "redistribute",
     "run_sharded",

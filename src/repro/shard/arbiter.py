@@ -52,8 +52,21 @@ from repro.telemetry.log import (
 
 __all__ = ["ArbiterShard", "BudgetArbiter", "ArbiterCycleStats"]
 
-#: Schema version of the arbiter checkpoint payload.
-ARBITER_SNAPSHOT_VERSION = 1
+def _num(value: float) -> float | None:
+    """NaN-safe JSON scalar (NaN has no JSON encoding)."""
+    return float(value) if np.isfinite(value) else None
+
+
+def _denum(value: float | None) -> float:
+    return np.nan if value is None else float(value)
+
+
+#: Schema version of the arbiter checkpoint payload.  Version 2 keys
+#: shard state (including each shard's envelope views) by ``shard_id``
+#: so a restore tolerates membership changes between checkpoint and
+#: recovery; version 1 payloads (positional, fixed membership) are still
+#: accepted.
+ARBITER_SNAPSHOT_VERSION = 2
 
 
 class ArbiterShard(NamedTuple):
@@ -111,6 +124,27 @@ class _ShardRecord:
         self.sent: dict[int, float] = {}
         self.health = ClientHealth(config)
         self.last_summary: ShardSummary | None = None
+        #: True once :meth:`BudgetArbiter.drain` marked this shard as
+        #: leaving: it is treated as frozen (no grants, no reclaim) until
+        #: its final frozen summary arrives, at which point the record is
+        #: removed and its budget reclaimed.
+        self.draining = False
+
+
+class _PendingShard:
+    """A shard admitted but not yet a member (HELLO/ADMIT handshake).
+
+    The shard's hardware sits outside the budget boundary (racked but
+    capped at its floor, the admission contract) until the arbiter can
+    prove ``held + floor <= budget``; only then does it become a member
+    and receive grants.
+    """
+
+    def __init__(self, spec: ArbiterShard) -> None:
+        self.spec = spec
+        self.floor_w = spec.n_units * spec.min_cap_w
+        self.hello_seen = False
+        self.newest_summary: ShardSummary | None = None
 
 
 class BudgetArbiter:
@@ -184,6 +218,8 @@ class BudgetArbiter:
                 )
 
         res = resilience or ResilienceConfig()
+        self._resilience = res
+        self._pending: list[_PendingShard] = []
         self._records = [
             _ShardRecord(spec, initial[i], res)
             for i, spec in enumerate(shards)
@@ -230,6 +266,22 @@ class BudgetArbiter:
         )
 
     @property
+    def member_ids(self) -> tuple[int, ...]:
+        """Shard ids currently under arbitration (admitted, not reaped)."""
+        return tuple(r.spec.shard_id for r in self._records)
+
+    @property
+    def member_specs(self) -> tuple[ArbiterShard, ...]:
+        """Specs of the current members (for reconstructing the arbiter
+        after a crash when membership changed since construction)."""
+        return tuple(r.spec for r in self._records)
+
+    @property
+    def pending_ids(self) -> tuple[int, ...]:
+        """Shard ids admitted but still awaiting HELLO or headroom."""
+        return tuple(p.spec.shard_id for p in self._pending)
+
+    @property
     def shard_worst_case_w(self) -> float | None:
         """Global worst-case committed power of the last cycle (W)."""
         if self._last_stats is None:
@@ -244,13 +296,172 @@ class BudgetArbiter:
         return self._last_stats.steady_w
 
     # ------------------------------------------------------------------
+    # Live membership.
+    # ------------------------------------------------------------------
+
+    def admit(self, spec: ArbiterShard, now: float) -> None:
+        """Start the HELLO/ADMIT handshake for a joining shard.
+
+        The shard becomes *pending*: its link is polled each cycle for a
+        HELLO document (``{"type": "hello", "shard": id, ...}``, sent by
+        the shard when the arbiter's link connects).  Once the HELLO has
+        arrived *and* the proven held power plus the shard's floor fits
+        the budget, the shard becomes a member — its lease is carved by
+        the same :func:`redistribute` pass that shapes every other
+        lease, with its floor reserved from the policy budget while it
+        waits so live shards shrink to make room.
+
+        Admission contract: the joining shard runs capped at its floor
+        (``n_units * min_cap_w``) from before its HELLO until its first
+        grant — that is what lets the arbiter book it at the floor
+        instead of the pessimistic TDP prior.
+        """
+        taken = set(self.member_ids) | set(self.pending_ids)
+        if spec.shard_id in taken:
+            raise ValueError(f"shard {spec.shard_id} already known")
+        pending = _PendingShard(spec)
+        if float(self.floor_w.sum()) + pending.floor_w > self.budget_w:
+            raise ValueError(
+                f"budget {self.budget_w} W cannot cover shard "
+                f"{spec.shard_id}'s floor on top of existing floors"
+            )
+        self._pending.append(pending)
+
+    def drain(self, shard_id: int, now: float) -> None:
+        """Begin draining a member shard (idempotent).
+
+        The shard is marked draining — treated as frozen at its held
+        power, granted nothing — and its budget is reclaimed only when a
+        summary with ``final`` and ``frozen`` set arrives: the shard's
+        acknowledgement that its hardware is pinned at the frozen power.
+        Until then the watts stay booked, so a drain that never
+        completes can never fund a double-spend.
+        """
+        record = self._record_for(shard_id)
+        if record.draining:
+            return
+        active = sum(1 for r in self._records if not r.draining)
+        if active <= 1:
+            raise ValueError("cannot drain the last active shard")
+        record.draining = True
+        self.events.emit(
+            now,
+            "shard_draining",
+            node_id=shard_id,
+            detail=f"lease={record.lease_w:.1f}W held until final summary",
+        )
+
+    def _record_for(self, shard_id: int) -> _ShardRecord:
+        for record in self._records:
+            if record.spec.shard_id == shard_id:
+                return record
+        raise ValueError(f"unknown shard {shard_id}")
+
+    def _held(self) -> np.ndarray:
+        """Provable per-shard held power: the max of the last
+        acknowledged lease and any unacknowledged grant in flight."""
+        return np.where(
+            np.isfinite(self.envelope.dispatched_w),
+            np.maximum(self.envelope.applied_w, self.envelope.dispatched_w),
+            self.envelope.applied_w,
+        )
+
+    def _rebuild_bounds(self) -> None:
+        self.floor_w = np.asarray(
+            [r.spec.n_units * r.spec.min_cap_w for r in self._records],
+            dtype=np.float64,
+        )
+        self.ceiling_w = np.asarray(
+            [r.spec.n_units * r.spec.max_cap_w for r in self._records],
+            dtype=np.float64,
+        )
+
+    def _reap_drained(self, now: float) -> None:
+        """Remove draining members whose final frozen summary arrived."""
+        for i in reversed(range(len(self._records))):
+            record = self._records[i]
+            if not record.draining:
+                continue
+            summary = record.last_summary
+            if summary is None or not (summary.final and summary.frozen):
+                continue
+            if len(self._records) <= 1:
+                continue  # Never reap the last member.
+            reclaimed = float(self._held()[i])
+            self._records.pop(i)
+            self.envelope.remove_unit(i)
+            self._rebuild_bounds()
+            self.events.emit(
+                now,
+                "shard_drained",
+                node_id=record.spec.shard_id,
+                detail=(
+                    f"reclaimed={reclaimed:.1f}W after final frozen "
+                    f"summary at shard cycle {summary.cycle}"
+                ),
+            )
+
+    def _admit_pending(self, now: float) -> None:
+        """Poll pending shards for HELLOs; finalize those that fit."""
+        for pending in self._pending:
+            for doc in pending.spec.link.take_summaries():
+                kind = doc.get("type")
+                if kind == "hello":
+                    pending.hello_seen = True
+                elif kind == "summary":
+                    summary = ShardSummary.from_doc(doc)
+                    newest = pending.newest_summary
+                    if newest is None or summary.cycle >= newest.cycle:
+                        pending.newest_summary = summary
+        held_total = float(self._held().sum())
+        for pending in list(self._pending):
+            if not pending.hello_seen:
+                continue
+            fits = (
+                held_total + pending.floor_w
+                <= self.budget_w + self.config.budget_epsilon
+            )
+            if not fits:
+                continue
+            record = _ShardRecord(
+                pending.spec, pending.floor_w, self._resilience
+            )
+            record.last_summary = pending.newest_summary
+            self._records.append(record)
+            # The admission contract pins the joining shard at its floor
+            # before the HELLO, so the envelope books it there — not at
+            # the uncapped-hardware TDP prior.
+            self.envelope.append_unit(
+                applied_w=pending.floor_w, dispatched_w=pending.floor_w
+            )
+            self._rebuild_bounds()
+            self._pending.remove(pending)
+            held_total += pending.floor_w
+            self.events.emit(
+                now,
+                "shard_admitted",
+                node_id=pending.spec.shard_id,
+                detail=(
+                    f"units={pending.spec.n_units} "
+                    f"floor={pending.floor_w:.1f}W"
+                ),
+            )
+
+    # ------------------------------------------------------------------
     # The arbiter cycle.
     # ------------------------------------------------------------------
 
     def cycle_once(self, now: float) -> ArbiterCycleStats:
-        """Collect summaries, redistribute, grant, checkpoint, verify."""
+        """Collect summaries, reshape membership, redistribute, grant,
+        checkpoint, verify."""
         self.cycle += 1
         summaries = self._collect(now)
+        # Membership changes happen between collection and policy: a
+        # drained shard's final summary (just collected) releases its
+        # budget for this very cycle, and an admitted shard joins the
+        # redistribution that carves its first lease.
+        self._reap_drained(now)
+        self._admit_pending(now)
         dark = np.asarray(
             [r.health.quarantined for r in self._records], dtype=bool
         )
@@ -259,14 +470,14 @@ class BudgetArbiter:
         # shard's budget — the max of the last acknowledged lease and any
         # unacknowledged grant still in flight.  Dark shards enter the
         # policy frozen at this value: the arbiter reclaims nothing it
-        # cannot prove unused.
-        held = np.where(
-            np.isfinite(self.envelope.dispatched_w),
-            np.maximum(self.envelope.applied_w, self.envelope.dispatched_w),
-            self.envelope.applied_w,
+        # cannot prove unused.  Draining shards and members that have
+        # never reported are frozen the same way.
+        held = self._held()
+        frozen = dark | np.asarray(
+            [r.draining or r.last_summary is None for r in self._records],
+            dtype=bool,
         )
-        frozen = dark.copy()
-        lease_in = np.where(dark, held, self.leases_w)
+        lease_in = np.where(frozen, held, self.leases_w)
         committed = np.asarray(
             [
                 r.last_summary.committed_w
@@ -288,17 +499,43 @@ class BudgetArbiter:
             [r.spec.n_units for r in self._records], dtype=np.float64
         )
 
-        result = redistribute(
-            lease_w=lease_in,
-            committed_w=committed,
-            floor_w=self.floor_w,
-            ceiling_w=self.ceiling_w,
-            n_units=units,
-            priority=priority,
-            frozen=frozen,
-            budget_w=self.budget_w,
-            config=self.config,
+        # Floors of helloed-but-unadmitted shards are reserved from the
+        # policy budget, so live leases shrink toward making room; the
+        # guard still enforces the *full* budget — reservation shapes
+        # policy, never safety.  When the reservation is infeasible this
+        # cycle (every live lease already protected), fall back to the
+        # full budget and try again next cycle.
+        reserved_w = sum(
+            p.floor_w for p in self._pending if p.hello_seen
         )
+        result = None
+        if reserved_w > 0.0:
+            try:
+                result = redistribute(
+                    lease_w=lease_in,
+                    committed_w=committed,
+                    floor_w=self.floor_w,
+                    ceiling_w=self.ceiling_w,
+                    n_units=units,
+                    priority=priority,
+                    frozen=frozen,
+                    budget_w=self.budget_w - reserved_w,
+                    config=self.config,
+                )
+            except ValueError:
+                result = None
+        if result is None:
+            result = redistribute(
+                lease_w=lease_in,
+                committed_w=committed,
+                floor_w=self.floor_w,
+                ceiling_w=self.ceiling_w,
+                n_units=units,
+                priority=priority,
+                frozen=frozen,
+                budget_w=self.budget_w,
+                config=self.config,
+            )
         if result.reclaimed_w > self.config.budget_epsilon:
             self.events.emit(
                 now,
@@ -354,6 +591,9 @@ class BudgetArbiter:
         for i, record in enumerate(self._records):
             newest: ShardSummary | None = None
             for doc in record.spec.link.take_summaries():
+                if doc.get("type") != "summary":
+                    # E.g. the shard HELLO answering a TCP (re)connect.
+                    continue
                 summary = ShardSummary.from_doc(doc)
                 if newest is None or summary.cycle >= newest.cycle:
                     newest = summary
@@ -422,12 +662,14 @@ class BudgetArbiter:
         """Send renewals/new grants to every live shard.
 
         Dark shards get nothing: a grant to a shard that cannot
-        acknowledge it would only widen the in-flight window.  Every
-        *accepted* send is recorded in the dispatched view; a drop at a
-        just-partitioned link is not (it never reached the wire).
+        acknowledge it would only widen the in-flight window.  Draining
+        shards get nothing either — their budget is on its way out, not
+        up for renewal.  Every *accepted* send is recorded in the
+        dispatched view; a drop at a just-partitioned link is not (it
+        never reached the wire).
         """
         for i, record in enumerate(self._records):
-            if dark[i]:
+            if dark[i] or record.draining:
                 continue
             value = float(leases[i])
             changed = abs(value - record.lease_w) > 1e-9
@@ -478,7 +720,15 @@ class BudgetArbiter:
     # ------------------------------------------------------------------
 
     def snapshot(self) -> dict:
-        """JSON-able document of the arbiter's durable state."""
+        """JSON-able document of the arbiter's durable state.
+
+        Version 2: shard state — including each shard's slice of the
+        envelope's three views — is keyed by ``shard_id``, so a restore
+        after membership changed (a shard admitted or drained between
+        the checkpoint and the crash) still lands every surviving
+        shard's state where it belongs.
+        """
+        env = self.envelope
         return {
             "version": ARBITER_SNAPSHOT_VERSION,
             "cycle": self.cycle,
@@ -489,10 +739,13 @@ class BudgetArbiter:
                     "lease_w": r.lease_w,
                     "seq": r.seq,
                     "sent": {str(s): v for s, v in r.sent.items()},
+                    "draining": r.draining,
+                    "commanded": _num(env.commanded_w[i]),
+                    "dispatched": _num(env.dispatched_w[i]),
+                    "applied": _num(env.applied_w[i]),
                 }
-                for r in self._records
+                for i, r in enumerate(self._records)
             ],
-            "envelope": self.envelope.snapshot(),
         }
 
     def restore(self, state: dict) -> None:
@@ -503,30 +756,55 @@ class BudgetArbiter:
         while the restored envelope keeps the conservative held view —
         a shard that froze during the outage holds *less* than the
         checkpointed lease, never more.
+
+        Version 2 payloads are matched by ``shard_id`` and tolerate
+        membership drift: a member with no snapshot entry (admitted
+        after the checkpoint) keeps its constructed state, and snapshot
+        entries with no matching member (drained before the crash) are
+        dropped.  Version 1 payloads (positional) are still accepted and
+        require identical membership.
         """
-        if state.get("version") != ARBITER_SNAPSHOT_VERSION:
+        version = state.get("version")
+        if version not in (1, ARBITER_SNAPSHOT_VERSION):
             raise ValueError(
-                f"arbiter snapshot version {state.get('version')!r} != "
-                f"{ARBITER_SNAPSHOT_VERSION}"
+                f"arbiter snapshot version {version!r} not in "
+                f"(1, {ARBITER_SNAPSHOT_VERSION})"
             )
         docs = state["shards"]
-        if len(docs) != len(self._records):
-            raise ValueError(
-                f"snapshot holds {len(docs)} shards, arbiter has "
-                f"{len(self._records)}"
-            )
-        self.cycle = int(state["cycle"])
-        for record, doc in zip(self._records, docs):
-            if int(doc["shard_id"]) != record.spec.shard_id:
+        if version == 1:
+            if len(docs) != len(self._records):
                 raise ValueError(
-                    f"snapshot shard {doc['shard_id']} != "
-                    f"{record.spec.shard_id}"
+                    f"snapshot holds {len(docs)} shards, arbiter has "
+                    f"{len(self._records)}"
                 )
-            record.lease_w = float(doc["lease_w"])
-            record.seq = int(doc["seq"])
-            record.sent = {int(s): float(v) for s, v in doc["sent"].items()}
-            record.last_summary = None
-        self.envelope.restore(state["envelope"])
+            self.cycle = int(state["cycle"])
+            for record, doc in zip(self._records, docs):
+                if int(doc["shard_id"]) != record.spec.shard_id:
+                    raise ValueError(
+                        f"snapshot shard {doc['shard_id']} != "
+                        f"{record.spec.shard_id}"
+                    )
+                self._restore_record(record, doc)
+            self.envelope.restore(state["envelope"])
+            return
+        self.cycle = int(state["cycle"])
+        by_id = {int(doc["shard_id"]): doc for doc in docs}
+        for i, record in enumerate(self._records):
+            doc = by_id.get(record.spec.shard_id)
+            if doc is None:
+                continue  # Admitted after the checkpoint.
+            self._restore_record(record, doc)
+            self.envelope.commanded_w[i] = _denum(doc["commanded"])
+            self.envelope.dispatched_w[i] = _denum(doc["dispatched"])
+            self.envelope.applied_w[i] = _denum(doc["applied"])
+
+    @staticmethod
+    def _restore_record(record: _ShardRecord, doc: dict) -> None:
+        record.lease_w = float(doc["lease_w"])
+        record.seq = int(doc["seq"])
+        record.sent = {int(s): float(v) for s, v in doc["sent"].items()}
+        record.draining = bool(doc.get("draining", False))
+        record.last_summary = None
 
     def resume(self) -> bool:
         """Restore from the newest valid checkpoint, if any.

@@ -40,6 +40,7 @@ from typing import Callable, Mapping
 import numpy as np
 
 from repro.cluster.cluster import Cluster
+from repro.comm.shardlink import TcpShardLink
 from repro.core.managers import PowerManager
 from repro.deploy.client import DeployClient
 from repro.deploy.loopback import RecoveryOptions, _await_cap_application
@@ -55,7 +56,9 @@ from repro.resilience.health import ResilienceConfig
 from repro.safety import SafetyConfig
 from repro.shard.arbiter import ArbiterShard, BudgetArbiter
 from repro.shard.lease import ArbiterConfig, ShardLink
+from repro.shard.process import event_from_doc
 from repro.shard.server import ShardServer
+from repro.shard.supervisor import ProcessShardSpec, ShardSupervisor
 from repro.telemetry.log import LeaseTimeline, ResilienceEventLog
 
 __all__ = ["ShardChaosSchedule", "ShardedResult", "run_sharded"]
@@ -81,6 +84,12 @@ class ShardChaosSchedule:
         arbiter_restart_at: cycle at which a fresh arbiter resumes from
             the checkpoint store (required when ``arbiter_kill_at`` is
             set and the session continues past it).
+        admit_at: cycle at which one extra shard joins the fleet live
+            (process mode only — a new shard-server is spawned and
+            admitted through the HELLO/ADMIT handshake).
+        drain_at: shard id → cycle at which that shard is drained
+            gracefully (process mode only — SIGTERM; the arbiter
+            reclaims the lease only after the final frozen summary).
     """
 
     shard_kill_at: Mapping[int, int] = field(default_factory=dict)
@@ -89,8 +98,34 @@ class ShardChaosSchedule:
     heal_at: Mapping[int, int] = field(default_factory=dict)
     arbiter_kill_at: int | None = None
     arbiter_restart_at: int | None = None
+    admit_at: int | None = None
+    drain_at: Mapping[int, int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
+        for shard_id in self.drain_at:
+            if shard_id in self.shard_kill_at or shard_id in self.shard_hang_at:
+                raise ValueError(
+                    f"shard {shard_id} is both drained and killed/hung in "
+                    "one session"
+                )
+        if self.arbiter_kill_at is not None:
+            lo = self.arbiter_kill_at
+            hi = self.arbiter_restart_at
+
+            def in_outage(cycle: int) -> bool:
+                return cycle >= lo and (hi is None or cycle < hi)
+
+            if self.admit_at is not None and in_outage(self.admit_at):
+                raise ValueError(
+                    f"admit at cycle {self.admit_at} falls inside the "
+                    "arbiter outage"
+                )
+            for shard_id, cycle in self.drain_at.items():
+                if in_outage(cycle):
+                    raise ValueError(
+                        f"shard {shard_id} drains at cycle {cycle}, inside "
+                        "the arbiter outage"
+                    )
         for shard_id, cycle in self.heal_at.items():
             if (
                 shard_id in self.partition_at
@@ -145,6 +180,13 @@ class ShardedResult:
         checkpoint_dir: where shard and arbiter checkpoints live.
         cycle_wall_s: wall seconds of each lock-step control cycle
             (physics + every shard's cycle + any arbiter cycle).
+        mode: ``"thread"`` (in-process loopback links) or ``"process"``
+            (shard-server subprocesses behind real TCP links).
+        admitted: shard ids admitted live during the session.
+        drained: shard ids drained gracefully during the session.
+        drained_rcs: drained shard id → subprocess exit code (0 on a
+            clean SIGTERM drain).
+        link_reconnects: TCP shard-link re-establishments (process mode).
     """
 
     cycles: int
@@ -168,6 +210,11 @@ class ShardedResult:
     cycle_wall_s: np.ndarray = field(
         default_factory=lambda: np.zeros(0, dtype=np.float64)
     )
+    mode: str = "thread"
+    admitted: tuple[int, ...] = ()
+    drained: tuple[int, ...] = ()
+    drained_rcs: dict[int, int | None] = field(default_factory=dict)
+    link_reconnects: int = 0
 
 
 class _ShardWorker:
@@ -307,6 +354,8 @@ def run_sharded(
     invariant_mode: str = "strict",
     timeout_s: float = 5.0,
     rng: np.random.Generator | None = None,
+    mode: str = "thread",
+    manager_name: str | None = None,
 ) -> ShardedResult:
     """Run a sharded control-plane session over localhost TCP.
 
@@ -332,6 +381,13 @@ def run_sharded(
             (``"strict"`` raises — the chaos-test posture).
         timeout_s: per-shard deploy-server socket deadline.
         rng: manager randomness; child streams are spawned per shard.
+        mode: ``"thread"`` runs shards on worker threads with loopback
+            links (the default); ``"process"`` runs each shard as a
+            ``dps-repro shard-server`` subprocess behind a real TCP
+            link, supervised with OS signals.
+        manager_name: power-manager registry name, required in process
+            mode (the subprocess rebuilds the manager from its name;
+            ``manager_factory`` is not picklable across an exec).
 
     Returns:
         A :class:`ShardedResult`; every thread and socket is shut down
@@ -343,12 +399,36 @@ def run_sharded(
         raise ValueError(
             f"n_shards must be in [1, {cluster.spec.n_nodes}], got {n_shards}"
         )
+    if mode not in ("thread", "process"):
+        raise ValueError(f"mode must be 'thread' or 'process', got {mode!r}")
     cfg = config or ArbiterConfig()
     chaos = chaos or ShardChaosSchedule()
     recovery = recovery or RecoveryOptions(checkpoint_dir=checkpoint_dir)
     rng = rng if rng is not None else np.random.default_rng(0)
     root = Path(checkpoint_dir)
     _validate_chaos(chaos, n_shards)
+    if mode == "process":
+        if manager_name is None:
+            raise ValueError("mode='process' requires manager_name")
+        return _run_sharded_process(
+            cluster=cluster,
+            n_shards=n_shards,
+            manager_name=manager_name,
+            demand_fn=demand_fn,
+            cycles=cycles,
+            root=root,
+            dt_s=dt_s,
+            cfg=cfg,
+            chaos=chaos,
+            recovery=recovery,
+            invariant_mode=invariant_mode,
+            timeout_s=timeout_s,
+        )
+    if chaos.admit_at is not None or chaos.drain_at:
+        raise ValueError(
+            "admit/drain chaos needs real shard processes; run with "
+            "mode='process'"
+        )
 
     # Partition the nodes (and therefore the unit range) contiguously.
     n_nodes = cluster.spec.n_nodes
@@ -597,9 +677,358 @@ def _validate_chaos(chaos: ShardChaosSchedule, n_shards: int) -> None:
         ("shard_hang_at", chaos.shard_hang_at),
         ("partition_at", chaos.partition_at),
         ("heal_at", chaos.heal_at),
+        ("drain_at", chaos.drain_at),
     ):
         for shard_id in schedule:
             if not 0 <= shard_id < n_shards:
                 raise ValueError(
                     f"chaos {label} names unknown shard {shard_id}"
                 )
+
+
+def _run_sharded_process(
+    cluster: Cluster,
+    n_shards: int,
+    manager_name: str,
+    demand_fn: Callable[[int], np.ndarray],
+    cycles: int,
+    root: Path,
+    dt_s: float,
+    cfg: ArbiterConfig,
+    chaos: ShardChaosSchedule,
+    recovery: RecoveryOptions,
+    invariant_mode: str,
+    timeout_s: float,
+) -> ShardedResult:
+    """Process-mode session: shard-server subprocesses, real TCP links.
+
+    The parent hosts only the :class:`~repro.shard.arbiter.BudgetArbiter`
+    and the lock-step clock.  Each shard-server owns its slice of the
+    hardware as a private sub-cluster, so the ``cluster`` argument
+    contributes topology and the global budget, not live physics; the
+    per-unit power/caps histories are assembled from the shards' cycle
+    acknowledgements (NaN while a shard's process is down — a dead
+    process reports nothing, unlike a thread whose hardware the parent
+    can still read).
+    """
+    spec = cluster.spec
+    n_nodes = spec.n_nodes
+    bounds = [round(i * n_nodes / n_shards) for i in range(n_shards + 1)]
+    node_counts = [bounds[i + 1] - bounds[i] for i in range(n_shards)]
+    if any(count < 1 for count in node_counts):
+        raise ValueError(
+            f"{n_shards} shards leave some shard empty over {n_nodes} nodes"
+        )
+    units = np.asarray(
+        [count * spec.sockets_per_node for count in node_counts],
+        dtype=np.float64,
+    )
+    base_slices: list[slice] = []
+    cursor = 0
+    for width in units.astype(int):
+        base_slices.append(slice(cursor, cursor + int(width)))
+        cursor += int(width)
+    floor = units * spec.min_cap_w
+    ceiling = units * spec.tdp_w
+    initial = np.clip(
+        cluster.budget_w * units / float(units.sum()), floor, ceiling
+    )
+
+    harness_events = ResilienceEventLog()
+    shard_events = ResilienceEventLog()
+    timeline = LeaseTimeline()
+
+    def make_pspec(
+        shard_id: int, nodes: int, lease_w: float
+    ) -> ProcessShardSpec:
+        return ProcessShardSpec(
+            shard_id=shard_id,
+            n_nodes=nodes,
+            sockets_per_node=spec.sockets_per_node,
+            tdp_w=spec.tdp_w,
+            min_cap_w=spec.min_cap_w,
+            idle_power_w=spec.idle_power_w,
+            manager=manager_name,
+            lease_w=lease_w,
+            dt_s=dt_s,
+            seed=shard_id,
+            dir=root / f"shard-{shard_id}",
+            period_cycles=cfg.period_cycles,
+            lease_term_cycles=cfg.lease_term_cycles,
+            checkpoint_every=recovery.checkpoint_every,
+            keep_generations=recovery.keep_generations,
+        )
+
+    pspecs = [
+        make_pspec(i, node_counts[i], float(initial[i]))
+        for i in range(n_shards)
+    ]
+    supervisor = ShardSupervisor(
+        pspecs, recovery, events=harness_events, timeout_s=timeout_s
+    )
+    clock_now = {"now": 0.0}
+    links: dict[int, TcpShardLink] = {}
+    arb_specs: dict[int, ArbiterShard] = {}
+
+    def make_link(shard_id: int, consume_hello: bool = True) -> TcpShardLink:
+        proc = supervisor.fleet[shard_id]
+        assert proc.address is not None
+        link = TcpShardLink(
+            proc.address,
+            shard_id=shard_id,
+            seed=shard_id,
+            events=harness_events,
+            clock=lambda: clock_now["now"],
+        )
+        # Kick the dial now so the shard holds an arbiter connection
+        # before its first summary.  Member links also drain the shard's
+        # answering HELLO here, leaving the buffer empty so the
+        # pre-collection wait below latches onto the first real summary;
+        # an admitted shard's HELLO is left in place — the arbiter's
+        # admission path must see it.
+        link.take_summaries()
+        if consume_hello and link.wait_readable(2.0):
+            link.take_summaries()
+        return link
+
+    arbiter_store = CheckpointStore(
+        root / "arbiter", keep=recovery.keep_generations
+    )
+
+    def make_arbiter(
+        shard_specs: list[ArbiterShard], leases: np.ndarray | None
+    ) -> BudgetArbiter:
+        return BudgetArbiter(
+            budget_w=cluster.budget_w,
+            shards=shard_specs,
+            initial_leases_w=leases,
+            config=cfg,
+            events=harness_events,
+            timeline=timeline,
+            store=arbiter_store,
+            invariant_mode=invariant_mode,
+        )
+
+    power_history = np.full((cycles, cluster.n_units), np.nan)
+    caps_history = np.full((cycles, cluster.n_units), np.nan)
+    counters = {
+        "arbiter_restarts": 0,
+        "arbiter_cycles": 0,
+        "sweeps": 0,
+        "violations": 0,
+    }
+    last_stats = None
+    cycle_wall = np.zeros(cycles, dtype=np.float64)
+    admitted: list[int] = []
+    drained: list[int] = []
+    drained_rcs: dict[int, int | None] = {}
+    pending_drains: list[int] = []
+    saved_members: list[ArbiterShard] | None = None
+    next_shard_id = n_shards
+    arbiter: BudgetArbiter | None = None
+
+    supervisor.start()
+    try:
+        for i in range(n_shards):
+            links[i] = make_link(i)
+            arb_specs[i] = ArbiterShard(
+                shard_id=i,
+                link=links[i],
+                n_units=int(units[i]),
+                min_cap_w=spec.min_cap_w,
+                max_cap_w=spec.tdp_w,
+            )
+        arbiter = make_arbiter([arb_specs[i] for i in range(n_shards)], initial)
+
+        for step in range(cycles):
+            wall_t0 = time.perf_counter()
+            now = float(step)
+            clock_now["now"] = now
+            for shard_id, at in chaos.partition_at.items():
+                if at == step:
+                    links[shard_id].partition()
+                    harness_events.emit(
+                        now,
+                        "shard_partitioned",
+                        node_id=shard_id,
+                        detail="TCP link severed (dial suppressed)",
+                    )
+            for shard_id, at in chaos.heal_at.items():
+                if at == step:
+                    links[shard_id].heal()
+                    harness_events.emit(
+                        now, "shard_partition_healed", node_id=shard_id
+                    )
+            if chaos.arbiter_kill_at == step and arbiter is not None:
+                counters["arbiter_cycles"] += arbiter.cycle
+                counters["sweeps"] += arbiter.monitor.sweeps_run
+                counters["violations"] += len(arbiter.monitor.violations)
+                saved_members = list(arbiter.member_specs)
+                arbiter = None
+                harness_events.emit(
+                    now, "arbiter_killed", detail="injected kill"
+                )
+            if chaos.arbiter_restart_at == step and arbiter is None:
+                assert saved_members is not None
+                arbiter = make_arbiter(saved_members, None)
+                resumed = arbiter.resume()
+                counters["arbiter_restarts"] += 1
+                counters["arbiter_cycles"] -= arbiter.cycle
+                harness_events.emit(
+                    now,
+                    "arbiter_restarted",
+                    detail=f"resumed_from_checkpoint={resumed}",
+                )
+                # Re-admit live fleet members the snapshot predates.
+                for shard_id in sorted(supervisor.fleet):
+                    if (
+                        shard_id not in arbiter.member_ids
+                        and shard_id not in arbiter.pending_ids
+                        and shard_id in arb_specs
+                    ):
+                        arbiter.admit(arb_specs[shard_id], now)
+            if chaos.admit_at == step:
+                shard_id = next_shard_id
+                next_shard_id += 1
+                new_units = node_counts[0] * spec.sockets_per_node
+                pspec = make_pspec(
+                    shard_id,
+                    node_counts[0],
+                    float(new_units * spec.min_cap_w),
+                )
+                supervisor.admit(pspec)
+                links[shard_id] = make_link(shard_id, consume_hello=False)
+                arb_specs[shard_id] = ArbiterShard(
+                    shard_id=shard_id,
+                    link=links[shard_id],
+                    n_units=new_units,
+                    min_cap_w=spec.min_cap_w,
+                    max_cap_w=spec.tdp_w,
+                )
+                if arbiter is not None:
+                    arbiter.admit(arb_specs[shard_id], now)
+                admitted.append(shard_id)
+            for shard_id, at in chaos.drain_at.items():
+                if at == step:
+                    if arbiter is not None:
+                        arbiter.drain(shard_id, now)
+                    supervisor.begin_drain(shard_id)
+                    pending_drains.append(shard_id)
+
+            global_demand = np.asarray(demand_fn(step), dtype=np.float64)
+            fill = float(global_demand.mean()) if global_demand.size else 0.0
+            demands: dict[int, np.ndarray] = {}
+            for shard_id, proc in supervisor.fleet.items():
+                if shard_id in supervisor.draining:
+                    continue
+                if shard_id < n_shards:
+                    demands[shard_id] = global_demand[base_slices[shard_id]]
+                else:
+                    demands[shard_id] = np.full(proc.spec.n_units, fill)
+            kills = {
+                sid for sid, at in chaos.shard_kill_at.items() if at == step
+            }
+            hangs = {
+                sid for sid, at in chaos.shard_hang_at.items() if at == step
+            }
+            statuses = supervisor.command(step, demands, kills, hangs)
+            for shard_id, (status, ack) in sorted(statuses.items()):
+                if status == "crashed":
+                    harness_events.emit(
+                        now,
+                        "shard_killed",
+                        node_id=shard_id,
+                        detail="SIGKILL delivered",
+                    )
+                elif status == "hung":
+                    harness_events.emit(
+                        now,
+                        "shard_hung",
+                        node_id=shard_id,
+                        detail="silent past the ack deadline",
+                    )
+                elif status == "ok" and ack is not None:
+                    if shard_id < n_shards:
+                        sl = base_slices[shard_id]
+                        power_history[step, sl] = ack["power"]
+                        caps_history[step, sl] = ack["caps"]
+                    for doc in ack.get("events", ()):
+                        event = event_from_doc(doc)
+                        shard_events.emit(
+                            event.time_s,
+                            event.kind,
+                            unit=event.unit,
+                            node_id=event.node_id,
+                            detail=event.detail,
+                        )
+            for shard_id in pending_drains:
+                doc = supervisor.finish_drain(shard_id)
+                drained.append(shard_id)
+                drained_rcs[shard_id] = (
+                    doc.get("rc") if doc is not None else None
+                )
+                for event_doc in (doc or {}).get("events", ()):
+                    event = event_from_doc(event_doc)
+                    shard_events.emit(
+                        event.time_s,
+                        event.kind,
+                        unit=event.unit,
+                        node_id=event.node_id,
+                        detail=event.detail,
+                    )
+            pending_drains = []
+
+            if arbiter is not None and (step + 1) % cfg.period_cycles == 0:
+                # Shards sent their summaries before their acks, but on
+                # a different socket: wait for each live link's frame to
+                # land before collecting, so healthy shards are never
+                # spuriously quarantined by a scheduling race.
+                for shard_id, (status, _ack) in statuses.items():
+                    if status == "ok" and shard_id in links:
+                        links[shard_id].wait_readable(1.0)
+                last_stats = arbiter.cycle_once(now=now)
+            cycle_wall[step] = time.perf_counter() - wall_t0
+    finally:
+        supervisor.stop()
+        for link in links.values():
+            link.close()
+
+    if arbiter is not None:
+        counters["arbiter_cycles"] += arbiter.cycle
+        counters["sweeps"] += arbiter.monitor.sweeps_run
+        counters["violations"] += len(arbiter.monitor.violations)
+
+    events = ResilienceEventLog()
+    events.extend(harness_events)
+    events.extend(shard_events)
+
+    return ShardedResult(
+        cycles=cycles,
+        n_shards=n_shards,
+        budget_w=cluster.budget_w,
+        events=events,
+        timeline=timeline,
+        leases_w=(
+            arbiter.leases_w
+            if arbiter is not None
+            else np.full(n_shards, np.nan)
+        ),
+        power_history=power_history,
+        caps_history=caps_history,
+        shard_restarts=[supervisor.restarts.get(i, 0) for i in range(n_shards)],
+        failed_shards=tuple(sorted(supervisor.failed)),
+        arbiter_restarts=counters["arbiter_restarts"],
+        arbiter_cycles=counters["arbiter_cycles"],
+        invariant_sweeps=counters["sweeps"],
+        invariant_violations=counters["violations"],
+        worst_case_w=last_stats.worst_case_w if last_stats else None,
+        steady_w=last_stats.steady_w if last_stats else None,
+        bytes_links=sum(link.bytes_total for link in links.values()),
+        checkpoint_dir=root,
+        cycle_wall_s=cycle_wall,
+        mode="process",
+        admitted=tuple(admitted),
+        drained=tuple(drained),
+        drained_rcs=drained_rcs,
+        link_reconnects=sum(link.reconnects for link in links.values()),
+    )

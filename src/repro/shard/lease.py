@@ -139,6 +139,11 @@ class ShardSummary:
         n_units: power-capping units the shard owns.
         frozen: True while the shard has frozen itself after a lease
             expiry.
+        final: True on the last summary of a draining shard — the
+            arbiter reclaims the shard's budget only once a summary with
+            both ``final`` and ``frozen`` set has arrived (the shard's
+            acknowledgement that its hardware is pinned at the frozen
+            power and will never rise again).
     """
 
     shard_id: int
@@ -151,6 +156,7 @@ class ShardSummary:
     high_priority: bool
     n_units: int
     frozen: bool
+    final: bool = False
 
     def to_doc(self) -> dict:
         return {
@@ -165,6 +171,7 @@ class ShardSummary:
             "high_priority": self.high_priority,
             "n_units": self.n_units,
             "frozen": self.frozen,
+            "final": self.final,
         }
 
     @classmethod
@@ -184,6 +191,7 @@ class ShardSummary:
             high_priority=bool(doc["high_priority"]),
             n_units=int(doc["n_units"]),
             frozen=bool(doc["frozen"]),
+            final=bool(doc.get("final", False)),
         )
 
 
@@ -246,13 +254,19 @@ class ShardLink:
         return True
 
     def take_summaries(self) -> list[dict]:
-        """Drain and decode every summary frame queued toward the arbiter."""
+        """Drain and decode every summary frame queued toward the arbiter.
+
+        Frames are drained under the lock but decoded outside it: a
+        malformed frame raising from the assembler must never leave the
+        lock held in a way that wedges senders, and decode work (JSON
+        parsing) must not serialize against ``send_*`` on other threads.
+        """
         with self._lock:
             frames = self._to_arbiter
             self._to_arbiter = []
-            docs: list[dict] = []
-            for frame in frames:
-                docs.extend(self._arbiter_assembler.feed(frame))
+        docs: list[dict] = []
+        for frame in frames:
+            docs.extend(self._arbiter_assembler.feed(frame))
         return docs
 
     # -- shard edge -----------------------------------------------------
@@ -271,11 +285,15 @@ class ShardLink:
         return True
 
     def take_grants(self) -> list[dict]:
-        """Drain and decode every grant frame queued toward the shard."""
+        """Drain and decode every grant frame queued toward the shard.
+
+        Same locking discipline as :meth:`take_summaries`: drain under
+        the lock, decode outside it.
+        """
         with self._lock:
             frames = self._to_shard
             self._to_shard = []
-            docs: list[dict] = []
-            for frame in frames:
-                docs.extend(self._shard_assembler.feed(frame))
+        docs: list[dict] = []
+        for frame in frames:
+            docs.extend(self._shard_assembler.feed(frame))
         return docs

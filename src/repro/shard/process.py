@@ -1,0 +1,499 @@
+"""Standalone shard-server process: ``dps-repro shard-server``.
+
+:class:`ShardHost` is one shard of the control plane packaged as its own
+OS process.  It owns a private sub-cluster (the shard's slice of the
+simulated hardware), a full crash-recoverable stack —
+:class:`~repro.recovery.controller.RecoverableController` + journal +
+checkpoints under ``--dir`` — and a :class:`~repro.shard.server.
+ShardServer` with its deploy server and node-agent clients, exactly the
+stack a thread-mode shard runs in :mod:`repro.shard.harness`.
+
+The host listens on one TCP port (kernel-chosen with ``--port 0``; the
+bound address is published atomically through ``--port-file``) and
+classifies each inbound connection by its first document:
+
+* ``{"type": "hello", "role": "clock"}`` — the supervisor's lock-step
+  clock.  It ships ``cycle`` documents carrying the per-unit demand
+  slice and receives ``cycle_ack`` documents carrying the shard's true
+  powers, hardware caps, and the structured events of the cycle.
+* ``{"type": "hello", "role": "arbiter"}`` — a
+  :class:`~repro.comm.shardlink.TcpShardLink` dialed by the
+  :class:`~repro.shard.arbiter.BudgetArbiter`.  The host answers with
+  its own shard HELLO (the admission handshake) and thereafter the
+  connection carries grants in and summaries out.
+
+Chaos enters through the same port: a ``hang`` document makes the host
+go silent (the supervisor's ack deadline detects it and SIGKILLs the
+process), SIGKILL needs no cooperation, and SIGTERM triggers the
+graceful drain — checkpoint, freeze at the last confirmed committed
+power, one final ``final=True`` summary to the arbiter, a ``drained``
+document to the clock, exit 0.  ``--resume`` restarts the host from its
+checkpoint store and persisted cluster state, the process-mode analog
+of a supervised warm restart.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import select
+import signal
+import socket
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.comm.net import bind_listener
+from repro.comm.wire import FrameAssembler, FrameError, encode_frame
+from repro.core.config import ClusterSpec, RaplConfig
+from repro.core.managers import available_managers, create_manager
+from repro.deploy.client import DeployClient
+from repro.deploy.loopback import _await_cap_application
+from repro.recovery.checkpoint import CheckpointStore, CycleJournal
+from repro.recovery.controller import RecoverableController
+from repro.shard.lease import ArbiterConfig
+from repro.shard.server import ShardServer
+from repro.telemetry.log import ResilienceEvent, ResilienceEventLog
+
+__all__ = ["ShardHost", "add_shard_server_args", "run_shard_server"]
+
+#: Select poll interval — bounds signal-handling latency.
+_POLL_S = 0.05
+
+
+def event_to_doc(event: ResilienceEvent) -> dict:
+    """Serialize one structured event for a cycle acknowledgement."""
+    return {
+        "time_s": event.time_s,
+        "kind": event.kind,
+        "unit": event.unit,
+        "node_id": event.node_id,
+        "detail": event.detail,
+    }
+
+
+def event_from_doc(doc: dict) -> ResilienceEvent:
+    """Rebuild a shard-local event shipped through a cycle ack."""
+    return ResilienceEvent(
+        time_s=float(doc["time_s"]),
+        kind=str(doc["kind"]),
+        unit=doc.get("unit"),
+        node_id=doc.get("node_id"),
+        detail=str(doc.get("detail", "")),
+    )
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(text, encoding="utf-8")
+    os.replace(tmp, path)
+
+
+class _HostLink:
+    """The shard edge of the lease channel, backed by the arbiter conn.
+
+    Grants parsed off the arbiter connection land in :attr:`inbox`; the
+    shard's summaries are framed straight onto the same connection.  The
+    object outlives any one TCP session — the host swaps the underlying
+    socket on every (re)connect while the :class:`ShardServer` keeps one
+    stable link reference.
+    """
+
+    def __init__(self, host: "ShardHost") -> None:
+        self._host = host
+        self.inbox: list[dict] = []
+        self.bytes_total = 0
+
+    def take_grants(self) -> list[dict]:
+        docs, self.inbox = self.inbox, []
+        return docs
+
+    def send_summary(self, doc: dict) -> bool:
+        return self._host.send_to_arbiter(doc)
+
+
+class ShardHost:
+    """One shard of the control plane, hosted behind a TCP listener."""
+
+    def __init__(self, args: argparse.Namespace) -> None:
+        self.shard_id = int(args.shard_id)
+        self.dir = Path(args.dir)
+        self.dir.mkdir(parents=True, exist_ok=True)
+        self.dt_s = float(args.dt)
+        self.config = ArbiterConfig(
+            period_cycles=args.period_cycles,
+            lease_term_cycles=args.lease_term_cycles,
+        )
+        spec = ClusterSpec(
+            n_nodes=args.nodes,
+            sockets_per_node=args.sockets_per_node,
+            tdp_w=args.tdp,
+            min_cap_w=args.min_cap,
+            idle_power_w=args.idle_power,
+        )
+        self.cluster = Cluster(
+            spec,
+            RaplConfig(noise_std_w=args.noise_std),
+            rng=np.random.default_rng(args.seed),
+        )
+        floor = self.cluster.n_units * spec.min_cap_w
+        ceiling = self.cluster.n_units * spec.tdp_w
+        lease_w = float(np.clip(args.lease, floor, ceiling))
+
+        manager = create_manager(args.manager)
+        manager.bind(
+            n_units=self.cluster.n_units,
+            budget_w=lease_w,
+            max_cap_w=spec.tdp_w,
+            min_cap_w=spec.min_cap_w,
+            dt_s=self.dt_s,
+            rng=np.random.default_rng(args.seed + 1),
+        )
+        self.controller = RecoverableController(
+            manager,
+            store=CheckpointStore(self.dir, keep=args.keep_generations),
+            journal=CycleJournal(self.dir / "journal.log"),
+            checkpoint_every=args.checkpoint_every,
+        )
+        self.link = _HostLink(self)
+        self.shard = ShardServer(
+            shard_id=self.shard_id,
+            controller=self.controller,
+            link=self.link,
+            config=self.config,
+            events=ResilienceEventLog(),
+        )
+        self.state_path = self.dir / "cluster.json"
+        if args.resume:
+            self._resume()
+
+        self._listener: socket.socket | None = None
+        self._clock: socket.socket | None = None
+        self._arbiter: socket.socket | None = None
+        self._assemblers: dict[socket.socket, FrameAssembler] = {}
+        self._unassigned: list[socket.socket] = []
+        self._events_sent = 0
+        self._step = -1
+        self._terminate = False
+        self._clients: list[DeployClient] = []
+
+    # -- lifecycle ------------------------------------------------------
+
+    def _resume(self) -> None:
+        """Warm-restart: checkpointed controller + persisted hardware."""
+        if self.state_path.exists():
+            state = json.loads(self.state_path.read_text(encoding="utf-8"))
+            self._step = int(state["step"])
+            self.cluster.restore(state["cluster"])
+        if self.controller.resume():
+            self.shard.resume_lease_state()
+        # Meters re-anchor so the first post-restart reading is sane.
+        self.cluster.rebaseline_meters()
+
+    def _install_signals(self) -> None:
+        def _on_term(signum: int, frame: object) -> None:
+            self._terminate = True
+
+        signal.signal(signal.SIGTERM, _on_term)
+        signal.signal(signal.SIGINT, _on_term)
+
+    def _start_stack(self, timeout_s: float) -> None:
+        server = self.shard.start(timeout_s=timeout_s)
+        for node in self.cluster.nodes:
+            client = DeployClient(node, server.address, dt_s=self.dt_s)
+            client.start()
+            self._clients.append(client)
+        server.accept_clients(len(self._clients))
+
+    def _stop_stack(self) -> None:
+        self.shard.stop()
+        for client in self._clients:
+            try:
+                client.join()
+            except RuntimeError:
+                pass
+        self._clients = []
+
+    # -- connection plumbing -------------------------------------------
+
+    def _publish_port(self, port_file: str | None) -> None:
+        assert self._listener is not None
+        host, port = self._listener.getsockname()[:2]
+        if port_file:
+            _atomic_write(Path(port_file), f"{host}:{port}\n")
+
+    def _accept(self) -> None:
+        assert self._listener is not None
+        conn, _ = self._listener.accept()
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        conn.setblocking(False)
+        self._assemblers[conn] = FrameAssembler()
+        self._unassigned.append(conn)
+
+    def _drop(self, conn: socket.socket) -> None:
+        self._assemblers.pop(conn, None)
+        if conn in self._unassigned:
+            self._unassigned.remove(conn)
+        if conn is self._clock:
+            self._clock = None
+        if conn is self._arbiter:
+            self._arbiter = None
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+    def _assign_role(self, conn: socket.socket, doc: dict) -> None:
+        role = doc.get("role")
+        if conn in self._unassigned:
+            self._unassigned.remove(conn)
+        if role == "clock":
+            if self._clock is not None:
+                self._drop(self._clock)
+            self._clock = conn
+        elif role == "arbiter":
+            if self._arbiter is not None:
+                self._drop(self._arbiter)
+            self._arbiter = conn
+            # The admission handshake: identify ourselves so a pending
+            # arbiter-side admit() can carve our lease.
+            self._send(
+                conn,
+                {
+                    "type": "hello",
+                    "shard": self.shard_id,
+                    "n_units": self.cluster.n_units,
+                    "min_cap_w": self.cluster.spec.min_cap_w,
+                    "max_cap_w": self.cluster.spec.tdp_w,
+                },
+            )
+        else:
+            self._drop(conn)
+
+    def _send(self, conn: socket.socket, doc: dict) -> bool:
+        frame = encode_frame(doc)
+        try:
+            conn.settimeout(2.0)
+            conn.sendall(frame)
+            return True
+        except OSError:
+            self._drop(conn)
+            return False
+        finally:
+            try:
+                conn.setblocking(False)
+            except OSError:
+                pass
+
+    def send_to_arbiter(self, doc: dict) -> bool:
+        if self._arbiter is None:
+            return False
+        return self._send(self._arbiter, doc)
+
+    def _recv_docs(self, conn: socket.socket) -> list[dict] | None:
+        """Drain one readable connection; None means it died."""
+        assembler = self._assemblers.get(conn)
+        if assembler is None:
+            return None
+        chunks: list[bytes] = []
+        closed = False
+        while True:
+            try:
+                data = conn.recv(65536)
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:
+                closed = True
+                break
+            if not data:
+                closed = True
+                break
+            chunks.append(data)
+        docs: list[dict] = []
+        for data in chunks:
+            try:
+                docs.extend(assembler.feed(data))
+            except FrameError:
+                closed = True
+                break
+        if closed:
+            self._drop(conn)
+            return docs if docs else None
+        return docs
+
+    # -- the control cycle ---------------------------------------------
+
+    def _drain_events(self) -> list[dict]:
+        events = list(self.shard.events)
+        fresh = events[self._events_sent :]
+        self._events_sent = len(events)
+        return [event_to_doc(e) for e in fresh]
+
+    def _persist(self) -> None:
+        _atomic_write(
+            self.state_path,
+            json.dumps(
+                {"step": self._step, "cluster": self.cluster.snapshot()}
+            ),
+        )
+
+    def _run_cycle(self, doc: dict) -> dict:
+        step = int(doc["step"])
+        demand = np.asarray(doc["demand"], dtype=np.float64)
+        self.cluster.step_physics(demand, self.dt_s)
+        server = self.shard.server
+        assert server is not None
+        clients_by_id = {c.node.node_id: c for c in self._clients}
+        served_before = {
+            nid: c.cycles_served for nid, c in clients_by_id.items()
+        }
+        self.shard.run_cycle(now=float(step))
+        _await_cap_application(server, clients_by_id, served_before)
+        if (step + 1) % self.config.period_cycles == 0:
+            self.shard.summarize(cycle=step)
+        self._step = step
+        self._persist()
+        return {
+            "type": "cycle_ack",
+            "step": step,
+            "status": "ok",
+            "power": self.cluster.true_power_w().tolist(),
+            "caps": self.cluster.caps_w().tolist(),
+            "events": self._drain_events(),
+        }
+
+    def _drain_and_exit(self) -> int:
+        """SIGTERM path: freeze, final summary, notify the clock."""
+        now = float(self._step + 1)
+        self.shard.drain(now)
+        self._persist()
+        if self._clock is not None:
+            self._send(
+                self._clock,
+                {
+                    "type": "drained",
+                    "step": self._step,
+                    "events": self._drain_events(),
+                },
+            )
+        self._stop_stack()
+        return 0
+
+    def _hang_forever(self) -> None:
+        """Injected hang: stop answering everyone until SIGKILL."""
+        while True:  # pragma: no cover - exits only by SIGKILL
+            time.sleep(0.1)
+
+    # -- main loop ------------------------------------------------------
+
+    def serve(self, port: int, port_file: str | None, timeout_s: float) -> int:
+        self._install_signals()
+        self._listener = bind_listener("127.0.0.1", port)
+        self._listener.setblocking(False)
+        self._publish_port(port_file)
+        self._start_stack(timeout_s)
+        try:
+            while True:
+                if self._terminate:
+                    return self._drain_and_exit()
+                conns = [c for c in self._assemblers]
+                readable, _, _ = select.select(
+                    [self._listener] + conns, [], [], _POLL_S
+                )
+                for sock in readable:
+                    if sock is self._listener:
+                        self._accept()
+                        continue
+                    docs = self._recv_docs(sock)
+                    if docs is None:
+                        continue
+                    for doc in docs:
+                        verdict = self._handle(sock, doc)
+                        if verdict == "stop":
+                            return 0
+                        if verdict == "hang":
+                            self._hang_forever()
+        finally:
+            self._stop_stack()
+            if self._listener is not None:
+                try:
+                    self._listener.close()
+                except OSError:
+                    pass
+
+    def _handle(self, conn: socket.socket, doc: dict) -> str | None:
+        kind = doc.get("type")
+        if kind == "hello" and conn in self._unassigned:
+            self._assign_role(conn, doc)
+            return None
+        if conn is self._arbiter:
+            if kind == "grant":
+                self.link.inbox.append(doc)
+            return None
+        if conn is self._clock:
+            if kind == "cycle":
+                ack = self._run_cycle(doc)
+                self._send(conn, ack)
+                return None
+            if kind == "hang":
+                return "hang"
+            if kind == "stop":
+                return "stop"
+        return None
+
+
+def add_shard_server_args(parser: argparse.ArgumentParser) -> None:
+    """CLI surface of ``dps-repro shard-server``."""
+    parser.add_argument("--shard-id", type=int, required=True)
+    parser.add_argument(
+        "--nodes", type=int, required=True, help="nodes in this shard's slice"
+    )
+    parser.add_argument("--sockets-per-node", type=int, default=2)
+    parser.add_argument("--tdp", type=float, default=165.0)
+    parser.add_argument("--min-cap", type=float, default=30.0)
+    parser.add_argument("--idle-power", type=float, default=12.0)
+    parser.add_argument("--noise-std", type=float, default=0.0)
+    parser.add_argument(
+        "--manager", default="dps", help="power manager for this shard"
+    )
+    parser.add_argument(
+        "--lease", type=float, required=True, help="initial lease (W)"
+    )
+    parser.add_argument("--dt", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--period-cycles", type=int, default=2)
+    parser.add_argument("--lease-term-cycles", type=int, default=2)
+    parser.add_argument("--checkpoint-every", type=int, default=2)
+    parser.add_argument("--keep-generations", type=int, default=3)
+    parser.add_argument(
+        "--dir", required=True, help="checkpoint/journal/state directory"
+    )
+    parser.add_argument(
+        "--port", type=int, default=0, help="listener port (0 = kernel)"
+    )
+    parser.add_argument(
+        "--port-file", default=None, help="publish host:port here atomically"
+    )
+    parser.add_argument("--timeout", type=float, default=5.0)
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="warm-restart from the checkpoint store and persisted cluster",
+    )
+
+
+def run_shard_server(args: argparse.Namespace) -> int:
+    """Entry point behind ``dps-repro shard-server``."""
+    if args.manager not in available_managers():
+        print(
+            f"unknown manager {args.manager!r}; one of "
+            f"{', '.join(available_managers())}",
+            file=sys.stderr,
+        )
+        return 2
+    host = ShardHost(args)
+    return host.serve(args.port, args.port_file, args.timeout)

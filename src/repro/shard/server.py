@@ -192,15 +192,6 @@ class ShardServer:
 
     def _expire_lease(self, now: float) -> None:
         """Freeze at the last confirmed committed power (floor-clipped)."""
-        committed = self._steady_committed_w()
-        frozen_w = float(
-            np.clip(
-                committed if np.isfinite(committed) else self.lease_w,
-                self.floor_w,
-                self.lease_w,
-            )
-        )
-        self.frozen = True
         self.events.emit(
             now,
             "shard_lease_expired",
@@ -210,6 +201,18 @@ class ShardServer:
                 f"term={self.config.lease_term_cycles}"
             ),
         )
+        self._freeze(now)
+
+    def _freeze(self, now: float) -> None:
+        committed = self._steady_committed_w()
+        frozen_w = float(
+            np.clip(
+                committed if np.isfinite(committed) else self.lease_w,
+                self.floor_w,
+                self.lease_w,
+            )
+        )
+        self.frozen = True
         self._apply_budget(frozen_w)
         self.events.emit(
             now,
@@ -217,6 +220,30 @@ class ShardServer:
             node_id=self.shard_id,
             detail=f"held at {frozen_w:.1f}W of {self.lease_w:.1f}W lease",
         )
+
+    def drain(self, now: float) -> bool:
+        """Graceful shutdown: checkpoint, freeze, send the final summary.
+
+        The SIGTERM half of the drain protocol: the shard checkpoints
+        its controller, pins its budget at the last confirmed committed
+        power (so its hardware can never rise again), and reports one
+        last summary with ``final=True`` — the acknowledgement the
+        arbiter's :meth:`~repro.shard.arbiter.BudgetArbiter.drain` waits
+        for before reclaiming the lease.
+
+        Returns:
+            True when the final summary was accepted by the link.
+        """
+        self.events.emit(
+            now,
+            "shard_draining",
+            node_id=self.shard_id,
+            detail="graceful drain requested",
+        )
+        self.controller.checkpoint()
+        if not self.frozen:
+            self._freeze(now)
+        return self.summarize(cycle=int(now), final=True)
 
     # ------------------------------------------------------------------
     # The control cycle and the summary.
@@ -276,8 +303,13 @@ class ShardServer:
         budget = float(self.controller.budget_w)
         return bool(np.isfinite(steady) and steady >= 0.85 * budget)
 
-    def summarize(self, cycle: int) -> bool:
+    def summarize(self, cycle: int, final: bool = False) -> bool:
         """Build and send this cycle's summary to the arbiter.
+
+        Args:
+            cycle: the shard control cycle the summary describes.
+            final: True on a drain's last summary (the shard's frozen
+                state will never change again).
 
         Returns:
             True when the summary was accepted by the link (False under
@@ -296,5 +328,6 @@ class ShardServer:
             high_priority=self._high_priority(),
             n_units=self.n_units,
             frozen=self.frozen,
+            final=final,
         )
         return self.link.send_summary(summary.to_doc())

@@ -1,0 +1,520 @@
+"""Subprocess fleet management for process-mode sharded sessions.
+
+:class:`ShardSupervisor` is the OS-process analog of the thread-per-
+shard :class:`~repro.recovery.supervisor.Supervisor` loop in
+:mod:`repro.shard.harness`: it spawns each shard as a real
+``dps-repro shard-server`` subprocess (``python -m repro shard-server``),
+drives the fleet in lock step over per-shard TCP clock connections, and
+applies the chaos plan with the operating system's own weapons —
+``SIGKILL`` for a crash, an injected silent hang detected by the ack
+deadline, ``SIGTERM`` for a graceful drain, and a checkpoint ``--resume``
+respawn for the warm restart.
+
+Respawns pin the port the shard first learned from the kernel so the
+arbiter's :class:`~repro.comm.shardlink.TcpShardLink` can keep dialing
+one stable address across restarts; the listener's ``SO_REUSEADDR``
+bind-retry loop absorbs the TIME_WAIT window.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+import repro
+from repro.comm.wire import FrameAssembler, FrameError, encode_frame
+from repro.deploy.loopback import RecoveryOptions
+from repro.telemetry.log import ResilienceEventLog
+
+__all__ = ["ProcessShardSpec", "ShardProcess", "ShardSupervisor"]
+
+#: Seconds a fresh subprocess gets to publish its port file.
+_SPAWN_TIMEOUT_S = 30.0
+
+
+@dataclass(frozen=True)
+class ProcessShardSpec:
+    """Launch description of one shard-server subprocess.
+
+    Attributes:
+        shard_id: the shard's index (stable across restarts).
+        n_nodes / sockets_per_node: the shard's private sub-cluster.
+        tdp_w / min_cap_w / idle_power_w: per-unit hardware envelope.
+        manager: power-manager registry name for the shard.
+        lease_w: the initial lease the shard is constructed holding.
+        dt_s: control period.
+        seed: sub-cluster / manager randomness seed.
+        dir: the shard's checkpoint/journal/state directory.
+        noise_std_w: RAPL measurement-noise sigma (0 for drills).
+        period_cycles / lease_term_cycles: lease protocol knobs.
+        checkpoint_every / keep_generations: recovery knobs.
+    """
+
+    shard_id: int
+    n_nodes: int
+    sockets_per_node: int
+    tdp_w: float
+    min_cap_w: float
+    idle_power_w: float
+    manager: str
+    lease_w: float
+    dt_s: float
+    seed: int
+    dir: Path
+    noise_std_w: float = 0.0
+    period_cycles: int = 2
+    lease_term_cycles: int = 2
+    checkpoint_every: int = 2
+    keep_generations: int = 3
+
+    @property
+    def n_units(self) -> int:
+        return self.n_nodes * self.sockets_per_node
+
+
+class ShardProcess:
+    """Handle on one shard-server subprocess and its clock connection."""
+
+    def __init__(self, spec: ProcessShardSpec, timeout_s: float = 5.0) -> None:
+        self.spec = spec
+        self.timeout_s = timeout_s
+        self.proc: subprocess.Popen | None = None
+        self.address: tuple[str, int] | None = None
+        self._clock: socket.socket | None = None
+        self._assembler = FrameAssembler()
+        self._log_path = spec.dir / f"shard-{spec.shard_id}.log"
+        self._port_file = spec.dir / "port"
+
+    # -- spawning -------------------------------------------------------
+
+    def _command(self, resume: bool) -> list[str]:
+        spec = self.spec
+        # Respawns pin the originally learned port so the arbiter link's
+        # dial address survives the restart.
+        port = self.address[1] if self.address is not None else 0
+        cmd = [
+            sys.executable,
+            "-m",
+            "repro",
+            "shard-server",
+            "--shard-id", str(spec.shard_id),
+            "--nodes", str(spec.n_nodes),
+            "--sockets-per-node", str(spec.sockets_per_node),
+            "--tdp", str(spec.tdp_w),
+            "--min-cap", str(spec.min_cap_w),
+            "--idle-power", str(spec.idle_power_w),
+            "--noise-std", str(spec.noise_std_w),
+            "--manager", spec.manager,
+            "--lease", str(spec.lease_w),
+            "--dt", str(spec.dt_s),
+            "--seed", str(spec.seed),
+            "--period-cycles", str(spec.period_cycles),
+            "--lease-term-cycles", str(spec.lease_term_cycles),
+            "--checkpoint-every", str(spec.checkpoint_every),
+            "--keep-generations", str(spec.keep_generations),
+            "--dir", str(spec.dir),
+            "--port", str(port),
+            "--port-file", str(self._port_file),
+            "--timeout", str(self.timeout_s),
+        ]
+        if resume:
+            cmd.append("--resume")
+        return cmd
+
+    def launch(self, resume: bool = False) -> None:
+        """Start the subprocess without waiting for it to come up.
+
+        Pair with :meth:`complete`; :meth:`spawn` does both.  Splitting
+        the two lets a supervisor overlap the interpreter start-up of a
+        whole fleet instead of paying it serially per shard.
+        """
+        self.close_clock()
+        self.spec.dir.mkdir(parents=True, exist_ok=True)
+        if self._port_file.exists():
+            self._port_file.unlink()
+        env = dict(os.environ)
+        src_root = str(Path(repro.__file__).resolve().parents[1])
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src_root if not existing else f"{src_root}{os.pathsep}{existing}"
+        )
+        log = open(self._log_path, "ab")
+        try:
+            self.proc = subprocess.Popen(
+                self._command(resume), stdout=log, stderr=log, env=env
+            )
+        finally:
+            log.close()
+
+    def complete(self) -> None:
+        """Wait for the launched subprocess's port and dial its clock."""
+        self.address = self._await_port()
+        self._connect_clock()
+
+    def spawn(self, resume: bool = False) -> None:
+        """Launch (or relaunch) the subprocess and dial its clock port."""
+        self.launch(resume)
+        self.complete()
+
+    def _await_port(self) -> tuple[str, int]:
+        deadline = time.monotonic() + _SPAWN_TIMEOUT_S
+        while time.monotonic() < deadline:
+            assert self.proc is not None
+            if self.proc.poll() is not None:
+                raise RuntimeError(
+                    f"shard {self.spec.shard_id} exited rc={self.proc.returncode} "
+                    f"before publishing its port (see {self._log_path})"
+                )
+            if self._port_file.exists():
+                text = self._port_file.read_text(encoding="utf-8").strip()
+                if text:
+                    host, _, port = text.rpartition(":")
+                    return (host, int(port))
+            time.sleep(0.02)
+        raise RuntimeError(
+            f"shard {self.spec.shard_id} did not publish a port within "
+            f"{_SPAWN_TIMEOUT_S}s (see {self._log_path})"
+        )
+
+    def _connect_clock(self) -> None:
+        assert self.address is not None
+        sock = socket.create_connection(self.address, timeout=self.timeout_s)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.sendall(encode_frame({"type": "hello", "role": "clock"}))
+        self._clock = sock
+        self._assembler = FrameAssembler()
+
+    # -- clock traffic --------------------------------------------------
+
+    def _send(self, doc: dict) -> bool:
+        if self._clock is None:
+            return False
+        try:
+            self._clock.sendall(encode_frame(doc))
+            return True
+        except OSError:
+            self.close_clock()
+            return False
+
+    def command_cycle(self, step: int, demand: np.ndarray) -> bool:
+        return self._send(
+            {"type": "cycle", "step": int(step), "demand": demand.tolist()}
+        )
+
+    def send_hang(self) -> bool:
+        return self._send({"type": "hang"})
+
+    def send_stop(self) -> bool:
+        return self._send({"type": "stop"})
+
+    def _read_until(self, want: str, timeout_s: float) -> dict | None:
+        """Read clock docs until one of type ``want`` arrives (or not)."""
+        if self._clock is None:
+            return None
+        deadline = time.monotonic() + timeout_s
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return None
+            self._clock.settimeout(remaining)
+            try:
+                data = self._clock.recv(65536)
+            except socket.timeout:
+                return None
+            except OSError:
+                self.close_clock()
+                return None
+            if not data:
+                self.close_clock()
+                return None
+            try:
+                docs = self._assembler.feed(data)
+            except FrameError:
+                self.close_clock()
+                return None
+            for doc in docs:
+                if doc.get("type") == want:
+                    return doc
+
+    def await_ack(self, step: int, timeout_s: float) -> dict | None:
+        doc = self._read_until("cycle_ack", timeout_s)
+        if doc is not None and int(doc.get("step", -1)) != step:
+            raise RuntimeError(
+                f"shard {self.spec.shard_id} acked cycle {doc.get('step')} "
+                f"during cycle {step}"
+            )
+        return doc
+
+    def read_drained(self, timeout_s: float) -> dict | None:
+        return self._read_until("drained", timeout_s)
+
+    # -- process control ------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        return self.proc is not None and self.proc.poll() is None
+
+    def kill(self) -> None:
+        """SIGKILL — the no-cooperation crash."""
+        if self.proc is not None and self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGKILL)
+            self.proc.wait(timeout=10.0)
+        self.close_clock()
+
+    def terminate(self) -> None:
+        """SIGTERM — request the graceful drain."""
+        if self.proc is not None and self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGTERM)
+
+    def wait(self, timeout_s: float) -> int | None:
+        if self.proc is None:
+            return None
+        try:
+            return self.proc.wait(timeout=timeout_s)
+        except subprocess.TimeoutExpired:
+            return None
+
+    def close_clock(self) -> None:
+        if self._clock is not None:
+            try:
+                self._clock.close()
+            except OSError:
+                pass
+            self._clock = None
+
+    def shutdown(self) -> None:
+        """Best-effort teardown: polite stop, then SIGKILL."""
+        if self.alive:
+            self.send_stop()
+            if self.wait(2.0) is None:
+                self.kill()
+        self.close_clock()
+
+
+class ShardSupervisor:
+    """Lock-step fleet driver with restart bookkeeping and chaos hooks.
+
+    Args:
+        specs: launch descriptions, one per initial shard.
+        recovery: restart budget, outage length, and the hang deadline
+            (``hang_timeout_s`` doubles as the per-cycle ack deadline
+            after which a silent shard is declared hung and SIGKILLed).
+        events: structured sink for ``shard_restarted`` /
+            ``controller_*`` transitions (merged by the harness).
+        timeout_s: shard-server deploy-socket deadline, passed through.
+    """
+
+    def __init__(
+        self,
+        specs: list[ProcessShardSpec],
+        recovery: RecoveryOptions,
+        events: ResilienceEventLog | None = None,
+        timeout_s: float = 5.0,
+    ) -> None:
+        self.recovery = recovery
+        self.events = events if events is not None else ResilienceEventLog()
+        self.timeout_s = timeout_s
+        self.fleet: dict[int, ShardProcess] = {
+            spec.shard_id: ShardProcess(spec, timeout_s) for spec in specs
+        }
+        self.restarts: dict[int, int] = {sid: 0 for sid in self.fleet}
+        self.failed: set[int] = set()
+        self.draining: set[int] = set()
+        self._outage: dict[int, int] = {}
+        self._hung: set[int] = set()
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> None:
+        # Launch the whole fleet first, then collect ports: interpreter
+        # start-up overlaps across shards instead of paying it serially.
+        for proc in self.fleet.values():
+            proc.launch()
+        for proc in self.fleet.values():
+            proc.complete()
+
+    def admit(self, spec: ProcessShardSpec) -> ShardProcess:
+        """Spawn an additional shard joining the fleet mid-session."""
+        if spec.shard_id in self.fleet:
+            raise ValueError(f"shard {spec.shard_id} already in the fleet")
+        proc = ShardProcess(spec, self.timeout_s)
+        proc.spawn()
+        self.fleet[spec.shard_id] = proc
+        self.restarts[spec.shard_id] = 0
+        return proc
+
+    def begin_drain(self, shard_id: int) -> None:
+        """SIGTERM the shard; it freezes, reports, and exits on its own."""
+        self.draining.add(shard_id)
+        self.fleet[shard_id].terminate()
+
+    def finish_drain(self, shard_id: int, timeout_s: float = 10.0) -> dict | None:
+        """Collect the drained notice and reap the exited process.
+
+        Returns:
+            The ``drained`` document (with the shard's trailing events),
+            or None when the shard never reported; ``rc`` is attached.
+        """
+        proc = self.fleet.pop(shard_id)
+        self.draining.discard(shard_id)
+        doc = proc.read_drained(timeout_s)
+        rc = proc.wait(timeout_s)
+        if rc is None:
+            proc.kill()
+            rc = proc.proc.returncode if proc.proc is not None else None
+        proc.close_clock()
+        if doc is not None:
+            doc["rc"] = rc
+        return doc
+
+    def stop(self) -> None:
+        for proc in self.fleet.values():
+            proc.shutdown()
+
+    # -- the lock-step cycle --------------------------------------------
+
+    def command(
+        self,
+        step: int,
+        demands: dict[int, np.ndarray],
+        kill_ids: set[int] | None = None,
+        hang_ids: set[int] | None = None,
+    ) -> dict[int, tuple[str, dict | None]]:
+        """Drive every fleet shard through one cycle.
+
+        Mirrors the thread harness's ack statuses: ``ok`` (with the ack
+        document), ``crashed`` (SIGKILL landed this cycle), ``hung``
+        (injected or detected silence), ``outage`` (restart in
+        progress), ``failed`` (restart budget exhausted).
+        """
+        kill_ids = kill_ids or set()
+        hang_ids = hang_ids or set()
+        statuses: dict[int, tuple[str, dict | None]] = {}
+        awaiting: list[int] = []
+        for shard_id, proc in sorted(self.fleet.items()):
+            if shard_id in self.draining:
+                continue
+            if shard_id in self.failed:
+                statuses[shard_id] = ("failed", None)
+                continue
+            if shard_id in self._hung:
+                # The watchdog half of the injected hang: the shard went
+                # silent last cycle; SIGKILL it after the hang deadline.
+                time.sleep(self.recovery.hang_timeout_s)
+                self.events.emit(
+                    float(step),
+                    "controller_hung",
+                    node_id=shard_id,
+                    detail=(
+                        f"no ack within {self.recovery.hang_timeout_s}s; "
+                        "SIGKILL"
+                    ),
+                )
+                proc.kill()
+                self._hung.discard(shard_id)
+                self._crash(shard_id)
+                statuses[shard_id] = (
+                    ("failed", None)
+                    if shard_id in self.failed
+                    else ("outage", None)
+                )
+                continue
+            if shard_id in self._outage:
+                statuses[shard_id] = ("outage", None)
+                self._tick_outage(shard_id)
+                continue
+            if shard_id in kill_ids:
+                proc.kill()
+                self._crash(shard_id)
+                statuses[shard_id] = ("crashed", None)
+                continue
+            if shard_id in hang_ids:
+                proc.send_hang()
+                self._hung.add(shard_id)
+                statuses[shard_id] = ("hung", None)
+                continue
+            if not proc.alive or not proc.command_cycle(
+                step, demands[shard_id]
+            ):
+                # Unexpected death (not scheduled chaos) — treat as a
+                # crash and consume the restart budget.
+                self._crash(shard_id)
+                statuses[shard_id] = ("crashed", None)
+                continue
+            awaiting.append(shard_id)
+        for shard_id in awaiting:
+            proc = self.fleet[shard_id]
+            ack = proc.await_ack(step, self.recovery.hang_timeout_s)
+            if ack is None:
+                # Silent past the deadline: the real watchdog. SIGKILL
+                # and restart from the checkpoint.
+                self.events.emit(
+                    float(step),
+                    "controller_hung",
+                    node_id=shard_id,
+                    detail=(
+                        f"no ack within {self.recovery.hang_timeout_s}s; "
+                        "SIGKILL"
+                    ),
+                )
+                proc.kill()
+                self._crash(shard_id)
+                statuses[shard_id] = ("hung", None)
+            else:
+                statuses[shard_id] = ("ok", ack)
+        return statuses
+
+    # -- restart bookkeeping --------------------------------------------
+
+    def _crash(self, shard_id: int) -> None:
+        self.restarts[shard_id] += 1
+        self.events.emit(
+            float(self.restarts[shard_id]),
+            "controller_killed",
+            node_id=shard_id,
+            detail=f"shard-server process down (restart {self.restarts[shard_id]})",
+        )
+        if self.restarts[shard_id] > self.recovery.max_restarts:
+            self.failed.add(shard_id)
+            return
+        if self.recovery.restart_delay_cycles > 0:
+            self._outage[shard_id] = self.recovery.restart_delay_cycles
+        else:
+            self._respawn(shard_id)
+
+    def _tick_outage(self, shard_id: int) -> None:
+        self._outage[shard_id] -= 1
+        if self._outage[shard_id] <= 0:
+            del self._outage[shard_id]
+            self._respawn(shard_id)
+
+    def _respawn(self, shard_id: int) -> None:
+        proc = self.fleet[shard_id]
+        proc.spawn(resume=True)
+        self.events.emit(
+            float(self.restarts[shard_id]),
+            "controller_restarted",
+            node_id=shard_id,
+            detail=(
+                f"attempt {self.restarts[shard_id]} of "
+                f"{self.recovery.max_restarts + 1}, resumed from checkpoint"
+            ),
+        )
+        self.events.emit(
+            float(self.restarts[shard_id]),
+            "shard_restarted",
+            node_id=shard_id,
+            detail=(
+                f"shard-server respawned with --resume "
+                f"(attempt {self.restarts[shard_id]} of "
+                f"{self.recovery.max_restarts + 1})"
+            ),
+        )

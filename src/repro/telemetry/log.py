@@ -120,8 +120,13 @@ WORKER_EVENT_KINDS = (
 #: mark a shard degrading to lease-expiry safe mode and recovering from
 #: it; ``arbiter_killed`` / ``arbiter_restarted`` bracket an arbiter
 #: outage (during which every shard runs autonomously on its last
-#: lease).  Every shard-level failover step emits one of these — there
-#: is no silent failover.
+#: lease).  Live membership adds ``shard_admitted`` (a joining shard's
+#: HELLO was accepted and a lease carved for it), ``shard_draining`` /
+#: ``shard_drained`` (a leaving shard was asked to freeze, then its
+#: budget reclaimed once the final frozen summary was acked), and
+#: ``link_reconnect`` (a TCP shard link re-established after a drop).
+#: Every shard-level failover step emits one of these — there is no
+#: silent failover.
 SHARD_EVENT_KINDS = (
     "shard_registered",
     "shard_lease_granted",
@@ -138,6 +143,10 @@ SHARD_EVENT_KINDS = (
     "shard_partitioned",
     "shard_partition_healed",
     "shard_headroom_reclaimed",
+    "shard_admitted",
+    "shard_draining",
+    "shard_drained",
+    "link_reconnect",
     "arbiter_killed",
     "arbiter_restarted",
 )

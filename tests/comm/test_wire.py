@@ -102,3 +102,22 @@ class TestFrameAssembler:
         assembler = FrameAssembler()
         with pytest.raises(FrameError, match="exceeds"):
             assembler.feed((MAX_FRAME_BYTES + 1).to_bytes(4, "big"))
+
+    def test_reset_discards_torn_frame_across_reconnect(self):
+        """A frame torn by a dead connection must not prefix the next.
+
+        Without the reset, the first frame of the new session would be
+        parsed as the tail of the torn one — a silent corruption a
+        reconnecting :class:`~repro.comm.shardlink.TcpShardLink` cannot
+        detect.
+        """
+        torn = encode_frame({"type": "summary", "seq": 7})
+        assembler = FrameAssembler()
+        assert assembler.feed(torn[: len(torn) // 2]) == []
+        assert assembler.pending_bytes > 0
+        assembler.reset()
+        assert assembler.pending_bytes == 0
+        fresh = encode_frame({"type": "hello", "role": "arbiter"})
+        assert assembler.feed(fresh) == [
+            {"type": "hello", "role": "arbiter"}
+        ]

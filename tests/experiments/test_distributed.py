@@ -487,3 +487,143 @@ class TestRejoin:
         # shutdown() said goodbye after run one; run two redials cleanly.
         assert engine.run(jobs) == baseline
         assert kinds(backend).count("worker_joined") == 2
+
+
+class TestGracefulDrain:
+    """SIGTERM-style worker drain: no job stranded behind a lease."""
+
+    def test_drained_fleet_member_never_strands_a_lease(
+        self, fast_config, make_worker
+    ):
+        fleet = [make_worker() for _ in range(2)]
+        fleet[0].drain()  # Drained before the campaign ever dials it.
+        backend = DistributedBackend(
+            [w.address for w in fleet],
+            fast_coordinator(lease_timeout_s=20.0),
+        )
+        sequential = small_campaign(fast_config).run(jobs=1)
+        distributed = small_campaign(fast_config).run(backend=backend)
+        assert distributed.records == sequential.records
+        # Graceful means instant: every declined job was requeued on the
+        # error frame, never abandoned to a lease expiry.
+        assert "worker_lease_expired" not in kinds(backend)
+        assert fleet[0].jobs_done == 0
+
+    def test_drain_mid_session_refuses_then_exits(
+        self, fast_config, make_worker
+    ):
+        worker = make_worker()
+        job = reference_job("kmeans")
+        with socket.create_connection(
+            ("127.0.0.1", worker.port), timeout=5
+        ) as sock:
+            assert recv_doc(sock)["type"] == "ready"
+            send_doc(sock, {"type": "hello", "heartbeat_s": 0.2})
+            send_doc(sock, {"type": "config", "config": fast_config.to_doc()})
+            assert recv_doc(sock)["type"] == "config_ok"
+            worker.drain()
+            worker.drain()  # Idempotent, as a signal handler needs.
+            send_doc(
+                sock,
+                {
+                    "type": "job",
+                    "digest": job_digest(fast_config, job),
+                    "tokens": list(job.tokens),
+                    "key": job.key,
+                },
+            )
+            reply = recv_doc(sock)
+            assert reply["type"] == "error"
+            assert "worker draining" in reply["error"]
+        # Drained dry, the serve loop exits and releases the listener.
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            try:
+                probe = socket.create_connection(
+                    ("127.0.0.1", worker.port), timeout=0.2
+                )
+            except OSError:
+                break
+            probe.close()
+            time.sleep(0.05)
+        else:
+            pytest.fail("listener still accepting after drain")
+
+    def test_in_flight_job_reports_before_drained_exit(
+        self, fast_config, make_worker
+    ):
+        worker = make_worker()
+        job = reference_job("kmeans")
+        digest = job_digest(fast_config, job)
+        with socket.create_connection(
+            ("127.0.0.1", worker.port), timeout=10
+        ) as sock:
+            assert recv_doc(sock)["type"] == "ready"
+            send_doc(sock, {"type": "hello", "heartbeat_s": 0.2})
+            send_doc(sock, {"type": "config", "config": fast_config.to_doc()})
+            assert recv_doc(sock)["type"] == "config_ok"
+            send_doc(
+                sock,
+                {
+                    "type": "job",
+                    "digest": digest,
+                    "tokens": list(job.tokens),
+                    "key": job.key,
+                },
+            )
+            # Only drain once the job is provably admitted, then insist
+            # its result still arrives before the worker exits.
+            deadline = time.monotonic() + 10.0
+            while worker._jobs_seen < 1:
+                assert time.monotonic() < deadline, "job never admitted"
+                time.sleep(0.01)
+            worker.drain()
+            while True:
+                doc = recv_doc(sock)
+                assert doc is not None, "EOF before the in-flight result"
+                if doc["type"] == "result":
+                    break
+                assert doc["type"] == "heartbeat"
+            assert doc["digest"] == digest
+            assert _payload_sha256(doc["payload"]) == doc["payload_sha256"]
+        # The bump lands just after the result frame; give it a moment.
+        deadline = time.monotonic() + 2.0
+        while worker.jobs_done < 1 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert worker.jobs_done == 1
+
+
+class TestWorkerSignals:
+    def test_sigterm_drains_and_exits_zero(self, tmp_path):
+        import os
+        import signal
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        import repro
+
+        env = dict(os.environ)
+        pkg_root = str(Path(repro.__file__).resolve().parents[1])
+        env["PYTHONPATH"] = pkg_root + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "worker", "127.0.0.1:0"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        try:
+            line = proc.stdout.readline()
+            assert "serving" in line, line
+            proc.send_signal(signal.SIGTERM)
+            out = proc.communicate(timeout=30)[0]
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0
+        assert "draining" in out
+        assert "stopped after 0 job(s)" in out

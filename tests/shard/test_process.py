@@ -1,0 +1,299 @@
+"""Process-mode acceptance: a real shard-server fleet under OS chaos.
+
+The thread-mode harness (:mod:`tests.shard.test_harness`) proves the
+lease protocol against *simulated* failures.  This module re-runs the
+same failure matrix with nothing simulated: each shard is a
+``dps-repro shard-server`` subprocess behind a real TCP link, SIGKILL
+stands in for a crash, SIGTERM for a graceful drain, and a severed
+socket for a partition — plus the two drills only live membership makes
+possible, admitting a new shard and draining an old one mid-chaos.
+The acceptance bar is unchanged: the global budget-conservation
+invariant holds on every arbiter cycle and every recovery or membership
+step is a structured event.  Mirrored by the CI ``shard-process-chaos``
+job.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.core.config import ClusterSpec, RaplConfig
+from repro.core.constant import ConstantManager
+from repro.deploy.loopback import RecoveryOptions
+from repro.shard import ArbiterConfig, ShardChaosSchedule, run_sharded
+from repro.telemetry.export import leases_to_csv
+
+
+def make_cluster(n_nodes, sockets_per_node=1, seed=0):
+    return Cluster(
+        ClusterSpec(n_nodes=n_nodes, sockets_per_node=sockets_per_node),
+        RaplConfig(noise_std_w=0.0),
+        np.random.default_rng(seed),
+    )
+
+
+def run_process(cluster, tmp_path, n_shards, cycles, chaos=None, config=None,
+                recovery=None):
+    demand = np.full(cluster.n_units, 0.6)
+    return run_sharded(
+        cluster,
+        n_shards=n_shards,
+        manager_factory=lambda i: ConstantManager(),
+        demand_fn=lambda step: demand,
+        cycles=cycles,
+        checkpoint_dir=tmp_path / "ckpt",
+        config=config or ArbiterConfig(period_cycles=2),
+        chaos=chaos,
+        recovery=recovery
+        or RecoveryOptions(checkpoint_dir=tmp_path / "ckpt"),
+        mode="process",
+        manager_name="constant",
+    )
+
+
+def dump_artifacts(result, tmp_path, name):
+    """Write the logs the CI chaos job uploads on failure."""
+    rows = [
+        {
+            "time_s": e.time_s,
+            "kind": e.kind,
+            "node_id": e.node_id,
+            "detail": e.detail,
+        }
+        for e in result.events
+    ]
+    (tmp_path / f"{name}_events.json").write_text(json.dumps(rows, indent=1))
+    (tmp_path / f"{name}_leases.csv").write_text(
+        leases_to_csv(result.timeline)
+    )
+
+
+class TestScheduleValidation:
+    def test_drained_shard_cannot_be_killed(self):
+        with pytest.raises(ValueError, match="drained and killed"):
+            ShardChaosSchedule(drain_at={1: 4}, shard_kill_at={1: 6})
+
+    def test_drained_shard_cannot_be_hung(self):
+        with pytest.raises(ValueError, match="drained and killed"):
+            ShardChaosSchedule(drain_at={2: 4}, shard_hang_at={2: 8})
+
+    def test_admit_cannot_fall_inside_arbiter_outage(self):
+        with pytest.raises(ValueError, match="inside the .*outage"):
+            ShardChaosSchedule(
+                admit_at=10, arbiter_kill_at=8, arbiter_restart_at=14
+            )
+
+    def test_drain_cannot_fall_inside_arbiter_outage(self):
+        with pytest.raises(ValueError, match="inside .*the .*outage"):
+            ShardChaosSchedule(
+                drain_at={0: 10}, arbiter_kill_at=8, arbiter_restart_at=14
+            )
+
+    def test_thread_mode_rejects_membership_chaos(self, tmp_path):
+        cluster = make_cluster(4)
+        with pytest.raises(ValueError, match="process"):
+            run_sharded(
+                cluster,
+                n_shards=2,
+                manager_factory=lambda i: ConstantManager(),
+                demand_fn=lambda step: np.full(cluster.n_units, 0.5),
+                cycles=4,
+                checkpoint_dir=tmp_path / "ckpt",
+                chaos=ShardChaosSchedule(admit_at=2),
+                recovery=RecoveryOptions(checkpoint_dir=tmp_path / "ckpt"),
+            )
+
+    def test_process_mode_requires_manager_name(self, tmp_path):
+        cluster = make_cluster(4)
+        with pytest.raises(ValueError, match="manager_name"):
+            run_sharded(
+                cluster,
+                n_shards=2,
+                manager_factory=lambda i: ConstantManager(),
+                demand_fn=lambda step: np.full(cluster.n_units, 0.5),
+                cycles=4,
+                checkpoint_dir=tmp_path / "ckpt",
+                recovery=RecoveryOptions(checkpoint_dir=tmp_path / "ckpt"),
+                mode="process",
+            )
+
+
+class TestProcessCleanRun:
+    def test_two_shard_fleet_matches_thread_guarantees(self, tmp_path):
+        cluster = make_cluster(4)
+        result = run_process(cluster, tmp_path, n_shards=2, cycles=8)
+        dump_artifacts(result, tmp_path, "process_clean")
+
+        assert result.mode == "process"
+        assert result.invariant_violations == 0
+        assert result.invariant_sweeps == result.arbiter_cycles > 0
+        assert result.failed_shards == ()
+        assert result.shard_restarts == [0, 0]
+        assert result.worst_case_w <= result.budget_w * (1 + 1e-6)
+        assert np.nansum(result.leases_w) <= result.budget_w * (1 + 1e-6)
+        # No process died, so every cycle of every unit reported power.
+        assert np.isfinite(result.power_history).all()
+        assert np.isfinite(result.caps_history).all()
+        assert result.bytes_links > 0
+        kinds = {e.kind for e in result.events}
+        assert "shard_registered" in kinds
+        assert "shard_lease_applied" in kinds
+        # A healthy fleet never trips the recovery machinery.
+        assert "shard_killed" not in kinds
+        assert "link_reconnect" not in kinds
+
+
+class TestProcessChaosAcceptance:
+    def test_full_failure_matrix_with_live_membership(self, tmp_path):
+        """The PR-7 matrix over real processes, plus admit and drain.
+
+        Four shard-servers; one SIGKILLed, one hung until the watchdog
+        SIGKILLs it, one partitioned and healed at the socket level, a
+        fifth admitted live, a fourth drained via SIGTERM, and the
+        arbiter itself killed and restarted from its checkpoint with
+        the drifted membership.  Budget conservation is swept on every
+        arbiter cycle of every arbiter incarnation.
+        """
+        cluster = make_cluster(8)
+        chaos = ShardChaosSchedule(
+            shard_kill_at={1: 6},
+            shard_hang_at={2: 10},
+            partition_at={0: 8},
+            heal_at={0: 14},
+            admit_at=10,
+            drain_at={3: 12},
+            arbiter_kill_at=16,
+            arbiter_restart_at=20,
+        )
+        result = run_process(
+            cluster,
+            tmp_path,
+            n_shards=4,
+            cycles=24,
+            chaos=chaos,
+            config=ArbiterConfig(period_cycles=2, lease_term_cycles=2),
+            recovery=RecoveryOptions(
+                checkpoint_dir=tmp_path / "ckpt",
+                checkpoint_every=2,
+                hang_timeout_s=2.0,
+                restart_delay_cycles=1,
+            ),
+        )
+        dump_artifacts(result, tmp_path, "process_matrix")
+
+        # Conservation: swept every arbiter cycle, never violated.
+        assert result.invariant_violations == 0
+        assert result.invariant_sweeps == result.arbiter_cycles > 0
+        assert result.worst_case_w <= result.budget_w * (1 + 1e-6)
+        assert np.nansum(result.leases_w) <= result.budget_w * (1 + 1e-6)
+
+        # Every failure recovered within its restart budget.
+        assert result.failed_shards == ()
+        assert result.shard_restarts[1] == 1  # SIGKILL -> --resume respawn
+        assert result.shard_restarts[2] == 1  # watchdog SIGKILL -> respawn
+        assert result.arbiter_restarts == 1
+
+        # Live membership: one admit, one drain, drain exited cleanly.
+        assert result.admitted == (4,)
+        assert result.drained == (3,)
+        assert result.drained_rcs[3] == 0
+
+        # The partitioned link re-dialed at least once after healing,
+        # and the SIGKILLed shards forced reconnects of their own.
+        assert result.link_reconnects >= 1
+
+        kinds = {e.kind for e in result.events}
+        expected = {
+            "shard_registered",
+            "shard_lease_granted",
+            "shard_lease_applied",
+            "shard_lease_expired",
+            "shard_frozen",
+            "shard_unfrozen",
+            "shard_quarantined",
+            "shard_rejoined",
+            "shard_killed",
+            "shard_hung",
+            "shard_restarted",
+            "shard_partitioned",
+            "shard_partition_healed",
+            "shard_admitted",
+            "shard_draining",
+            "shard_drained",
+            "link_reconnect",
+            "arbiter_killed",
+            "arbiter_restarted",
+            "controller_killed",
+            "controller_hung",
+            "controller_restarted",
+        }
+        missing = expected - kinds
+        assert not missing, f"missing event kinds: {sorted(missing)}"
+        assert "shard_dead" not in kinds
+
+        # Every supervised respawn is one structured event.
+        restarted = [e for e in result.events if e.kind == "shard_restarted"]
+        assert len(restarted) == sum(result.shard_restarts)
+
+        # Membership events carry the member they concern.
+        admitted = [e for e in result.events if e.kind == "shard_admitted"]
+        assert [e.node_id for e in admitted] == [4]
+        drained = [e for e in result.events if e.kind == "shard_drained"]
+        assert [e.node_id for e in drained] == [3]
+        assert "reclaimed" in drained[0].detail
+
+        # The partitioned shard froze at its committed power, then
+        # thawed once the healed link delivered a fresh lease.
+        times = {
+            kind: [e.time_s for e in result.events if e.kind == kind]
+            for kind in ("shard_frozen", "shard_unfrozen")
+        }
+        assert times["shard_frozen"] and times["shard_unfrozen"]
+        assert min(times["shard_frozen"]) < max(times["shard_unfrozen"])
+
+        # The restarted arbiter resumed from its checkpoint snapshot.
+        restarts = [
+            e for e in result.events if e.kind == "arbiter_restarted"
+        ]
+        assert len(restarts) == 1
+        assert "resumed_from_checkpoint=True" in restarts[0].detail
+
+
+class TestGracefulDrain:
+    def test_sigterm_drain_reclaims_budget(self, tmp_path):
+        cluster = make_cluster(4)
+        chaos = ShardChaosSchedule(drain_at={1: 4})
+        result = run_process(
+            cluster,
+            tmp_path,
+            n_shards=2,
+            cycles=12,
+            chaos=chaos,
+            config=ArbiterConfig(period_cycles=2, lease_term_cycles=2),
+        )
+        dump_artifacts(result, tmp_path, "process_drain")
+
+        assert result.invariant_violations == 0
+        assert result.failed_shards == ()
+        assert result.drained == (1,)
+        assert result.drained_rcs[1] == 0
+        kinds = {e.kind for e in result.events}
+        assert "shard_draining" in kinds
+        assert "shard_drained" in kinds
+        # Graceful: the drain never looked like a failure.
+        assert "shard_killed" not in kinds
+        assert "controller_killed" not in kinds
+        assert np.nansum(result.leases_w) <= result.budget_w * (1 + 1e-6)
+        # The drained shard leaves the timeline after its final frozen
+        # summary is acknowledged; the survivor keeps being arbitrated,
+        # and never below its original fair share.
+        drained_samples = result.timeline.for_shard(1)
+        survivor_samples = result.timeline.for_shard(0)
+        assert drained_samples and survivor_samples
+        assert (
+            max(s.cycle for s in drained_samples)
+            < max(s.cycle for s in survivor_samples)
+        )
+        assert survivor_samples[-1].lease_w >= survivor_samples[0].lease_w
