@@ -18,7 +18,9 @@ The canonical workload is the *mixed* overprovisioned-cluster profile
 (most units idle or steady, a bursty minority — the population the paper
 overprovisions against); the i.i.d.-uniform stress profile, with every
 unit maximally chaotic every step, is also recorded at 100k units for
-reference but not gated (it has no realistic counterpart at that scale).
+reference but not gated (it has no realistic counterpart at that scale);
+its per-run values accumulate in the ``uniform_stress_series`` section so
+drift is visible PR-over-PR.
 
 Results are written to a ``BENCH_scaling.json`` artifact (override via
 ``REPRO_BENCH_SCALING_ARTIFACT``) so CI accumulates the scaling history.
@@ -51,6 +53,26 @@ def _update_artifact(section: str, doc: dict) -> None:
     with open(ARTIFACT, "w") as fh:
         json.dump(merged, fh, indent=2)
     print(f"updated {ARTIFACT}")
+
+
+def _append_series(section: str, entry: dict, keep: int = 50) -> None:
+    """Append one run's measurement to a rolling series in the artifact.
+
+    Unlike :func:`_update_artifact` (which overwrites a section), a
+    series accumulates one entry per bench run, so drift on ungated
+    measurements stays visible PR-over-PR in the committed artifact.
+    """
+    merged = {}
+    if os.path.exists(ARTIFACT):
+        with open(ARTIFACT) as fh:
+            merged = json.load(fh)
+    merged.setdefault("format", "repro-bench-scaling-v1")
+    series = list(merged.get(section, []))
+    series.append(entry)
+    merged[section] = series[-keep:]
+    with open(ARTIFACT, "w") as fh:
+        json.dump(merged, fh, indent=2)
+    print(f"appended to {ARTIFACT}:{section} ({len(series)} entries)")
 
 
 def test_decision_core_speedup(benchmark):
@@ -143,6 +165,18 @@ def test_large_cluster_decision_time(benchmark):
             "steps": STEPS,
             "warmup": WARMUP,
             "per_decision_s": times,
+        },
+    )
+    # The stress row stays ungated (no realistic counterpart at 100k
+    # units), but it is tracked as a rolling series — one entry per bench
+    # run — so a pathological-input regression shows up as drift in the
+    # committed artifact instead of hiding behind the overwritten row.
+    _append_series(
+        "uniform_stress_series",
+        {
+            "n_units": 100_000,
+            "steps": max(STEPS // 2, 10),
+            "per_decision_s": times["100000_uniform_stress"],
         },
     )
 

@@ -296,6 +296,15 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     shards.add_argument(
+        "--codec",
+        choices=("json", "binary"),
+        default="json",
+        help=(
+            "clock-plane bulk encoding in process mode: json float "
+            "lists or raw binary array frames"
+        ),
+    )
+    shards.add_argument(
         "--admit-at",
         type=int,
         default=None,
@@ -948,6 +957,7 @@ def _cmd_shards(args: argparse.Namespace) -> str:
             rng=rng,
             mode=args.mode,
             manager_name=args.manager,
+            codec=args.codec,
         )
     except (ValueError, RuntimeError) as exc:
         raise SystemExit(str(exc)) from None
@@ -1005,6 +1015,13 @@ def _cmd_shards(args: argparse.Namespace) -> str:
         f"{result.invariant_sweeps} invariant sweeps, "
         f"{result.invariant_violations} violation(s)"
     )
+    if result.mode == "process":
+        lines.append(
+            f"wire ({result.codec} codec): "
+            f"{result.bytes_clock} clock bytes, "
+            f"{result.bytes_links} link bytes, "
+            f"{result.link_reconnects} link reconnect(s)"
+        )
     if result.worst_case_w is not None:
         ok = result.worst_case_w <= result.budget_w * (1 + 1e-6)
         lines.append(

@@ -60,6 +60,10 @@ class Cluster:
                 self.sockets.append(sock)
                 unit_id += 1
             self.nodes.append(Node(node_id, node_sockets))
+        #: Topology is fixed after construction; building the domain
+        #: list per access shows up at fleet scale (it sits on the
+        #: per-cycle caps/power read path).
+        self._domains = [s.domain for s in self.sockets]
 
     @property
     def n_units(self) -> int:
@@ -73,8 +77,8 @@ class Cluster:
 
     @property
     def domains(self) -> list[RaplDomain]:
-        """All RAPL domains in unit order."""
-        return [s.domain for s in self.sockets]
+        """All RAPL domains in unit order (do not mutate)."""
+        return self._domains
 
     def sysfs(self) -> SysfsPowercap:
         """A powercap-sysfs view over every domain (for sysfs-level clients)."""

@@ -183,13 +183,22 @@ class PowerMeter:
         self._last_uj = self.domain.read_energy_uj()
 
     def snapshot(self) -> dict:
-        """JSON-able document of the meter cursor and noise stream."""
-        return {"last_uj": self._last_uj, "rng": rng_state(self._rng)}
+        """JSON-able document of the meter cursor and noise stream.
+
+        A noise-free meter (``noise_std_w == 0``) never draws from its
+        generator, so its state is omitted — at fleet scale the dead
+        RNG states dominate an otherwise small snapshot.
+        """
+        doc: dict = {"last_uj": self._last_uj}
+        if self.domain.config.noise_std_w > 0:
+            doc["rng"] = rng_state(self._rng)
+        return doc
 
     def restore(self, state: dict) -> None:
         """Overwrite the cursor and noise stream with a snapshot's content."""
         self._last_uj = int(state["last_uj"])
-        self._rng = make_rng(state["rng"])
+        if "rng" in state:
+            self._rng = make_rng(state["rng"])
 
     def read_power_w(self, dt_s: float) -> float:
         """Sample average power over the interval since the previous read.

@@ -58,7 +58,11 @@ from repro.shard.arbiter import ArbiterShard, BudgetArbiter
 from repro.shard.lease import ArbiterConfig, ShardLink
 from repro.shard.process import event_from_doc
 from repro.shard.server import ShardServer
-from repro.shard.supervisor import ProcessShardSpec, ShardSupervisor
+from repro.shard.supervisor import (
+    PendingCycle,
+    ProcessShardSpec,
+    ShardSupervisor,
+)
 from repro.telemetry.log import LeaseTimeline, ResilienceEventLog
 
 __all__ = ["ShardChaosSchedule", "ShardedResult", "run_sharded"]
@@ -187,6 +191,10 @@ class ShardedResult:
         drained_rcs: drained shard id → subprocess exit code (0 on a
             clean SIGTERM drain).
         link_reconnects: TCP shard-link re-establishments (process mode).
+        bytes_clock: frame bytes over every clock connection, both
+            directions (process mode; 0 in thread mode where the clock
+            is a queue).
+        codec: clock-plane bulk encoding used (process mode).
     """
 
     cycles: int
@@ -215,6 +223,8 @@ class ShardedResult:
     drained: tuple[int, ...] = ()
     drained_rcs: dict[int, int | None] = field(default_factory=dict)
     link_reconnects: int = 0
+    bytes_clock: int = 0
+    codec: str = "json"
 
 
 class _ShardWorker:
@@ -356,6 +366,8 @@ def run_sharded(
     rng: np.random.Generator | None = None,
     mode: str = "thread",
     manager_name: str | None = None,
+    codec: str = "json",
+    max_ack_events: int = 256,
 ) -> ShardedResult:
     """Run a sharded control-plane session over localhost TCP.
 
@@ -388,6 +400,12 @@ def run_sharded(
         manager_name: power-manager registry name, required in process
             mode (the subprocess rebuilds the manager from its name;
             ``manager_factory`` is not picklable across an exec).
+        codec: process-mode clock-plane bulk encoding — ``"json"``
+            (float lists, the historical wire) or ``"binary"`` (raw
+            array frames, :mod:`repro.comm.wire`).  Thread mode has no
+            wire and accepts only ``"json"``.
+        max_ack_events: per-ack structured-event cap each shard server
+            enforces (overflow collapses into ``events_truncated``).
 
     Returns:
         A :class:`ShardedResult`; every thread and socket is shut down
@@ -401,6 +419,10 @@ def run_sharded(
         )
     if mode not in ("thread", "process"):
         raise ValueError(f"mode must be 'thread' or 'process', got {mode!r}")
+    if codec not in ("json", "binary"):
+        raise ValueError(f"codec must be 'json' or 'binary', got {codec!r}")
+    if mode == "thread" and codec != "json":
+        raise ValueError("codec='binary' needs a wire; run with mode='process'")
     cfg = config or ArbiterConfig()
     chaos = chaos or ShardChaosSchedule()
     recovery = recovery or RecoveryOptions(checkpoint_dir=checkpoint_dir)
@@ -423,6 +445,8 @@ def run_sharded(
             recovery=recovery,
             invariant_mode=invariant_mode,
             timeout_s=timeout_s,
+            codec=codec,
+            max_ack_events=max_ack_events,
         )
     if chaos.admit_at is not None or chaos.drain_at:
         raise ValueError(
@@ -699,6 +723,8 @@ def _run_sharded_process(
     recovery: RecoveryOptions,
     invariant_mode: str,
     timeout_s: float,
+    codec: str = "json",
+    max_ack_events: int = 256,
 ) -> ShardedResult:
     """Process-mode session: shard-server subprocesses, real TCP links.
 
@@ -710,6 +736,26 @@ def _run_sharded_process(
     acknowledgements (NaN while a shard's process is down — a dead
     process reports nothing, unlike a thread whose hardware the parent
     can still read).
+
+    Cycles are **pipelined one deep**: each step splits into a
+    *dispatch* phase (cycle N+1's demand slices pushed to every shard,
+    plus the clock-side chaos — kill/hang signals, admit spawn, drain
+    SIGTERM) and a *finalize* phase (cycle N's acks collected in cycle
+    order, histories scattered, arbiter-side chaos fired, the arbiter
+    cycle run).  Dispatching N+1 before collecting N lets every shard
+    compute while the parent is busy finalizing, without giving up
+    lock-step determinism: acks are still applied strictly in cycle
+    order, a chaos victim's outstanding ack is settled before the
+    process is signalled, and every arbiter-relative ordering (chaos
+    after arbiter cycle N-1, before arbiter cycle N) is exactly the
+    sequential schedule's.  The pipeline deliberately breaks at arbiter
+    period boundaries: the arbiter re-cuts leases there, and its grants
+    must reach every shard before the next demand slice does, or grant
+    application would race the cycle it funds.  The one observable
+    shift: a shard's summary for cycle N is sent while the parent may
+    not yet have fired cycle N's link chaos, so a partition/heal lands
+    one summary later relative to the shard clock (arbiter-relative
+    timing unchanged).
     """
     spec = cluster.spec
     n_nodes = spec.n_nodes
@@ -757,6 +803,8 @@ def _run_sharded_process(
             lease_term_cycles=cfg.lease_term_cycles,
             checkpoint_every=recovery.checkpoint_every,
             keep_generations=recovery.keep_generations,
+            codec=codec,
+            max_ack_events=max_ack_events,
         )
 
     pspecs = [
@@ -822,10 +870,180 @@ def _run_sharded_process(
     admitted: list[int] = []
     drained: list[int] = []
     drained_rcs: dict[int, int | None] = {}
-    pending_drains: list[int] = []
+    #: Clock-side chaos fires at dispatch time, but its arbiter-side
+    #: half (admit registration, drain reclamation) must keep the
+    #: sequential ordering — after arbiter cycle N-1, before arbiter
+    #: cycle N — so it is deferred to the same cycle's finalize phase.
+    deferred_admits: dict[int, list[int]] = {}
+    deferred_drains: dict[int, list[int]] = {}
     saved_members: list[ArbiterShard] | None = None
     next_shard_id = n_shards
     arbiter: BudgetArbiter | None = None
+    pending: PendingCycle | None = None
+
+    def record_shard_events(docs) -> None:
+        for doc in docs:
+            event = event_from_doc(doc)
+            shard_events.emit(
+                event.time_s,
+                event.kind,
+                unit=event.unit,
+                node_id=event.node_id,
+                detail=event.detail,
+            )
+
+    def dispatch_phase(
+        step: int, prior: PendingCycle | None
+    ) -> PendingCycle:
+        """Push cycle ``step`` to the fleet; clock-side chaos fires here."""
+        nonlocal next_shard_id
+        clock_now["now"] = float(step)
+        if chaos.admit_at == step:
+            shard_id = next_shard_id
+            next_shard_id += 1
+            new_units = node_counts[0] * spec.sockets_per_node
+            pspec = make_pspec(
+                shard_id,
+                node_counts[0],
+                float(new_units * spec.min_cap_w),
+            )
+            supervisor.admit(pspec)
+            links[shard_id] = make_link(shard_id, consume_hello=False)
+            arb_specs[shard_id] = ArbiterShard(
+                shard_id=shard_id,
+                link=links[shard_id],
+                n_units=new_units,
+                min_cap_w=spec.min_cap_w,
+                max_cap_w=spec.tdp_w,
+            )
+            deferred_admits.setdefault(step, []).append(shard_id)
+            admitted.append(shard_id)
+        drains_now = sorted(
+            sid for sid, at in chaos.drain_at.items() if at == step
+        )
+        for shard_id in drains_now:
+            # Settle the victim's outstanding ack before SIGTERM: the
+            # host could otherwise drain and exit with the previous
+            # cycle document still queued, leaving its ack unsent.
+            supervisor.settle(prior, shard_id)
+            supervisor.begin_drain(shard_id)
+        if drains_now:
+            deferred_drains[step] = drains_now
+
+        global_demand = np.asarray(demand_fn(step), dtype=np.float64)
+        fill = float(global_demand.mean()) if global_demand.size else 0.0
+        demands: dict[int, np.ndarray] = {}
+        for shard_id, proc in supervisor.fleet.items():
+            if shard_id in supervisor.draining:
+                continue
+            if shard_id < n_shards:
+                demands[shard_id] = global_demand[base_slices[shard_id]]
+            else:
+                demands[shard_id] = np.full(proc.spec.n_units, fill)
+        kills = {
+            sid for sid, at in chaos.shard_kill_at.items() if at == step
+        }
+        hangs = {
+            sid for sid, at in chaos.shard_hang_at.items() if at == step
+        }
+        return supervisor.dispatch(step, demands, kills, hangs, prior)
+
+    def finalize_phase(step: int, pend: PendingCycle) -> None:
+        """Collect cycle ``step``; arbiter-relative chaos fires here."""
+        nonlocal arbiter, saved_members, last_stats
+        now = float(step)
+        clock_now["now"] = now
+        for shard_id, at in chaos.partition_at.items():
+            if at == step:
+                links[shard_id].partition()
+                harness_events.emit(
+                    now,
+                    "shard_partitioned",
+                    node_id=shard_id,
+                    detail="TCP link severed (dial suppressed)",
+                )
+        for shard_id, at in chaos.heal_at.items():
+            if at == step:
+                links[shard_id].heal()
+                harness_events.emit(
+                    now, "shard_partition_healed", node_id=shard_id
+                )
+        if chaos.arbiter_kill_at == step and arbiter is not None:
+            counters["arbiter_cycles"] += arbiter.cycle
+            counters["sweeps"] += arbiter.monitor.sweeps_run
+            counters["violations"] += len(arbiter.monitor.violations)
+            saved_members = list(arbiter.member_specs)
+            arbiter = None
+            harness_events.emit(now, "arbiter_killed", detail="injected kill")
+        if chaos.arbiter_restart_at == step and arbiter is None:
+            assert saved_members is not None
+            arbiter = make_arbiter(saved_members, None)
+            resumed = arbiter.resume()
+            counters["arbiter_restarts"] += 1
+            counters["arbiter_cycles"] -= arbiter.cycle
+            harness_events.emit(
+                now,
+                "arbiter_restarted",
+                detail=f"resumed_from_checkpoint={resumed}",
+            )
+            # Re-admit live fleet members the snapshot predates.
+            for shard_id in sorted(supervisor.fleet):
+                if (
+                    shard_id not in arbiter.member_ids
+                    and shard_id not in arbiter.pending_ids
+                    and shard_id in arb_specs
+                ):
+                    arbiter.admit(arb_specs[shard_id], now)
+        for shard_id in deferred_admits.pop(step, []):
+            # The arbiter-restart path above may already have swept the
+            # new shard in; only register a genuinely unknown member.
+            if (
+                arbiter is not None
+                and shard_id not in arbiter.member_ids
+                and shard_id not in arbiter.pending_ids
+            ):
+                arbiter.admit(arb_specs[shard_id], now)
+        for shard_id in deferred_drains.get(step, []):
+            if arbiter is not None:
+                arbiter.drain(shard_id, now)
+
+        statuses = supervisor.collect(pend)
+        for shard_id, (status, ack) in sorted(statuses.items()):
+            if status == "crashed":
+                harness_events.emit(
+                    now,
+                    "shard_killed",
+                    node_id=shard_id,
+                    detail="SIGKILL delivered",
+                )
+            elif status == "hung":
+                harness_events.emit(
+                    now,
+                    "shard_hung",
+                    node_id=shard_id,
+                    detail="silent past the ack deadline",
+                )
+            elif status == "ok" and ack is not None:
+                if shard_id < n_shards:
+                    sl = base_slices[shard_id]
+                    power_history[step, sl] = ack["power"]
+                    caps_history[step, sl] = ack["caps"]
+                record_shard_events(ack.get("events", ()))
+        for shard_id in deferred_drains.pop(step, []):
+            doc = supervisor.finish_drain(shard_id)
+            drained.append(shard_id)
+            drained_rcs[shard_id] = doc.get("rc") if doc is not None else None
+            record_shard_events((doc or {}).get("events", ()))
+
+        if arbiter is not None and (step + 1) % cfg.period_cycles == 0:
+            # Shards sent their summaries before their acks, but on a
+            # different socket: wait for each live link's frame to land
+            # before collecting, so healthy shards are never spuriously
+            # quarantined by a scheduling race.
+            for shard_id, (status, _ack) in statuses.items():
+                if status == "ok" and shard_id in links:
+                    links[shard_id].wait_readable(1.0)
+            last_stats = arbiter.cycle_once(now=now)
 
     supervisor.start()
     try:
@@ -840,154 +1058,34 @@ def _run_sharded_process(
             )
         arbiter = make_arbiter([arb_specs[i] for i in range(n_shards)], initial)
 
+        # One-cycle pipeline: dispatch N+1, then finalize N while the
+        # shards compute.  cycle_wall measures finalize-to-finalize (the
+        # per-cycle throughput a deployment would see).  The pipeline
+        # breaks at arbiter period boundaries: finalize N re-cuts leases
+        # there, and its grants must be on the wire before demand N+1 or
+        # grant application degrades into a scheduling race (applied at
+        # N+1 on a fast shard, N+2 on a slow one).
+        def close_cycle(pend: PendingCycle) -> None:
+            nonlocal wall_anchor
+            finalize_phase(pend.step, pend)
+            wall_now = time.perf_counter()
+            cycle_wall[pend.step] = wall_now - wall_anchor
+            wall_anchor = wall_now
+
+        wall_anchor = time.perf_counter()
         for step in range(cycles):
-            wall_t0 = time.perf_counter()
-            now = float(step)
-            clock_now["now"] = now
-            for shard_id, at in chaos.partition_at.items():
-                if at == step:
-                    links[shard_id].partition()
-                    harness_events.emit(
-                        now,
-                        "shard_partitioned",
-                        node_id=shard_id,
-                        detail="TCP link severed (dial suppressed)",
-                    )
-            for shard_id, at in chaos.heal_at.items():
-                if at == step:
-                    links[shard_id].heal()
-                    harness_events.emit(
-                        now, "shard_partition_healed", node_id=shard_id
-                    )
-            if chaos.arbiter_kill_at == step and arbiter is not None:
-                counters["arbiter_cycles"] += arbiter.cycle
-                counters["sweeps"] += arbiter.monitor.sweeps_run
-                counters["violations"] += len(arbiter.monitor.violations)
-                saved_members = list(arbiter.member_specs)
-                arbiter = None
-                harness_events.emit(
-                    now, "arbiter_killed", detail="injected kill"
-                )
-            if chaos.arbiter_restart_at == step and arbiter is None:
-                assert saved_members is not None
-                arbiter = make_arbiter(saved_members, None)
-                resumed = arbiter.resume()
-                counters["arbiter_restarts"] += 1
-                counters["arbiter_cycles"] -= arbiter.cycle
-                harness_events.emit(
-                    now,
-                    "arbiter_restarted",
-                    detail=f"resumed_from_checkpoint={resumed}",
-                )
-                # Re-admit live fleet members the snapshot predates.
-                for shard_id in sorted(supervisor.fleet):
-                    if (
-                        shard_id not in arbiter.member_ids
-                        and shard_id not in arbiter.pending_ids
-                        and shard_id in arb_specs
-                    ):
-                        arbiter.admit(arb_specs[shard_id], now)
-            if chaos.admit_at == step:
-                shard_id = next_shard_id
-                next_shard_id += 1
-                new_units = node_counts[0] * spec.sockets_per_node
-                pspec = make_pspec(
-                    shard_id,
-                    node_counts[0],
-                    float(new_units * spec.min_cap_w),
-                )
-                supervisor.admit(pspec)
-                links[shard_id] = make_link(shard_id, consume_hello=False)
-                arb_specs[shard_id] = ArbiterShard(
-                    shard_id=shard_id,
-                    link=links[shard_id],
-                    n_units=new_units,
-                    min_cap_w=spec.min_cap_w,
-                    max_cap_w=spec.tdp_w,
-                )
-                if arbiter is not None:
-                    arbiter.admit(arb_specs[shard_id], now)
-                admitted.append(shard_id)
-            for shard_id, at in chaos.drain_at.items():
-                if at == step:
-                    if arbiter is not None:
-                        arbiter.drain(shard_id, now)
-                    supervisor.begin_drain(shard_id)
-                    pending_drains.append(shard_id)
-
-            global_demand = np.asarray(demand_fn(step), dtype=np.float64)
-            fill = float(global_demand.mean()) if global_demand.size else 0.0
-            demands: dict[int, np.ndarray] = {}
-            for shard_id, proc in supervisor.fleet.items():
-                if shard_id in supervisor.draining:
-                    continue
-                if shard_id < n_shards:
-                    demands[shard_id] = global_demand[base_slices[shard_id]]
-                else:
-                    demands[shard_id] = np.full(proc.spec.n_units, fill)
-            kills = {
-                sid for sid, at in chaos.shard_kill_at.items() if at == step
-            }
-            hangs = {
-                sid for sid, at in chaos.shard_hang_at.items() if at == step
-            }
-            statuses = supervisor.command(step, demands, kills, hangs)
-            for shard_id, (status, ack) in sorted(statuses.items()):
-                if status == "crashed":
-                    harness_events.emit(
-                        now,
-                        "shard_killed",
-                        node_id=shard_id,
-                        detail="SIGKILL delivered",
-                    )
-                elif status == "hung":
-                    harness_events.emit(
-                        now,
-                        "shard_hung",
-                        node_id=shard_id,
-                        detail="silent past the ack deadline",
-                    )
-                elif status == "ok" and ack is not None:
-                    if shard_id < n_shards:
-                        sl = base_slices[shard_id]
-                        power_history[step, sl] = ack["power"]
-                        caps_history[step, sl] = ack["caps"]
-                    for doc in ack.get("events", ()):
-                        event = event_from_doc(doc)
-                        shard_events.emit(
-                            event.time_s,
-                            event.kind,
-                            unit=event.unit,
-                            node_id=event.node_id,
-                            detail=event.detail,
-                        )
-            for shard_id in pending_drains:
-                doc = supervisor.finish_drain(shard_id)
-                drained.append(shard_id)
-                drained_rcs[shard_id] = (
-                    doc.get("rc") if doc is not None else None
-                )
-                for event_doc in (doc or {}).get("events", ()):
-                    event = event_from_doc(event_doc)
-                    shard_events.emit(
-                        event.time_s,
-                        event.kind,
-                        unit=event.unit,
-                        node_id=event.node_id,
-                        detail=event.detail,
-                    )
-            pending_drains = []
-
-            if arbiter is not None and (step + 1) % cfg.period_cycles == 0:
-                # Shards sent their summaries before their acks, but on
-                # a different socket: wait for each live link's frame to
-                # land before collecting, so healthy shards are never
-                # spuriously quarantined by a scheduling race.
-                for shard_id, (status, _ack) in statuses.items():
-                    if status == "ok" and shard_id in links:
-                        links[shard_id].wait_readable(1.0)
-                last_stats = arbiter.cycle_once(now=now)
-            cycle_wall[step] = time.perf_counter() - wall_t0
+            if (
+                pending is not None
+                and (pending.step + 1) % cfg.period_cycles == 0
+            ):
+                close_cycle(pending)
+                pending = None
+            fresh = dispatch_phase(step, pending)
+            if pending is not None:
+                close_cycle(pending)
+            pending = fresh
+        if pending is not None:
+            close_cycle(pending)
     finally:
         supervisor.stop()
         for link in links.values():
@@ -1031,4 +1129,6 @@ def _run_sharded_process(
         drained=tuple(drained),
         drained_rcs=drained_rcs,
         link_reconnects=sum(link.reconnects for link in links.values()),
+        bytes_clock=supervisor.bytes_clock,
+        codec=codec,
     )

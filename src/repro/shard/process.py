@@ -37,10 +37,12 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import queue
 import select
 import signal
 import socket
 import sys
+import threading
 import time
 from pathlib import Path
 
@@ -48,7 +50,12 @@ import numpy as np
 
 from repro.cluster.cluster import Cluster
 from repro.comm.net import bind_listener
-from repro.comm.wire import FrameAssembler, FrameError, encode_frame
+from repro.comm.wire import (
+    ArrayCache,
+    FrameAssembler,
+    FrameError,
+    encode_frame,
+)
 from repro.core.config import ClusterSpec, RaplConfig
 from repro.core.managers import available_managers, create_manager
 from repro.deploy.client import DeployClient
@@ -171,10 +178,18 @@ class ShardHost:
         if args.resume:
             self._resume()
 
+        self.codec = str(getattr(args, "codec", "json"))
+        self.max_ack_events = int(getattr(args, "max_ack_events", 256))
+        self._persist_every = max(1, int(args.checkpoint_every))
+        self._persist_queue: queue.Queue = queue.Queue()
+        self._persist_worker: threading.Thread | None = None
         self._listener: socket.socket | None = None
         self._clock: socket.socket | None = None
         self._arbiter: socket.socket | None = None
         self._assemblers: dict[socket.socket, FrameAssembler] = {}
+        #: Per-connection repeat-elision memos for outbound arrays,
+        #: dropped with the connection exactly like its assembler.
+        self._send_caches: dict[socket.socket, ArrayCache] = {}
         self._unassigned: list[socket.socket] = []
         self._events_sent = 0
         self._step = -1
@@ -231,11 +246,13 @@ class ShardHost:
         conn, _ = self._listener.accept()
         conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         conn.setblocking(False)
-        self._assemblers[conn] = FrameAssembler()
+        self._assemblers[conn] = FrameAssembler(cache=ArrayCache())
+        self._send_caches[conn] = ArrayCache()
         self._unassigned.append(conn)
 
     def _drop(self, conn: socket.socket) -> None:
         self._assemblers.pop(conn, None)
+        self._send_caches.pop(conn, None)
         if conn in self._unassigned:
             self._unassigned.remove(conn)
         if conn is self._clock:
@@ -274,8 +291,13 @@ class ShardHost:
         else:
             self._drop(conn)
 
-    def _send(self, conn: socket.socket, doc: dict) -> bool:
-        frame = encode_frame(doc)
+    def _send(
+        self,
+        conn: socket.socket,
+        doc: dict,
+        quantized: tuple[str, ...] = (),
+    ) -> bool:
+        frame = encode_frame(doc, quantized, self._send_caches.get(conn))
         try:
             conn.settimeout(2.0)
             conn.sendall(frame)
@@ -328,20 +350,79 @@ class ShardHost:
     # -- the control cycle ---------------------------------------------
 
     def _drain_events(self) -> list[dict]:
+        """Fresh events for the next ack, bounded by ``max_ack_events``.
+
+        A chaos storm (mass quarantine, flapping clients) can emit far
+        more structured events in one cycle than a frame should carry;
+        past the cap the overflow collapses into one ``events_truncated``
+        summary so the ack can never bloat past ``MAX_FRAME_BYTES`` and
+        kill the clock link.
+        """
         events = list(self.shard.events)
         fresh = events[self._events_sent :]
         self._events_sent = len(events)
+        if len(fresh) > self.max_ack_events:
+            dropped = len(fresh) - self.max_ack_events
+            docs = [event_to_doc(e) for e in fresh[: self.max_ack_events]]
+            docs.append(
+                {
+                    "time_s": fresh[-1].time_s,
+                    "kind": "events_truncated",
+                    "unit": None,
+                    "node_id": self.shard_id,
+                    "detail": (
+                        f"{dropped} events over the per-ack cap of "
+                        f"{self.max_ack_events} dropped"
+                    ),
+                }
+            )
+            return docs
         return [event_to_doc(e) for e in fresh]
 
     def _persist(self) -> None:
-        _atomic_write(
-            self.state_path,
-            json.dumps(
-                {"step": self._step, "cluster": self.cluster.snapshot()}
-            ),
+        """Synchronous persist: enqueue and wait for the write to land."""
+        self._persist_async()
+        self._persist_queue.join()
+
+    def _persist_async(self) -> None:
+        """Snapshot in-cycle, serialize and write off the critical path.
+
+        The snapshot must be taken while the cycle's state is at rest,
+        but turning it into JSON and pushing it to disk rides one
+        long-lived writer thread: the host spends the tail of every
+        cycle blocked in ``select`` waiting for the next demand slice,
+        which is exactly when the writer runs.  (A thread *per* persist
+        costs more in ``Thread.start`` than the serialization it
+        offloads.)  The single writer drains its queue in order, so
+        ``state_path`` always advances monotonically.
+        """
+        if self._persist_worker is None:
+            self._persist_worker = threading.Thread(
+                target=self._persist_loop, daemon=True
+            )
+            self._persist_worker.start()
+        self._persist_queue.put(
+            {"step": self._step, "cluster": self.cluster.snapshot()}
         )
 
-    def _run_cycle(self, doc: dict) -> dict:
+    def _persist_loop(self) -> None:
+        while True:
+            state = self._persist_queue.get()
+            try:
+                if state is None:
+                    return
+                _atomic_write(self.state_path, json.dumps(state))
+            finally:
+                self._persist_queue.task_done()
+
+    def _join_persist(self) -> None:
+        """Flush pending writes and retire the writer thread."""
+        if self._persist_worker is not None:
+            self._persist_queue.put(None)
+            self._persist_worker.join()
+            self._persist_worker = None
+
+    def _run_cycle(self, doc: dict) -> None:
         step = int(doc["step"])
         demand = np.asarray(doc["demand"], dtype=np.float64)
         self.cluster.step_physics(demand, self.dt_s)
@@ -356,15 +437,33 @@ class ShardHost:
         if (step + 1) % self.config.period_cycles == 0:
             self.shard.summarize(cycle=step)
         self._step = step
-        self._persist()
-        return {
+        # Full-cluster snapshots are the dominant per-cycle cost at
+        # thousands of units; persist on the checkpoint cadence (the
+        # controller's own granularity — resume is never fresher than
+        # its checkpoint anyway) plus unconditionally on drain.  The
+        # shard-id offset staggers the fleet so snapshots don't convoy
+        # on the same cycle of every shard at once.
+        if (step + 1 + self.shard_id) % self._persist_every == 0:
+            self._persist_async()
+        ack = {
             "type": "cycle_ack",
             "step": step,
             "status": "ok",
-            "power": self.cluster.true_power_w().tolist(),
-            "caps": self.cluster.caps_w().tolist(),
             "events": self._drain_events(),
         }
+        if self.codec == "binary":
+            # Vectorized ack: powers/caps ride as raw array frames —
+            # f64 powers bit-exact, caps on the protocol's deci-watt
+            # lattice packed as u16.
+            ack["power"] = self.cluster.true_power_w()
+            ack["caps"] = self.cluster.caps_w()
+            if self._clock is not None:
+                self._send(self._clock, ack, quantized=("caps",))
+        else:
+            ack["power"] = self.cluster.true_power_w().tolist()
+            ack["caps"] = self.cluster.caps_w().tolist()
+            if self._clock is not None:
+                self._send(self._clock, ack)
 
     def _drain_and_exit(self) -> int:
         """SIGTERM path: freeze, final summary, notify the clock."""
@@ -404,6 +503,11 @@ class ShardHost:
                 readable, _, _ = select.select(
                     [self._listener] + conns, [], [], _POLL_S
                 )
+                # Grants outrank the clock: the supervisor sends arbiter
+                # traffic before it dispatches the next demand slice, so
+                # a grant that became readable in the same select round
+                # must be applied before the cycle it funds is run.
+                readable.sort(key=lambda s: s is self._clock)
                 for sock in readable:
                     if sock is self._listener:
                         self._accept()
@@ -418,6 +522,7 @@ class ShardHost:
                         if verdict == "hang":
                             self._hang_forever()
         finally:
+            self._join_persist()
             self._stop_stack()
             if self._listener is not None:
                 try:
@@ -436,8 +541,7 @@ class ShardHost:
             return None
         if conn is self._clock:
             if kind == "cycle":
-                ack = self._run_cycle(doc)
-                self._send(conn, ack)
+                self._run_cycle(doc)
                 return None
             if kind == "hang":
                 return "hang"
@@ -471,6 +575,18 @@ def add_shard_server_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--keep-generations", type=int, default=3)
     parser.add_argument(
         "--dir", required=True, help="checkpoint/journal/state directory"
+    )
+    parser.add_argument(
+        "--codec",
+        choices=("json", "binary"),
+        default="json",
+        help="clock-plane bulk encoding for demand/power/cap vectors",
+    )
+    parser.add_argument(
+        "--max-ack-events",
+        type=int,
+        default=256,
+        help="per-ack structured-event cap (overflow -> events_truncated)",
     )
     parser.add_argument(
         "--port", type=int, default=0, help="listener port (0 = kernel)"

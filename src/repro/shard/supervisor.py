@@ -24,17 +24,27 @@ import socket
 import subprocess
 import sys
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
 
 import repro
-from repro.comm.wire import FrameAssembler, FrameError, encode_frame
+from repro.comm.wire import (
+    ArrayCache,
+    FrameAssembler,
+    FrameError,
+    encode_frame,
+)
 from repro.deploy.loopback import RecoveryOptions
 from repro.telemetry.log import ResilienceEventLog
 
-__all__ = ["ProcessShardSpec", "ShardProcess", "ShardSupervisor"]
+__all__ = [
+    "PendingCycle",
+    "ProcessShardSpec",
+    "ShardProcess",
+    "ShardSupervisor",
+]
 
 #: Seconds a fresh subprocess gets to publish its port file.
 _SPAWN_TIMEOUT_S = 30.0
@@ -56,6 +66,11 @@ class ProcessShardSpec:
         noise_std_w: RAPL measurement-noise sigma (0 for drills).
         period_cycles / lease_term_cycles: lease protocol knobs.
         checkpoint_every / keep_generations: recovery knobs.
+        codec: clock-plane bulk encoding — ``"json"`` ships demand/
+            power/cap vectors as JSON float lists, ``"binary"`` as raw
+            array frames (:mod:`repro.comm.wire`).
+        max_ack_events: per-ack structured-event cap forwarded to the
+            shard server (overflow collapses into ``events_truncated``).
     """
 
     shard_id: int
@@ -74,6 +89,8 @@ class ProcessShardSpec:
     lease_term_cycles: int = 2
     checkpoint_every: int = 2
     keep_generations: int = 3
+    codec: str = "json"
+    max_ack_events: int = 256
 
     @property
     def n_units(self) -> int:
@@ -89,9 +106,20 @@ class ShardProcess:
         self.proc: subprocess.Popen | None = None
         self.address: tuple[str, int] | None = None
         self._clock: socket.socket | None = None
-        self._assembler = FrameAssembler()
+        self._assembler = FrameAssembler(cache=ArrayCache())
+        #: Repeat-elision memo for outbound demand slices; fresh per
+        #: clock connection, like the assembler's receive-side cache.
+        self._send_cache = ArrayCache()
+        #: Decoded-but-unclaimed clock documents.  With pipelined cycles
+        #: two acks can land in one recv batch; whatever a read pass
+        #: decodes beyond the document it wants must be kept, in arrival
+        #: order, for the next pass.
+        self._inbox: list[dict] = []
         self._log_path = spec.dir / f"shard-{spec.shard_id}.log"
         self._port_file = spec.dir / "port"
+        #: Frame bytes over the clock connection, both directions,
+        #: accumulated across respawns (the handle outlives the process).
+        self.bytes_clock = 0
 
     # -- spawning -------------------------------------------------------
 
@@ -121,6 +149,8 @@ class ShardProcess:
             "--checkpoint-every", str(spec.checkpoint_every),
             "--keep-generations", str(spec.keep_generations),
             "--dir", str(spec.dir),
+            "--codec", spec.codec,
+            "--max-ack-events", str(spec.max_ack_events),
             "--port", str(port),
             "--port-file", str(self._port_file),
             "--timeout", str(self.timeout_s),
@@ -188,25 +218,35 @@ class ShardProcess:
         assert self.address is not None
         sock = socket.create_connection(self.address, timeout=self.timeout_s)
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        sock.sendall(encode_frame({"type": "hello", "role": "clock"}))
+        hello = encode_frame({"type": "hello", "role": "clock"})
+        sock.sendall(hello)
+        self.bytes_clock += len(hello)
         self._clock = sock
-        self._assembler = FrameAssembler()
+        self._assembler = FrameAssembler(cache=ArrayCache())
+        self._send_cache = ArrayCache()
+        self._inbox.clear()
 
     # -- clock traffic --------------------------------------------------
 
     def _send(self, doc: dict) -> bool:
         if self._clock is None:
             return False
+        frame = encode_frame(doc, cache=self._send_cache)
         try:
-            self._clock.sendall(encode_frame(doc))
+            self._clock.sendall(frame)
+            self.bytes_clock += len(frame)
             return True
         except OSError:
             self.close_clock()
             return False
 
     def command_cycle(self, step: int, demand: np.ndarray) -> bool:
+        if self.spec.codec == "binary":
+            payload = np.ascontiguousarray(demand, dtype=np.float64)
+        else:
+            payload = demand.tolist()
         return self._send(
-            {"type": "cycle", "step": int(step), "demand": demand.tolist()}
+            {"type": "cycle", "step": int(step), "demand": payload}
         )
 
     def send_hang(self) -> bool:
@@ -215,8 +255,24 @@ class ShardProcess:
     def send_stop(self) -> bool:
         return self._send({"type": "stop"})
 
+    def _claim(self, want: str) -> dict | None:
+        """Pop the oldest inbox document of the wanted type, if any."""
+        for i, doc in enumerate(self._inbox):
+            if doc.get("type") == want:
+                return self._inbox.pop(i)
+        return None
+
     def _read_until(self, want: str, timeout_s: float) -> dict | None:
-        """Read clock docs until one of type ``want`` arrives (or not)."""
+        """Read clock docs until one of type ``want`` arrives (or not).
+
+        Documents of other types (and any *extra* documents of the
+        wanted type decoded from the same batch) are queued in arrival
+        order for later reads — with one cycle in flight ahead of the
+        collector, ack N and ack N+1 routinely share a recv batch.
+        """
+        claimed = self._claim(want)
+        if claimed is not None:
+            return claimed
         if self._clock is None:
             return None
         deadline = time.monotonic() + timeout_s
@@ -235,14 +291,16 @@ class ShardProcess:
             if not data:
                 self.close_clock()
                 return None
+            self.bytes_clock += len(data)
             try:
                 docs = self._assembler.feed(data)
             except FrameError:
                 self.close_clock()
                 return None
-            for doc in docs:
-                if doc.get("type") == want:
-                    return doc
+            self._inbox.extend(docs)
+            claimed = self._claim(want)
+            if claimed is not None:
+                return claimed
 
     def await_ack(self, step: int, timeout_s: float) -> dict | None:
         doc = self._read_until("cycle_ack", timeout_s)
@@ -299,6 +357,24 @@ class ShardProcess:
         self.close_clock()
 
 
+@dataclass
+class PendingCycle:
+    """One dispatched-but-uncollected fleet cycle.
+
+    :meth:`ShardSupervisor.dispatch` returns one of these after pushing
+    a cycle's demand slices to every healthy shard; the shards compute
+    concurrently while the parent does other work (in the pipelined
+    harness: finalizing the *previous* cycle).  :meth:`ShardSupervisor.
+    collect` turns it into the familiar status map.  Chaos-struck shards
+    (killed, hung, in outage, failed) get their status at dispatch time;
+    ``awaiting`` holds the shards whose acks are still on the wire.
+    """
+
+    step: int
+    statuses: dict[int, tuple[str, dict | None]] = field(default_factory=dict)
+    awaiting: list[int] = field(default_factory=list)
+
+
 class ShardSupervisor:
     """Lock-step fleet driver with restart bookkeeping and chaos hooks.
 
@@ -330,6 +406,15 @@ class ShardSupervisor:
         self.draining: set[int] = set()
         self._outage: dict[int, int] = {}
         self._hung: set[int] = set()
+        #: Clock bytes of shards already retired from the fleet (drained).
+        self._bytes_retired = 0
+
+    @property
+    def bytes_clock(self) -> int:
+        """Frame bytes over every clock connection, both directions."""
+        return self._bytes_retired + sum(
+            proc.bytes_clock for proc in self.fleet.values()
+        )
 
     # -- lifecycle ------------------------------------------------------
 
@@ -371,6 +456,7 @@ class ShardSupervisor:
             proc.kill()
             rc = proc.proc.returncode if proc.proc is not None else None
         proc.close_clock()
+        self._bytes_retired += proc.bytes_clock
         if doc is not None:
             doc["rc"] = rc
         return doc
@@ -388,17 +474,41 @@ class ShardSupervisor:
         kill_ids: set[int] | None = None,
         hang_ids: set[int] | None = None,
     ) -> dict[int, tuple[str, dict | None]]:
-        """Drive every fleet shard through one cycle.
+        """Drive every fleet shard through one cycle, start to finish.
 
-        Mirrors the thread harness's ack statuses: ``ok`` (with the ack
-        document), ``crashed`` (SIGKILL landed this cycle), ``hung``
-        (injected or detected silence), ``outage`` (restart in
-        progress), ``failed`` (restart budget exhausted).
+        The sequential convenience around :meth:`dispatch` +
+        :meth:`collect`.  Mirrors the thread harness's ack statuses:
+        ``ok`` (with the ack document), ``crashed`` (SIGKILL landed this
+        cycle), ``hung`` (injected or detected silence), ``outage``
+        (restart in progress), ``failed`` (restart budget exhausted).
+        """
+        return self.collect(self.dispatch(step, demands, kill_ids, hang_ids))
+
+    def dispatch(
+        self,
+        step: int,
+        demands: dict[int, np.ndarray],
+        kill_ids: set[int] | None = None,
+        hang_ids: set[int] | None = None,
+        pending: PendingCycle | None = None,
+    ) -> PendingCycle:
+        """Push one cycle's demands to the fleet without awaiting acks.
+
+        The pipelined harness calls ``dispatch(N+1, ..., pending=prev)``
+        before ``collect(prev)``: every shard computes cycle N+1 while
+        the parent finalizes cycle N.  Shards struck by chaos *this*
+        cycle are handled here — a SIGKILL or SIGTERM destroys the
+        process (and, through the kernel's RST, any acked-but-unread
+        bytes), so a victim's outstanding ack from ``pending`` is
+        settled (:meth:`settle`) before the signal goes out.  An
+        injected hang needs no settling: the ``hang`` document is
+        ordered after the previous cycle document on the clock socket,
+        so the previous ack is already on its way.
         """
         kill_ids = kill_ids or set()
         hang_ids = hang_ids or set()
-        statuses: dict[int, tuple[str, dict | None]] = {}
-        awaiting: list[int] = []
+        out = PendingCycle(step=step)
+        statuses = out.statuses
         for shard_id, proc in sorted(self.fleet.items()):
             if shard_id in self.draining:
                 continue
@@ -432,6 +542,7 @@ class ShardSupervisor:
                 self._tick_outage(shard_id)
                 continue
             if shard_id in kill_ids:
+                self.settle(pending, shard_id)
                 proc.kill()
                 self._crash(shard_id)
                 statuses[shard_id] = ("crashed", None)
@@ -446,18 +557,52 @@ class ShardSupervisor:
             ):
                 # Unexpected death (not scheduled chaos) — treat as a
                 # crash and consume the restart budget.
+                self.settle(pending, shard_id)
                 self._crash(shard_id)
                 statuses[shard_id] = ("crashed", None)
                 continue
-            awaiting.append(shard_id)
-        for shard_id in awaiting:
-            proc = self.fleet[shard_id]
-            ack = proc.await_ack(step, self.recovery.hang_timeout_s)
+            out.awaiting.append(shard_id)
+        return out
+
+    def settle(self, pending: PendingCycle | None, shard_id: int) -> None:
+        """Collect one shard's outstanding ack ahead of the others.
+
+        Called before anything that destroys the shard's buffered clock
+        traffic — SIGKILL (kill chaos, kernel RST drops received-but-
+        unread bytes) or SIGTERM (the host may drain before processing a
+        queued cycle document).  A shard that never acks is recorded
+        ``hung`` for the pending cycle *without* crash bookkeeping: the
+        caller is about to account the process's death itself.
+        """
+        if pending is None or shard_id not in pending.awaiting:
+            return
+        pending.awaiting.remove(shard_id)
+        proc = self.fleet.get(shard_id)
+        ack = (
+            proc.await_ack(pending.step, self.recovery.hang_timeout_s)
+            if proc is not None
+            else None
+        )
+        pending.statuses[shard_id] = (
+            ("ok", ack) if ack is not None else ("hung", None)
+        )
+
+    def collect(
+        self, pending: PendingCycle
+    ) -> dict[int, tuple[str, dict | None]]:
+        """Await every outstanding ack of a dispatched cycle."""
+        for shard_id in list(pending.awaiting):
+            proc = self.fleet.get(shard_id)
+            ack = (
+                proc.await_ack(pending.step, self.recovery.hang_timeout_s)
+                if proc is not None
+                else None
+            )
             if ack is None:
                 # Silent past the deadline: the real watchdog. SIGKILL
                 # and restart from the checkpoint.
                 self.events.emit(
-                    float(step),
+                    float(pending.step),
                     "controller_hung",
                     node_id=shard_id,
                     detail=(
@@ -465,12 +610,14 @@ class ShardSupervisor:
                         "SIGKILL"
                     ),
                 )
-                proc.kill()
+                if proc is not None:
+                    proc.kill()
                 self._crash(shard_id)
-                statuses[shard_id] = ("hung", None)
+                pending.statuses[shard_id] = ("hung", None)
             else:
-                statuses[shard_id] = ("ok", ack)
-        return statuses
+                pending.statuses[shard_id] = ("ok", ack)
+        pending.awaiting = []
+        return pending.statuses
 
     # -- restart bookkeeping --------------------------------------------
 

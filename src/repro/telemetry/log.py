@@ -124,7 +124,9 @@ WORKER_EVENT_KINDS = (
 #: HELLO was accepted and a lease carved for it), ``shard_draining`` /
 #: ``shard_drained`` (a leaving shard was asked to freeze, then its
 #: budget reclaimed once the final frozen summary was acked), and
-#: ``link_reconnect`` (a TCP shard link re-established after a drop).
+#: ``link_reconnect`` (a TCP shard link re-established after a drop),
+#: and ``events_truncated`` (a cycle acknowledgement hit its per-ack
+#: event cap; the overflow count rides in the detail).
 #: Every shard-level failover step emits one of these — there is no
 #: silent failover.
 SHARD_EVENT_KINDS = (
@@ -149,6 +151,7 @@ SHARD_EVENT_KINDS = (
     "link_reconnect",
     "arbiter_killed",
     "arbiter_restarted",
+    "events_truncated",
 )
 
 _ALL_EVENT_KINDS = (

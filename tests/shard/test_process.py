@@ -35,7 +35,7 @@ def make_cluster(n_nodes, sockets_per_node=1, seed=0):
 
 
 def run_process(cluster, tmp_path, n_shards, cycles, chaos=None, config=None,
-                recovery=None):
+                recovery=None, **kwargs):
     demand = np.full(cluster.n_units, 0.6)
     return run_sharded(
         cluster,
@@ -50,6 +50,7 @@ def run_process(cluster, tmp_path, n_shards, cycles, chaos=None, config=None,
         or RecoveryOptions(checkpoint_dir=tmp_path / "ckpt"),
         mode="process",
         manager_name="constant",
+        **kwargs,
     )
 
 
@@ -259,6 +260,84 @@ class TestProcessChaosAcceptance:
         ]
         assert len(restarts) == 1
         assert "resumed_from_checkpoint=True" in restarts[0].detail
+
+
+class TestCodecParity:
+    def test_thread_mode_rejects_binary_codec(self, tmp_path):
+        cluster = make_cluster(4)
+        with pytest.raises(ValueError, match="binary"):
+            run_sharded(
+                cluster,
+                n_shards=2,
+                manager_factory=lambda i: ConstantManager(),
+                demand_fn=lambda step: np.full(cluster.n_units, 0.5),
+                cycles=4,
+                checkpoint_dir=tmp_path / "ckpt",
+                recovery=RecoveryOptions(checkpoint_dir=tmp_path / "ckpt"),
+                codec="binary",
+            )
+
+    def test_binary_codec_bit_identical_under_chaos(self, tmp_path):
+        """The binary wire is an encoding, not a different computation.
+
+        Run the same seeded chaos session twice — once over the JSON
+        clock plane, once over the binary one — and demand bit-identical
+        powers and caps in every surviving cell of the history, the same
+        NaN mask for the dead ones, and zero invariant violations on
+        both.  Anything less means the codec moved a value.
+        """
+        chaos = ShardChaosSchedule(shard_kill_at={1: 4}, drain_at={0: 8})
+        results = {}
+        for codec in ("json", "binary"):
+            cluster = make_cluster(4, seed=7)
+            results[codec] = run_process(
+                cluster,
+                tmp_path / codec,
+                n_shards=2,
+                cycles=12,
+                chaos=chaos,
+                config=ArbiterConfig(period_cycles=2, lease_term_cycles=2),
+                recovery=RecoveryOptions(
+                    checkpoint_dir=tmp_path / codec / "ckpt",
+                    checkpoint_every=2,
+                ),
+                codec=codec,
+            )
+        ref, bin_ = results["json"], results["binary"]
+        assert ref.codec == "json" and bin_.codec == "binary"
+        assert ref.invariant_violations == 0
+        assert bin_.invariant_violations == 0
+        assert np.array_equal(
+            ref.power_history, bin_.power_history, equal_nan=True
+        )
+        assert np.array_equal(
+            ref.caps_history, bin_.caps_history, equal_nan=True
+        )
+        # Both planes meter their traffic.  (The binary codec's byte
+        # win is a scale effect — at two units per shard the array
+        # headers dominate; benchmarks/bench_shards.py measures the
+        # ratio at fleet scale.)
+        assert ref.bytes_clock > 0
+        assert bin_.bytes_clock > 0
+
+    def test_ack_event_cap_truncates_with_marker(self, tmp_path):
+        """An over-cap ack drops the tail and says so, once per ack."""
+        cluster = make_cluster(4)
+        result = run_process(
+            cluster,
+            tmp_path,
+            n_shards=2,
+            cycles=8,
+            max_ack_events=0,
+        )
+        assert result.invariant_violations == 0
+        truncated = [
+            e for e in result.events if e.kind == "events_truncated"
+        ]
+        assert truncated, "cap of 0 never tripped on a live fleet"
+        assert "cap of 0" in truncated[0].detail
+        # With a zero cap no raw shard event survives the wire.
+        assert "shard_lease_applied" not in {e.kind for e in result.events}
 
 
 class TestGracefulDrain:
